@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Array Fmt Gcd2 Gcd2_codegen Gcd2_cost Gcd2_frameworks Gcd2_graph Gcd2_isa Gcd2_layout Gcd2_models Gcd2_sched Gcd2_tensor List Report Sys

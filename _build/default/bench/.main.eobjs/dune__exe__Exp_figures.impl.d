@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Exp_tables Gcd2 Gcd2_codegen Gcd2_cost Gcd2_devices Gcd2_frameworks Gcd2_graph Gcd2_layout Gcd2_models Gcd2_sched Gcd2_util List Printf Report Sys

@@ -1,0 +1,1 @@
+bench/exp_tables.ml: Gcd2 Gcd2_codegen Gcd2_cost Gcd2_devices Gcd2_frameworks Gcd2_graph Gcd2_models Gcd2_sched Gcd2_tensor Gcd2_util Hashtbl List Report String

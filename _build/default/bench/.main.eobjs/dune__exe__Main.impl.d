@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablations Exp_figures Exp_micro Exp_tables List Printf Sys

@@ -1,0 +1,152 @@
+(* Bechamel micro-benchmarks of the compiler's core algorithms: how long
+   the optimizations themselves take (the paper reports compilation times
+   of 5-25 minutes for full models on-device; these measure our
+   implementations). *)
+
+open Bechamel
+open Toolkit
+
+module Packer = Gcd2_sched.Packer
+module Matmul = Gcd2_codegen.Matmul
+module Simd = Gcd2_codegen.Simd
+module Solver = Gcd2_layout.Solver
+module Graphcost = Gcd2_cost.Graphcost
+module Machine = Gcd2_vm.Machine
+module Zoo = Gcd2_models.Zoo
+
+(* A representative inner-loop block to pack (from the vmpy kernel). *)
+let kernel_block =
+  lazy
+    (let spec =
+       {
+         Matmul.simd = Simd.I_vmpy;
+         m = 128;
+         k = 64;
+         n = 8;
+         mult = 1 lsl 30;
+         shift = 30;
+         act_table = None;
+         strategy = Packer.sda;
+         un = 4;
+         ug = 2;
+         addressing = Matmul.Bump;
+       }
+     in
+     let prog = Matmul.generate spec { Matmul.a_base = 0; w_base = 0; c_base = 0 } in
+     (* flatten the innermost block back to an instruction array *)
+     let rec find nodes =
+       List.fold_left
+         (fun acc node ->
+           match node with
+           | Gcd2_isa.Program.Block _ -> acc
+           | Gcd2_isa.Program.Loop { body = [ Gcd2_isa.Program.Block ps ]; _ } ->
+             Some (Array.of_list (List.concat ps))
+           | Gcd2_isa.Program.Loop { body; _ } -> (
+             match find body with Some x -> Some x | None -> acc))
+         None nodes
+     in
+     match find prog.Gcd2_isa.Program.nodes with
+     | Some instrs -> instrs
+     | None -> [||])
+
+let mobilenet_cost =
+  lazy
+    (let g = (Zoo.find "MobileNet-V3").Zoo.build () in
+     let g = Gcd2_graph.Passes.optimize g in
+     Graphcost.build Gcd2_cost.Opcost.gcd2 g)
+
+let test_sda_packing =
+  Test.make ~name:"sda packing (vmpy inner block)"
+    (Staged.stage (fun () -> ignore (Packer.pack Packer.sda (Lazy.force kernel_block))))
+
+let test_list_packing =
+  Test.make ~name:"list packing (same block)"
+    (Staged.stage (fun () -> ignore (Packer.pack Packer.List_topdown (Lazy.force kernel_block))))
+
+let test_codegen =
+  Test.make ~name:"matmul codegen + packing (128x64x8)"
+    (Staged.stage (fun () ->
+         ignore
+           (Matmul.cycles
+              {
+                Matmul.simd = Simd.I_vrmpy;
+                m = 128;
+                k = 64;
+                n = 8;
+                mult = 1 lsl 30;
+                shift = 30;
+                act_table = None;
+                strategy = Packer.sda;
+                un = 8;
+                ug = 1;
+                addressing = Matmul.Bump;
+              })))
+
+let test_partitioned_selection =
+  Test.make ~name:"global selection gcd2(13) (MobileNet-V3)"
+    (Staged.stage (fun () ->
+         let cost = Lazy.force mobilenet_cost in
+         ignore (Solver.partitioned ~max_size:13 cost.Graphcost.problem)))
+
+let test_local_selection =
+  Test.make ~name:"local selection (MobileNet-V3)"
+    (Staged.stage (fun () ->
+         let cost = Lazy.force mobilenet_cost in
+         ignore (Solver.local cost.Graphcost.problem)))
+
+let test_vm_matmul =
+  Test.make ~name:"vm execution of a 32x32x8 matmul kernel"
+    (Staged.stage (fun () ->
+         let rng = Gcd2_util.Rng.create 1 in
+         let a = Array.init (32 * 32) (fun _ -> Gcd2_util.Rng.int8 rng) in
+         let w = Array.init (32 * 8) (fun _ -> Gcd2_util.Rng.int8 rng) in
+         ignore
+           (Gcd2_codegen.Testbench.run
+              {
+                Matmul.simd = Simd.I_vrmpy;
+                m = 32;
+                k = 32;
+                n = 8;
+                mult = 1 lsl 30;
+                shift = 30;
+                act_table = None;
+                strategy = Packer.sda;
+                un = 8;
+                ug = 1;
+                addressing = Matmul.Bump;
+              }
+              ~a ~w)))
+
+let benchmark () =
+  let tests =
+    [
+      test_sda_packing;
+      test_list_packing;
+      test_codegen;
+      test_partitioned_selection;
+      test_local_selection;
+      test_vm_matmul;
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let raw =
+    List.map
+      (fun test -> Benchmark.all cfg instances test)
+      (List.map (fun t -> Test.make_grouped ~name:(Test.name t) [ t ]) tests)
+  in
+  let results =
+    List.map (fun r -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) Instance.monotonic_clock r) raw
+  in
+  Report.header "Micro-benchmarks (bechamel, monotonic clock)";
+  List.iter2
+    (fun test result ->
+      Hashtbl.iter
+        (fun name ols ->
+          ignore name;
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+            Report.row "%-44s %12.1f ns/run\n" (Test.name test) est
+          | _ -> Report.row "%-44s %12s\n" (Test.name test) "n/a")
+        result)
+    tests results

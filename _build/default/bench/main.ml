@@ -1,0 +1,54 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section V).  Run with no arguments for the full set, or
+   name experiments: table1..table5, fig7..fig13, micro.
+
+   Outputs print measured rows next to the paper's reported values;
+   EXPERIMENTS.md records the comparison and known residuals. *)
+
+let experiments =
+  [
+    ("table1", Exp_tables.table1);
+    ("table2", Exp_tables.table2);
+    ("table3", Exp_tables.table3);
+    ("table4", Exp_tables.table4);
+    ("table5", Exp_tables.table5);
+    ("fig7", Exp_figures.fig7);
+    ("fig8", Exp_figures.fig8);
+    ("fig9", Exp_figures.fig9);
+    ("fig10", Exp_figures.fig10);
+    ("fig11", Exp_figures.fig11);
+    ("fig12", Exp_figures.fig12);
+    ("fig13", Exp_figures.fig13);
+    ("ablations", Exp_ablations.run);
+    ("micro", Exp_micro.benchmark);
+  ]
+
+let usage () =
+  print_endline "usage: bench/main.exe [experiment...]";
+  print_endline "experiments:";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments;
+  print_endline "  all (default: every table, figure and ablation; micro must be asked for explicitly)"
+
+let run name =
+  match List.assoc_opt name experiments with
+  | Some f ->
+    let t0 = Sys.time () in
+    f ();
+    Printf.printf "   [%s finished in %.1f s]\n%!" name (Sys.time () -. t0)
+  | None ->
+    Printf.printf "unknown experiment %S\n" name;
+    usage ();
+    exit 1
+
+let default_set =
+  [ "table1"; "table2"; "table3"; "table4"; "table5"; "fig7"; "fig8"; "fig9"; "fig10";
+    "fig11"; "fig12"; "fig13"; "ablations" ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] | _ :: [ "all" ] ->
+    print_endline "GCD2 reproduction - regenerating every table and figure of the paper";
+    List.iter run default_set
+  | _ :: [ "--help" ] | _ :: [ "-h" ] -> usage ()
+  | _ :: names -> List.iter run names
+  | [] -> usage ()

@@ -1,0 +1,19 @@
+(* Small fixed-width table printer shared by all experiments. *)
+
+let line width = print_endline (String.make width '-')
+
+let header title =
+  print_newline ();
+  line 78;
+  Printf.printf "%s\n" title;
+  line 78
+
+let row fmt = Printf.printf fmt
+
+let section s = Printf.printf "\n-- %s --\n" s
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "   note: %s\n" s) fmt
+
+let ratio a b = if b = 0.0 then 0.0 else a /. b
+
+let pp_opt_ms = function Some v -> Printf.sprintf "%8.1f" v | None -> "       -"

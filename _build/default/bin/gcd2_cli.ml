@@ -1,0 +1,171 @@
+(* gcd2 — command-line front end.
+
+     gcd2 list                         models in the zoo
+     gcd2 compile MODEL [options]      compile and report
+     gcd2 compare MODEL                TFLite vs SNPE vs GCD2
+     gcd2 kernel -m M -k K -n N        explore one matmul/conv kernel
+*)
+
+open Cmdliner
+
+module Zoo = Gcd2_models.Zoo
+module F = Gcd2_frameworks.Framework
+module Compiler = Gcd2.Compiler
+module Graphcost = Gcd2_cost.Graphcost
+module Graph = Gcd2_graph.Graph
+module Op = Gcd2_graph.Op
+module Simd = Gcd2_codegen.Simd
+module Matmul = Gcd2_codegen.Matmul
+module Unroll = Gcd2_codegen.Unroll
+module Packer = Gcd2_sched.Packer
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let doc = "List the models of the zoo (the paper's Table IV workloads)." in
+  let run () =
+    Fmt.pr "%-16s %-12s %-20s %8s %6s@." "name" "type" "task" "GMACs" "#ops";
+    List.iter
+      (fun (e : Zoo.entry) ->
+        let g = e.Zoo.build () in
+        Fmt.pr "%-16s %-12s %-20s %8.2f %6d@." e.Zoo.name e.Zoo.kind
+          (Zoo.task_name e.Zoo.task)
+          (float_of_int (Gcd2_graph.Flops.total_macs g) /. 1e9)
+          (Graph.size g))
+      Zoo.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---------------- compile ---------------- *)
+
+let model_arg =
+  let doc = "Model name from the zoo (see `gcd2 list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let framework_arg =
+  let doc = "Framework configuration: gcd2, gcd2_b, tflite, snpe, no_opt." in
+  Arg.(value & opt string "gcd2" & info [ "f"; "framework" ] ~docv:"NAME" ~doc)
+
+let selection_arg =
+  let doc =
+    "Global selection: local, optimal, or a sub-graph bound for the GCD2 \
+     partitioning heuristic (e.g. 13 or 17)."
+  in
+  Arg.(value & opt string "13" & info [ "s"; "selection" ] ~docv:"MODE" ~doc)
+
+let verbose_arg =
+  let doc = "Print the chosen execution plan of every operator." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let config_of ~framework ~selection =
+  let base =
+    match String.lowercase_ascii framework with
+    | "gcd2" -> F.gcd2
+    | "gcd2_b" | "gcdb" -> F.gcd2_b
+    | "tflite" -> F.tflite
+    | "snpe" -> F.snpe
+    | "no_opt" | "noopt" -> F.no_opt
+    | other -> invalid_arg (Fmt.str "unknown framework %S" other)
+  in
+  let selection =
+    match String.lowercase_ascii selection with
+    | "local" -> Compiler.Local
+    | "optimal" -> Compiler.Optimal_dp
+    | k -> (
+      match int_of_string_opt k with
+      | Some k when k > 0 -> Compiler.Partitioned k
+      | _ -> invalid_arg (Fmt.str "bad selection %S" k))
+  in
+  { base with Compiler.selection }
+
+let compile_run model framework selection verbose =
+  let entry = Zoo.find model in
+  let config = config_of ~framework ~selection in
+  let c = Compiler.compile ~config (entry.Zoo.build ()) in
+  Fmt.pr "%a@." Compiler.pp_summary c;
+  Fmt.pr "selection: %a in %.3f s@." Compiler.pp_selection config.Compiler.selection
+    c.Compiler.selection_seconds;
+  Fmt.pr "paper reports %.1f ms for GCD2 on this model@." entry.Zoo.paper_gcd2_ms;
+  if verbose then begin
+    Fmt.pr "@.%-4s %-26s %-24s %10s@." "id" "operator" "plan" "cycles";
+    Array.iter
+      (fun (n : Graphcost.node_report) ->
+        Fmt.pr "%-4d %-26s %-24s %10.0f@." n.Graphcost.node.Graph.id
+          (Op.name n.Graphcost.node.Graph.op)
+          (Fmt.str "%a" Gcd2_cost.Plan.pp n.Graphcost.plan)
+          n.Graphcost.cycles)
+      c.Compiler.report.Graphcost.per_node
+  end
+
+let compile_cmd =
+  let doc = "Compile a zoo model and report latency/utilization." in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(const compile_run $ model_arg $ framework_arg $ selection_arg $ verbose_arg)
+
+(* ---------------- compare ---------------- *)
+
+let compare_run model =
+  let entry = Zoo.find model in
+  let g = entry.Zoo.build () in
+  Fmt.pr "%-8s %10s %8s@." "stack" "ms" "fps";
+  List.iter
+    (fun config ->
+      let c = Compiler.compile ~config g in
+      let ms = Compiler.latency_ms c in
+      Fmt.pr "%-8s %10.2f %8.1f@." config.Compiler.name ms (1000.0 /. ms))
+    [ F.tflite; F.snpe; F.gcd2_b; F.gcd2 ]
+
+let compare_cmd =
+  let doc = "Compare TFLite / SNPE / GCD_b / GCD2 on one model." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare_run $ model_arg)
+
+(* ---------------- kernel ---------------- *)
+
+let dim name = Arg.(value & opt int 128 & info [ name ] ~docv:"N" ~doc:("dimension " ^ name))
+
+let kernel_run m k n =
+  Fmt.pr "C[%d x %d] = A[%d x %d] * W[%d x %d]@.@." m n m k k n;
+  Fmt.pr "%-6s %-10s %10s %10s %8s@." "instr" "layout" "cycles" "packets" "pad%";
+  List.iter
+    (fun simd ->
+      let u = Unroll.adaptive simd ~m ~k ~n in
+      let spec =
+        {
+          Matmul.simd;
+          m;
+          k;
+          n;
+          mult = 1 lsl 30;
+          shift = 30;
+          act_table = None;
+          strategy = Packer.sda;
+          un = u.Unroll.un;
+          ug = u.Unroll.ug;
+          addressing = Matmul.Bump;
+        }
+      in
+      let prog = Matmul.generate spec { Matmul.a_base = 0; w_base = 0; c_base = 0 } in
+      let pad =
+        100.0
+        *. (float_of_int (Simd.padded_data_bytes simd ~m ~k ~n)
+            /. float_of_int ((m * k) + (k * n) + (m * n))
+           -. 1.0)
+      in
+      Fmt.pr "%-6s %-10s %10d %10d %7.1f%%@." (Simd.name simd)
+        (Gcd2_tensor.Layout.name (Simd.layout simd))
+        (Gcd2_isa.Program.static_cycles prog)
+        (Gcd2_isa.Program.packet_count prog)
+        pad)
+    Simd.all
+
+let kernel_cmd =
+  let doc = "Show the three SIMD implementation choices for one matmul shape." in
+  Cmd.v (Cmd.info "kernel" ~doc) Term.(const kernel_run $ dim "m" $ dim "k" $ dim "n")
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "GCD2: a globally optimizing DNN compiler for a simulated mobile DSP" in
+  let info = Cmd.info "gcd2" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; compare_cmd; kernel_cmd ]))

@@ -1,0 +1,1 @@
+examples/kernel_explorer.ml: Array Fmt Gcd2_codegen Gcd2_cost Gcd2_isa Gcd2_kernels Gcd2_sched Gcd2_tensor Gcd2_util List Option Sys

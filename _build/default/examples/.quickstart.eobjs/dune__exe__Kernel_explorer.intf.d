@@ -1,0 +1,1 @@
+examples/kernel_explorer.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dump Fmt Gcd2 Gcd2_cost Gcd2_graph Gcd2_kernels Gcd2_tensor Gcd2_util

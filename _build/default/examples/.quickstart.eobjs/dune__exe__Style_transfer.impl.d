@@ -1,0 +1,1 @@
+examples/style_transfer.ml: Array Fmt Gcd2 Gcd2_codegen Gcd2_cost Gcd2_frameworks Gcd2_graph Gcd2_models Hashtbl List Option

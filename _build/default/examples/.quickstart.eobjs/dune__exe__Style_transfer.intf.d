@@ -1,0 +1,1 @@
+examples/style_transfer.mli:

@@ -1,0 +1,1 @@
+examples/transformer_on_dsp.ml: Array Fmt Gcd2 Gcd2_cost Gcd2_frameworks Gcd2_graph Gcd2_models Hashtbl List Option

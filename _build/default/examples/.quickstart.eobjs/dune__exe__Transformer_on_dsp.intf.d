@@ -1,0 +1,1 @@
+examples/transformer_on_dsp.mli:

@@ -1,0 +1,77 @@
+(* Style transfer on the DSP: the paper's motivating real-time scenario.
+   FST runs 161 GMACs per 1024x1024 frame; the difference between the
+   production frameworks and GCD2 is the difference between a slideshow
+   and an interactive filter.
+
+   This example compiles FST under TFLite-, SNPE- and GCD2-equivalent
+   configurations, breaks the latency down by operator class, and shows
+   which layout/instruction mix the global optimizer chose.
+
+   Run with:  dune exec examples/style_transfer.exe *)
+
+module Zoo = Gcd2_models.Zoo
+module F = Gcd2_frameworks.Framework
+module Compiler = Gcd2.Compiler
+module Graphcost = Gcd2_cost.Graphcost
+module Plan = Gcd2_cost.Plan
+module Graph = Gcd2_graph.Graph
+module Op = Gcd2_graph.Op
+module Simd = Gcd2_codegen.Simd
+
+let classify_op (op : Op.t) =
+  match op with
+  | Op.Conv2d _ -> "conv"
+  | Op.Transposed_conv2d _ -> "upconv"
+  | Op.Layer_norm -> "instance-norm"
+  | Op.Add | Op.Mul | Op.Sub | Op.Div -> "elementwise"
+  | Op.Relu | Op.Relu6 | Op.Hard_swish | Op.Sigmoid | Op.Tanh | Op.Gelu -> "activation"
+  | Op.Pad_spatial _ | Op.Reshape _ | Op.Transpose _ -> "data-movement"
+  | _ -> "other"
+
+let () =
+  let entry = Zoo.find "FST" in
+  let graph = entry.Zoo.build () in
+  Fmt.pr "Fast style transfer: %d operators, %.1f GMACs per frame@." (Graph.size graph)
+    (float_of_int (Gcd2_graph.Flops.total_macs graph) /. 1e9);
+
+  (* frame rates under the three stacks *)
+  Fmt.pr "@.framework comparison (one 1024x1024 frame):@.";
+  List.iter
+    (fun config ->
+      let c = F.compile config graph in
+      let ms = Compiler.latency_ms c in
+      Fmt.pr "  %-8s %7.1f ms  (%.2f fps)@." config.Compiler.name ms (1000.0 /. ms))
+    [ F.tflite; F.snpe; F.gcd2 ];
+
+  (* where the time goes under GCD2 *)
+  let c = F.compile F.gcd2 graph in
+  let per_class = Hashtbl.create 8 in
+  Array.iter
+    (fun (n : Graphcost.node_report) ->
+      let key = classify_op n.Graphcost.node.Graph.op in
+      let cur = Option.value (Hashtbl.find_opt per_class key) ~default:0.0 in
+      Hashtbl.replace per_class key (cur +. n.Graphcost.cycles))
+    c.Compiler.report.Graphcost.per_node;
+  let total = c.Compiler.report.Graphcost.cycles in
+  Fmt.pr "@.GCD2 latency breakdown by operator class:@.";
+  Hashtbl.iter
+    (fun k v -> Fmt.pr "  %-14s %5.1f%%@." k (100.0 *. v /. total))
+    per_class;
+
+  (* the instruction mix the global optimizer chose for the convolutions *)
+  let counts = Hashtbl.create 4 in
+  Array.iteri
+    (fun v plans ->
+      let plan = plans.(c.Compiler.assignment.(v)) in
+      match plan.Plan.simd with
+      | Some simd ->
+        let key = Simd.name simd in
+        Hashtbl.replace counts key (1 + Option.value (Hashtbl.find_opt counts key) ~default:0)
+      | None -> ())
+    c.Compiler.cost.Graphcost.plans;
+  Fmt.pr "@.SIMD instruction mix across multiply-heavy operators:@.";
+  Hashtbl.iter (fun k v -> Fmt.pr "  %-6s x%d@." k v) counts;
+  Fmt.pr
+    "@.real-time check: %s (paper: GCD2 made FST 4.4x faster than TFLite on a Snapdragon 865)@."
+    (if Compiler.latency_ms c < 500.0 then "interactive-rate on the simulated DSP"
+     else "below interactive rate")

@@ -1,0 +1,1 @@
+lib/codegen/eltwise.ml: Emit Gcd2_isa Gcd2_sched Instr Program Regs

@@ -1,0 +1,1 @@
+lib/codegen/eltwise.mli: Gcd2_isa Gcd2_sched Program

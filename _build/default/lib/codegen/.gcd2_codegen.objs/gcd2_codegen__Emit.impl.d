@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Gcd2_isa Gcd2_sched Instr List Program

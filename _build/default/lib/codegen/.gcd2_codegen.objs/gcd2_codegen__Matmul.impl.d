@@ -1,0 +1,1 @@
+lib/codegen/matmul.ml: Array Emit Fmt Gcd2_isa Gcd2_sched Gcd2_tensor Gcd2_util Instr List Option Program Reg Regs Simd Weights

@@ -1,0 +1,1 @@
+lib/codegen/matmul.mli: Gcd2_isa Gcd2_sched Program Simd

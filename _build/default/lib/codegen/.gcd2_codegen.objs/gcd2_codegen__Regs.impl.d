@@ -1,0 +1,1 @@
+lib/codegen/regs.ml: Fmt Gcd2_isa

@@ -1,0 +1,1 @@
+lib/codegen/regs.mli: Gcd2_isa

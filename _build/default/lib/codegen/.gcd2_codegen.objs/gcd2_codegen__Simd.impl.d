@@ -1,0 +1,1 @@
+lib/codegen/simd.ml: Fmt Gcd2_tensor Gcd2_util

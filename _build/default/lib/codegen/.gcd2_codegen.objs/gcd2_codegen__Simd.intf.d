@@ -1,0 +1,1 @@
+lib/codegen/simd.mli: Format Gcd2_tensor

@@ -1,0 +1,1 @@
+lib/codegen/testbench.ml: Array Gcd2_util Gcd2_vm Matmul Weights

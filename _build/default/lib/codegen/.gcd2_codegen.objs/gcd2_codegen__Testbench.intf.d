@@ -1,0 +1,1 @@
+lib/codegen/testbench.mli: Matmul

@@ -1,0 +1,1 @@
+lib/codegen/unroll.ml: Gcd2_tensor Gcd2_util List Matmul Simd

@@ -1,0 +1,1 @@
+lib/codegen/unroll.mli: Matmul Simd

@@ -1,0 +1,1 @@
+lib/codegen/weights.ml: Array Gcd2_tensor Gcd2_util Simd

@@ -1,0 +1,1 @@
+lib/codegen/weights.mli: Simd

@@ -1,0 +1,30 @@
+(** Elementwise kernels (binary add/sub/mul, unary table lookups) — the
+    layout-oblivious operators that give the global optimizer freedom.
+    Operand rescaling is a byte lookup ([Vlut]); multiplication requants
+    through the widening pipeline. *)
+
+open Gcd2_isa
+module Packer = Gcd2_sched.Packer
+
+type binary = Badd | Bsub | Bmul
+
+type spec = {
+  vectors : int;  (** 128-byte vectors to process *)
+  uv : int;  (** vector unroll *)
+  strategy : Packer.strategy;
+  rescale_a : int option;  (** table id rescaling operand A into the output scale *)
+  rescale_b : int option;  (** likewise for B (negating for subtraction) *)
+  act_table : int option;
+  mult : int;  (** requantization multiplier ([Bmul] only) *)
+  shift : int;
+}
+
+type buffers = { a_base : int; b_base : int; out_base : int }
+
+val binary : ?tables:(int * int array) list -> binary -> spec -> buffers -> Program.t
+
+val unary :
+  ?tables:(int * int array) list -> table:int -> spec -> in_base:int -> out_base:int ->
+  Program.t
+
+val default_spec : ?strategy:Packer.strategy -> vectors:int -> unit -> spec

@@ -1,0 +1,21 @@
+(** Bump allocator for physical registers during kernel emission.  Unroll
+    limits keep kernels within the register file; exhaustion raises. *)
+
+module Reg = Gcd2_isa.Reg
+
+exception Out_of_registers of string
+
+type t
+
+val create : unit -> t
+val scalar : t -> Reg.t
+val vector : t -> Reg.t
+
+(** Aligned even/odd vector pair. *)
+val pair : t -> Reg.t
+
+(** Low/high vector halves of a pair. *)
+val halves : Reg.t -> Reg.t * Reg.t
+
+val free_vectors : t -> int
+val free_scalars : t -> int

@@ -1,0 +1,43 @@
+(** Convenience driver: stage a matmul's operands into a simulator, run the
+    generated kernel, and return the logical row-major result.  Used by the
+    test suite, the examples and the benchmark harness. *)
+
+module Machine = Gcd2_vm.Machine
+
+type result = {
+  data : int array;  (** logical row-major M x N int8 output *)
+  cycles : int;
+  packets : int;
+  macs : int;
+}
+
+(** [run spec ~a ~w] — [a] row-major M x K, [w] row-major K x N.
+    [per_channel] stages prepacked multiplier vectors and generates the
+    per-channel-requantizing kernel. *)
+let run ?(tables = []) ?per_channel (spec : Matmul.spec) ~a ~w =
+  let packed_a = Weights.pack_activations spec.Matmul.simd ~m:spec.m ~k:spec.k a in
+  let packed_w = Weights.prepack spec.simd ~k:spec.k ~n:spec.n w in
+  let out_bytes = Weights.output_bytes spec.simd ~m:spec.m ~n:spec.n in
+  let align x = Gcd2_util.Stats.round_up x 128 in
+  let a_base = 0 in
+  let w_base = align (a_base + Array.length packed_a) in
+  let c_base = align (w_base + Array.length packed_w) in
+  let packed_q =
+    match per_channel with
+    | None -> [||]
+    | Some (mults, _) -> Weights.prepack_channel_mults spec.simd ~n:spec.n mults
+  in
+  let q_base = align (c_base + out_bytes) in
+  let mem_bytes = align (q_base + Array.length packed_q) + 256 in
+  let m = Machine.create ~mem_bytes:(max mem_bytes 4096) () in
+  Machine.write_i8_array m ~addr:a_base packed_a;
+  Machine.write_i8_array m ~addr:w_base packed_w;
+  if Array.length packed_q > 0 then Machine.write_i8_array m ~addr:q_base packed_q;
+  let prog =
+    Matmul.generate ~tables ?per_channel ~q_base spec { Matmul.a_base; w_base; c_base }
+  in
+  Machine.run m prog;
+  let raw = Machine.read_i8_array m ~addr:c_base ~len:out_bytes in
+  let data = Weights.unpack_output spec.simd ~m:spec.m ~n:spec.n raw in
+  let c = Machine.counters m in
+  { data; cycles = c.Machine.cycles; packets = c.Machine.packets; macs = c.Machine.macs }

@@ -1,0 +1,19 @@
+(** Stage a matmul's operands into a simulator, run the generated kernel,
+    return the logical result — used by tests, examples and benches. *)
+
+type result = {
+  data : int array;  (** logical row-major M x N int8 output *)
+  cycles : int;
+  packets : int;
+  macs : int;
+}
+
+(** [run spec ~a ~w] — [a] row-major M x K, [w] row-major K x N;
+    [per_channel] = [(mults, shift)] enables per-channel requantization. *)
+val run :
+  ?tables:(int * int array) list ->
+  ?per_channel:int array * int ->
+  Matmul.spec ->
+  a:int array ->
+  w:int array ->
+  result

@@ -1,0 +1,78 @@
+(** Loop-unrolling selection (paper Section IV-C, "Impact of Unrolling").
+
+    GCD2's heuristic classifies the output tensor shape into skinny /
+    near-square / fat and picks a preset pair of factors: the
+    output-column unroll ("Out", how many columns of C are produced per
+    tile) and the reduction unroll ("Mid", how many k-groups per loop
+    body).  The alternatives evaluated in the paper's Figure 12 are also
+    provided: fixed single-level unrolling and exhaustive search. *)
+
+type setting = { un : int; ug : int }
+
+type shape_class = Skinny | Near_square | Fat
+
+let classify ~m ~n =
+  if n * 4 <= m then Skinny else if m * 4 <= n then Fat else Near_square
+
+let shape_class_name = function
+  | Skinny -> "skinny"
+  | Near_square -> "near-square"
+  | Fat -> "fat"
+
+(* Clamp a column unroll to the simd's constraints and the (padded)
+   problem width. *)
+let clamp_un simd ~n un =
+  let group = Gcd2_tensor.Layout.column_group (Simd.layout simd) in
+  let np = Gcd2_util.Stats.round_up n group in
+  let un = min un (Matmul.max_un simd) in
+  let un = min un np in
+  max group (un - (un mod group))
+
+let clamp_ug ~k ug =
+  let groups = Gcd2_util.Stats.round_up k 4 / 4 in
+  (* the generators accept at most 4 unrolled k-groups *)
+  max 1 (min (min ug 4) groups)
+
+(** The GCD2 shape-adaptive heuristic.  Both factors are driven by the
+    output shape through the clamps: the column unroll maxes out against
+    register pressure and the (padded) output width — skinny outputs get
+    small tiles, fat outputs wide ones — and the reduction unroll deepens
+    to the scheduler's window except when the reduction is shallow. *)
+let adaptive simd ~m ~k ~n =
+  let un = clamp_un simd ~n (Matmul.max_un simd) in
+  ignore (classify ~m ~n);
+  { un; ug = clamp_ug ~k 4 }
+
+(** "Out": unroll only the output-column loop by [factor]. *)
+let fixed_out simd ~k ~n ~factor = { un = clamp_un simd ~n factor; ug = clamp_ug ~k 1 }
+
+(** "Mid": unroll only the reduction loop by [factor]. *)
+let fixed_mid simd ~k ~n ~factor =
+  { un = clamp_un simd ~n 1; ug = clamp_ug ~k factor }
+
+(** No unrolling at all. *)
+let none simd ~k ~n = { un = clamp_un simd ~n 1; ug = clamp_ug ~k 1 }
+
+(** Exhaustive grid search minimizing the generated kernel's cycle count —
+    the expensive baseline of Figure 12. *)
+let exhaustive (base : Matmul.spec) =
+  let simd = base.Matmul.simd in
+  let group = Gcd2_tensor.Layout.column_group (Simd.layout simd) in
+  let uns =
+    List.filter
+      (fun u -> u mod group = 0 && u <= Matmul.max_un simd && u = clamp_un simd ~n:base.n u)
+      [ 1; 2; 4; 8 ]
+  in
+  let ugs = List.filter (fun g -> g = clamp_ug ~k:base.k g) [ 1; 2; 3; 4 ] in
+  let best = ref None in
+  List.iter
+    (fun un ->
+      List.iter
+        (fun ug ->
+          let cycles = Matmul.cycles { base with Matmul.un; ug } in
+          match !best with
+          | Some (_, c) when c <= cycles -> ()
+          | _ -> best := Some ({ un; ug }, cycles))
+        ugs)
+    uns;
+  match !best with Some (s, _) -> s | None -> none simd ~k:base.k ~n:base.n

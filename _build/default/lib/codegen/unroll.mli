@@ -1,0 +1,30 @@
+(** Loop-unrolling selection (paper Section IV-C "Impact of Unrolling" and
+    Figure 12): GCD2's shape-adaptive heuristic, the single-level
+    baselines, and exhaustive search. *)
+
+type setting = { un : int  (** output-column ("Out") unroll *); ug : int  (** reduction ("Mid") unroll *) }
+
+type shape_class = Skinny | Near_square | Fat
+
+val classify : m:int -> n:int -> shape_class
+val shape_class_name : shape_class -> string
+
+(** Clamp helpers (column grouping, register file, problem size). *)
+val clamp_un : Simd.t -> n:int -> int -> int
+
+val clamp_ug : k:int -> int -> int
+
+(** The GCD2 heuristic. *)
+val adaptive : Simd.t -> m:int -> k:int -> n:int -> setting
+
+(** "Out": unroll only the output-column loop. *)
+val fixed_out : Simd.t -> k:int -> n:int -> factor:int -> setting
+
+(** "Mid": unroll only the reduction loop. *)
+val fixed_mid : Simd.t -> k:int -> n:int -> factor:int -> setting
+
+val none : Simd.t -> k:int -> n:int -> setting
+
+(** Grid search minimizing generated-kernel cycles (Figure 12's expensive
+    baseline). *)
+val exhaustive : Matmul.spec -> setting

@@ -1,0 +1,136 @@
+(** Compile-time weight prepacking and activation/output staging for the
+    matmul kernels.
+
+    Each SIMD choice wants its weights as little-endian 4-byte words the
+    kernel can [Sload] straight into the multiply's scalar operand:
+
+    - [vmpy]: four consecutive-k weights per word; the kernel's
+      byte-select multiply ([Vmpyb]) broadcasts one byte per reduction
+      step (the "splat one element" of paper Figure 2a); word (g, n) at
+      [n*(Kp/4) + g].
+    - [vmpa]: four consecutive-k weights of one column in the lane order
+      the instruction consumes: (k0, k2, k1, k3); word (g, n) at
+      [n*(Kp/4) + g].
+    - [vrmpy]: four consecutive-k weights in natural order (k0..k3); word
+      (g, n) at [n*(Kp/4) + g]. *)
+
+module Layout = Gcd2_tensor.Layout
+module Pack = Gcd2_tensor.Pack
+module Stats = Gcd2_util.Stats
+
+(** K and N as the kernel actually iterates them. *)
+let padded_kn simd ~k ~n =
+  let kp = Stats.round_up k (Simd.k_pad simd) in
+  let np = Stats.round_up n (Layout.column_group (Simd.layout simd)) in
+  (kp, np)
+
+let word b0 b1 b2 b3 =
+  (b0 land 0xff) lor ((b1 land 0xff) lsl 8) lor ((b2 land 0xff) lsl 16)
+  lor ((b3 land 0xff) lsl 24)
+
+(** [prepack simd ~k ~n w] — [w] is the logical row-major K x N weight
+    matrix; the result is a byte array of 4-byte words as described above
+    (indexable with {!word_offset}). *)
+let prepack simd ~k ~n w =
+  if Array.length w <> k * n then invalid_arg "Weights.prepack: size mismatch";
+  let kp, np = padded_kn simd ~k ~n in
+  let at kk nn = if kk < k && nn < n then w.((kk * n) + nn) else 0 in
+  let words =
+    match simd with
+    | Simd.I_vmpy | Simd.I_vrmpy ->
+      let groups = kp / 4 in
+      Array.init (np * groups) (fun i ->
+          let nn = i / groups and g = i mod groups in
+          word (at (4 * g) nn) (at ((4 * g) + 1) nn) (at ((4 * g) + 2) nn)
+            (at ((4 * g) + 3) nn))
+    | Simd.I_vmpa ->
+      let groups = kp / 4 in
+      Array.init (np * groups) (fun i ->
+          let nn = i / groups and g = i mod groups in
+          word (at (4 * g) nn) (at ((4 * g) + 2) nn) (at ((4 * g) + 1) nn)
+            (at ((4 * g) + 3) nn))
+  in
+  (* flatten to bytes *)
+  let bytes = Array.make (4 * Array.length words) 0 in
+  Array.iteri
+    (fun i wd ->
+      bytes.(4 * i) <- wd land 0xff;
+      bytes.((4 * i) + 1) <- (wd lsr 8) land 0xff;
+      bytes.((4 * i) + 2) <- (wd lsr 16) land 0xff;
+      bytes.((4 * i) + 3) <- (wd lsr 24) land 0xff)
+    words;
+  bytes
+
+(** Byte size of the prepacked weight buffer. *)
+let prepacked_bytes simd ~k ~n =
+  let kp, np = padded_kn simd ~k ~n in
+  ignore simd;
+  4 * np * (kp / 4)
+
+(** Byte stride between two consecutive output columns' weight streams. *)
+let column_stride simd ~k =
+  let kp = Stats.round_up k (Simd.k_pad simd) in
+  ignore simd;
+  4 * (kp / 4)
+
+(** Pack an M x K activation matrix for the kernel (layout of the SIMD
+    choice, K padded to the kernel granularity). *)
+let pack_activations simd ~m ~k a =
+  if Array.length a <> m * k then invalid_arg "Weights.pack_activations: size mismatch";
+  let kp, _ = padded_kn simd ~k ~n:1 in
+  let padded =
+    if kp = k then a
+    else
+      Array.init (m * kp) (fun i ->
+          let r = i / kp and c = i mod kp in
+          if c < k then a.((r * k) + c) else 0)
+  in
+  (Pack.pack (Simd.layout simd) ~rows:m ~cols:kp padded).Pack.bytes
+
+let activation_bytes simd ~m ~k =
+  let kp, _ = padded_kn simd ~k ~n:1 in
+  Layout.padded_bytes (Simd.layout simd) ~rows:m ~cols:kp
+
+(** Output buffer size (int8, layout-padded M x N). *)
+let output_bytes simd ~m ~n = Layout.padded_bytes (Simd.layout simd) ~rows:m ~cols:n
+
+(** Recover the logical row-major M x N matrix from the kernel's output
+    buffer. *)
+let unpack_output simd ~m ~n bytes =
+  Pack.unpack { Pack.layout = Simd.layout simd; rows = m; cols = n; bytes }
+
+(* little-endian W32 lanes into a byte array *)
+let blit_w32 bytes off v =
+  for i = 0 to 3 do
+    bytes.(off + i) <- (v asr (8 * i)) land 0xff
+  done
+
+(** Prepack per-channel requantization multipliers as the vectors the
+    kernels' [Vscalev] epilogues load: for [vmpy]/[vmpa], one 32-lane
+    splat vector per output column; for [vrmpy], two vectors per 4-column
+    group whose lanes alternate between the group's column pairs (matching
+    the post-shuffle lane order). *)
+let prepack_channel_mults simd ~n mults =
+  if Array.length mults <> n then invalid_arg "prepack_channel_mults: size mismatch";
+  let _, np = padded_kn simd ~k:4 ~n in
+  let at j = if j < n then mults.(j) else 0 in
+  match simd with
+  | Simd.I_vmpy | Simd.I_vmpa ->
+    let bytes = Array.make (np * 128) 0 in
+    for j = 0 to np - 1 do
+      for l = 0 to 31 do
+        blit_w32 bytes ((j * 128) + (4 * l)) (at j)
+      done
+    done;
+    bytes
+  | Simd.I_vrmpy ->
+    let groups = np / 4 in
+    let bytes = Array.make (groups * 256) 0 in
+    for g = 0 to groups - 1 do
+      for l = 0 to 31 do
+        (* vector A: columns 4g / 4g+1 alternating; vector B: 4g+2 / 4g+3 *)
+        blit_w32 bytes ((g * 256) + (4 * l)) (at ((4 * g) + (l mod 2)));
+        blit_w32 bytes ((g * 256) + 128 + (4 * l)) (at ((4 * g) + 2 + (l mod 2)))
+      done
+    done;
+    bytes

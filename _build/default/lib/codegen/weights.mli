@@ -1,0 +1,31 @@
+(** Compile-time weight prepacking and activation/output staging for the
+    matmul kernels: weights become 4-byte words the kernels [Sload]
+    directly into the multiplies' scalar operands (byte orders per
+    instruction; see the implementation notes). *)
+
+(** K and N as the kernel iterates them (padded). *)
+val padded_kn : Simd.t -> k:int -> n:int -> int * int
+
+(** [prepack simd ~k ~n w] — [w] row-major K x N; result is the byte
+    buffer of packed weight words. *)
+val prepack : Simd.t -> k:int -> n:int -> int array -> int array
+
+val prepacked_bytes : Simd.t -> k:int -> n:int -> int
+
+(** Byte stride between consecutive output columns' weight streams. *)
+val column_stride : Simd.t -> k:int -> int
+
+(** Pack an M x K activation matrix (kernel layout, K padded). *)
+val pack_activations : Simd.t -> m:int -> k:int -> int array -> int array
+
+val activation_bytes : Simd.t -> m:int -> k:int -> int
+
+(** Output buffer size (int8, layout-padded M x N). *)
+val output_bytes : Simd.t -> m:int -> n:int -> int
+
+(** Recover the logical row-major M x N matrix from the output buffer. *)
+val unpack_output : Simd.t -> m:int -> n:int -> int array -> int array
+
+(** Prepack per-channel requantization multipliers as the vectors the
+    kernels' [Vscalev] epilogues load (see {!Matmul.generate}). *)
+val prepack_channel_mults : Simd.t -> n:int -> int array -> int array

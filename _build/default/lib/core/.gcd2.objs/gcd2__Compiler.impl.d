@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Fmt Gcd2_cost Gcd2_graph Gcd2_layout Sys

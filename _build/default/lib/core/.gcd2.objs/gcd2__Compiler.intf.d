@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Format Gcd2_cost Gcd2_graph

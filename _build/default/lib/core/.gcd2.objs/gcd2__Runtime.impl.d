@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Compiler Fmt Gcd2_codegen Gcd2_cost Gcd2_graph Gcd2_kernels Gcd2_tensor Gcd2_util Gcd2_vm Graph List Op Option

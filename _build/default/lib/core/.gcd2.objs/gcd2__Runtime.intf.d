@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Compiler Gcd2_tensor

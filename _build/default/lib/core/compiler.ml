@@ -1,0 +1,84 @@
+(** The end-to-end GCD2 compiler (paper Figure 6):
+
+    quantized model -> computational graph -> graph optimizations ->
+    {b local plan enumeration} -> {b global layout & instruction
+    selection} -> SIMD code-generation plan -> kernels packed by the
+    {b SDA} scheduler -> latency/utilization report.
+
+    The [selection] and [opcost] knobs expose every ablation the paper
+    evaluates (local vs global selection, sub-graph size bounds,
+    soft-dependency treatments, unrolling strategies, division lookup). *)
+
+module Opcost = Gcd2_cost.Opcost
+module Graphcost = Gcd2_cost.Graphcost
+module Solver = Gcd2_layout.Solver
+module Passes = Gcd2_graph.Passes
+module Graph = Gcd2_graph.Graph
+
+type selection =
+  | Local  (** per-operator best plan, transformation costs ignored *)
+  | Exhaustive  (** k^n global optimum (tiny graphs only) *)
+  | Chain_dp  (** Equation 2; graph must be a chain *)
+  | Optimal_dp  (** exact frontier DP over the whole graph *)
+  | Partitioned of int  (** GCD2(k): cost-optimal partitioning, part size <= k *)
+  | Pbqp  (** Scholz-Eckstein PBQP reductions (the paper's discussed alternative) *)
+
+let pp_selection ppf = function
+  | Local -> Fmt.string ppf "local"
+  | Exhaustive -> Fmt.string ppf "exhaustive"
+  | Chain_dp -> Fmt.string ppf "chain-dp"
+  | Optimal_dp -> Fmt.string ppf "optimal-dp"
+  | Partitioned k -> Fmt.pf ppf "gcd2(%d)" k
+  | Pbqp -> Fmt.string ppf "pbqp"
+
+type config = {
+  name : string;
+  opcost : Opcost.options;
+  selection : selection;
+  optimize_graph : bool;  (** activation fusion, identity elimination *)
+}
+
+(** The full GCD2 configuration (GCD2(13) selection, SDA packing,
+    adaptive unrolling, division lookup). *)
+let default =
+  { name = "gcd2"; opcost = Opcost.gcd2; selection = Partitioned 13; optimize_graph = true }
+
+type compiled = {
+  config : config;
+  graph : Graph.t;  (** graph after optimization passes *)
+  cost : Graphcost.t;
+  assignment : int array;  (** chosen plan index per node *)
+  report : Graphcost.report;
+  selection_seconds : float;  (** wall time spent in global selection *)
+}
+
+let solve selection (cost : Graphcost.t) =
+  match selection with
+  | Local -> Solver.local cost.Graphcost.problem
+  | Exhaustive -> Solver.exhaustive cost.Graphcost.problem
+  | Chain_dp -> Solver.chain_dp cost.Graphcost.problem
+  | Optimal_dp -> Solver.optimal cost.Graphcost.problem
+  | Partitioned k -> Solver.partitioned ~max_size:k cost.Graphcost.problem
+  | Pbqp -> Gcd2_layout.Pbqp.solve cost.Graphcost.problem
+
+let compile ?(config = default) (g : Graph.t) =
+  Graph.validate g;
+  let g = if config.optimize_graph then Passes.optimize g else g in
+  let cost = Graphcost.build config.opcost g in
+  let t0 = Sys.time () in
+  let solved = solve config.selection cost in
+  let selection_seconds = Sys.time () -. t0 in
+  let report = Graphcost.report cost solved.Solver.plans in
+  { config; graph = g; cost; assignment = solved.Solver.plans; report; selection_seconds }
+
+(** Latency in milliseconds of a compiled model. *)
+let latency_ms c = c.report.Graphcost.ms
+
+let pp_summary ppf c =
+  let r = c.report in
+  Fmt.pf ppf
+    "%s: %d ops, %.2f ms (%.0f cycles), util %.1f%%, %.2f GB/s, %.2f effective TOPS"
+    c.config.name (Graph.size c.graph) r.Graphcost.ms r.Graphcost.cycles
+    (100.0 *. r.Graphcost.utilization)
+    r.Graphcost.bandwidth_gbs
+    (Gcd2_cost.Config.tops ~macs:r.Graphcost.macs ~cycles:r.Graphcost.cycles)

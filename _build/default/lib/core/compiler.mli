@@ -1,0 +1,45 @@
+(** The end-to-end GCD2 compiler (paper Figure 6): graph optimizations,
+    local plan enumeration, global layout & instruction selection, SDA
+    packing, latency report.  The knobs expose every ablation of the
+    paper's Section V. *)
+
+module Opcost = Gcd2_cost.Opcost
+module Graphcost = Gcd2_cost.Graphcost
+module Graph = Gcd2_graph.Graph
+
+type selection =
+  | Local  (** per-operator best plan, transformation costs ignored *)
+  | Exhaustive  (** k^n global optimum (tiny graphs only) *)
+  | Chain_dp  (** Equation 2; the graph must be a chain *)
+  | Optimal_dp  (** exact frontier DP over the whole graph *)
+  | Partitioned of int  (** GCD2(k): cost-optimal partitioning, parts <= k *)
+  | Pbqp  (** Scholz-Eckstein PBQP reductions *)
+
+val pp_selection : Format.formatter -> selection -> unit
+
+type config = {
+  name : string;
+  opcost : Opcost.options;
+  selection : selection;
+  optimize_graph : bool;  (** activation fusion, identity elimination *)
+}
+
+(** The full GCD2 configuration: GCD2(13) selection, SDA packing, adaptive
+    unrolling, division lookup. *)
+val default : config
+
+type compiled = {
+  config : config;
+  graph : Graph.t;  (** graph after optimization passes *)
+  cost : Graphcost.t;
+  assignment : int array;  (** chosen plan index per node *)
+  report : Graphcost.report;
+  selection_seconds : float;  (** wall time spent in global selection *)
+}
+
+val compile : ?config:config -> Graph.t -> compiled
+
+(** Latency in milliseconds. *)
+val latency_ms : compiled -> float
+
+val pp_summary : Format.formatter -> compiled -> unit

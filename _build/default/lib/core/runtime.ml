@@ -1,0 +1,232 @@
+(** Execution of a compiled model.
+
+    Operators whose kernels the compiler fully lowers (matmul,
+    convolution-as-GEMM, elementwise, activations) run as generated VLIW
+    programs on the simulated DSP, under the exact plan (instruction,
+    layout, unroll, packing) the global optimizer chose; the remaining
+    data-staging operators (im2col gathers, pooling windows, reductions,
+    reshapes) execute host-side with the reference semantics, as DESIGN.md
+    documents.  Either way every operator's results are bit-identical to
+    {!Gcd2_kernels.Interp} — the test suite runs whole models both ways
+    and compares. *)
+
+module T = Gcd2_tensor.Tensor
+module Q = Gcd2_tensor.Quant
+module Pack = Gcd2_tensor.Pack
+module Sat = Gcd2_util.Saturate
+module Interp = Gcd2_kernels.Interp
+module Lut = Gcd2_kernels.Lut
+module Matmul = Gcd2_codegen.Matmul
+module Testbench = Gcd2_codegen.Testbench
+module Eltwise = Gcd2_codegen.Eltwise
+module Machine = Gcd2_vm.Machine
+module Plan = Gcd2_cost.Plan
+open Gcd2_graph
+
+(** Performance counters accumulated over the DSP-executed kernels. *)
+type stats = { mutable vm_nodes : int; mutable host_nodes : int; mutable vm_cycles : int }
+
+let rescale_table ?(negate = false) q_mult =
+  Array.init 256 (fun byte ->
+      let q = Sat.sign_extend ~bits:8 byte in
+      let v = Sat.apply_multiplier q q_mult in
+      Sat.sat8 (if negate then -v else v) land 0xff)
+
+let is_identity_scale ~from ~into = from.Q.scale = into.Q.scale && from.Q.zero = into.Q.zero
+
+(* ---------------- matmul-family on the VM ---------------- *)
+
+let run_matmul ~stats ~options ~plan ~act (x : T.t) (w : T.t) ~m ~k ~n ~out_dims =
+  let out_q = Q.default in
+  let mult, shift = Q.requant_multiplier ~in_a:x.T.quant ~in_b:w.T.quant ~out:out_q in
+  let tables, act_table =
+    match act with
+    | Some a -> ([ (1, Lut.of_act ~in_q:out_q ~out_q a) ], Some 1)
+    | None -> ([], None)
+  in
+  let simd = Option.get plan.Plan.simd in
+  let u = Option.get plan.Plan.unroll in
+  let spec =
+    {
+      Matmul.simd;
+      m;
+      k;
+      n;
+      mult;
+      shift;
+      act_table;
+      strategy = options.Gcd2_cost.Opcost.strategy;
+      un = u.Gcd2_codegen.Unroll.un;
+      ug = u.Gcd2_codegen.Unroll.ug;
+      addressing = Matmul.Bump;
+    }
+  in
+  let res = Testbench.run ~tables spec ~a:x.T.data ~w:w.T.data in
+  stats.vm_nodes <- stats.vm_nodes + 1;
+  stats.vm_cycles <- stats.vm_cycles + res.Testbench.cycles;
+  T.of_array ~quant:out_q out_dims res.Testbench.data
+
+(* ---------------- elementwise on the VM ---------------- *)
+
+let stage_eltwise ~stats ~tables ~spec op layout ~rows ~cols a_data b_data =
+  let packed_a = (Pack.pack layout ~rows ~cols a_data).Pack.bytes in
+  let bytes = Array.length packed_a in
+  let align x = Gcd2_util.Stats.round_up x 128 in
+  let a_base = 0 in
+  let b_base = align bytes in
+  let out_base = 2 * align bytes in
+  let m = Machine.create ~mem_bytes:(max 4096 ((3 * align bytes) + 256)) () in
+  Machine.write_i8_array m ~addr:a_base packed_a;
+  (match b_data with
+  | Some b -> Machine.write_i8_array m ~addr:b_base (Pack.pack layout ~rows ~cols b).Pack.bytes
+  | None -> ());
+  let prog =
+    match op with
+    | `Binary bop -> Eltwise.binary ~tables bop spec { Eltwise.a_base; b_base; out_base }
+    | `Unary table -> Eltwise.unary ~tables ~table spec ~in_base:a_base ~out_base
+  in
+  Machine.run m prog;
+  let out_bytes = Machine.read_i8_array m ~addr:out_base ~len:bytes in
+  stats.vm_nodes <- stats.vm_nodes + 1;
+  stats.vm_cycles <- stats.vm_cycles + (Machine.counters m).Machine.cycles;
+  Pack.unpack { Pack.layout; rows; cols; bytes = out_bytes }
+
+let run_binary ~stats ~options ~plan op (a : T.t) (b : T.t) =
+  let out_q = Q.default in
+  let layout = plan.Plan.layout in
+  let rows, cols = T.matrix_dims a in
+  let vectors =
+    Gcd2_util.Stats.ceil_div (Gcd2_tensor.Layout.padded_bytes layout ~rows ~cols) 128
+  in
+  let base_spec =
+    Eltwise.default_spec ~strategy:options.Gcd2_cost.Opcost.strategy ~vectors ()
+  in
+  let tables = ref [] in
+  let add_table id t = tables := (id, t) :: !tables in
+  let spec, bop =
+    match op with
+    | `Add | `Sub ->
+      let neg = op = `Sub in
+      let ra =
+        if is_identity_scale ~from:a.T.quant ~into:out_q then None
+        else begin
+          add_table 2 (rescale_table (Q.rescale_multiplier ~from:a.T.quant ~into:out_q));
+          Some 2
+        end
+      in
+      (* subtraction always rescales B through the (negating) table so the
+         reference's clamp-then-add semantics hold even at -128 *)
+      let rb =
+        if (not neg) && is_identity_scale ~from:b.T.quant ~into:out_q then None
+        else begin
+          add_table 3
+            (rescale_table ~negate:neg (Q.rescale_multiplier ~from:b.T.quant ~into:out_q));
+          Some 3
+        end
+      in
+      ({ base_spec with Eltwise.rescale_a = ra; rescale_b = rb }, Eltwise.Badd)
+    | `Mul ->
+      let mult, shift = Q.requant_multiplier ~in_a:a.T.quant ~in_b:b.T.quant ~out:out_q in
+      ({ base_spec with Eltwise.mult; shift }, Eltwise.Bmul)
+  in
+  let data =
+    stage_eltwise ~stats ~tables:!tables ~spec (`Binary bop) layout ~rows ~cols a.T.data
+      (Some b.T.data)
+  in
+  T.of_array ~quant:out_q (Array.copy a.T.dims) data
+
+let run_unary ~stats ~options ~plan node_op (x : T.t) =
+  match Interp.unary_spec node_op with
+  | None -> None
+  | Some (out_q, f) ->
+    let layout = plan.Plan.layout in
+    let rows, cols = T.matrix_dims x in
+    let vectors =
+      Gcd2_util.Stats.ceil_div (Gcd2_tensor.Layout.padded_bytes layout ~rows ~cols) 128
+    in
+    let spec = Eltwise.default_spec ~strategy:options.Gcd2_cost.Opcost.strategy ~vectors () in
+    let table = Lut.of_fn ~in_q:x.T.quant ~out_q f in
+    let data =
+      stage_eltwise ~stats ~tables:[ (1, table) ] ~spec (`Unary 1) layout ~rows ~cols
+        x.T.data None
+    in
+    Some (T.of_array ~quant:out_q (Array.copy x.T.dims) data)
+
+(* ---------------- the driver ---------------- *)
+
+let weight_of (node : Graph.node) =
+  match node.Graph.weight with
+  | Some w -> w
+  | None -> invalid_arg (Fmt.str "Runtime: node %s has no weights" node.Graph.name)
+
+(** Run a compiled model on the simulated DSP.  Returns all per-node
+    outputs plus the VM execution statistics. *)
+let run_with_stats (c : Compiler.compiled) ~inputs =
+  let g = c.Compiler.graph in
+  let options = c.Compiler.config.Compiler.opcost in
+  let stats = { vm_nodes = 0; host_nodes = 0; vm_cycles = 0 } in
+  let vals = Array.make (Graph.size g) None in
+  let value i =
+    match vals.(i) with Some t -> t | None -> invalid_arg "Runtime: dangling input"
+  in
+  Graph.iter
+    (fun node ->
+      let plan = c.Compiler.cost.Gcd2_cost.Graphcost.plans.(node.Graph.id).(c.Compiler.assignment.(node.Graph.id)) in
+      let host () =
+        stats.host_nodes <- stats.host_nodes + 1;
+        Interp.eval_node node (List.map value node.Graph.inputs)
+      in
+      let result =
+        match node.Graph.op with
+        | Op.Input { shape } -> (
+          match List.assoc_opt node.Graph.id inputs with
+          | Some t ->
+            if t.T.dims <> shape then invalid_arg "Runtime: input shape mismatch";
+            t
+          | None -> invalid_arg (Fmt.str "Runtime: missing input %d" node.Graph.id))
+        | Op.Matmul { cout; act } when plan.Plan.simd <> None ->
+          let x = value (List.hd node.Graph.inputs) in
+          let m, k = T.matrix_dims x in
+          run_matmul ~stats ~options ~plan ~act x (weight_of node) ~m ~k ~n:cout
+            ~out_dims:(Array.copy node.Graph.out_shape)
+        | Op.Conv2d { kh; kw; stride; pad; cout; act } when plan.Plan.simd <> None ->
+          let x = value (List.hd node.Graph.inputs) in
+          let patches, rows, cols, _, _ = Interp.im2col x ~kh ~kw ~stride ~pad in
+          let staged = T.of_array ~quant:x.T.quant [| rows; cols |] patches in
+          let w = weight_of node in
+          let w2 = T.reshape w [| cols; cout |] in
+          run_matmul ~stats ~options ~plan ~act staged w2 ~m:rows ~k:cols ~n:cout
+            ~out_dims:(Array.copy node.Graph.out_shape)
+        | Op.Add when (value (List.hd node.Graph.inputs)).T.dims
+                      = (value (List.nth node.Graph.inputs 1)).T.dims ->
+          let a = value (List.hd node.Graph.inputs) in
+          let b = value (List.nth node.Graph.inputs 1) in
+          run_binary ~stats ~options ~plan `Add a b
+        | Op.Sub when (value (List.hd node.Graph.inputs)).T.dims
+                      = (value (List.nth node.Graph.inputs 1)).T.dims ->
+          let a = value (List.hd node.Graph.inputs) in
+          let b = value (List.nth node.Graph.inputs 1) in
+          run_binary ~stats ~options ~plan `Sub a b
+        | Op.Mul when (value (List.hd node.Graph.inputs)).T.dims
+                      = (value (List.nth node.Graph.inputs 1)).T.dims ->
+          let a = value (List.hd node.Graph.inputs) in
+          let b = value (List.nth node.Graph.inputs 1) in
+          run_binary ~stats ~options ~plan `Mul a b
+        | (Op.Pow _ | Op.Relu | Op.Relu6 | Op.Hard_swish | Op.Sigmoid | Op.Tanh | Op.Gelu)
+          as op -> (
+          let x = value (List.hd node.Graph.inputs) in
+          match run_unary ~stats ~options ~plan op x with
+          | Some t -> t
+          | None -> host ())
+        | _ -> host ()
+      in
+      vals.(node.Graph.id) <- Some result)
+    g;
+  let outputs =
+    Array.map
+      (function Some t -> t | None -> invalid_arg "Runtime: unevaluated node")
+      vals
+  in
+  (outputs, stats)
+
+let run c ~inputs = fst (run_with_stats c ~inputs)

@@ -1,0 +1,19 @@
+(** Execution of a compiled model.  Operators whose kernels the compiler
+    fully lowers (matmul, conv-as-GEMM, elementwise, activations) run as
+    generated VLIW programs on the simulated DSP under the exact chosen
+    plan; the remaining staging operators run host-side with the
+    reference semantics.  Every result is bit-identical to
+    {!Gcd2_kernels.Interp} (the suite runs whole models both ways). *)
+
+module T = Gcd2_tensor.Tensor
+
+type stats = {
+  mutable vm_nodes : int;  (** operators executed as DSP kernels *)
+  mutable host_nodes : int;  (** operators staged host-side *)
+  mutable vm_cycles : int;  (** simulator cycles across DSP kernels *)
+}
+
+(** Run a compiled model; [inputs] binds input-node ids to tensors. *)
+val run_with_stats : Compiler.compiled -> inputs:(int * T.t) list -> T.t array * stats
+
+val run : Compiler.compiled -> inputs:(int * T.t) list -> T.t array

@@ -1,0 +1,1 @@
+lib/cost/graphcost.ml: Array Config Gcd2_graph Gcd2_layout Gcd2_tensor List Op Opcost Plan

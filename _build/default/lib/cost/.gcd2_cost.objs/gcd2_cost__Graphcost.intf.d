@@ -1,0 +1,1 @@
+lib/cost/graphcost.mli: Gcd2_graph Gcd2_layout Opcost Plan

@@ -1,0 +1,1 @@
+lib/cost/opcost.ml: Array Config Float Flops Gcd2_codegen Gcd2_graph Gcd2_sched Gcd2_tensor Gcd2_util List Plan Streams

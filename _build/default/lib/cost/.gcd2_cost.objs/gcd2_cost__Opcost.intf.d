@@ -1,0 +1,1 @@
+lib/cost/opcost.mli: Gcd2_codegen Gcd2_graph Gcd2_sched Gcd2_tensor Plan

@@ -1,0 +1,1 @@
+lib/cost/plan.ml: Config Float Fmt Gcd2_codegen Gcd2_tensor

@@ -1,0 +1,1 @@
+lib/cost/plan.mli: Format Gcd2_codegen Gcd2_tensor

@@ -1,0 +1,1 @@
+lib/cost/streams.ml: Array Gcd2_codegen Gcd2_isa Gcd2_sched Instr Program

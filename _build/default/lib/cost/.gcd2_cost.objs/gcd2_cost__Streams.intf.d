@@ -1,0 +1,1 @@
+lib/cost/streams.mli: Gcd2_codegen Gcd2_sched

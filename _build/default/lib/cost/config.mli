@@ -1,0 +1,24 @@
+(** Machine-level constants of the simulated platform, calibrated once so
+    absolute latencies land in the paper's range (every comparison is
+    relative; see DESIGN.md "Substitutions"). *)
+
+(** Model cycles per wall-clock second.  The machine model follows the
+    paper's timing rules literally (packets never overlap), undercounting
+    the silicon's inter-packet pipelining; this constant maps model cycles
+    to wall clock and is calibrated so GCD2's ResNet-50 lands at ~7 ms. *)
+val model_cycles_per_sec : float
+
+(** DDR bandwidth, bytes per model cycle (~30 GB/s). *)
+val ddr_bytes_per_cycle : float
+
+(** Local staging (im2col gathers, scatter-adds), bytes per cycle. *)
+val gather_bytes_per_cycle : float
+
+val ms_of_cycles : float -> float
+val cycles_of_ms : float -> float
+
+(** Cycles per microsecond (per-operator dispatch overheads). *)
+val cycles_of_us : float -> float
+
+(** Wall-clock-referred effective tera-ops (2 ops per MAC). *)
+val tops : macs:int -> cycles:float -> float

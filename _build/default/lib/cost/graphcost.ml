@@ -1,0 +1,137 @@
+(** Builds the global selection problem (Equation 1) for a computational
+    graph, and turns a solved assignment into a latency / utilization /
+    bandwidth report. *)
+
+module Layout = Gcd2_tensor.Layout
+module Problem = Gcd2_layout.Problem
+module Graph = Gcd2_graph.Graph
+open Gcd2_graph
+
+type t = {
+  graph : Graph.t;
+  options : Opcost.options;
+  plans : Plan.t array array;  (** per node *)
+  problem : Problem.t;
+}
+
+let mat_dims = Opcost.mat_dims
+
+(** Transformation cost [TC] along an edge: converting the producer's
+    output from the layout of its plan to the layout the consumer's plan
+    expects, sized by the producer's output tensor. *)
+let edge_tc (g : Graph.t) plans u pu v pv =
+  let src = plans.(u).(pu).Plan.layout and dst = plans.(v).(pv).Plan.layout in
+  if src = dst then 0.0
+  else begin
+    let rows, cols = mat_dims (Graph.node g u).Graph.out_shape in
+    float_of_int (Layout.transform_cycles ~src ~dst ~rows ~cols)
+  end
+
+let build options (g : Graph.t) =
+  let n = Graph.size g in
+  let plans = Array.init n (fun v -> Opcost.plans options g (Graph.node g v)) in
+  let preds = Array.init n (fun v -> (Graph.node g v).Graph.inputs) in
+  let node_cost v p = Plan.cycles plans.(v).(p) in
+  let edge_cost u pu v pv = edge_tc g plans u pu v pv in
+  let plan_costs v = Array.map Plan.cycles plans.(v) in
+  let desirable_edge u v =
+    let node = Graph.node g v in
+    List.length node.Graph.inputs = 1
+    && (Op.is_layout_transform node.Graph.op
+       ||
+       (* profitable transformation: the spread between this operator's
+          best and worst plan exceeds the cost of converting its input *)
+       let costs = plan_costs v in
+       let ci = ref 0 and cx = ref 0 in
+       Array.iteri
+         (fun i c ->
+           if c < costs.(!ci) then ci := i;
+           if c > costs.(!cx) then cx := i)
+         costs;
+       let rows, cols = mat_dims (Graph.node g u).Graph.out_shape in
+       let tc =
+         Layout.transform_cycles ~src:plans.(v).(!cx).Plan.layout
+           ~dst:plans.(v).(!ci).Plan.layout ~rows ~cols
+       in
+       costs.(!cx) -. costs.(!ci) > float_of_int tc)
+  in
+  let problem =
+    {
+      Problem.n;
+      preds;
+      options = Array.map Array.length plans;
+      node_cost;
+      edge_cost;
+      desirable_edge;
+    }
+  in
+  Problem.validate problem;
+  { graph = g; options; plans; problem }
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+
+type node_report = {
+  node : Graph.node;
+  plan : Plan.t;
+  transform_in : float;  (** TC paid on incoming edges, cycles *)
+  cycles : float;  (** roofline node time + incoming transforms *)
+}
+
+type report = {
+  per_node : node_report array;
+  cycles : float;
+  compute_cycles : float;  (** vector-unit busy (kernels + transforms) *)
+  staging_cycles : float;
+  mem_bytes : float;
+  macs : int;
+  ms : float;
+  utilization : float;  (** busy fraction of total time *)
+  bandwidth_gbs : float;  (** achieved DDR traffic, GB/s *)
+}
+
+(** Evaluate a full plan assignment. *)
+let report t assignment =
+  let g = t.graph in
+  let per_node =
+    Array.mapi
+      (fun v node ->
+        let plan = t.plans.(v).(assignment.(v)) in
+        let transform_in =
+          List.fold_left
+            (fun acc u -> acc +. edge_tc g t.plans u assignment.(u) v assignment.(v))
+            0.0 node.Graph.inputs
+        in
+        { node; plan; transform_in; cycles = Plan.cycles plan +. transform_in })
+      g.Graph.nodes
+  in
+  let total = Array.fold_left (fun a (n : node_report) -> a +. n.cycles) 0.0 per_node in
+  (* busy time of the vector unit: kernels plus layout conversions; the
+     dispatch/staging overheads and memory-bound residue are the idle time
+     the profiler's "DSP utilization" exposes *)
+  let compute =
+    Array.fold_left
+      (fun a (n : node_report) -> a +. n.plan.Plan.compute_cycles +. n.transform_in)
+      0.0 per_node
+  in
+  let staging = Array.fold_left (fun a (n : node_report) -> a +. n.plan.Plan.staging_cycles) 0.0 per_node in
+  let bytes =
+    Array.fold_left
+      (fun a (n : node_report) ->
+        (* layout conversions are pure memory traffic at the DDR rate *)
+        a +. n.plan.Plan.mem_bytes +. (n.transform_in *. Config.ddr_bytes_per_cycle))
+      0.0 per_node
+  in
+  let macs = Array.fold_left (fun a (n : node_report) -> a + n.plan.Plan.macs) 0 per_node in
+  let seconds = Config.ms_of_cycles total /. 1e3 in
+  {
+    per_node;
+    cycles = total;
+    compute_cycles = compute;
+    staging_cycles = staging;
+    mem_bytes = bytes;
+    macs;
+    ms = Config.ms_of_cycles total;
+    utilization = (if total > 0.0 then compute /. total else 0.0);
+    bandwidth_gbs = (if total > 0.0 then bytes /. 1e9 /. seconds else 0.0);
+  }

@@ -1,0 +1,41 @@
+(** Builds the global selection problem (paper Equation 1) for a graph and
+    turns a solved assignment into a latency / utilization / bandwidth
+    report. *)
+
+module Problem = Gcd2_layout.Problem
+module Graph = Gcd2_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  options : Opcost.options;
+  plans : Plan.t array array;  (** per node *)
+  problem : Problem.t;
+}
+
+(** Transformation cost [TC] along an edge, sized by the producer's output
+    tensor. *)
+val edge_tc : Graph.t -> Plan.t array array -> int -> int -> int -> int -> float
+
+val build : Opcost.options -> Graph.t -> t
+
+type node_report = {
+  node : Graph.node;
+  plan : Plan.t;
+  transform_in : float;  (** TC paid on incoming edges, cycles *)
+  cycles : float;  (** roofline node time + incoming transforms *)
+}
+
+type report = {
+  per_node : node_report array;
+  cycles : float;
+  compute_cycles : float;  (** vector-unit busy (kernels + transforms) *)
+  staging_cycles : float;
+  mem_bytes : float;
+  macs : int;
+  ms : float;
+  utilization : float;  (** busy fraction of total time *)
+  bandwidth_gbs : float;  (** achieved DDR traffic, GB/s *)
+}
+
+(** Evaluate a full plan assignment. *)
+val report : t -> int array -> report

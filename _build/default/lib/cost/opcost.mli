@@ -1,0 +1,38 @@
+(** Per-operator execution-plan enumeration (the paper's "local analysis
+    of possible implementations and associated layouts", Section IV-A).
+    Multiply-heavy operators get one plan per candidate SIMD instruction,
+    costed by generating and packing their kernels; layout-flexible
+    operators get one plan per candidate layout, costed from streams over
+    the padded buffers. *)
+
+module Layout = Gcd2_tensor.Layout
+module Simd = Gcd2_codegen.Simd
+module Packer = Gcd2_sched.Packer
+module Graph = Gcd2_graph.Graph
+module Op = Gcd2_graph.Op
+
+type unroll_mode = [ `None | `Out of int | `Mid of int | `Adaptive | `Exhaustive ]
+
+type options = {
+  strategy : Packer.strategy;  (** VLIW packing inside kernels *)
+  unroll_mode : unroll_mode;
+  layouts : Layout.t list;  (** candidates for layout-flexible operators *)
+  simds : Simd.t list;  (** candidates for multiply operators *)
+  lut_division : bool;  (** division -> reciprocal table lookup *)
+  dispatch_us : float;  (** per-operator invocation overhead *)
+  channel_pad : int;
+      (** channel granularity the kernel library pads to (32 models
+          hexagon_nn's depth-32 format; 1 = GCD2's own layouts) *)
+  supported : Op.t -> bool;
+      (** operators the DSP backend implements; others fall back to the
+          CPU with a round trip through shared memory *)
+}
+
+(** The full GCD2 configuration. *)
+val gcd2 : options
+
+(** Matrix view of a shape: rows = leading dims product, cols = last. *)
+val mat_dims : int array -> int * int
+
+(** Enumerate the execution plans of one node. *)
+val plans : options -> Graph.t -> Graph.node -> Plan.t array

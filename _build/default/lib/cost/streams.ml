@@ -1,0 +1,106 @@
+(** Cost streams: representative generated-and-packed instruction
+    sequences for operators that the runtime stages host-side (depthwise
+    convolution taps, pooling windows, reductions).  Only their cycle
+    counts are consumed — the register/class mix is what matters, since
+    the packer and the latency model turn it into time. *)
+
+open Gcd2_isa
+module Packer = Gcd2_sched.Packer
+module Emit = Gcd2_codegen.Emit
+module Eltwise = Gcd2_codegen.Eltwise
+module Regs = Gcd2_codegen.Regs
+
+(** Cycles of a unary pass (load, table lookup, store) over [vectors]
+    128-byte vectors. *)
+let unary_cycles ~strategy ~vectors =
+  if vectors <= 0 then 0.0
+  else begin
+    let s = { (Eltwise.default_spec ~strategy ~vectors ()) with Eltwise.uv = 2 } in
+    let prog = Eltwise.unary ~table:0 s ~in_base:0 ~out_base:0 in
+    float_of_int (Program.static_cycles prog)
+  end
+
+(** Cycles of a binary elementwise pass. *)
+let binary_cycles ~strategy ~op ~vectors =
+  if vectors <= 0 then 0.0
+  else begin
+    let s = Eltwise.default_spec ~strategy ~vectors () in
+    let prog = Eltwise.binary op s { Eltwise.a_base = 0; b_base = 4096; out_base = 8192 } in
+    float_of_int (Program.static_cycles prog)
+  end
+
+(** Depthwise convolution stream: per output vector, one shifted load and
+    one cyclic multiply per tap, a 16->32 drain every other tap, and the
+    requantize/store epilogue.  Weight words are loaded once per tap per
+    panel, amortized across the pixel dimension. *)
+let dwconv_cycles ~strategy ~vectors ~taps =
+  if vectors <= 0 then 0.0
+  else begin
+    let pool = Regs.create () in
+    let ra = Regs.scalar pool and ro = Regs.scalar pool and rw = Regs.scalar pool in
+    let rwv = [| Regs.scalar pool; Regs.scalar pool |] in
+    let va = [| Regs.vector pool; Regs.vector pool |] in
+    let tmp = Regs.pair pool and acc_e = Regs.pair pool and acc_o = Regs.pair pool in
+    let pk = Regs.pair pool in
+    let outv = Regs.vector pool in
+    let e = Emit.create () in
+    Emit.vzero e tmp;
+    Emit.vzero e acc_e;
+    Emit.vzero e acc_o;
+    for t = 0 to taps - 1 do
+      Emit.sload e rwv.(t mod 2) rw (t * 4);
+      Emit.vload e va.(t mod 2) ra (t * 128);
+      Emit.vmpy e tmp va.(t mod 2) rwv.(t mod 2);
+      if t mod 2 = 1 || t = taps - 1 then begin
+        let t_lo, t_hi = Regs.halves tmp in
+        Emit.vaddw e acc_e t_lo;
+        Emit.vaddw e acc_o t_hi;
+        Emit.vzero e tmp
+      end
+    done;
+    let sc = (1 lsl 30, 30) in
+    let e_lo, e_hi = Regs.halves acc_e and o_lo, o_hi = Regs.halves acc_o in
+    Emit.vscale e e_lo e_lo sc;
+    Emit.vscale e e_hi e_hi sc;
+    Emit.vscale e o_lo o_lo sc;
+    Emit.vscale e o_hi o_hi sc;
+    let pk_lo, pk_hi = Regs.halves pk in
+    Emit.vpack e pk_lo acc_e Instr.W32;
+    Emit.vpack e pk_hi acc_o Instr.W32;
+    Emit.vshuff e tmp pk Instr.W16;
+    Emit.vpack e outv tmp Instr.W16;
+    Emit.vstore e ro 0 outv;
+    Emit.bump e ra 128;
+    Emit.bump e ro 128;
+    let body = Emit.block ~strategy e in
+    let prog = Program.make "dwconv_stream" [ Emit.loop ~trip:vectors [ body ] ] in
+    float_of_int (Program.static_cycles prog)
+  end
+
+(** Pooling stream: per output vector, one load and one lane-wise
+    max/average per window position. *)
+let pool_cycles ~strategy ~vectors ~window =
+  if vectors <= 0 then 0.0
+  else begin
+    let pool = Regs.create () in
+    let ra = Regs.scalar pool and ro = Regs.scalar pool in
+    let acc = Regs.vector pool in
+    let va = [| Regs.vector pool; Regs.vector pool |] in
+    let e = Emit.create () in
+    Emit.vload e acc ra 0;
+    for t = 1 to window - 1 do
+      Emit.vload e va.(t mod 2) ra (t * 128);
+      Emit.emit e (Instr.Valu (Instr.Vmax, Instr.W8, acc, acc, va.(t mod 2)))
+    done;
+    Emit.vstore e ro 0 acc;
+    Emit.bump e ra 128;
+    Emit.bump e ro 128;
+    let body = Emit.block ~strategy e in
+    let prog = Program.make "pool_stream" [ Emit.loop ~trip:vectors [ body ] ] in
+    float_of_int (Program.static_cycles prog)
+  end
+
+(** Pure data-movement cost in cycles (layout repacking, transpose,
+    concat, padding): one load, one permute and one store per vector,
+    about two operations per packet once scheduled. *)
+let copy_cycles ~vectors = 6.0 *. float_of_int vectors

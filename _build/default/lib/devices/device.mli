@@ -1,0 +1,33 @@
+(** Analytic device models for the context tables (paper Tables I and V,
+    Figure 13) — throughput + dispatch latency models fitted to the
+    paper's own measurements, and idle + busy power models.  Not part of
+    the contribution; see DESIGN.md. *)
+
+type xpu = {
+  name : string;
+  effective_gops : float;
+  dispatch_ms : float;  (** per-operator framework overhead *)
+  efficiency : float -> float;  (** model-size derating *)
+}
+
+val cpu : xpu
+val gpu : xpu
+
+val xpu_latency_ms : xpu -> gmacs:float -> ops:int -> float
+
+(** DSP package power: idle rail + utilization-scaled dynamic power. *)
+val dsp_power_w : utilization:float -> float
+
+val gpu_power_w : gmacs:float -> float
+val cpu_power_w : gmacs:float -> float
+
+type accelerator = { name : string; dtype : string; fps : float; power_w : float }
+
+val edgetpu : accelerator
+val jetson_fp16 : accelerator
+val jetson_int8 : accelerator
+val fpw : accelerator -> float
+
+val dsp_fps : latency_ms:float -> float
+val dsp_fpw : latency_ms:float -> utilization:float -> float
+val energy_mj : latency_ms:float -> power_w:float -> float

@@ -1,0 +1,1 @@
+lib/frameworks/framework.ml: Gcd2 Gcd2_codegen Gcd2_cost Gcd2_graph Gcd2_sched Gcd2_tensor

@@ -1,0 +1,1 @@
+lib/frameworks/framework.mli: Gcd2 Gcd2_cost Gcd2_graph

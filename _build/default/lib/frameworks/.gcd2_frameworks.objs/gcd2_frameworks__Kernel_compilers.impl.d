@@ -1,0 +1,1 @@
+lib/frameworks/kernel_compilers.ml: Gcd2_codegen Gcd2_cost Gcd2_isa Gcd2_sched Gcd2_tensor List

@@ -1,0 +1,1 @@
+lib/frameworks/kernel_compilers.mli: Gcd2_codegen

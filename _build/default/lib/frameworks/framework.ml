@@ -1,0 +1,132 @@
+(** Simulated baseline frameworks.
+
+    The paper compares GCD2 against production end-to-end stacks (TFLite
+    and SNPE, both calling Qualcomm's hand-written Hexagon NN library) and
+    research tensor compilers (Halide, TVM, RAKE).  None of these exist in
+    this environment, so each is reconstructed as a compiler configuration
+    on our machine model, encoding exactly the differences the paper
+    identifies (Section V-B):
+
+    - {b TFLite}: one uniform SIMD implementation per operator type
+      (vrmpy/4-column), a conventional packetizer that treats soft
+      dependencies as hard, fixed unrolling, no fused activations in its
+      Hexagon delegate path, no division lookup, per-operator (local)
+      layout decisions.
+    - {b SNPE}: same kernel library, but stronger graph optimizations
+      (activation fusion), which is why it usually edges out TFLite.
+    - {b GCD2} and ablated variants used throughout Section V:
+      [gcd2_b] (tensor optimizations only, baseline packing — Figure 7),
+      [no_opt], [plus_selection], [plus_vliw] (the incremental breakdown
+      of Figure 9). *)
+
+module Opcost = Gcd2_cost.Opcost
+module Packer = Gcd2_sched.Packer
+module Simd = Gcd2_codegen.Simd
+module Layout = Gcd2_tensor.Layout
+module Compiler = Gcd2.Compiler
+module Graph = Gcd2_graph.Graph
+
+let uniform_kernel_opcost =
+  {
+    Opcost.strategy = Packer.In_order;
+    unroll_mode = `Out 2;
+    layouts = [ Layout.Col4 ];
+    simds = [ Simd.I_vrmpy ];
+    lut_division = false;
+    (* per-node FastRPC + hexagon_nn invocation from the application
+       processor, vs GCD2's fully compiled on-DSP runtime *)
+    dispatch_us = 30.0;
+    (* hexagon_nn keeps activations in its depth-32 format *)
+    channel_pad = 32;
+    supported =
+      (fun op ->
+        (* operators the Hexagon delegates lack; they bounce to the CPU
+           (and keep the transformer models off the DSP entirely) *)
+        match op with
+        | Gcd2_graph.Op.Layer_norm | Gcd2_graph.Op.Gelu | Gcd2_graph.Op.Pow _
+        | Gcd2_graph.Op.Batch_matmul _ -> false
+        | _ -> true);
+  }
+
+let tflite =
+  {
+    Compiler.name = "TFLite";
+    opcost = uniform_kernel_opcost;
+    selection = Compiler.Local;
+    optimize_graph = false;
+  }
+
+let snpe =
+  {
+    Compiler.name = "SNPE";
+    opcost = uniform_kernel_opcost;
+    selection = Compiler.Local;
+    optimize_graph = true;
+  }
+
+let gcd2 = { Compiler.default with Compiler.name = "GCD2" }
+
+(** Tensor-compiler optimizations only: GCD2's layouts, instruction
+    selection and unrolling, but the baseline (soft-blind) packetizer —
+    the paper's GCD_b, its fair comparison against Halide/TVM/RAKE. *)
+let gcd2_b =
+  {
+    Compiler.default with
+    Compiler.name = "GCDb";
+    opcost = { Opcost.gcd2 with Opcost.strategy = Packer.In_order };
+  }
+
+(* ---- ablation ladder of Figure 9 (each adds one optimization) ---- *)
+
+(** No proposed optimizations: uniform instruction, baseline packing, no
+    lookup-table division, no adaptive unroll, local decisions. *)
+let no_opt =
+  {
+    Compiler.name = "no-opt";
+    opcost = { uniform_kernel_opcost with Opcost.unroll_mode = `None };
+    selection = Compiler.Local;
+    optimize_graph = true;
+  }
+
+(** + instruction and layout selection (global). *)
+let plus_selection =
+  {
+    no_opt with
+    Compiler.name = "+select";
+    opcost =
+      {
+        no_opt.Compiler.opcost with
+        Opcost.simds = Simd.all;
+        layouts = [ Layout.Row_major; Layout.Col1; Layout.Col2; Layout.Col4 ];
+        unroll_mode = `Adaptive;
+      };
+    selection = Compiler.Partitioned 13;
+  }
+
+(** + SDA VLIW packing. *)
+let plus_vliw =
+  {
+    plus_selection with
+    Compiler.name = "+vliw";
+    opcost = { plus_selection.Compiler.opcost with Opcost.strategy = Packer.sda };
+  }
+
+(** + other optimizations (division -> lookup): the full GCD2. *)
+let plus_other = { plus_vliw with Compiler.name = "+other"; opcost = Opcost.gcd2 }
+
+(* ---- SDA ablations of Figure 11 ---- *)
+
+let with_strategy name strategy =
+  {
+    Compiler.default with
+    Compiler.name = name;
+    opcost = { Opcost.gcd2 with Opcost.strategy };
+  }
+
+let soft_to_hard = with_strategy "soft_to_hard" Packer.Soft_to_hard
+let soft_to_none = with_strategy "soft_to_none" Packer.Soft_to_none
+
+(** End-to-end frameworks compared in Table IV. *)
+let end_to_end = [ tflite; snpe; gcd2 ]
+
+let compile config graph = Compiler.compile ~config graph

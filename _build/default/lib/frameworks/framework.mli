@@ -1,0 +1,36 @@
+(** Simulated baseline frameworks: compiler configurations reconstructing
+    the stacks the paper compares against (TFLite, SNPE) and the ablated
+    GCD2 variants its evaluation uses.  See DESIGN.md "Substitutions" for
+    the modelled differences. *)
+
+module Compiler = Gcd2.Compiler
+module Graph = Gcd2_graph.Graph
+
+(** hexagon_nn-style kernel options shared by TFLite and SNPE: uniform
+    vrmpy/4-column kernels, in-order packetization, depth-32 channel
+    padding, per-node RPC dispatch, CPU fallback for transformer ops. *)
+val uniform_kernel_opcost : Gcd2_cost.Opcost.options
+
+val tflite : Compiler.config
+val snpe : Compiler.config
+val gcd2 : Compiler.config
+
+(** Tensor-compiler optimizations only, baseline packing (paper's GCD_b). *)
+val gcd2_b : Compiler.config
+
+(** The incremental ladder of Figure 9. *)
+val no_opt : Compiler.config
+
+val plus_selection : Compiler.config
+val plus_vliw : Compiler.config
+val plus_other : Compiler.config
+
+(** SDA ablations of Figure 11. *)
+val soft_to_hard : Compiler.config
+
+val soft_to_none : Compiler.config
+
+(** The end-to-end frameworks of Table IV. *)
+val end_to_end : Compiler.config list
+
+val compile : Compiler.config -> Graph.t -> Compiler.compiled

@@ -1,0 +1,29 @@
+(** Kernel-level comparators — Halide, TVM and RAKE (paper Figure 7 and
+    Table III) — reconstructed as codegen strategies on our machine model:
+    generic loop-nest lowering, in-order packetization, their respective
+    vectorization/unrolling habits. *)
+
+module Simd = Gcd2_codegen.Simd
+module Unroll = Gcd2_codegen.Unroll
+
+type t = Halide | Tvm | Rake | Gcd_b | Gcd2_kernel
+
+val name : t -> string
+val all : t list
+
+type result = {
+  framework : t;
+  simd : Simd.t;
+  unroll : Unroll.setting;
+  cycles : int;
+  packets : int;  (** dynamic VLIW packet count (Figure 7, right) *)
+  ms : float;
+}
+
+(** Implicit-GEMM dimensions of a convolution. *)
+val conv_mkn :
+  n:int -> h:int -> w:int -> c:int -> kh:int -> kw:int -> stride:int -> pad:int ->
+  cout:int -> int * int * int
+
+(** Compile one convolution kernel under a framework's strategy. *)
+val conv : t -> m:int -> k:int -> n:int -> result

@@ -1,0 +1,1 @@
+lib/graph/flops.ml: Array Graph List Op

@@ -1,0 +1,1 @@
+lib/graph/flops.mli: Graph

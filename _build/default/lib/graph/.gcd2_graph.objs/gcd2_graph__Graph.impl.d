@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Dump Fmt Gcd2_tensor List Op Shape

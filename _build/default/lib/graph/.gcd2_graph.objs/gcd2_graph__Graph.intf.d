@@ -1,0 +1,1 @@
+lib/graph/graph.mli: Format Gcd2_tensor Op

@@ -1,0 +1,1 @@
+lib/graph/passes.ml: Array Graph List Op

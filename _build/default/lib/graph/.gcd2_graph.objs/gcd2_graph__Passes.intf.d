@@ -1,0 +1,1 @@
+lib/graph/passes.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/shape.ml: Array Dump Fmt Op

@@ -1,0 +1,1 @@
+lib/graph/shape.mli: Op

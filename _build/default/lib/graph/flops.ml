@@ -1,0 +1,55 @@
+(** MAC and parameter counting (the #MACs / #Params columns of the paper's
+    Table IV). *)
+
+let numel = Array.fold_left ( * ) 1
+
+let in_shape g (n : Graph.node) =
+  match n.Graph.inputs with
+  | i :: _ -> (Graph.node g i).Graph.out_shape
+  | [] -> [||]
+
+(** Multiply-accumulate operations performed by one node. *)
+let node_macs g (n : Graph.node) =
+  match n.Graph.op with
+  | Op.Conv2d { kh; kw; _ } ->
+    let cin = (in_shape g n).(3) in
+    numel n.out_shape * cin * kh * kw
+  | Op.Depthwise_conv2d { kh; kw; _ } -> numel n.out_shape * kh * kw
+  | Op.Transposed_conv2d { kh; kw; cout; _ } ->
+    let s = in_shape g n in
+    numel s * cout * kh * kw
+  | Op.Matmul _ ->
+    let s = in_shape g n in
+    numel n.out_shape * s.(Array.length s - 1)
+  | Op.Batch_matmul _ ->
+    let s = in_shape g n in
+    numel n.out_shape * s.(Array.length s - 1)
+  | _ -> 0
+
+(** Learned parameter count of one node (weights + bias). *)
+let node_params g (n : Graph.node) =
+  match n.Graph.op with
+  | Op.Conv2d { kh; kw; cout; _ } ->
+    let cin = (in_shape g n).(3) in
+    (kh * kw * cin * cout) + cout
+  | Op.Depthwise_conv2d { kh; kw; _ } ->
+    let c = (in_shape g n).(3) in
+    (kh * kw * c) + c
+  | Op.Transposed_conv2d { kh; kw; cout; _ } ->
+    let cin = (in_shape g n).(3) in
+    (kh * kw * cin * cout) + cout
+  | Op.Matmul { cout; _ } ->
+    let s = in_shape g n in
+    (s.(Array.length s - 1) * cout) + cout
+  | _ -> 0
+
+let total_macs g = Graph.fold (fun acc n -> acc + node_macs g n) 0 g
+let total_params g = Graph.fold (fun acc n -> acc + node_params g n) 0 g
+
+(** Bytes of activation traffic of a node: inputs read + output written
+    (int8). *)
+let node_activation_bytes g (n : Graph.node) =
+  let input_bytes =
+    List.fold_left (fun a i -> a + numel (Graph.node g i).Graph.out_shape) 0 n.inputs
+  in
+  input_bytes + numel n.out_shape

@@ -1,0 +1,9 @@
+(** MAC and parameter counting (Table IV's #MACs / #Params columns). *)
+
+val node_macs : Graph.t -> Graph.node -> int
+val node_params : Graph.t -> Graph.node -> int
+val total_macs : Graph.t -> int
+val total_params : Graph.t -> int
+
+(** Input + output activation bytes of a node (int8). *)
+val node_activation_bytes : Graph.t -> Graph.node -> int

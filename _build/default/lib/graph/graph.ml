@@ -1,0 +1,121 @@
+(** The computational graph (the paper's CG intermediate representation):
+    a DAG of operator nodes, each producing exactly one output tensor.
+    Nodes are stored in topological order (the builder guarantees it). *)
+
+type node = {
+  id : int;
+  name : string;
+  op : Op.t;
+  inputs : int list;
+  out_shape : int array;
+  weight : Gcd2_tensor.Tensor.t option;
+      (** actual parameter values, set only for functionally-executed
+          graphs; cost analysis needs shapes alone *)
+}
+
+type t = { nodes : node array }
+
+let node t id =
+  if id < 0 || id >= Array.length t.nodes then invalid_arg "Graph.node: bad id";
+  t.nodes.(id)
+
+let size t = Array.length t.nodes
+
+let iter f t = Array.iter f t.nodes
+let fold f acc t = Array.fold_left f acc t.nodes
+
+(** Users of each node (successor lists). *)
+let successors t =
+  let succ = Array.make (size t) [] in
+  iter
+    (fun n -> List.iter (fun i -> succ.(i) <- n.id :: succ.(i)) n.inputs)
+    t;
+  Array.map List.rev succ
+
+(** Output nodes (no users). *)
+let outputs t =
+  let succ = successors t in
+  fold (fun acc n -> if succ.(n.id) = [] then n.id :: acc else acc) [] t |> List.rev
+
+(** Edge list [(src, dst)]. *)
+let edges t =
+  fold (fun acc n -> List.fold_left (fun acc i -> (i, n.id) :: acc) acc n.inputs) [] t
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+
+module Builder = struct
+  type graph = t
+
+  type t = { mutable rev_nodes : node list; mutable count : int }
+
+  let create () = { rev_nodes = []; count = 0 }
+
+  let shape_of b id =
+    match List.find_opt (fun n -> n.id = id) b.rev_nodes with
+    | Some n -> n.out_shape
+    | None -> invalid_arg (Fmt.str "Builder: unknown node id %d" id)
+
+  (** Append an operator node; returns its id.  Shapes are inferred and
+      validated immediately. *)
+  let add ?name ?weight b op inputs =
+    if List.length inputs <> Op.arity op then
+      invalid_arg
+        (Fmt.str "Builder.add: %s expects %d inputs, got %d" (Op.name op) (Op.arity op)
+           (List.length inputs));
+    let in_shapes = List.map (shape_of b) inputs in
+    let out_shape = Shape.infer op in_shapes in
+    let id = b.count in
+    let name = match name with Some n -> n | None -> Fmt.str "%s_%d" (Op.name op) id in
+    b.rev_nodes <- { id; name; op; inputs; out_shape; weight } :: b.rev_nodes;
+    b.count <- id + 1;
+    id
+
+  let input b shape = add b (Op.Input { shape }) []
+  let constant ?weight b shape = add ?weight b (Op.Constant { shape }) []
+
+  let conv2d ?act ?name ?weight b x ~kh ~kw ~stride ~pad ~cout =
+    add ?name ?weight b (Op.Conv2d { kh; kw; stride; pad; cout; act }) [ x ]
+
+  let dwconv ?act ?name ?weight b x ~kh ~kw ~stride ~pad =
+    add ?name ?weight b (Op.Depthwise_conv2d { kh; kw; stride; pad; act }) [ x ]
+
+  let tconv ?act ?name ?weight b x ~kh ~kw ~stride ~pad ~cout =
+    add ?name ?weight b (Op.Transposed_conv2d { kh; kw; stride; pad; cout; act }) [ x ]
+
+  let matmul ?act ?name ?weight b x ~cout = add ?name ?weight b (Op.Matmul { cout; act }) [ x ]
+
+  let finish b = { nodes = Array.of_list (List.rev b.rev_nodes) }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+(** Re-check the whole graph: ids dense and topologically ordered, arities
+    and shapes consistent.  Raises {!Shape.Shape_error} or
+    [Invalid_argument]. *)
+let validate t =
+  Array.iteri
+    (fun i n ->
+      if n.id <> i then invalid_arg "Graph.validate: ids not dense";
+      List.iter
+        (fun j -> if j >= i then invalid_arg "Graph.validate: not topologically ordered")
+        n.inputs;
+      if List.length n.inputs <> Op.arity n.op then
+        invalid_arg (Fmt.str "Graph.validate: arity mismatch at %s" n.name);
+      let in_shapes = List.map (fun j -> t.nodes.(j).out_shape) n.inputs in
+      let inferred = Shape.infer n.op in_shapes in
+      if inferred <> n.out_shape then
+        invalid_arg (Fmt.str "Graph.validate: shape mismatch at %s" n.name))
+    t.nodes
+
+let pp ppf t =
+  iter
+    (fun n ->
+      Fmt.pf ppf "%3d: %-24s <- %a  : %a@." n.id (Op.name n.op)
+        Fmt.(Dump.list int)
+        n.inputs
+        Fmt.(Dump.array int)
+        n.out_shape)
+    t

@@ -1,0 +1,68 @@
+(** The computational graph (the paper's CG intermediate representation):
+    a DAG of operator nodes, each producing one output tensor, stored in
+    topological order. *)
+
+type node = {
+  id : int;
+  name : string;
+  op : Op.t;
+  inputs : int list;
+  out_shape : int array;
+  weight : Gcd2_tensor.Tensor.t option;
+      (** parameter values; required only when executing functionally *)
+}
+
+type t = { nodes : node array }
+
+val node : t -> int -> node
+val size : t -> int
+val iter : (node -> unit) -> t -> unit
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+
+(** Successor lists, indexed by node id. *)
+val successors : t -> int list array
+
+(** Nodes without users. *)
+val outputs : t -> int list
+
+(** Edge list [(src, dst)]. *)
+val edges : t -> (int * int) list
+
+(** Incremental construction with immediate shape inference. *)
+module Builder : sig
+  type graph = t
+  type t
+
+  val create : unit -> t
+
+  (** Append a node; returns its id.  Raises on arity or shape errors. *)
+  val add :
+    ?name:string -> ?weight:Gcd2_tensor.Tensor.t -> t -> Op.t -> int list -> int
+
+  val input : t -> int array -> int
+  val constant : ?weight:Gcd2_tensor.Tensor.t -> t -> int array -> int
+
+  val conv2d :
+    ?act:Op.act -> ?name:string -> ?weight:Gcd2_tensor.Tensor.t -> t -> int ->
+    kh:int -> kw:int -> stride:int -> pad:int -> cout:int -> int
+
+  val dwconv :
+    ?act:Op.act -> ?name:string -> ?weight:Gcd2_tensor.Tensor.t -> t -> int ->
+    kh:int -> kw:int -> stride:int -> pad:int -> int
+
+  val tconv :
+    ?act:Op.act -> ?name:string -> ?weight:Gcd2_tensor.Tensor.t -> t -> int ->
+    kh:int -> kw:int -> stride:int -> pad:int -> cout:int -> int
+
+  val matmul :
+    ?act:Op.act -> ?name:string -> ?weight:Gcd2_tensor.Tensor.t -> t -> int ->
+    cout:int -> int
+
+  val finish : t -> graph
+end
+
+(** Recheck ids, topological order, arities and shapes; raises on
+    violations. *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+(** DNN operators.  Feature maps are NHWC ([|n; h; w; c|]); weights are
+    implicit parameters of the operator (their shapes derive from the
+    operator attributes), matching how mobile inference frameworks
+    serialize models.
+
+    Activation functions can appear either as standalone nodes or fused
+    into the producing compute operator (the fusion pass of
+    {!Gcd2_graph.Passes}). *)
+
+type act = A_relu | A_relu6 | A_hswish
+
+let act_name = function A_relu -> "relu" | A_relu6 -> "relu6" | A_hswish -> "hswish"
+
+type pool = { kernel : int; stride : int }
+
+type conv = {
+  kh : int;
+  kw : int;
+  stride : int;
+  pad : int;
+  cout : int;
+  act : act option;
+}
+
+type t =
+  | Input of { shape : int array }
+  | Constant of { shape : int array }
+  | Conv2d of conv
+  | Depthwise_conv2d of { kh : int; kw : int; stride : int; pad : int; act : act option }
+  | Transposed_conv2d of conv  (** stride acts as upsampling factor *)
+  | Matmul of { cout : int; act : act option }  (** learned right operand, \[cin x cout\] *)
+  | Batch_matmul of { transpose_b : bool }  (** two dynamic operands (attention) *)
+  | Add
+  | Mul
+  | Sub
+  | Div
+  | Pow of float
+  | Relu
+  | Relu6
+  | Hard_swish
+  | Sigmoid
+  | Tanh
+  | Gelu
+  | Softmax  (** along the last axis *)
+  | Layer_norm  (** along the last axis *)
+  | Max_pool of pool
+  | Avg_pool of pool
+  | Global_avg_pool
+  | Reshape of { shape : int array }
+  | Transpose of { perm : int array }
+  | Concat of { axis : int }
+  | Pad_spatial of { pad : int }  (** zero padding of H and W *)
+  | Upsample of { factor : int }  (** nearest-neighbour *)
+
+(** Number of graph inputs the operator consumes. *)
+let arity = function
+  | Input _ | Constant _ -> 0
+  | Conv2d _ | Depthwise_conv2d _ | Transposed_conv2d _ | Matmul _ -> 1
+  | Batch_matmul _ | Add | Mul | Sub | Div -> 2
+  | Pow _ | Relu | Relu6 | Hard_swish | Sigmoid | Tanh | Gelu | Softmax | Layer_norm
+  | Max_pool _ | Avg_pool _ | Global_avg_pool | Reshape _ | Transpose _ | Pad_spatial _
+  | Upsample _ -> 1
+  | Concat _ -> 2
+
+(** Operators that perform no computation, only reshaping/re-laying-out
+    data — the paper's "layout transformation operators" (its desirable
+    partitioning edges end at these). *)
+let is_layout_transform = function
+  | Reshape _ | Transpose _ -> true
+  | _ -> false
+
+(** Compute-heavy operators implemented via the SIMD multiply kernels. *)
+let is_matmul_like = function
+  | Conv2d _ | Depthwise_conv2d _ | Transposed_conv2d _ | Matmul _ | Batch_matmul _ -> true
+  | _ -> false
+
+let name = function
+  | Input _ -> "input"
+  | Constant _ -> "const"
+  | Conv2d c -> Fmt.str "conv2d %dx%d/%d c%d%s" c.kh c.kw c.stride c.cout
+      (match c.act with Some a -> "+" ^ act_name a | None -> "")
+  | Depthwise_conv2d c -> Fmt.str "dwconv %dx%d/%d" c.kh c.kw c.stride
+  | Transposed_conv2d c -> Fmt.str "tconv %dx%d/%d c%d" c.kh c.kw c.stride c.cout
+  | Matmul m -> Fmt.str "matmul c%d" m.cout
+  | Batch_matmul { transpose_b } -> if transpose_b then "bmm_t" else "bmm"
+  | Add -> "add"
+  | Mul -> "mul"
+  | Sub -> "sub"
+  | Div -> "div"
+  | Pow p -> Fmt.str "pow %.2f" p
+  | Relu -> "relu"
+  | Relu6 -> "relu6"
+  | Hard_swish -> "hswish"
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+  | Gelu -> "gelu"
+  | Softmax -> "softmax"
+  | Layer_norm -> "layer_norm"
+  | Max_pool p -> Fmt.str "maxpool %d/%d" p.kernel p.stride
+  | Avg_pool p -> Fmt.str "avgpool %d/%d" p.kernel p.stride
+  | Global_avg_pool -> "gap"
+  | Reshape _ -> "reshape"
+  | Transpose _ -> "transpose"
+  | Concat { axis } -> Fmt.str "concat@%d" axis
+  | Pad_spatial { pad } -> Fmt.str "pad %d" pad
+  | Upsample { factor } -> Fmt.str "upsample x%d" factor
+
+let pp ppf op = Fmt.string ppf (name op)

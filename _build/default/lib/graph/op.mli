@@ -1,0 +1,62 @@
+(** DNN operators.  Feature maps are NHWC; weights are implicit operator
+    parameters (attached to nodes when graphs execute functionally).
+    Activations appear as standalone nodes or fused into the producing
+    compute operator (see {!Passes.fuse_activations}). *)
+
+type act = A_relu | A_relu6 | A_hswish
+
+val act_name : act -> string
+
+type pool = { kernel : int; stride : int }
+
+type conv = {
+  kh : int;
+  kw : int;
+  stride : int;
+  pad : int;  (** applied per axis only where the kernel extent exceeds 1 *)
+  cout : int;
+  act : act option;
+}
+
+type t =
+  | Input of { shape : int array }
+  | Constant of { shape : int array }
+  | Conv2d of conv
+  | Depthwise_conv2d of { kh : int; kw : int; stride : int; pad : int; act : act option }
+  | Transposed_conv2d of conv
+  | Matmul of { cout : int; act : act option }  (** learned right operand *)
+  | Batch_matmul of { transpose_b : bool }  (** two dynamic operands (attention) *)
+  | Add
+  | Mul
+  | Sub
+  | Div
+  | Pow of float
+  | Relu
+  | Relu6
+  | Hard_swish
+  | Sigmoid
+  | Tanh
+  | Gelu
+  | Softmax  (** along the last axis *)
+  | Layer_norm  (** along the last axis *)
+  | Max_pool of pool
+  | Avg_pool of pool
+  | Global_avg_pool
+  | Reshape of { shape : int array }
+  | Transpose of { perm : int array }
+  | Concat of { axis : int }
+  | Pad_spatial of { pad : int }
+  | Upsample of { factor : int }  (** nearest-neighbour *)
+
+(** Number of graph inputs the operator consumes. *)
+val arity : t -> int
+
+(** The paper's "layout transformation operators" (Reshape, Transpose) —
+    anchors for desirable partitioning edges. *)
+val is_layout_transform : t -> bool
+
+(** Operators implemented through the SIMD multiply kernels. *)
+val is_matmul_like : t -> bool
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+(** Structural graph optimizations applied before compilation ("the
+    existing framework" optimizations of the paper's Figure 6 workflow). *)
+
+(* Rebuild a graph keeping nodes for which [keep] holds; inputs of removed
+   nodes are redirected through [alias] (old id -> old id). *)
+let rebuild (g : Graph.t) ~keep ~alias ~rewrite_op =
+  let n = Graph.size g in
+  let resolve i =
+    let rec follow i = match alias.(i) with Some j -> follow j | None -> i in
+    follow i
+  in
+  let new_id = Array.make n (-1) in
+  let rev_nodes = ref [] in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      let node = Graph.node g i in
+      let inputs = List.map (fun j -> new_id.(resolve j)) node.Graph.inputs in
+      if List.exists (fun j -> j < 0) inputs then
+        invalid_arg "Passes.rebuild: input removed but not aliased";
+      let op = rewrite_op i node.Graph.op in
+      rev_nodes :=
+        { node with Graph.id = !count; inputs; op } :: !rev_nodes;
+      new_id.(i) <- !count;
+      incr count
+    end
+  done;
+  { Graph.nodes = Array.of_list (List.rev !rev_nodes) }
+
+(** Fuse standalone activation nodes into their producing compute node
+    when the producer has a single user and no fused activation yet. *)
+let fuse_activations (g : Graph.t) =
+  let n = Graph.size g in
+  let succ = Graph.successors g in
+  let keep = Array.make n true in
+  let alias = Array.make n None in
+  let fused_act = Array.make n None in
+  Graph.iter
+    (fun node ->
+      let act =
+        match node.Graph.op with
+        | Op.Relu -> Some Op.A_relu
+        | Op.Relu6 -> Some Op.A_relu6
+        | Op.Hard_swish -> Some Op.A_hswish
+        | _ -> None
+      in
+      match (act, node.Graph.inputs) with
+      | Some a, [ producer_id ] ->
+        let producer = Graph.node g producer_id in
+        let fusable =
+          succ.(producer_id) = [ node.Graph.id ]
+          && fused_act.(producer_id) = None
+          &&
+          match producer.Graph.op with
+          | Op.Conv2d { act = None; _ }
+          | Op.Depthwise_conv2d { act = None; _ }
+          | Op.Transposed_conv2d { act = None; _ }
+          | Op.Matmul { act = None; _ } -> true
+          | _ -> false
+        in
+        if fusable then begin
+          keep.(node.Graph.id) <- false;
+          alias.(node.Graph.id) <- Some producer_id;
+          fused_act.(producer_id) <- Some a
+        end
+      | _ -> ())
+    g;
+  let rewrite_op i op =
+    match fused_act.(i) with
+    | None -> op
+    | Some a -> (
+      match op with
+      | Op.Conv2d c -> Op.Conv2d { c with act = Some a }
+      | Op.Depthwise_conv2d c -> Op.Depthwise_conv2d { c with act = Some a }
+      | Op.Transposed_conv2d c -> Op.Transposed_conv2d { c with act = Some a }
+      | Op.Matmul m -> Op.Matmul { m with act = Some a }
+      | _ -> op)
+  in
+  rebuild g ~keep ~alias ~rewrite_op
+
+(** Drop reshapes whose output shape equals their input shape. *)
+let eliminate_identity_reshapes (g : Graph.t) =
+  let n = Graph.size g in
+  let keep = Array.make n true in
+  let alias = Array.make n None in
+  Graph.iter
+    (fun node ->
+      match (node.Graph.op, node.Graph.inputs) with
+      | Op.Reshape _, [ i ] when (Graph.node g i).Graph.out_shape = node.Graph.out_shape ->
+        keep.(node.Graph.id) <- false;
+        alias.(node.Graph.id) <- Some i
+      | _ -> ())
+    g;
+  rebuild g ~keep ~alias ~rewrite_op:(fun _ op -> op)
+
+(** Remove nodes that no (transitive) user in [outputs] depends on. *)
+let dead_code_elimination (g : Graph.t) ~outputs =
+  let n = Graph.size g in
+  let keep = Array.make n false in
+  let rec mark i =
+    if not keep.(i) then begin
+      keep.(i) <- true;
+      List.iter mark (Graph.node g i).Graph.inputs
+    end
+  in
+  List.iter mark outputs;
+  rebuild g ~keep ~alias:(Array.make n None) ~rewrite_op:(fun _ op -> op)
+
+(** The standard pre-compilation pipeline. *)
+let optimize (g : Graph.t) =
+  let g = eliminate_identity_reshapes g in
+  let g = fuse_activations g in
+  Graph.validate g;
+  g

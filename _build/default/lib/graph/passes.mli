@@ -1,0 +1,16 @@
+(** Structural graph optimizations applied before compilation (the
+    "existing framework" passes of the paper's Figure 6 workflow). *)
+
+(** Fuse standalone activation nodes into their single-user producing
+    compute node. *)
+val fuse_activations : Graph.t -> Graph.t
+
+(** Drop reshapes whose output shape equals their input shape. *)
+val eliminate_identity_reshapes : Graph.t -> Graph.t
+
+(** Remove nodes no listed output transitively depends on. *)
+val dead_code_elimination : Graph.t -> outputs:int list -> Graph.t
+
+(** The standard pre-compilation pipeline (identity elimination +
+    activation fusion), with validation. *)
+val optimize : Graph.t -> Graph.t

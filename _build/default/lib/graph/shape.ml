@@ -1,0 +1,113 @@
+(** Shape inference and validation for every operator. *)
+
+exception Shape_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Shape_error s)) fmt
+
+let numel dims = Array.fold_left ( * ) 1 dims
+
+(* axes whose kernel extent is 1 take no padding ("same"-style padding
+   per axis), which lets 1-D convolutions ride on the 2-D operators *)
+let conv_out ~size ~k ~stride ~pad =
+  let pad = if k = 1 then 0 else pad in
+  let out = ((size + (2 * pad) - k) / stride) + 1 in
+  if out <= 0 then fail "convolution output size %d is not positive" out;
+  out
+
+let nhwc name = function
+  | [| n; h; w; c |] -> (n, h, w, c)
+  | s -> fail "%s expects an NHWC input, got rank %d" name (Array.length s)
+
+(** [infer op input_shapes] — output shape, or raises {!Shape_error}. *)
+let infer (op : Op.t) (inputs : int array list) =
+  let one () =
+    match inputs with [ s ] -> s | _ -> fail "%s expects 1 input" (Op.name op)
+  in
+  let two () =
+    match inputs with
+    | [ a; b ] -> (a, b)
+    | _ -> fail "%s expects 2 inputs" (Op.name op)
+  in
+  match op with
+  | Op.Input { shape } | Op.Constant { shape } ->
+    if inputs <> [] then fail "source operators take no inputs";
+    Array.copy shape
+  | Op.Conv2d { kh; kw; stride; pad; cout; _ } ->
+    let n, h, w, _c = nhwc "conv2d" (one ()) in
+    [| n; conv_out ~size:h ~k:kh ~stride ~pad; conv_out ~size:w ~k:kw ~stride ~pad; cout |]
+  | Op.Depthwise_conv2d { kh; kw; stride; pad; _ } ->
+    let n, h, w, c = nhwc "dwconv" (one ()) in
+    [| n; conv_out ~size:h ~k:kh ~stride ~pad; conv_out ~size:w ~k:kw ~stride ~pad; c |]
+  | Op.Transposed_conv2d { kh; kw; stride; pad; cout; _ } ->
+    let n, h, w, _c = nhwc "tconv" (one ()) in
+    let up s k = ((s - 1) * stride) - (2 * pad) + k in
+    let oh = up h kh and ow = up w kw in
+    if oh <= 0 || ow <= 0 then fail "transposed convolution output is not positive";
+    [| n; oh; ow; cout |]
+  | Op.Matmul { cout; _ } ->
+    let s = one () in
+    let r = Array.length s in
+    if r < 1 then fail "matmul input must have rank >= 1";
+    let out = Array.copy s in
+    out.(r - 1) <- cout;
+    out
+  | Op.Batch_matmul { transpose_b } ->
+    let a, b = two () in
+    let ra = Array.length a and rb = Array.length b in
+    if ra < 2 || rb < 2 || ra <> rb then fail "batch_matmul expects equal ranks >= 2";
+    for i = 0 to ra - 3 do
+      if a.(i) <> b.(i) then fail "batch_matmul batch dims differ"
+    done;
+    let k_a = a.(ra - 1) in
+    let k_b, n = if transpose_b then (b.(rb - 1), b.(rb - 2)) else (b.(rb - 2), b.(rb - 1)) in
+    if k_a <> k_b then fail "batch_matmul inner dims differ: %d vs %d" k_a k_b;
+    let out = Array.copy a in
+    out.(ra - 1) <- n;
+    out
+  | Op.Add | Op.Mul | Op.Sub | Op.Div ->
+    let a, b = two () in
+    (* allow exact match, scalar broadcast, or channel-broadcast of the
+       second operand *)
+    if a = b then Array.copy a
+    else if numel b = 1 then Array.copy a
+    else if Array.length b = 1 && b.(0) = a.(Array.length a - 1) then Array.copy a
+    else
+      fail "elementwise shapes differ: %a vs %a" Fmt.(Dump.array int) a
+        Fmt.(Dump.array int) b
+  | Op.Pow _ | Op.Relu | Op.Relu6 | Op.Hard_swish | Op.Sigmoid | Op.Tanh | Op.Gelu
+  | Op.Softmax | Op.Layer_norm -> Array.copy (one ())
+  | Op.Max_pool { kernel; stride } | Op.Avg_pool { kernel; stride } ->
+    let n, h, w, c = nhwc "pool" (one ()) in
+    [| n; conv_out ~size:h ~k:kernel ~stride ~pad:0; conv_out ~size:w ~k:kernel ~stride ~pad:0; c |]
+  | Op.Global_avg_pool ->
+    let n, _, _, c = nhwc "gap" (one ()) in
+    [| n; 1; 1; c |]
+  | Op.Reshape { shape } ->
+    let s = one () in
+    if numel shape <> numel s then
+      fail "reshape element count mismatch: %d vs %d" (numel shape) (numel s);
+    Array.copy shape
+  | Op.Transpose { perm } ->
+    let s = one () in
+    if Array.length perm <> Array.length s then fail "transpose rank mismatch";
+    let seen = Array.make (Array.length perm) false in
+    Array.iter
+      (fun p ->
+        if p < 0 || p >= Array.length s || seen.(p) then fail "invalid permutation";
+        seen.(p) <- true)
+      perm;
+    Array.map (fun p -> s.(p)) perm
+  | Op.Concat { axis } ->
+    let a, b = two () in
+    if Array.length a <> Array.length b then fail "concat rank mismatch";
+    if axis < 0 || axis >= Array.length a then fail "concat axis out of range";
+    Array.iteri (fun i x -> if i <> axis && x <> b.(i) then fail "concat dims differ") a;
+    let out = Array.copy a in
+    out.(axis) <- a.(axis) + b.(axis);
+    out
+  | Op.Pad_spatial { pad } ->
+    let n, h, w, c = nhwc "pad" (one ()) in
+    [| n; h + (2 * pad); w + (2 * pad); c |]
+  | Op.Upsample { factor } ->
+    let n, h, w, c = nhwc "upsample" (one ()) in
+    [| n; h * factor; w * factor; c |]

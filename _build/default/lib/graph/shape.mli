@@ -1,0 +1,7 @@
+(** Shape inference and validation for every operator. *)
+
+exception Shape_error of string
+
+(** [infer op input_shapes] — the output shape; raises {!Shape_error} on
+    malformed combinations. *)
+val infer : Op.t -> int array list -> int array

@@ -1,0 +1,1 @@
+lib/isa/dep.ml: Fmt Iclass Instr List Reg

@@ -1,0 +1,1 @@
+lib/isa/dep.mli: Format Instr

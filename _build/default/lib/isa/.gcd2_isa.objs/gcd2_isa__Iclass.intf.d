@@ -1,0 +1,1 @@
+lib/isa/iclass.mli: Format

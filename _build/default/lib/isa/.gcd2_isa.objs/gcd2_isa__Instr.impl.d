@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Fmt Iclass Reg

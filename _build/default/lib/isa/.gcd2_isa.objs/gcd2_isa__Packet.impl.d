@@ -1,0 +1,1 @@
+lib/isa/packet.ml: Array Dep Fmt Iclass Instr List

@@ -1,0 +1,1 @@
+lib/isa/packet.mli: Format Instr

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Fmt Instr List Packet

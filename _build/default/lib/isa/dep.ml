@@ -1,0 +1,75 @@
+(** Classification of dependencies between instructions into the paper's
+    {e hard} and {e soft} categories (Section IV-C, footnote 3).
+
+    - A {b hard} dependency means the two instructions must not share a
+      VLIW packet (co-issuing them could produce wrong results).
+    - A {b soft} dependency allows co-packing: the interlocked pipeline
+      still produces the correct result but stalls for [penalty] cycles
+      (the paper's Figure 4: two 3-cycle instructions with a soft RAW
+      dependency take 4 cycles when packed, versus 6 when not).
+
+    Soft dependencies are only ever RAW or WAR (paper footnote 3).  In this
+    machine model:
+    - RAW whose producer is a load or scalar ALU/multiply is soft (the
+      paper's two examples: load -> arithmetic, scalar add -> consumer);
+    - RAW from a vector ALU into a store is soft (Figure 4b);
+    - RAW from single-stage vector multiplies, shifts and permutes is soft
+      with a longer stall (their results forward with a pipeline bubble);
+      only the deep reducing multiplies ([vmpa]/[vrmpy]) are hard;
+    - WAR is soft with zero penalty — within a packet the read issues
+      before the write commits, so only cross-packet ordering is needed;
+    - WAW and all potentially-overlapping memory dependencies are hard. *)
+
+type kind =
+  | Hard
+  | Soft of int  (** co-packing stall penalty in cycles *)
+
+let pp_kind ppf = function
+  | Hard -> Fmt.string ppf "hard"
+  | Soft p -> Fmt.pf ppf "soft(%d)" p
+
+(* Strongest-first combination: Hard beats Soft, larger penalty beats
+   smaller. *)
+let combine a b =
+  match (a, b) with
+  | Some Hard, _ | _, Some Hard -> Some Hard
+  | Some (Soft p), Some (Soft q) -> Some (Soft (max p q))
+  | (Some (Soft _) as s), None | None, (Some (Soft _) as s) -> s
+  | None, None -> None
+
+let regs_intersect xs ys = List.exists (fun x -> List.exists (Reg.overlap x) ys) xs
+
+(* Conservative memory aliasing: accesses through different base registers
+   are assumed disjoint (the code generator gives each buffer its own base
+   register); same-base accesses alias iff their byte ranges overlap. *)
+let mem_conflict i j =
+  match (Instr.mem_access i, Instr.mem_access j) with
+  | Some (Instr.Mem_load _), Some (Instr.Mem_load _) | None, _ | _, None -> false
+  | Some a, Some b ->
+    let range = function Instr.Mem_load (a, n) | Instr.Mem_store (a, n) -> (a, n) in
+    let (aa, an), (ba, bn) = (range a, range b) in
+    aa.Instr.base = ba.Instr.base
+    && aa.offset < ba.offset + bn
+    && ba.offset < aa.offset + an
+
+let raw_kind producer consumer =
+  match Instr.iclass producer with
+  | Iclass.Ld -> Soft (Iclass.latency Iclass.Ld - 2)
+  | Iclass.Salu -> Soft 1
+  | Iclass.Smul -> Soft 2
+  | Iclass.Vmpy -> Soft 2
+  | Iclass.Vshift | Iclass.Vperm -> Soft 1
+  | Iclass.Valu ->
+    (match Instr.iclass consumer with Iclass.St -> Soft 1 | _ -> Hard)
+  | Iclass.St | Iclass.Vmpy_deep -> Hard
+
+(** [classify i j] — with [i] preceding [j] in program order — returns the
+    dependency from [i] to [j], if any. *)
+let classify i j =
+  let di = Instr.defs i and ui = Instr.uses i in
+  let dj = Instr.defs j and uj = Instr.uses j in
+  let raw = if regs_intersect di uj then Some (raw_kind i j) else None in
+  let war = if regs_intersect ui dj then Some (Soft 0) else None in
+  let waw = if regs_intersect di dj then Some Hard else None in
+  let mem = if mem_conflict i j then Some Hard else None in
+  combine (combine raw war) (combine waw mem)

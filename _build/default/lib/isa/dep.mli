@@ -1,0 +1,17 @@
+(** Hard/soft dependency classification (paper Section IV-C, footnote 3).
+
+    A {e hard} dependency forbids co-packing; a {e soft} one allows it at a
+    stall penalty (the interlocked pipeline still computes the correct
+    result).  Soft dependencies are only ever RAW or WAR. *)
+
+type kind =
+  | Hard
+  | Soft of int  (** co-packing stall penalty in cycles *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** [classify i j] — with [i] before [j] in program order — the strongest
+    dependency from [i] to [j], if any.  Memory accesses through different
+    base registers are assumed disjoint (the code generator gives each
+    buffer its own base register). *)
+val classify : Instr.t -> Instr.t -> kind option

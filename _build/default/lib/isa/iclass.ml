@@ -1,0 +1,68 @@
+(** Instruction classes, VLIW slot constraints and latencies.
+
+    The machine issues packets of up to four instructions.  Each class may
+    execute only in certain slots, which is what makes some combinations
+    unpackable (the paper's example: two shift operations can never share a
+    packet, because shifts are tied to a single slot).
+
+    Slot map (Hexagon-HVX-like):
+    {v
+      slot 0 : store | load | scalar ALU
+      slot 1 : load  | scalar ALU | vector ALU
+      slot 2 : vector multiply | vector shift | scalar ALU | vector ALU
+      slot 3 : vector multiply | vector permute | scalar ALU | vector ALU
+    v}
+
+    Latencies follow the three-stage read/execute/write pipeline of the
+    paper's Figure 4 (three cycles for simple operations), with one extra
+    execute stage for loads and multiplies and three for the dual/reducing
+    multiplies ([vmpa], [vrmpy]) whose adder trees are deeper. *)
+
+type t =
+  | Salu  (** scalar ALU: add/sub/logic/moves *)
+  | Smul  (** scalar multiply *)
+  | Ld    (** scalar or vector load *)
+  | St    (** scalar or vector store *)
+  | Valu  (** vector ALU: add/sub/min/max/widening accumulate *)
+  | Vmpy  (** vector multiply: vmpy/vmpa/vrmpy/scaling *)
+  | Vmpy_deep  (** dual / reducing vector multiply: vmpa, vrmpy *)
+  | Vshift (** vector shift / narrowing pack *)
+  | Vperm  (** vector permute: shuffle, table lookup, splat *)
+
+let all = [ Salu; Smul; Ld; St; Valu; Vmpy; Vmpy_deep; Vshift; Vperm ]
+
+let name = function
+  | Salu -> "salu"
+  | Smul -> "smul"
+  | Ld -> "ld"
+  | St -> "st"
+  | Valu -> "valu"
+  | Vmpy -> "vmpy"
+  | Vmpy_deep -> "vmpy+"
+  | Vshift -> "vshift"
+  | Vperm -> "vperm"
+
+(** Slots (0..3) in which an instruction of this class may issue. *)
+let slots = function
+  | St -> [ 0 ]
+  | Ld -> [ 0; 1 ]
+  | Salu -> [ 0; 1; 2; 3 ]
+  | Smul -> [ 2; 3 ]
+  | Valu -> [ 1; 2; 3 ]
+  | Vmpy | Vmpy_deep -> [ 2; 3 ]
+  | Vshift -> [ 2 ]
+  | Vperm -> [ 3 ]
+
+(** Cycles from issue to result write-back (see module doc). *)
+let latency = function
+  | Salu -> 3
+  | Smul -> 4
+  | Ld -> 4
+  | St -> 3
+  | Valu -> 3
+  | Vmpy -> 4
+  | Vmpy_deep -> 6
+  | Vshift -> 3
+  | Vperm -> 3
+
+let pp ppf c = Fmt.string ppf (name c)

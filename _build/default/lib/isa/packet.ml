@@ -1,0 +1,65 @@
+(** VLIW packets: up to four instructions issued together.
+
+    Instructions inside a packet are kept in program order; the machine
+    executes them "in parallel" but, because hard-dependent instructions
+    are never co-packed, program-order evaluation inside a packet computes
+    exactly what the interlocked hardware computes.
+
+    A packet is legal when (1) a slot assignment exists under the
+    {!Iclass.slots} constraints, and (2) no two members have a hard
+    dependency.  Its cost is the maximum member latency plus the stalls
+    induced by intra-packet soft-dependency chains (paper Figure 4) —
+    packets do not overlap (paper footnote 5). *)
+
+type t = Instr.t list
+
+let max_size = 4
+
+(* Exact slot-assignment check: try to injectively map instructions to
+   slots 0..3.  At most 4 instructions, so backtracking is trivial. *)
+let slots_feasible instrs =
+  let classes = List.map Instr.iclass instrs in
+  let rec assign used = function
+    | [] -> true
+    | c :: rest ->
+      List.exists
+        (fun s -> (not (List.mem s used)) && assign (s :: used) rest)
+        (Iclass.slots c)
+  in
+  List.length instrs <= max_size && assign [] classes
+
+(* Hard dependencies forbid co-packing. *)
+let rec no_hard_pairs = function
+  | [] -> true
+  | i :: rest ->
+    List.for_all (fun j -> Dep.classify i j <> Some Dep.Hard) rest
+    && no_hard_pairs rest
+
+(** A packet is legal iff it fits the slots and contains no hard
+    dependency. *)
+let legal instrs = slots_feasible instrs && no_hard_pairs instrs
+
+(** [stall p] — extra cycles caused by intra-packet soft-dependency chains:
+    the longest penalty-weighted soft path inside the packet. *)
+let stall (p : t) =
+  let arr = Array.of_list p in
+  let n = Array.length arr in
+  let extra = Array.make n 0 in
+  for j = 0 to n - 1 do
+    for i = 0 to j - 1 do
+      match Dep.classify arr.(i) arr.(j) with
+      | Some (Dep.Soft pen) -> extra.(j) <- max extra.(j) (extra.(i) + pen)
+      | Some Dep.Hard | None -> ()
+    done
+  done;
+  Array.fold_left max 0 extra
+
+(** Issue-to-completion cycles of the packet: max latency + soft stalls.
+    The empty packet costs nothing. *)
+let cycles (p : t) =
+  match p with
+  | [] -> 0
+  | _ -> List.fold_left (fun m i -> max m (Instr.latency i)) 0 p + stall p
+
+let pp ppf (p : t) =
+  Fmt.pf ppf "{ %a }" Fmt.(list ~sep:(any "; ") Instr.pp) p

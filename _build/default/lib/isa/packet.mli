@@ -1,0 +1,22 @@
+(** VLIW packets: up to four instructions issued together, kept in program
+    order.  Legality = a slot assignment exists and no two members are
+    hard-dependent.  Cost = max member latency + intra-packet soft stall
+    chains; packets never overlap (paper footnote 5). *)
+
+type t = Instr.t list
+
+val max_size : int
+
+(** Does a slot assignment exist for these instructions? *)
+val slots_feasible : Instr.t list -> bool
+
+(** Slot-feasible and free of intra-packet hard dependencies. *)
+val legal : Instr.t list -> bool
+
+(** Extra cycles from the longest penalty-weighted soft chain inside. *)
+val stall : t -> int
+
+(** Issue-to-completion cycles of the packet (0 when empty). *)
+val cycles : t -> int
+
+val pp : Format.formatter -> t -> unit

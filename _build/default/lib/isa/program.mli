@@ -1,0 +1,40 @@
+(** Programs: trees of zero-overhead hardware loops whose leaves are
+    straight-line packet sequences.  Because packets never overlap, every
+    cost below is a static quantity that the simulator's dynamic counters
+    match exactly. *)
+
+type node =
+  | Block of Packet.t list
+  | Loop of { trip : int; body : node list }
+
+type t = {
+  name : string;
+  nodes : node list;
+  tables : (int * int array) list;
+      (** lookup tables for {!Instr.Vlut}: id -> 256 byte values *)
+}
+
+val make : ?tables:(int * int array) list -> string -> node list -> t
+
+(** Total execution cycles. *)
+val static_cycles : t -> int
+
+(** Dynamic (trip-weighted) packet count. *)
+val packet_count : t -> int
+
+(** Dynamic instruction count. *)
+val instr_count : t -> int
+
+(** Dynamic 8-bit multiply-accumulate count. *)
+val macs : t -> int
+
+(** Bytes read from / written to memory over the whole execution. *)
+val load_bytes : t -> int
+
+val store_bytes : t -> int
+
+(** Static packet count (ignores trip counts) — the paper's Figure 7
+    metric. *)
+val static_packet_count : t -> int
+
+val pp : Format.formatter -> t -> unit

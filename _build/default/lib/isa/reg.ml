@@ -1,0 +1,49 @@
+(** Registers of the simulated mobile DSP.
+
+    The machine has 32 scalar registers of 32 bits ([R 0] .. [R 31]) and 32
+    vector registers of 1024 bits ([V 0] .. [V 31]).  Adjacent even/odd
+    vector registers can be addressed as a 2048-bit pair [P k], which
+    aliases [V (2k)] (low half) and [V (2k + 1)] (high half) — the paper's
+    "vector pair" (e.g. [v2:1] in its Figure 5 stands for such a pair). *)
+
+type t =
+  | R of int  (** scalar register, 32-bit *)
+  | V of int  (** vector register, 1024-bit = 128 bytes *)
+  | P of int  (** vector pair [P k] = [V (2k+1)]:[V (2k)] *)
+
+let scalar_count = 32
+let vector_count = 32
+let vector_bytes = 128
+let lanes_8 = 128
+let lanes_16 = 64
+let lanes_32 = 32
+
+let is_scalar = function R _ -> true | V _ | P _ -> false
+
+let validate = function
+  | R n -> n >= 0 && n < scalar_count
+  | V n -> n >= 0 && n < vector_count
+  | P n -> n >= 0 && n < vector_count / 2
+
+(** Vector registers covered by a register operand (empty for scalars). *)
+let vector_parts = function
+  | R _ -> []
+  | V n -> [ n ]
+  | P n -> [ 2 * n; (2 * n) + 1 ]
+
+(** [overlap a b] holds when the two register operands name (part of) the
+    same physical storage; used by dependency analysis. *)
+let overlap a b =
+  match (a, b) with
+  | R m, R n -> m = n
+  | R _, (V _ | P _) | (V _ | P _), R _ -> false
+  | _ ->
+    let pa = vector_parts a and pb = vector_parts b in
+    List.exists (fun x -> List.mem x pb) pa
+
+let pp ppf = function
+  | R n -> Fmt.pf ppf "r%d" n
+  | V n -> Fmt.pf ppf "v%d" n
+  | P n -> Fmt.pf ppf "v%d:%d" ((2 * n) + 1) (2 * n)
+
+let to_string r = Fmt.str "%a" pp r

@@ -1,0 +1,33 @@
+(** Registers of the simulated mobile DSP: 32 scalar registers ([R 0..31],
+    32-bit), 32 vector registers ([V 0..31], 1024-bit), and aligned vector
+    pairs [P k] aliasing [V (2k+1)]:[V (2k)] (the paper's [v2:1]). *)
+
+type t =
+  | R of int  (** scalar register, 32-bit *)
+  | V of int  (** vector register, 1024-bit = 128 bytes *)
+  | P of int  (** vector pair [P k] = [V (2k+1)]:[V (2k)] *)
+
+val scalar_count : int
+val vector_count : int
+
+(** Bytes per vector register (128). *)
+val vector_bytes : int
+
+val lanes_8 : int
+val lanes_16 : int
+val lanes_32 : int
+
+val is_scalar : t -> bool
+
+(** Well-formedness of the register index. *)
+val validate : t -> bool
+
+(** Physical vector registers covered (empty for scalars). *)
+val vector_parts : t -> int list
+
+(** Do two operands name overlapping storage?  (Pairs alias their two
+    vector registers.) *)
+val overlap : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/kernels/interp.ml: Array Float Fmt Gcd2_graph Gcd2_tensor Gcd2_util List Lut

@@ -1,0 +1,1 @@
+lib/kernels/interp.mli: Gcd2_graph Gcd2_tensor

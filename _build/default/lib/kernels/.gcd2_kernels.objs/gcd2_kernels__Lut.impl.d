@@ -1,0 +1,1 @@
+lib/kernels/lut.ml: Array Float Gcd2_graph Gcd2_tensor Gcd2_util

@@ -1,0 +1,1 @@
+lib/kernels/lut.mli: Gcd2_graph Gcd2_tensor

@@ -1,0 +1,70 @@
+(** Reference (golden) integer semantics for every operator: int8 inputs,
+    int32 accumulation, fixed-point requantization.  The code generator
+    must match these results bit-exactly for the operators it lowers to
+    DSP kernels (checked by the test suite). *)
+
+module T = Gcd2_tensor.Tensor
+module Q = Gcd2_tensor.Quant
+module Op = Gcd2_graph.Op
+module Graph = Gcd2_graph.Graph
+
+(** Row-major (m x k) times (k x n) with requantization. *)
+val matmul_i8 :
+  m:int -> k:int -> n:int -> int array -> int array -> mult:int -> shift:int -> int array
+
+(** Per-output-channel requantization variant (the paper's future-work
+    quantization refinement): column [j] uses [mults.(j)] with a common
+    [shift]. *)
+val matmul_i8_per_channel :
+  m:int -> k:int -> n:int -> int array -> int array -> mults:int array -> shift:int ->
+  int array
+
+(** Patch extraction for convolution-as-GEMM; returns
+    [(patches, rows, cols, oh, ow)].  Axes with kernel extent 1 take no
+    padding. *)
+val im2col :
+  T.t -> kh:int -> kw:int -> stride:int -> pad:int -> int array * int * int * int * int
+
+val conv2d :
+  T.t -> weight:T.t -> kh:int -> kw:int -> stride:int -> pad:int -> cout:int ->
+  act:Op.act option -> out_q:Q.t -> T.t
+
+val depthwise_conv2d :
+  T.t -> weight:T.t -> kh:int -> kw:int -> stride:int -> pad:int ->
+  act:Op.act option -> out_q:Q.t -> T.t
+
+val transposed_conv2d :
+  T.t -> weight:T.t -> kh:int -> kw:int -> stride:int -> pad:int -> cout:int ->
+  act:Op.act option -> out_q:Q.t -> T.t
+
+val matmul : T.t -> weight:T.t -> cout:int -> act:Op.act option -> out_q:Q.t -> T.t
+val batch_matmul : T.t -> T.t -> transpose_b:bool -> out_q:Q.t -> T.t
+
+(** Elementwise with operand rescaling (clamped per operand, matching the
+    vector kernels); division routes through the deterministic real
+    computation that the reciprocal-lookup kernel approximates. *)
+val binary_elementwise : [ `Add | `Sub | `Mul | `Div ] -> T.t -> T.t -> out_q:Q.t -> T.t
+
+(** The (output quantization, real function) defining each pure unary
+    operator; shared with the code generator so lookup tables agree. *)
+val unary_spec : Op.t -> (Q.t * (float -> float)) option
+
+val unary_lut : T.t -> out_q:Q.t -> (float -> float) -> T.t
+
+(** Integer softmax / layer norm along the last axis. *)
+val softmax : T.t -> T.t
+
+val layer_norm : T.t -> T.t
+val pool : mode:[ `Max | `Avg ] -> T.t -> kernel:int -> stride:int -> T.t
+val global_avg_pool : T.t -> T.t
+val transpose : T.t -> perm:int array -> T.t
+val concat : T.t -> T.t -> axis:int -> T.t
+val pad_spatial : T.t -> pad:int -> T.t
+val upsample : T.t -> factor:int -> T.t
+
+(** Evaluate one node given its input tensors (weights from the node). *)
+val eval_node : Graph.node -> T.t list -> T.t
+
+(** Run a whole graph; [inputs] binds input-node ids; returns per-node
+    outputs. *)
+val run : Graph.t -> inputs:(int * T.t) list -> T.t array

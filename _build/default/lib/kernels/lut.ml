@@ -1,0 +1,34 @@
+(** 256-entry lookup tables for nonlinear functions.
+
+    On the DSP every transcendental activation (and division, one of the
+    paper's "other optimizations": replacing an expensive division by a
+    database lookup) becomes a [Vlut] instruction.  The reference
+    interpreter uses the {e same} tables, so generated code is bit-exact
+    against the reference by construction. *)
+
+module Quant = Gcd2_tensor.Quant
+
+(** [of_fn ~in_q ~out_q f] tabulates [quantize_out (f (dequantize_in q))]
+    for every int8 input [q].  Entry index is the byte encoding of [q]
+    (two's complement). *)
+let of_fn ~in_q ~out_q f =
+  Array.init 256 (fun byte ->
+      let q = Gcd2_util.Saturate.sign_extend ~bits:8 byte in
+      let x = Quant.dequantize in_q q in
+      Quant.quantize out_q (f x) land 0xff)
+
+(** Apply a table on the reference side (mirrors {!Gcd2_isa.Instr.Vlut}). *)
+let apply table q =
+  Gcd2_util.Saturate.sign_extend ~bits:8 table.(q land 0xff)
+
+let relu x = Float.max 0.0 x
+let relu6 x = Float.min 6.0 (Float.max 0.0 x)
+let hswish x = x *. relu6 (x +. 3.0) /. 6.0
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+let gelu x = 0.5 *. x *. (1.0 +. Float.tanh (0.7978845608 *. (x +. (0.044715 *. x *. x *. x))))
+
+let of_act ~in_q ~out_q (a : Gcd2_graph.Op.act) =
+  match a with
+  | Gcd2_graph.Op.A_relu -> of_fn ~in_q ~out_q relu
+  | Gcd2_graph.Op.A_relu6 -> of_fn ~in_q ~out_q relu6
+  | Gcd2_graph.Op.A_hswish -> of_fn ~in_q ~out_q hswish

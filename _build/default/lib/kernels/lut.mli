@@ -1,0 +1,21 @@
+(** 256-entry lookup tables for nonlinear functions.  On the DSP every
+    transcendental activation (and division, via a reciprocal table)
+    becomes a [Vlut]; the reference interpreter uses the same tables, so
+    generated code is bit-exact by construction. *)
+
+module Quant = Gcd2_tensor.Quant
+
+(** [of_fn ~in_q ~out_q f] tabulates [quantize (f (dequantize q))] for
+    every int8 [q]; entries are byte-encoded. *)
+val of_fn : in_q:Quant.t -> out_q:Quant.t -> (float -> float) -> int array
+
+(** Reference-side application (mirrors {!Gcd2_isa.Instr.Vlut}). *)
+val apply : int array -> int -> int
+
+val relu : float -> float
+val relu6 : float -> float
+val hswish : float -> float
+val sigmoid : float -> float
+val gelu : float -> float
+
+val of_act : in_q:Quant.t -> out_q:Quant.t -> Gcd2_graph.Op.act -> int array

@@ -1,0 +1,1 @@
+lib/layout/pbqp.ml: Array List Problem Solver

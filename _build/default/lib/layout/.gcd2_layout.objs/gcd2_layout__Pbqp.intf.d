@@ -1,0 +1,1 @@
+lib/layout/pbqp.mli: Problem Solver

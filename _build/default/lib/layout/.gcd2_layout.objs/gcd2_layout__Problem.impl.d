@@ -1,0 +1,1 @@
+lib/layout/problem.ml: Array List

@@ -1,0 +1,1 @@
+lib/layout/solver.ml: Array Char List Map Option Problem String

@@ -1,0 +1,178 @@
+(** Partitioned Boolean Quadratic Programming solver (Scholz & Eckstein
+    style graph reductions), the alternative the paper weighs against its
+    partitioning heuristic: "considering a PBQP solver, which is not
+    guaranteed to provide an optimal solution but is in practice close, is
+    an option" (Section IV-B).  Provided both for completeness and as an
+    extra baseline in the Figure 10 bench.
+
+    The selection problem maps onto PBQP directly: node cost vectors are
+    the per-plan execution costs, edge cost matrices are the
+    transformation costs [TC] between the endpoint plans.
+
+    Reductions:
+    - R0: a degree-0 node takes its cheapest plan.
+    - RI: a degree-1 node folds its edge matrix into the neighbour's cost
+      vector (exact).
+    - RII: a degree-2 node folds into a new edge between its two
+      neighbours (exact).
+    - RN: otherwise, heuristically fix the plan minimizing the node's
+      local cost (vector plus row-minima of incident edges) — the only
+      lossy step. *)
+
+(* Dense mutable working graph. *)
+type node_state = {
+  mutable vec : float array;  (** current cost vector *)
+  mutable edges : (int * float array array) list;
+      (** neighbour -> matrix indexed \[my plan\]\[their plan\] *)
+  mutable alive : bool;
+}
+
+type decision =
+  | Fixed of int * int  (** node, chosen plan (R0 / RN) *)
+  | Dependent of int * int * int array
+      (** node, neighbour, best plan of node for each neighbour plan (RI) *)
+  | Dependent2 of int * int * int * int array array
+      (** node, neighbours u and w, best plan for each (pu, pw) (RII) *)
+
+let transpose m =
+  let rows = Array.length m and cols = Array.length m.(0) in
+  Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))
+
+let solve (p : Problem.t) =
+  let n = p.Problem.n in
+  if n = 0 then { Solver.plans = [||]; cost = 0.0 }
+  else begin
+    let nodes =
+      Array.init n (fun v ->
+          {
+            vec = Array.init p.options.(v) (fun o -> p.node_cost v o);
+            edges = [];
+            alive = true;
+          })
+    in
+    (* materialize edge matrices (u < v by construction) *)
+    Array.iteri
+      (fun v preds ->
+        List.iter
+          (fun u ->
+            let m =
+              Array.init p.options.(u) (fun pu ->
+                  Array.init p.options.(v) (fun pv -> p.edge_cost u pu v pv))
+            in
+            (* combine parallel edges if any *)
+            nodes.(u).edges <- (v, m) :: nodes.(u).edges;
+            nodes.(v).edges <- (u, transpose m) :: nodes.(v).edges)
+          preds)
+      p.preds;
+    let remove_edge a b =
+      nodes.(a).edges <- List.filter (fun (x, _) -> x <> b) nodes.(a).edges
+    in
+    let add_matrix a b m =
+      (* add matrix m (indexed [plan_a][plan_b]) onto the a-b edge,
+         creating it if absent *)
+      match List.assoc_opt b nodes.(a).edges with
+      | Some existing ->
+        Array.iteri (fun i row -> Array.iteri (fun j x -> existing.(i).(j) <- existing.(i).(j) +. x) row) m
+      | None ->
+        nodes.(a).edges <- (b, m) :: nodes.(a).edges;
+        nodes.(b).edges <- (a, transpose m) :: nodes.(b).edges
+    in
+    let sync_transpose a b =
+      (* keep b's view consistent with a's after in-place updates *)
+      match (List.assoc_opt b nodes.(a).edges, List.assoc_opt a nodes.(b).edges) with
+      | Some m, Some m' ->
+        Array.iteri (fun i row -> Array.iteri (fun j x -> m'.(j).(i) <- x) row) m
+      | _ -> ()
+    in
+    let stack = ref [] in
+    let degree v = List.length nodes.(v).edges in
+    let alive_count = ref n in
+    while !alive_count > 0 do
+      (* choose the lowest-degree alive node *)
+      let best = ref (-1) in
+      for v = 0 to n - 1 do
+        if nodes.(v).alive && (!best = -1 || degree v < degree !best) then best := v
+      done;
+      let v = !best in
+      let nv = nodes.(v) in
+      (match nv.edges with
+      | [] ->
+        (* R0 *)
+        let bp = ref 0 in
+        Array.iteri (fun o c -> if c < nv.vec.(!bp) then bp := o) nv.vec;
+        stack := Fixed (v, !bp) :: !stack
+      | [ (u, m) ] ->
+        (* RI: fold into u *)
+        let nu = nodes.(u) in
+        let best_for = Array.make (Array.length nu.vec) 0 in
+        Array.iteri
+          (fun pu _ ->
+            let bp = ref 0 and bc = ref infinity in
+            Array.iteri
+              (fun pv cv ->
+                let c = cv +. m.(pv).(pu) in
+                if c < !bc then begin
+                  bc := c;
+                  bp := pv
+                end)
+              nv.vec;
+            nu.vec.(pu) <- nu.vec.(pu) +. !bc;
+            best_for.(pu) <- !bp)
+          nu.vec;
+        remove_edge u v;
+        stack := Dependent (v, u, best_for) :: !stack
+      | [ (u, mu); (w, mw) ] ->
+        (* RII: fold into a u-w edge *)
+        let ku = Array.length nodes.(u).vec and kw = Array.length nodes.(w).vec in
+        let best = Array.make_matrix ku kw 0 in
+        let delta =
+          Array.init ku (fun pu ->
+              Array.init kw (fun pw ->
+                  let bc = ref infinity in
+                  Array.iteri
+                    (fun pv cv ->
+                      let c = cv +. mu.(pv).(pu) +. mw.(pv).(pw) in
+                      if c < !bc then begin
+                        bc := c;
+                        best.(pu).(pw) <- pv
+                      end)
+                    nv.vec;
+                  !bc))
+        in
+        remove_edge u v;
+        remove_edge w v;
+        add_matrix u w delta;
+        sync_transpose u w;
+        stack := Dependent2 (v, u, w, best) :: !stack
+      | edges ->
+        (* RN: heuristically fix v's plan by local cost, then fold each
+           incident edge into the neighbour's vector as a row *)
+        let local o =
+          List.fold_left
+            (fun acc (_, m) -> acc +. Array.fold_left min infinity m.(o))
+            nv.vec.(o) edges
+        in
+        let bp = ref 0 in
+        Array.iteri (fun o _ -> if local o < local !bp then bp := o) nv.vec;
+        List.iter
+          (fun (u, m) ->
+            let nu = nodes.(u) in
+            Array.iteri (fun pu _ -> nu.vec.(pu) <- nu.vec.(pu) +. m.(!bp).(pu)) nu.vec;
+            remove_edge u v)
+          edges;
+        stack := Fixed (v, !bp) :: !stack);
+      nv.alive <- false;
+      nv.edges <- [];
+      decr alive_count
+    done;
+    (* back-propagate *)
+    let plans = Array.make n 0 in
+    List.iter
+      (fun d ->
+        match d with
+        | Fixed (v, o) -> plans.(v) <- o
+        | Dependent (v, u, best_for) -> plans.(v) <- best_for.(plans.(u))
+        | Dependent2 (v, u, w, best) -> plans.(v) <- best.(plans.(u)).(plans.(w)))
+      !stack;
+    { Solver.plans; cost = Problem.total_cost p plans }
+  end

@@ -1,0 +1,6 @@
+(** Partitioned Boolean Quadratic Programming solver via Scholz-Eckstein
+    graph reductions (R0/RI/RII exact, RN heuristic) — the alternative the
+    paper weighs against its partitioning heuristic in Section IV-B.
+    Exact on graphs of degree <= 2; near-optimal in practice. *)
+
+val solve : Problem.t -> Solver.result

@@ -1,0 +1,67 @@
+(** The global instruction-and-layout selection problem (paper Section
+    IV-A, Equation 1), abstracted away from DNN specifics:
+
+    a DAG of [n] nodes (indices are a topological order), each node [v]
+    with [options.(v)] candidate execution plans; choosing plan [p] for
+    [v] costs [node_cost v p]; an edge [(u, v)] additionally costs
+    [edge_cost u pu v pv] (the data-transformation cost [TC], zero when
+    the producer's output layout already suits the consumer).
+
+    Minimize
+    [sum_v node_cost(v, plan_v) + sum_{(u,v)} edge_cost(u, plan_u, v, plan_v)]
+
+    — a Partitioned Boolean Quadratic Program, NP-hard in general. *)
+
+type t = {
+  n : int;
+  preds : int list array;  (** predecessor indices, all smaller than the node *)
+  options : int array;  (** number of plans per node, >= 1 *)
+  node_cost : int -> int -> float;
+  edge_cost : int -> int -> int -> int -> float;  (** u, plan_u, v, plan_v *)
+  desirable_edge : int -> int -> bool;
+      (** [(u, v)] is a desirable partitioning edge (paper Section IV-B):
+          [v] has a single predecessor and is a layout-transformation
+          operator, or the transformation along the edge is profitable *)
+}
+
+let validate t =
+  if t.n < 0 then invalid_arg "Problem: negative size";
+  if Array.length t.preds <> t.n || Array.length t.options <> t.n then
+    invalid_arg "Problem: array sizes";
+  Array.iteri
+    (fun v ps ->
+      if t.options.(v) < 1 then invalid_arg "Problem: node without plans";
+      List.iter (fun u -> if u < 0 || u >= v then invalid_arg "Problem: not topological") ps)
+    t.preds
+
+(** Successor lists. *)
+let succs t =
+  let s = Array.make t.n [] in
+  Array.iteri (fun v ps -> List.iter (fun u -> s.(u) <- v :: s.(u)) ps) t.preds;
+  Array.map List.rev s
+
+(** Total objective value of a full assignment. *)
+let total_cost t plans =
+  if Array.length plans <> t.n then invalid_arg "total_cost: wrong length";
+  let acc = ref 0.0 in
+  for v = 0 to t.n - 1 do
+    acc := !acc +. t.node_cost v plans.(v);
+    List.iter (fun u -> acc := !acc +. t.edge_cost u plans.(u) v plans.(v)) t.preds.(v)
+  done;
+  !acc
+
+(** Number of edges crossing between position [p] and [p+1] in the
+    topological order (used by the partitioning heuristic). *)
+let crossing_edges t =
+  (* crossing.(p) = edges (u, v) with u <= p < v *)
+  let crossing = Array.make (max 1 t.n) 0 in
+  Array.iteri
+    (fun v ps ->
+      List.iter
+        (fun u ->
+          for p = u to v - 1 do
+            crossing.(p) <- crossing.(p) + 1
+          done)
+        ps)
+    t.preds;
+  crossing

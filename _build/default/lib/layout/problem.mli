@@ -1,0 +1,28 @@
+(** The global instruction-and-layout selection problem (paper Equation 1),
+    abstracted from DNN specifics: a DAG whose nodes each pick one of
+    several execution plans; minimize total plan cost plus the
+    data-transformation cost [TC] on every edge.  PBQP; NP-hard. *)
+
+type t = {
+  n : int;
+  preds : int list array;  (** predecessor indices, all smaller than the node *)
+  options : int array;  (** number of plans per node, >= 1 *)
+  node_cost : int -> int -> float;  (** node, plan -> cycles *)
+  edge_cost : int -> int -> int -> int -> float;  (** u, plan_u, v, plan_v -> TC *)
+  desirable_edge : int -> int -> bool;
+      (** paper Section IV-B: single-predecessor edges into layout
+          transformation operators or profitable transformations *)
+}
+
+(** Structural checks; raises [Invalid_argument]. *)
+val validate : t -> unit
+
+(** Successor lists. *)
+val succs : t -> int list array
+
+(** Objective value of a full plan assignment. *)
+val total_cost : t -> int array -> float
+
+(** [crossing_edges p] — edges crossing between topological positions
+    [q] and [q+1], for the partitioning heuristic. *)
+val crossing_edges : t -> int array

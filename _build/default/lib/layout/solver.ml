@@ -1,0 +1,282 @@
+(** Solvers for the global selection problem.
+
+    - {!local}: per-operator best plan ignoring transformation costs — the
+      paper's [local optimal] baseline.
+    - {!exhaustive}: k^n enumeration — the paper's [global optimal]
+      baseline, exponential by design (Figure 10's search-time blow-up).
+    - {!chain_dp}: the paper's Equation 2 — exact, O(n k^2), valid only
+      for linear chains.
+    - {!frontier_dp}: exact dynamic program over general DAGs whose state
+      is the plan choice of currently-live nodes; exponential only in the
+      DAG's frontier width (small for DNN graphs).
+    - {!partitioned}: the GCD2 heuristic — cut at desirable partitioning
+      edges (plus complementary cuts bounding each part to [max_size]
+      operators, the paper's GCD2(13)/GCD2(17)), solve each part exactly,
+      conditioning on the plans already fixed for earlier parts. *)
+
+type result = { plans : int array; cost : float }
+
+let solve_result p plans = { plans; cost = Problem.total_cost p plans }
+
+(* ------------------------------------------------------------------ *)
+
+(** Best plan per node in isolation. *)
+let local (p : Problem.t) =
+  let plans =
+    Array.init p.Problem.n (fun v ->
+        let best = ref 0 and best_c = ref (p.node_cost v 0) in
+        for o = 1 to p.options.(v) - 1 do
+          let c = p.node_cost v o in
+          if c < !best_c then begin
+            best := o;
+            best_c := c
+          end
+        done;
+        !best)
+  in
+  solve_result p plans
+
+(* ------------------------------------------------------------------ *)
+
+exception Too_large
+
+(** Full enumeration; raises {!Too_large} when the space exceeds
+    [max_states] (default 20 million). *)
+let exhaustive ?(max_states = 20_000_000) (p : Problem.t) =
+  let space = Array.fold_left (fun acc k -> acc *. float_of_int k) 1.0 p.Problem.options in
+  if space > float_of_int max_states then raise Too_large;
+  let plans = Array.make p.n 0 in
+  let best = ref None in
+  let rec go v =
+    if v = p.n then begin
+      let c = Problem.total_cost p plans in
+      match !best with
+      | Some (_, bc) when bc <= c -> ()
+      | _ -> best := Some (Array.copy plans, c)
+    end
+    else
+      for o = 0 to p.options.(v) - 1 do
+        plans.(v) <- o;
+        go (v + 1)
+      done
+  in
+  go 0;
+  match !best with
+  | Some (plans, cost) -> { plans; cost }
+  | None -> { plans = [||]; cost = 0.0 }
+
+(* ------------------------------------------------------------------ *)
+
+(** Equation 2 of the paper; requires every node to have at most one
+    predecessor and one successor. *)
+let chain_dp (p : Problem.t) =
+  let succ = Problem.succs p in
+  Array.iteri
+    (fun v ps ->
+      if List.length ps > 1 || List.length succ.(v) > 1 then
+        invalid_arg "chain_dp: not a chain")
+    p.Problem.preds;
+  if p.n = 0 then { plans = [||]; cost = 0.0 }
+  else begin
+    (* sol.(v).(o) = best cost of the prefix ending with plan o at v *)
+    let sol = Array.init p.n (fun v -> Array.make p.options.(v) infinity) in
+    let back = Array.init p.n (fun v -> Array.make p.options.(v) 0) in
+    for v = 0 to p.n - 1 do
+      for o = 0 to p.options.(v) - 1 do
+        match p.preds.(v) with
+        | [] -> sol.(v).(o) <- p.node_cost v o
+        | [ u ] ->
+          for l = 0 to p.options.(u) - 1 do
+            let c = sol.(u).(l) +. p.edge_cost u l v o +. p.node_cost v o in
+            if c < sol.(v).(o) then begin
+              sol.(v).(o) <- c;
+              back.(v).(o) <- l
+            end
+          done
+        | _ -> assert false
+      done
+    done;
+    (* chains may be several disconnected chains; walk each tail back *)
+    let plans = Array.make p.n (-1) in
+    for v = p.n - 1 downto 0 do
+      if succ.(v) = [] then begin
+        (* tail of a chain: pick its best plan, then backtrack *)
+        let best = ref 0 in
+        for o = 1 to p.options.(v) - 1 do
+          if sol.(v).(o) < sol.(v).(!best) then best := o
+        done;
+        let rec walk v o =
+          plans.(v) <- o;
+          match p.preds.(v) with [] -> () | [ u ] -> walk u back.(v).(o) | _ -> assert false
+        in
+        walk v !best
+      end
+    done;
+    solve_result p plans
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Frontier dynamic programming                                        *)
+
+(* A DP state maps each live node to its chosen plan.  The set of live
+   nodes is the same for all states at a given step, so a state is just an
+   int array aligned with the sorted live list; encoded as a string key. *)
+
+let encode plans_list = String.init (List.length plans_list) (fun i -> Char.chr (List.nth plans_list i))
+
+module Smap = Map.Make (String)
+
+(** [frontier_dp ?fixed ?lo ?hi p] — exact DP over nodes [lo, hi).
+    [fixed] supplies plans for nodes < [lo] (used when conditioning a
+    partition on earlier parts); edges from nodes < [lo] use those fixed
+    plans, edges from inside the window use DP state.  [max_states] bounds
+    memory; beyond it the weakest states are pruned (beam search), making
+    the result potentially suboptimal — callers keep windows narrow
+    enough that this never triggers in practice. *)
+let frontier_dp ?fixed ?lo ?hi ?(max_states = 1 lsl 18) (p : Problem.t) =
+  let lo = Option.value lo ~default:0 and hi = Option.value hi ~default:p.Problem.n in
+  
+  (* last step (node index) at which each node is needed inside the window *)
+  let last_use = Array.make p.n (-1) in
+  for v = lo to hi - 1 do
+    List.iter (fun u -> if u >= lo then last_use.(u) <- max last_use.(u) v) p.preds.(v)
+  done;
+  (* live set after processing node v: nodes u <= v with last_use > v *)
+  let fixed_plan u =
+    match fixed with
+    | Some f when u < lo -> f.(u)
+    | _ -> invalid_arg "frontier_dp: edge from unfixed node outside window"
+  in
+  (* states: key -> (cost, choices-so-far as reversed list of (node, plan)
+     backtracking chain).  We keep full assignment history per state via
+     immutable lists: cheap enough at our sizes. *)
+  let states = ref (Smap.singleton "" (0.0, [])) in
+  let live = ref [] in
+  for v = lo to hi - 1 do
+    let next = ref Smap.empty in
+    Smap.iter
+      (fun key (cost, history) ->
+        let plan_of_live u =
+          let rec find idx = function
+            | [] -> invalid_arg "frontier_dp: predecessor not live"
+            | x :: _ when x = u -> Char.code key.[idx]
+            | _ :: rest -> find (idx + 1) rest
+          in
+          find 0 !live
+        in
+        for o = 0 to p.options.(v) - 1 do
+          let c = ref (cost +. p.node_cost v o) in
+          List.iter
+            (fun u ->
+              let pu = if u < lo then fixed_plan u else plan_of_live u in
+              c := !c +. p.edge_cost u pu v o)
+            p.preds.(v);
+          (* new live list: old live minus the dying, plus v if needed *)
+          let surviving =
+            List.mapi (fun idx u -> (u, Char.code key.[idx])) !live
+            |> List.filter (fun (u, _) -> last_use.(u) > v)
+          in
+          let new_live_plans =
+            surviving @ (if last_use.(v) > v then [ (v, o) ] else [])
+          in
+          let new_live_plans = List.sort compare new_live_plans in
+          let nk = encode (List.map snd new_live_plans) in
+          let entry = (!c, (v, o) :: history) in
+          match Smap.find_opt nk !next with
+          | Some (c', _) when c' <= !c -> ()
+          | _ -> next := Smap.add nk entry !next
+        done)
+      !states;
+    (* prune to max_states if needed (beam) *)
+    let card = Smap.cardinal !next in
+    if card > max_states then begin
+      let all = Smap.bindings !next in
+      let sorted = List.sort (fun (_, (a, _)) (_, (b, _)) -> compare a b) all in
+      let kept = List.filteri (fun i _ -> i < max_states) sorted in
+      next := List.fold_left (fun m (k, v') -> Smap.add k v' m) Smap.empty kept
+    end;
+    (* advance live list *)
+    live :=
+      List.filter (fun u -> last_use.(u) > v) !live @ (if last_use.(v) > v then [ v ] else []);
+    live := List.sort compare !live;
+    states := !next
+  done;
+  (* best final state *)
+  let best = ref None in
+  Smap.iter
+    (fun _ (cost, history) ->
+      match !best with
+      | Some (bc, _) when bc <= cost -> ()
+      | _ -> best := Some (cost, history))
+    !states;
+  let plans = Array.make (hi - lo) 0 in
+  (match !best with
+  | Some (_, history) -> List.iter (fun (v, o) -> plans.(v - lo) <- o) history
+  | None -> ());
+  plans
+
+(** Exact solve of the whole problem by frontier DP. *)
+let optimal (p : Problem.t) =
+  let plans = frontier_dp p in
+  solve_result p plans
+
+(* ------------------------------------------------------------------ *)
+(* GCD2's cost-optimal partitioning heuristic                          *)
+
+(** Cut positions: prefer positions crossed by exactly one edge that is a
+    desirable partitioning edge; complete with complementary cuts so no
+    part exceeds [max_size]. *)
+let partition_points (p : Problem.t) ~max_size =
+  let crossing = Problem.crossing_edges p in
+  (* for each position, is there exactly one crossing edge and is it
+     desirable?  An edge (u, v) is "at" position q for u <= q < v. *)
+  let desirable_at = Array.make (max 1 p.Problem.n) false in
+  Array.iteri
+    (fun v ps ->
+      List.iter
+        (fun u ->
+          if p.desirable_edge u v then
+            for q = u to v - 1 do
+              desirable_at.(q) <- true
+            done)
+        ps)
+    p.preds;
+  let cuts = ref [] in
+  let part_start = ref 0 in
+  let last_good = ref (-1) in
+  for q = 0 to p.n - 2 do
+    if crossing.(q) = 1 && desirable_at.(q) then last_good := q;
+    let size = q - !part_start + 1 in
+    if crossing.(q) = 1 && desirable_at.(q) && size >= max_size / 2 then begin
+      cuts := q :: !cuts;
+      part_start := q + 1;
+      last_good := -1
+    end
+    else if size >= max_size then begin
+      (* complementary cut: back up to the last good position if it is
+         inside this part, otherwise cut right here *)
+      let cut = if !last_good >= !part_start then !last_good else q in
+      cuts := cut :: !cuts;
+      part_start := cut + 1;
+      last_good := -1
+    end
+  done;
+  List.rev !cuts
+
+(** The GCD2 heuristic: partition, then solve each part exactly with the
+    plans of earlier parts fixed. *)
+let partitioned ?(max_size = 13) (p : Problem.t) =
+  let cuts = partition_points p ~max_size in
+  let plans = Array.make p.Problem.n 0 in
+  let solve_part ~lo ~hi =
+    let part = frontier_dp ~fixed:plans ~lo ~hi p in
+    Array.blit part 0 plans lo (hi - lo)
+  in
+  let rec go lo = function
+    | [] -> if lo < p.n then solve_part ~lo ~hi:p.n
+    | cut :: rest ->
+      solve_part ~lo ~hi:(cut + 1);
+      go (cut + 1) rest
+  in
+  if p.n > 0 then go 0 cuts;
+  solve_result p plans

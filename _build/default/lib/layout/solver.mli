@@ -1,0 +1,35 @@
+(** Solvers for the global selection problem — the paper's baselines and
+    its partitioning heuristic (Section IV-B, Figure 10). *)
+
+type result = { plans : int array; cost : float }
+
+(** Per-operator best plan, transformation costs ignored (the paper's
+    [local optimal] baseline). *)
+val local : Problem.t -> result
+
+exception Too_large
+
+(** k^n enumeration (the paper's [global optimal]); raises {!Too_large}
+    beyond [max_states] (default 2e7) assignments. *)
+val exhaustive : ?max_states:int -> Problem.t -> result
+
+(** The paper's Equation 2: exact for (unions of) chains; raises
+    [Invalid_argument] otherwise. *)
+val chain_dp : Problem.t -> result
+
+(** Exact DP whose state is the plan choice of live frontier nodes;
+    exponential only in DAG width.  [fixed] supplies plans for nodes below
+    [lo] when solving a window. *)
+val frontier_dp :
+  ?fixed:int array -> ?lo:int -> ?hi:int -> ?max_states:int -> Problem.t -> int array
+
+(** Exact solve of the whole problem by frontier DP. *)
+val optimal : Problem.t -> result
+
+(** Cut positions for the partitioning heuristic: desirable partitioning
+    edges plus complementary cuts bounding each part to [max_size]. *)
+val partition_points : Problem.t -> max_size:int -> int list
+
+(** The GCD2 heuristic (the paper's GCD2(k)): partition, then solve each
+    part exactly conditioned on earlier parts. *)
+val partitioned : ?max_size:int -> Problem.t -> result

@@ -1,0 +1,1 @@
+lib/models/blocks.ml: Gcd2_graph Graph Op

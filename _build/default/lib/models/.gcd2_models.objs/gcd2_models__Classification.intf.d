@@ -1,0 +1,1 @@
+lib/models/classification.mli: Gcd2_graph

@@ -1,0 +1,1 @@
+lib/models/detection.ml: Blocks Gcd2_graph Graph List Op

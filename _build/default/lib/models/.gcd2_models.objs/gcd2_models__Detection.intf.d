@@ -1,0 +1,1 @@
+lib/models/detection.mli: Gcd2_graph

@@ -1,0 +1,1 @@
+lib/models/generative.ml: Blocks Gcd2_graph Graph Op

@@ -1,0 +1,1 @@
+lib/models/generative.mli: Gcd2_graph

@@ -1,0 +1,1 @@
+lib/models/transformers.ml: Blocks Gcd2_graph Graph Op

@@ -1,0 +1,1 @@
+lib/models/transformers.mli: Gcd2_graph

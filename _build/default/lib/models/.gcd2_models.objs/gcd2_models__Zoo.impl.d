@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Classification Detection Fmt Gcd2_graph Generative List String Transformers

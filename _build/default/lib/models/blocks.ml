@@ -1,0 +1,127 @@
+(** Shared building blocks for the model zoo.  Batch-norms are folded into
+    the preceding convolution (standard for quantized inference graphs);
+    activations are separate nodes, as mobile converters emit them — the
+    compiler's fusion pass merges them. *)
+
+open Gcd2_graph
+module B = Graph.Builder
+
+let scalar_const b v =
+  ignore v;
+  B.constant b [| 1 |]
+
+(** conv + activation node. *)
+let conv ?act b x ~kh ~kw ~stride ~pad ~cout =
+  let c = B.conv2d b x ~kh ~kw ~stride ~pad ~cout in
+  match act with
+  | None -> c
+  | Some `Relu -> B.add b Op.Relu [ c ]
+  | Some `Relu6 -> B.add b Op.Relu6 [ c ]
+  | Some `Hswish -> B.add b Op.Hard_swish [ c ]
+  | Some `Sigmoid -> B.add b Op.Sigmoid [ c ]
+  | Some `Tanh -> B.add b Op.Tanh [ c ]
+  | Some `Gelu -> B.add b Op.Gelu [ c ]
+
+let dwconv ?act b x ~k ~stride =
+  (* mobile converters emit an explicit pad before strided depthwise
+     convolutions *)
+  let x, pad =
+    if stride > 1 && k > 1 then (B.add b (Op.Pad_spatial { pad = k / 2 }) [ x ], 0)
+    else (x, k / 2)
+  in
+  let c = B.dwconv b x ~kh:k ~kw:k ~stride ~pad in
+  match act with
+  | None -> c
+  | Some `Relu -> B.add b Op.Relu [ c ]
+  | Some `Relu6 -> B.add b Op.Relu6 [ c ]
+  | Some `Hswish -> B.add b Op.Hard_swish [ c ]
+  | Some `Sigmoid -> B.add b Op.Sigmoid [ c ]
+  | Some `Tanh -> B.add b Op.Tanh [ c ]
+  | Some `Gelu -> B.add b Op.Gelu [ c ]
+
+(** Squeeze-and-excitation: GAP -> bottleneck FC -> expand FC -> gate.
+    The hard-sigmoid gate appears decomposed (add, relu6, scale), as
+    TFLite converters emit it. *)
+let se_block b x ~channels ~reduce =
+  let pooled = B.add b Op.Global_avg_pool [ x ] in
+  let squeezed = B.add b (Op.Matmul { cout = max 8 (channels / reduce); act = None }) [ pooled ] in
+  let squeezed = B.add b Op.Relu [ squeezed ] in
+  let expanded = B.add b (Op.Matmul { cout = channels; act = None }) [ squeezed ] in
+  let gate = B.add b Op.Add [ expanded; scalar_const b 3.0 ] in
+  let gate = B.add b Op.Relu6 [ gate ] in
+  let gate = B.add b Op.Mul [ gate; scalar_const b (1.0 /. 6.0) ] in
+  let gate = B.add b (Op.Reshape { shape = [| channels |] }) [ gate ] in
+  B.add b Op.Mul [ x; gate ]
+
+(** Inverted-residual bottleneck (MobileNet/EfficientNet). *)
+let inverted_residual ?(se = false) ?(act = `Relu6) b x ~cin ~exp ~cout ~k ~stride =
+  let h = if exp <> cin then conv ~act b x ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:exp else x in
+  let h = dwconv ~act b h ~k ~stride in
+  let h = if se then se_block b h ~channels:exp ~reduce:4 else h in
+  let h = conv b h ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout in
+  if stride = 1 && cin = cout then B.add b Op.Add [ x; h ] else h
+
+(** ResNet bottleneck (1x1 reduce, 3x3, 1x1 expand + skip). *)
+let resnet_bottleneck b x ~cin ~mid ~cout ~stride =
+  let h = conv ~act:`Relu b x ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:mid in
+  let h = conv ~act:`Relu b h ~kh:3 ~kw:3 ~stride ~pad:1 ~cout:mid in
+  let h = conv b h ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout in
+  let skip =
+    if stride <> 1 || cin <> cout then conv b x ~kh:1 ~kw:1 ~stride ~pad:0 ~cout else x
+  in
+  let s = B.add b Op.Add [ skip; h ] in
+  B.add b Op.Relu [ s ]
+
+(** Plain residual block of two 3x3 convolutions (style transfer / GANs). *)
+let residual_3x3 b x ~channels =
+  let h = conv ~act:`Relu b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:channels in
+  let h = conv b h ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:channels in
+  B.add b Op.Add [ x; h ]
+
+(** Linear layer with an explicit bias-add node (how converters emit
+    fully-connected layers before fusion). *)
+let linear ?(bias = false) b x ~cout =
+  let h = B.matmul b x ~cout in
+  if bias then B.add b Op.Add [ h; scalar_const b 0.0 ] else h
+
+(** Multi-head self-attention (pre-norm transformer flavour).  [mask] adds
+    an attention-mask node on the scores; [bias] emits bias-adds after
+    every projection. *)
+let attention ?(bias = false) ?(mask = false) b x ~seq ~dim ~heads =
+  let dh = dim / heads in
+  let q = linear ~bias b x ~cout:dim in
+  let k = linear ~bias b x ~cout:dim in
+  let v = linear ~bias b x ~cout:dim in
+  let split t =
+    let t = B.add b (Op.Reshape { shape = [| seq; heads; dh |] }) [ t ] in
+    B.add b (Op.Transpose { perm = [| 1; 0; 2 |] }) [ t ]
+  in
+  let qh = split q and kh = split k and vh = split v in
+  let scores = B.add b (Op.Batch_matmul { transpose_b = true }) [ qh; kh ] in
+  let scale = scalar_const b (1.0 /. sqrt (float_of_int dh)) in
+  let scores = B.add b Op.Mul [ scores; scale ] in
+  let scores =
+    if mask then B.add b Op.Add [ scores; scalar_const b 0.0 ] else scores
+  in
+  let probs = B.add b Op.Softmax [ scores ] in
+  let ctx = B.add b (Op.Batch_matmul { transpose_b = false }) [ probs; vh ] in
+  let ctx = B.add b (Op.Transpose { perm = [| 1; 0; 2 |] }) [ ctx ] in
+  let ctx = B.add b (Op.Reshape { shape = [| seq; dim |] }) [ ctx ] in
+  linear ~bias b ctx ~cout:dim
+
+(** Transformer feed-forward with residual + layer norm. *)
+let ffn ?(bias = false) ?(act = `Gelu) b x ~dim ~hidden =
+  let h = linear ~bias b x ~cout:hidden in
+  let h =
+    B.add b (match act with `Gelu -> Op.Gelu | `Relu -> Op.Relu | `Hswish -> Op.Hard_swish) [ h ]
+  in
+  let h = linear ~bias b h ~cout:dim in
+  let s = B.add b Op.Add [ x; h ] in
+  B.add b Op.Layer_norm [ s ]
+
+(** Transformer encoder layer (post-norm). *)
+let encoder_layer ?(bias = false) ?(mask = false) b x ~seq ~dim ~heads ~ff =
+  let a = attention ~bias ~mask b x ~seq ~dim ~heads in
+  let s = B.add b Op.Add [ x; a ] in
+  let s = B.add b Op.Layer_norm [ s ] in
+  ffn ~bias b s ~dim ~hidden:ff

@@ -1,0 +1,103 @@
+(** Image-classification models of the paper's Table IV: MobileNet-V3
+    (large), EfficientNet-b0 and ResNet-50, all at 224x224x3. *)
+
+open Gcd2_graph
+module B = Graph.Builder
+
+(** MobileNet-V3-Large (Howard et al. 2019), batch-norms folded. *)
+let mobilenet_v3 () =
+  let b = B.create () in
+  let x = B.input b [| 1; 224; 224; 3 |] in
+  let x = Blocks.conv ~act:`Hswish b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:16 in
+  (* (kernel, expansion, out, SE, activation, stride) *)
+  let specs =
+    [
+      (3, 16, 16, false, `Relu, 1);
+      (3, 64, 24, false, `Relu, 2);
+      (3, 72, 24, false, `Relu, 1);
+      (5, 72, 40, true, `Relu, 2);
+      (5, 120, 40, true, `Relu, 1);
+      (5, 120, 40, true, `Relu, 1);
+      (3, 240, 80, false, `Hswish, 2);
+      (3, 200, 80, false, `Hswish, 1);
+      (3, 184, 80, false, `Hswish, 1);
+      (3, 184, 80, false, `Hswish, 1);
+      (3, 480, 112, true, `Hswish, 1);
+      (3, 672, 112, true, `Hswish, 1);
+      (5, 672, 160, true, `Hswish, 2);
+      (5, 960, 160, true, `Hswish, 1);
+      (5, 960, 160, true, `Hswish, 1);
+    ]
+  in
+  let x, _ =
+    List.fold_left
+      (fun (x, cin) (k, exp, cout, se, act, stride) ->
+        (Blocks.inverted_residual ~se ~act b x ~cin ~exp ~cout ~k ~stride, cout))
+      (x, 16) specs
+  in
+  let x = Blocks.conv ~act:`Hswish b x ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:960 in
+  let x = B.add b Op.Global_avg_pool [ x ] in
+  let x = B.matmul b x ~cout:1280 in
+  let x = B.add b Op.Hard_swish [ x ] in
+  let x = B.matmul b x ~cout:1000 in
+  let _ = B.add b Op.Softmax [ x ] in
+  B.finish b
+
+(** EfficientNet-b0 (Tan & Le 2019). *)
+let efficientnet_b0 () =
+  let b = B.create () in
+  let x = B.input b [| 1; 224; 224; 3 |] in
+  let x = Blocks.conv ~act:`Relu6 b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:32 in
+  (* (kernel, expansion factor, out channels, repeats, stride) *)
+  let stages =
+    [
+      (3, 1, 16, 1, 1);
+      (3, 6, 24, 2, 2);
+      (5, 6, 40, 2, 2);
+      (3, 6, 80, 3, 2);
+      (5, 6, 112, 3, 1);
+      (5, 6, 192, 4, 2);
+      (3, 6, 320, 1, 1);
+    ]
+  in
+  let x, _ =
+    List.fold_left
+      (fun (x, cin) (k, e, cout, repeats, stride) ->
+        let x = ref x and c = ref cin in
+        for r = 0 to repeats - 1 do
+          let s = if r = 0 then stride else 1 in
+          x :=
+            Blocks.inverted_residual ~se:true ~act:`Relu6 b !x ~cin:!c ~exp:(!c * e) ~cout
+              ~k ~stride:s;
+          c := cout
+        done;
+        (!x, !c))
+      (x, 32) stages
+  in
+  let x = Blocks.conv ~act:`Relu6 b x ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:1280 in
+  let x = B.add b Op.Global_avg_pool [ x ] in
+  let x = B.matmul b x ~cout:1000 in
+  let _ = B.add b Op.Softmax [ x ] in
+  B.finish b
+
+(** ResNet-50 (He et al. 2016). *)
+let resnet50 () =
+  let b = B.create () in
+  let x = B.input b [| 1; 224; 224; 3 |] in
+  let x = Blocks.conv ~act:`Relu b x ~kh:7 ~kw:7 ~stride:2 ~pad:3 ~cout:64 in
+  let x = B.add b (Op.Max_pool { kernel = 2; stride = 2 }) [ x ] in
+  let stage x ~cin ~mid ~cout ~blocks ~stride =
+    let x = ref (Blocks.resnet_bottleneck b x ~cin ~mid ~cout ~stride) in
+    for _ = 2 to blocks do
+      x := Blocks.resnet_bottleneck b !x ~cin:cout ~mid ~cout ~stride:1
+    done;
+    !x
+  in
+  let x = stage x ~cin:64 ~mid:64 ~cout:256 ~blocks:3 ~stride:1 in
+  let x = stage x ~cin:256 ~mid:128 ~cout:512 ~blocks:4 ~stride:2 in
+  let x = stage x ~cin:512 ~mid:256 ~cout:1024 ~blocks:6 ~stride:2 in
+  let x = stage x ~cin:1024 ~mid:512 ~cout:2048 ~blocks:3 ~stride:2 in
+  let x = B.add b Op.Global_avg_pool [ x ] in
+  let x = B.matmul b x ~cout:1000 in
+  let _ = B.add b Op.Softmax [ x ] in
+  B.finish b

@@ -1,0 +1,5 @@
+(** Image-classification models of Table IV (224x224x3 inputs). *)
+
+val mobilenet_v3 : unit -> Gcd2_graph.Graph.t
+val efficientnet_b0 : unit -> Gcd2_graph.Graph.t
+val resnet50 : unit -> Gcd2_graph.Graph.t

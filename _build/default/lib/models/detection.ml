@@ -1,0 +1,124 @@
+(** Object-detection models of Table IV: EfficientDet-d0 (2-D, BiFPN — the
+    822-operator graph that motivates bounded-sub-graph selection) and
+    PixOr (3-D detection from a bird's-eye-view LiDAR grid). *)
+
+open Gcd2_graph
+module B = Graph.Builder
+
+(* Separable convolution, the BiFPN workhorse. *)
+let sep_conv ?act b x ~cout =
+  let h = Blocks.dwconv b x ~k:3 ~stride:1 in
+  Blocks.conv ?act b h ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout
+
+(* Weighted feature fusion: per-input scalar gates, sum, activation,
+   separable conv. *)
+let fuse2 b ~cout x y =
+  let gx = Blocks.scalar_const b 0.5 and gy = Blocks.scalar_const b 0.5 in
+  let x = B.add b Op.Mul [ x; gx ] in
+  let y = B.add b Op.Mul [ y; gy ] in
+  let s = B.add b Op.Add [ x; y ] in
+  (* fast-normalized fusion: divide by the gate sum (+eps) *)
+  let norm = Blocks.scalar_const b 1.0 in
+  let s = B.add b Op.Div [ s; norm ] in
+  let s = B.add b Op.Hard_swish [ s ] in
+  sep_conv b s ~cout
+
+let efficientdet_d0 () =
+  let b = B.create () in
+  let x = B.input b [| 1; 512; 512; 3 |] in
+  (* EfficientNet-b0 backbone trunk (reduced head), tapping P3/P4/P5 *)
+  let x = Blocks.conv ~act:`Relu6 b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:32 in
+  let block x ~cin ~e ~cout ~k ~stride =
+    Blocks.inverted_residual ~se:true ~act:`Relu6 b x ~cin ~exp:(cin * e) ~cout ~k ~stride
+  in
+  let x = block x ~cin:32 ~e:1 ~cout:16 ~k:3 ~stride:1 in
+  let x = block x ~cin:16 ~e:6 ~cout:24 ~k:3 ~stride:2 in
+  let x = block x ~cin:24 ~e:6 ~cout:24 ~k:3 ~stride:1 in
+  let x = block x ~cin:24 ~e:6 ~cout:40 ~k:5 ~stride:2 in
+  let p3_trunk = block x ~cin:40 ~e:6 ~cout:40 ~k:5 ~stride:1 in
+  let x = block p3_trunk ~cin:40 ~e:6 ~cout:80 ~k:3 ~stride:2 in
+  let x = block x ~cin:80 ~e:6 ~cout:80 ~k:3 ~stride:1 in
+  let x = block x ~cin:80 ~e:6 ~cout:112 ~k:5 ~stride:1 in
+  let p4_trunk = block x ~cin:112 ~e:6 ~cout:112 ~k:5 ~stride:1 in
+  let x = block p4_trunk ~cin:112 ~e:6 ~cout:192 ~k:5 ~stride:2 in
+  let x = block x ~cin:192 ~e:6 ~cout:192 ~k:5 ~stride:1 in
+  let p5_trunk = block x ~cin:192 ~e:6 ~cout:320 ~k:3 ~stride:1 in
+  (* lateral 1x1s into the BiFPN width (64) + extra levels P6, P7 *)
+  let w = 64 in
+  let p3 = Blocks.conv b p3_trunk ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:w in
+  let p4 = Blocks.conv b p4_trunk ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:w in
+  let p5 = Blocks.conv b p5_trunk ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:w in
+  let p6 = B.add b (Op.Max_pool { kernel = 2; stride = 2 }) [ p5 ] in
+  let p7 = B.add b (Op.Max_pool { kernel = 2; stride = 2 }) [ p6 ] in
+  (* three BiFPN layers *)
+  let bifpn (p3, p4, p5, p6, p7) =
+    let up x = B.add b (Op.Upsample { factor = 2 }) [ x ] in
+    let down x = B.add b (Op.Max_pool { kernel = 2; stride = 2 }) [ x ] in
+    (* top-down *)
+    let p6_td = fuse2 b ~cout:w p6 (up p7) in
+    let p5_td = fuse2 b ~cout:w p5 (up p6_td) in
+    let p4_td = fuse2 b ~cout:w p4 (up p5_td) in
+    let p3_out = fuse2 b ~cout:w p3 (up p4_td) in
+    (* bottom-up *)
+    let p4_out = fuse2 b ~cout:w p4_td (down p3_out) in
+    let p5_out = fuse2 b ~cout:w p5_td (down p4_out) in
+    let p6_out = fuse2 b ~cout:w p6_td (down p5_out) in
+    let p7_out = fuse2 b ~cout:w p7 (down p6_out) in
+    (p3_out, p4_out, p5_out, p6_out, p7_out)
+  in
+  let levels = ref (p3, p4, p5, p6, p7) in
+  for _ = 1 to 3 do
+    levels := bifpn !levels
+  done;
+  let l3, l4, l5, l6, l7 = !levels in
+  (* class + box heads: 3 separable convs then prediction, shared across
+     levels (so emitted per level) *)
+  List.iter
+    (fun p ->
+      let head x cout_final =
+        let h = sep_conv ~act:`Hswish b x ~cout:w in
+        let h = sep_conv ~act:`Hswish b h ~cout:w in
+        let h = sep_conv ~act:`Hswish b h ~cout:w in
+        ignore (Blocks.conv b h ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:cout_final)
+      in
+      head p (9 * 90);
+      (* class scores *)
+      head p (9 * 4) (* box regression *))
+    [ l3; l4; l5; l6; l7 ];
+  B.finish b
+
+(** PixOr: single-shot 3-D detector on a 800x704x36 BEV grid. *)
+let pixor () =
+  let b = B.create () in
+  let x = B.input b [| 1; 800; 704; 36 |] in
+  (* backbone: resnet-ish with early downsampling *)
+  let x = Blocks.conv ~act:`Relu b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:24 in
+  let x = Blocks.conv ~act:`Relu b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:24 in
+  let stage x ~cin ~mid ~cout ~blocks ~stride =
+    let x = ref (Blocks.resnet_bottleneck b x ~cin ~mid ~cout ~stride) in
+    for _ = 2 to blocks do
+      x := Blocks.resnet_bottleneck b !x ~cin:cout ~mid ~cout ~stride:1
+    done;
+    !x
+  in
+  let c2 = stage x ~cin:24 ~mid:16 ~cout:64 ~blocks:3 ~stride:2 in
+  let c3 = stage c2 ~cin:64 ~mid:24 ~cout:96 ~blocks:6 ~stride:2 in
+  let c4 = stage c3 ~cin:96 ~mid:32 ~cout:128 ~blocks:3 ~stride:2 in
+  (* FPN-style decoder back to stride 4 *)
+  let u1 = B.add b (Op.Upsample { factor = 2 }) [ c4 ] in
+  let l1 = Blocks.conv b c3 ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:128 in
+  let m1 = B.add b Op.Add [ u1; l1 ] in
+  let m1 = Blocks.conv ~act:`Relu b m1 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:64 in
+  let u2 = B.add b (Op.Upsample { factor = 2 }) [ m1 ] in
+  let l2 = Blocks.conv b c2 ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:64 in
+  let m2 = B.add b Op.Add [ u2; l2 ] in
+  let m2 = Blocks.conv ~act:`Relu b m2 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:48 in
+  (* header: 4 shared convs then classification + regression maps *)
+  let h = ref m2 in
+  for _ = 1 to 4 do
+    h := Blocks.conv ~act:`Relu b !h ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:48
+  done;
+  let cls = Blocks.conv b !h ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:1 in
+  let _ = B.add b Op.Sigmoid [ cls ] in
+  let _reg = Blocks.conv b !h ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:6 in
+  B.finish b

@@ -1,0 +1,5 @@
+(** Object-detection models of Table IV: EfficientDet-d0 (BiFPN, the
+    largest graph) and PixOr (bird's-eye-view LiDAR). *)
+
+val efficientdet_d0 : unit -> Gcd2_graph.Graph.t
+val pixor : unit -> Gcd2_graph.Graph.t

@@ -1,0 +1,99 @@
+(** Image-generation models of Table IV: FST (fast style transfer,
+    Johnson et al.), CycleGAN's ResNet generator, and the WDSR-b
+    super-resolution network.  The first two run at high resolution, which
+    is what gives them their hundreds of GMACs. *)
+
+open Gcd2_graph
+module B = Graph.Builder
+
+(* instance normalization (kept as an explicit node, as converters emit
+   it for style-transfer/GAN models) followed by an optional activation *)
+let inorm ?act b x =
+  let n = B.add b Op.Layer_norm [ x ] in
+  match act with
+  | Some `Relu -> B.add b Op.Relu [ n ]
+  | Some `Tanh -> B.add b Op.Tanh [ n ]
+  | None -> n
+
+(* reflection-padded convolution (pad is its own node) *)
+let pad_conv ?act b x ~k ~stride ~cout =
+  let x = if k > 1 then B.add b (Op.Pad_spatial { pad = k / 2 }) [ x ] else x in
+  Blocks.conv ?act b x ~kh:k ~kw:k ~stride ~pad:0 ~cout
+
+let pad_residual b x ~channels =
+  let h = pad_conv b x ~k:3 ~stride:1 ~cout:channels in
+  let h = inorm ~act:`Relu b h in
+  let h = pad_conv b h ~k:3 ~stride:1 ~cout:channels in
+  let h = inorm b h in
+  B.add b Op.Add [ x; h ]
+
+(** Fast style transfer at 1024x1024 (161 GMACs in the paper). *)
+let fst () =
+  let b = B.create () in
+  let x = B.input b [| 1; 1024; 1024; 3 |] in
+  let x = pad_conv b x ~k:9 ~stride:1 ~cout:32 in
+  let x = inorm ~act:`Relu b x in
+  let x = Blocks.conv b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:64 in
+  let x = inorm ~act:`Relu b x in
+  let x = Blocks.conv b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:128 in
+  let x = inorm ~act:`Relu b x in
+  let x = ref x in
+  for _ = 1 to 5 do
+    x := pad_residual b !x ~channels:128
+  done;
+  let x = B.tconv b !x ~kh:4 ~kw:4 ~stride:2 ~pad:1 ~cout:64 in
+  let x = inorm ~act:`Relu b x in
+  let x = B.tconv b x ~kh:4 ~kw:4 ~stride:2 ~pad:1 ~cout:32 in
+  let x = inorm ~act:`Relu b x in
+  let x = pad_conv b x ~k:9 ~stride:1 ~cout:3 in
+  let _ = B.add b Op.Tanh [ x ] in
+  B.finish b
+
+(** CycleGAN ResNet-9-blocks generator at 512x512 (186 GMACs). *)
+let cyclegan () =
+  let b = B.create () in
+  let x = B.input b [| 1; 512; 512; 3 |] in
+  let x = pad_conv b x ~k:7 ~stride:1 ~cout:64 in
+  let x = inorm ~act:`Relu b x in
+  let x = Blocks.conv b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:128 in
+  let x = inorm ~act:`Relu b x in
+  let x = Blocks.conv b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:256 in
+  let x = inorm ~act:`Relu b x in
+  let x = ref x in
+  for _ = 1 to 9 do
+    x := pad_residual b !x ~channels:256
+  done;
+  let x = B.tconv b !x ~kh:4 ~kw:4 ~stride:2 ~pad:1 ~cout:128 in
+  let x = inorm ~act:`Relu b x in
+  let x = B.tconv b x ~kh:4 ~kw:4 ~stride:2 ~pad:1 ~cout:64 in
+  let x = inorm ~act:`Relu b x in
+  let x = pad_conv b x ~k:7 ~stride:1 ~cout:3 in
+  let _ = B.add b Op.Tanh [ x ] in
+  B.finish b
+
+(** WDSR-b x2 super-resolution on a 960x540 input (tiny parameter count,
+    large spatial extent — the model whose widely varying feature-map
+    shapes give GCD2 its biggest win in the paper). *)
+let wdsr_b () =
+  let b = B.create () in
+  let x = B.input b [| 1; 540; 960; 3 |] in
+  let head = Blocks.conv b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:16 in
+  (* wide-activation low-rank residual blocks *)
+  let body = ref head in
+  for _ = 1 to 3 do
+    let h = Blocks.conv ~act:`Relu b !body ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:96 in
+    let h = Blocks.conv b h ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:12 in
+    let h = Blocks.conv b h ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:16 in
+    body := B.add b Op.Add [ !body; h ]
+  done;
+  (* upsampling branch: conv to scale^2 * 3 channels, then pixel shuffle
+     (modelled as reshape + upsample) *)
+  let up = Blocks.conv b !body ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:12 in
+  let up = B.add b (Op.Upsample { factor = 2 }) [ up ] in
+  let up = Blocks.conv b up ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:3 in
+  (* global skip: bicubic-ish upsample of the input *)
+  let skip = Blocks.conv b x ~kh:5 ~kw:5 ~stride:1 ~pad:2 ~cout:12 in
+  let skip = B.add b (Op.Upsample { factor = 2 }) [ skip ] in
+  let skip = Blocks.conv b skip ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:3 in
+  let _ = B.add b Op.Add [ up; skip ] in
+  B.finish b

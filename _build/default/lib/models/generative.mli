@@ -1,0 +1,6 @@
+(** Image-generation models of Table IV: fast style transfer (1024x1024),
+    CycleGAN's generator (512x512), WDSR-b super resolution (960x540). *)
+
+val fst : unit -> Gcd2_graph.Graph.t
+val cyclegan : unit -> Gcd2_graph.Graph.t
+val wdsr_b : unit -> Gcd2_graph.Graph.t

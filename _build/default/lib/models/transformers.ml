@@ -1,0 +1,85 @@
+(** Transformer models of Table IV: TinyBERT (NLP) and Conformer (speech
+    recognition) — the two models GCD2 runs on a mobile DSP for the first
+    time (they need operator coverage beyond TFLite/SNPE: batched MatMul
+    variants, Pow, LayerNorm). *)
+
+open Gcd2_graph
+module B = Graph.Builder
+
+(** TinyBERT-style encoder: 6 layers, hidden 264, FF 1056, sequence 256.
+    Embedding lookup happens outside the DSP graph (it is a table gather);
+    the graph input is the embedded sequence. *)
+let tinybert ?(seq = 256) ?(dim = 264) ?(layers = 6) ?(ff = 1056) () =
+  let b = B.create () in
+  let x = B.input b [| seq; dim |] in
+  (* embedding post-processing: layer norm with explicit variance ops, the
+     Pow operator the paper calls out as unsupported by other DSPs' stacks *)
+  let sq = B.add b (Op.Pow 2.0) [ x ] in
+  let mixed = B.add b Op.Add [ x; sq ] in
+  let x = B.add b Op.Layer_norm [ mixed ] in
+  let x = ref x in
+  for _ = 1 to layers do
+    x := Blocks.encoder_layer ~bias:true ~mask:true b !x ~seq ~dim ~heads:12 ~ff
+  done;
+  (* pooler + classifier *)
+  let pooled = B.matmul b !x ~cout:dim in
+  let pooled = B.add b Op.Tanh [ pooled ] in
+  let logits = B.matmul b pooled ~cout:2 in
+  let _ = B.add b Op.Softmax [ logits ] in
+  B.finish b
+
+(* One conformer block: half-FF, MHSA, convolution module, half-FF,
+   final layer norm (Gulati et al. 2020). *)
+let conformer_block b x ~seq ~dim ~heads ~ff =
+  let half = Blocks.scalar_const b 0.5 in
+  (* FF module 1 (half-step) *)
+  let h = B.add b Op.Layer_norm [ x ] in
+  let h = B.matmul b h ~cout:ff in
+  let h = B.add b Op.Hard_swish [ h ] in
+  let h = B.matmul b h ~cout:dim in
+  let h = B.add b Op.Mul [ h; half ] in
+  let x = B.add b Op.Add [ x; h ] in
+  (* MHSA module *)
+  let h = B.add b Op.Layer_norm [ x ] in
+  let a = Blocks.attention b h ~seq ~dim ~heads in
+  let x = B.add b Op.Add [ x; a ] in
+  (* convolution module: pointwise expand, depthwise over time, pointwise *)
+  let h = B.add b Op.Layer_norm [ x ] in
+  let h = B.matmul b h ~cout:(2 * dim) in
+  let h = B.add b Op.Sigmoid [ h ] in
+  (* gated linear unit approximated by sigmoid + mul *)
+  let g = B.matmul b h ~cout:dim in
+  let h = B.add b Op.Mul [ g; Blocks.scalar_const b 1.0 ] in
+  let h = B.add b (Op.Reshape { shape = [| 1; seq; 1; dim |] }) [ h ] in
+  let h = B.add b (Op.Depthwise_conv2d { kh = 9; kw = 1; stride = 1; pad = 4; act = None }) [ h ] in
+  let h = B.add b (Op.Reshape { shape = [| seq; dim |] }) [ h ] in
+  let h = B.add b Op.Hard_swish [ h ] in
+  let h = B.matmul b h ~cout:dim in
+  let x = B.add b Op.Add [ x; h ] in
+  (* FF module 2 (half-step) + closing norm *)
+  let h = B.add b Op.Layer_norm [ x ] in
+  let h = B.matmul b h ~cout:ff in
+  let h = B.add b Op.Hard_swish [ h ] in
+  let h = B.matmul b h ~cout:dim in
+  let h = B.add b Op.Mul [ h; half ] in
+  let x = B.add b Op.Add [ x; h ] in
+  B.add b Op.Layer_norm [ x ]
+
+(** Conformer encoder: convolutional subsampling then 16 blocks, d=56,
+    ~15 s of audio (1504 frames after subsampling). *)
+let conformer ?(seq = 1504) ?(dim = 56) ?(blocks = 16) () =
+  let b = B.create () in
+  (* 4x time subsampling over 80-band filterbanks *)
+  let x = B.input b [| 1; 4 * seq; 80; 1 |] in
+  let x = Blocks.conv ~act:`Relu b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:32 in
+  let x = Blocks.conv ~act:`Relu b x ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~cout:32 in
+  let x = B.add b (Op.Reshape { shape = [| seq; 32 * 20 |] }) [ x ] in
+  let x = B.matmul b x ~cout:dim in
+  let x = ref x in
+  for _ = 1 to blocks do
+    x := conformer_block b !x ~seq ~dim ~heads:4 ~ff:(4 * dim)
+  done;
+  (* CTC head over characters *)
+  let logits = B.matmul b !x ~cout:32 in
+  let _ = B.add b Op.Softmax [ logits ] in
+  B.finish b

@@ -1,0 +1,5 @@
+(** Transformer models of Table IV — the two DNNs GCD2 runs on a mobile
+    DSP for the first time. *)
+
+val tinybert : ?seq:int -> ?dim:int -> ?layers:int -> ?ff:int -> unit -> Gcd2_graph.Graph.t
+val conformer : ?seq:int -> ?dim:int -> ?blocks:int -> unit -> Gcd2_graph.Graph.t

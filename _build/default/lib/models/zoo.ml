@@ -1,0 +1,156 @@
+(** The model zoo: the ten DNNs of the paper's Table IV, with the paper's
+    reported metadata (MACs, operator counts, measured latencies) kept
+    alongside for the benchmark harness to print paper-vs-measured rows. *)
+
+type task =
+  | Classification
+  | Style_transfer
+  | Image_translation
+  | Super_resolution
+  | Detection_2d
+  | Detection_3d
+  | Nlp
+  | Speech
+
+let task_name = function
+  | Classification -> "Classification"
+  | Style_transfer -> "Style transfer"
+  | Image_translation -> "Image translation"
+  | Super_resolution -> "Super resolution"
+  | Detection_2d -> "2D object detection"
+  | Detection_3d -> "3D object detection"
+  | Nlp -> "NLP"
+  | Speech -> "Speech recognition"
+
+type entry = {
+  name : string;
+  kind : string;  (** 2D CNN / GAN / Transformer *)
+  task : task;
+  build : unit -> Gcd2_graph.Graph.t;
+  paper_gmacs : float;
+  paper_ops : int;
+  paper_tflite_ms : float option;  (** "-" in Table IV when unsupported *)
+  paper_snpe_ms : float option;
+  paper_gcd2_ms : float;
+}
+
+let all =
+  [
+    {
+      name = "MobileNet-V3";
+      kind = "2D CNN";
+      task = Classification;
+      build = Classification.mobilenet_v3;
+      paper_gmacs = 0.22;
+      paper_ops = 193;
+      paper_tflite_ms = Some 7.5;
+      paper_snpe_ms = Some 6.2;
+      paper_gcd2_ms = 4.0;
+    };
+    {
+      name = "EfficientNet-b0";
+      kind = "2D CNN";
+      task = Classification;
+      build = Classification.efficientnet_b0;
+      paper_gmacs = 0.40;
+      paper_ops = 254;
+      paper_tflite_ms = Some 9.1;
+      paper_snpe_ms = Some 9.2;
+      paper_gcd2_ms = 6.0;
+    };
+    {
+      name = "ResNet-50";
+      kind = "2D CNN";
+      task = Classification;
+      build = Classification.resnet50;
+      paper_gmacs = 4.1;
+      paper_ops = 140;
+      paper_tflite_ms = Some 13.9;
+      paper_snpe_ms = Some 11.6;
+      paper_gcd2_ms = 7.1;
+    };
+    {
+      name = "FST";
+      kind = "2D CNN";
+      task = Style_transfer;
+      build = Generative.fst;
+      paper_gmacs = 161.0;
+      paper_ops = 64;
+      paper_tflite_ms = Some 935.0;
+      paper_snpe_ms = Some 870.0;
+      paper_gcd2_ms = 211.0;
+    };
+    {
+      name = "CycleGAN";
+      kind = "GAN";
+      task = Image_translation;
+      build = Generative.cyclegan;
+      paper_gmacs = 186.0;
+      paper_ops = 84;
+      paper_tflite_ms = Some 450.0;
+      paper_snpe_ms = Some 366.0;
+      paper_gcd2_ms = 181.0;
+    };
+    {
+      name = "WDSR-b";
+      kind = "2D CNN";
+      task = Super_resolution;
+      build = Generative.wdsr_b;
+      paper_gmacs = 11.5;
+      paper_ops = 32;
+      paper_tflite_ms = Some 400.0;
+      paper_snpe_ms = Some 137.0;
+      paper_gcd2_ms = 66.7;
+    };
+    {
+      name = "EfficientDet-d0";
+      kind = "2D CNN";
+      task = Detection_2d;
+      build = Detection.efficientdet_d0;
+      paper_gmacs = 2.6;
+      paper_ops = 822;
+      paper_tflite_ms = Some 62.8;
+      paper_snpe_ms = None;
+      paper_gcd2_ms = 26.0;
+    };
+    {
+      name = "PixOr";
+      kind = "2D CNN";
+      task = Detection_3d;
+      build = Detection.pixor;
+      paper_gmacs = 8.8;
+      paper_ops = 150;
+      paper_tflite_ms = Some 43.0;
+      paper_snpe_ms = Some 26.4;
+      paper_gcd2_ms = 11.7;
+    };
+    {
+      name = "TinyBERT";
+      kind = "Transformer";
+      task = Nlp;
+      build = (fun () -> Transformers.tinybert ());
+      paper_gmacs = 1.4;
+      paper_ops = 211;
+      paper_tflite_ms = None;
+      paper_snpe_ms = None;
+      paper_gcd2_ms = 12.2;
+    };
+    {
+      name = "Conformer";
+      kind = "Transformer";
+      task = Speech;
+      build = (fun () -> Transformers.conformer ());
+      paper_gmacs = 5.6;
+      paper_ops = 675;
+      paper_tflite_ms = None;
+      paper_snpe_ms = None;
+      paper_gcd2_ms = 65.0;
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name) all with
+  | Some e -> e
+  | None -> invalid_arg (Fmt.str "Zoo.find: unknown model %S" name)
+
+let names = List.map (fun e -> e.name) all

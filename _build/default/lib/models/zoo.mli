@@ -1,0 +1,33 @@
+(** The model zoo: the ten DNNs of the paper's Table IV, with the paper's
+    reported metadata so the harness can print paper-vs-measured rows. *)
+
+type task =
+  | Classification
+  | Style_transfer
+  | Image_translation
+  | Super_resolution
+  | Detection_2d
+  | Detection_3d
+  | Nlp
+  | Speech
+
+val task_name : task -> string
+
+type entry = {
+  name : string;
+  kind : string;  (** 2D CNN / GAN / Transformer *)
+  task : task;
+  build : unit -> Gcd2_graph.Graph.t;
+  paper_gmacs : float;
+  paper_ops : int;
+  paper_tflite_ms : float option;  (** None where Table IV shows "-" *)
+  paper_snpe_ms : float option;
+  paper_gcd2_ms : float;
+}
+
+val all : entry list
+
+(** Case-insensitive lookup; raises [Invalid_argument] when unknown. *)
+val find : string -> entry
+
+val names : string list

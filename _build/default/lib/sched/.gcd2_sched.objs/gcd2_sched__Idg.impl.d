@@ -1,0 +1,1 @@
+lib/sched/idg.ml: Array Dep Gcd2_isa Instr List

@@ -1,0 +1,1 @@
+lib/sched/idg.mli: Dep Gcd2_isa Instr

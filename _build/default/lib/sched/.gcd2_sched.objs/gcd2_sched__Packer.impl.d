@@ -1,0 +1,1 @@
+lib/sched/packer.ml: Array Dep Fmt Gcd2_isa Idg Instr List Option Packet

@@ -1,0 +1,1 @@
+lib/sched/packer.mli: Format Gcd2_isa Instr Packet

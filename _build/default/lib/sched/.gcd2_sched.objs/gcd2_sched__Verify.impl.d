@@ -1,0 +1,1 @@
+lib/sched/verify.ml: Array Dep Fmt Gcd2_isa Idg List Packet

@@ -1,0 +1,1 @@
+lib/sched/verify.mli: Format Gcd2_isa Instr

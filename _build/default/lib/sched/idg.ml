@@ -1,0 +1,82 @@
+(** Instruction Dependency Graph (the paper's IDG, Figure 5).
+
+    Vertices are instructions of one basic block, edges are the hard/soft
+    dependencies of {!Gcd2_isa.Dep}.  Instructions only depend on earlier
+    instructions, so program order is already a topological order. *)
+
+open Gcd2_isa
+
+type t = {
+  instrs : Instr.t array;
+  succ : (int * Dep.kind) list array;  (** outgoing edges, by instruction index *)
+  pred : (int * Dep.kind) list array;  (** incoming edges *)
+  order : int array;  (** longest hop-distance from an entry (paper's [i.order]) *)
+  ancestors : int array;  (** number of transitive predecessors (paper's [i.pred]) *)
+}
+
+let build instrs =
+  let n = Array.length instrs in
+  let succ = Array.make n [] and pred = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match Dep.classify instrs.(i) instrs.(j) with
+      | Some kind ->
+        succ.(i) <- (j, kind) :: succ.(i);
+        pred.(j) <- (i, kind) :: pred.(j)
+      | None -> ()
+    done
+  done;
+  let order = Array.make n 0 in
+  for j = 0 to n - 1 do
+    List.iter (fun (i, _) -> order.(j) <- max order.(j) (order.(i) + 1)) pred.(j)
+  done;
+  (* Ancestor sets as bitmasks over instruction indices; blocks are small
+     (hundreds of instructions), so an int-array bitset is plenty. *)
+  let words = (n + 62) / 63 in
+  let anc = Array.make_matrix n words 0 in
+  let ancestors = Array.make n 0 in
+  for j = 0 to n - 1 do
+    List.iter
+      (fun (i, _) ->
+        for w = 0 to words - 1 do
+          anc.(j).(w) <- anc.(j).(w) lor anc.(i).(w)
+        done;
+        anc.(j).(i / 63) <- anc.(j).(i / 63) lor (1 lsl (i mod 63)))
+      pred.(j);
+    let count = ref 0 in
+    for w = 0 to words - 1 do
+      let rec popcount x acc = if x = 0 then acc else popcount (x land (x - 1)) (acc + 1) in
+      count := !count + popcount anc.(j).(w) 0
+    done;
+    ancestors.(j) <- !count
+  done;
+  { instrs; succ; pred; order; ancestors }
+
+let size t = Array.length t.instrs
+
+(** [critical_path t alive] — the maximum-total-latency path through the
+    vertices for which [alive] holds, as a list of indices from entry side
+    to exit side.  Raises [Invalid_argument] if nothing is alive. *)
+let critical_path t alive =
+  let n = size t in
+  (* down.(i) = latency of the heaviest alive path starting at i. *)
+  let down = Array.make n 0 and next = Array.make n (-1) in
+  for i = n - 1 downto 0 do
+    if alive.(i) then begin
+      down.(i) <- Instr.latency t.instrs.(i);
+      List.iter
+        (fun (j, _) ->
+          if alive.(j) && down.(i) < Instr.latency t.instrs.(i) + down.(j) then begin
+            down.(i) <- Instr.latency t.instrs.(i) + down.(j);
+            next.(i) <- j
+          end)
+        t.succ.(i)
+    end
+  done;
+  let start = ref (-1) in
+  for i = 0 to n - 1 do
+    if alive.(i) && (!start = -1 || down.(i) > down.(!start)) then start := i
+  done;
+  if !start = -1 then invalid_arg "Idg.critical_path: empty graph";
+  let rec walk i acc = if i = -1 then List.rev acc else walk next.(i) (i :: acc) in
+  walk !start []

@@ -1,0 +1,20 @@
+(** Instruction Dependency Graph (the paper's IDG, Figure 5): vertices are
+    the instructions of one basic block, edges the hard/soft dependencies.
+    Program order is already a topological order. *)
+
+open Gcd2_isa
+
+type t = {
+  instrs : Instr.t array;
+  succ : (int * Dep.kind) list array;  (** outgoing edges per instruction *)
+  pred : (int * Dep.kind) list array;  (** incoming edges *)
+  order : int array;  (** longest hop distance from an entry (paper's [i.order]) *)
+  ancestors : int array;  (** transitive predecessor count (paper's [i.pred]) *)
+}
+
+val build : Instr.t array -> t
+val size : t -> int
+
+(** Maximum-total-latency path through the still-[alive] vertices, entry
+    side first.  Raises [Invalid_argument] on an empty graph. *)
+val critical_path : t -> bool array -> int list

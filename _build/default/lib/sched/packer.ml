@@ -1,0 +1,283 @@
+(** VLIW instruction packing.
+
+    {!pack} with {!strategy} [Sda] is the paper's Algorithm 1 — the
+    Soft-Dependency-Aware packer.  It packs bottom-up: each round finds the
+    critical path of the remaining IDG, seeds a packet with the path's last
+    unpacked instruction, then repeatedly adds the highest-scoring {e free}
+    instruction (one whose every remaining successor is already in the
+    packet via a soft edge) that satisfies the slot/resource constraints.
+    The score of a candidate [i] is the paper's Equation 4:
+    {v  i.score = (i.order + i.pred) * w - |hi_lat - i.lat| * (1 - w)  v}
+    minus a penalty [p(i, packet)] when [i] has a soft dependency with a
+    packet member (lines 27-28 of Algorithm 1).
+
+    [Soft_to_hard] treats every soft dependency as hard (no co-packing),
+    and [Soft_to_none] removes the penalty term only — the two ablations of
+    the paper's Figure 11.  [List_topdown] is a conventional latency-
+    weighted list scheduler that does not distinguish soft dependencies,
+    standing in for the LLVM packetizer used by Halide/TVM/RAKE. *)
+
+open Gcd2_isa
+
+type strategy =
+  | Sda of { w : float; p : float }
+      (** [w] weights depth vs latency-matching in Equation 4; [p] scales
+          the soft-dependency stall penalty (both "empirically decided" in
+          the paper) *)
+  | Soft_to_hard
+  | Soft_to_none
+  | List_topdown
+  | In_order
+      (** LLVM-packetizer-like baseline: scan the emitted instruction
+          sequence in order, appending to the open packet while legal
+          (soft dependencies treated as hard), never reordering — the
+          packing the paper ascribes to the stock backends *)
+
+let default_w = 0.3
+let default_p = 4.0
+
+(** The tuned SDA configuration. *)
+let sda = Sda { w = default_w; p = default_p }
+
+let pp_strategy ppf = function
+  | Sda { w; p } -> Fmt.pf ppf "sda(w=%.2f,p=%.1f)" w p
+  | Soft_to_hard -> Fmt.string ppf "soft_to_hard"
+  | Soft_to_none -> Fmt.string ppf "soft_to_none"
+  | List_topdown -> Fmt.string ppf "list_topdown"
+  | In_order -> Fmt.string ppf "in_order"
+
+(* Members of a packet are kept as ascending instruction indices so that
+   program order inside the packet is preserved. *)
+let insert_sorted i members =
+  let rec go = function
+    | [] -> [ i ]
+    | j :: rest when j < i -> j :: go rest
+    | rest -> i :: rest
+  in
+  go members
+
+let to_packet idg members = List.map (fun i -> idg.Idg.instrs.(i)) members
+
+(* An instruction is free when every still-alive successor sits in the
+   current packet through a soft edge (treating members as being packed).
+   Under [as_hard], soft edges forbid co-packing too, so freedom requires
+   every successor to be already retired. *)
+let free ~as_hard idg alive members i =
+  alive.(i)
+  && (not (List.mem i members))
+  && List.for_all
+       (fun (j, kind) ->
+         (not alive.(j))
+         || (List.mem j members
+             && (match kind with Dep.Soft _ -> not as_hard | Dep.Hard -> false)))
+       idg.Idg.succ.(i)
+
+let has_soft_with_members idg members i =
+  let touches j =
+    let kind_between a b =
+      List.assoc_opt b idg.Idg.succ.(a)
+    in
+    match (kind_between i j, kind_between j i) with
+    | Some (Dep.Soft _), _ | _, Some (Dep.Soft _) -> true
+    | _ -> false
+  in
+  List.exists touches members
+
+(* Penalty p(i, packet): the additional stall the packet would suffer if i
+   joined — the exact quantity the hardware will pay. *)
+let stall_penalty idg members i =
+  let before = Packet.stall (to_packet idg members) in
+  let after = Packet.stall (to_packet idg (insert_sorted i members)) in
+  max 0 (after - before)
+
+(* select_instruction of Algorithm 1. *)
+let select_instruction ~w ~pscale ~penalize ~gate idg alive ~as_hard members =
+  let n = Idg.size idg in
+  let hi_lat =
+    List.fold_left (fun m j -> max m (Instr.latency idg.Idg.instrs.(j))) 0 members
+  in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    if free ~as_hard idg alive members i then begin
+      let cand = insert_sorted i members in
+      if Packet.legal (to_packet idg cand) then begin
+        let lat = Instr.latency idg.Idg.instrs.(i) in
+        let score =
+          (float_of_int (idg.Idg.order.(i) + idg.Idg.ancestors.(i)) *. w)
+          -. (float_of_int (abs (hi_lat - lat)) *. (1.0 -. w))
+        in
+        let stall = stall_penalty idg members i in
+        let score =
+          if penalize && has_soft_with_members idg members i then
+            score -. (pscale *. float_of_int stall)
+          else score
+        in
+        (* Economic gate (part of the penalty mechanism): once the packet
+           has real contents, refuse candidates whose stall would cost as
+           much as issuing them in a later packet's free slot. *)
+        if penalize && gate && stall >= 2 && List.length members >= 2 then ()
+        else
+        match !best with
+        | Some (_, best_score) when score < best_score -> ()
+        | _ -> best := Some (i, score)
+      end
+    end
+  done;
+  Option.map fst !best
+
+(* The bottom-up packing loop of Algorithm 1 (specialised by soft-edge
+   treatment). *)
+let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate instrs =
+  let idg = Idg.build instrs in
+  let n = Idg.size idg in
+  let alive = Array.make n true in
+  let remaining = ref n in
+  let packets = ref [] in
+  while !remaining > 0 do
+    let path = Idg.critical_path idg alive in
+    let seed =
+      match List.rev path with
+      | s :: _ -> s
+      | [] -> assert false
+    in
+    let members = ref [ seed ] in
+    let full = ref false in
+    while (not !full) && List.length !members < Packet.max_size do
+      match select_instruction ~w ~pscale ~penalize ~gate idg alive ~as_hard !members with
+      | Some i -> members := insert_sorted i !members
+      | None -> full := true
+    done;
+    List.iter
+      (fun i ->
+        alive.(i) <- false;
+        decr remaining)
+      !members;
+    (* Packets are created exit-first; collecting with (::) restores program
+       order. *)
+    packets := !members :: !packets
+  done;
+  !packets
+
+(* Conventional top-down list scheduling, all dependencies treated as hard
+   (the behaviour the paper ascribes to the Halide/TVM/RAKE backends). *)
+let pack_list_topdown instrs =
+  let idg = Idg.build instrs in
+  let n = Idg.size idg in
+  (* Priority: heaviest latency path to the exit. *)
+  let weight = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    weight.(i) <- Instr.latency instrs.(i);
+    List.iter
+      (fun (j, _) -> weight.(i) <- max weight.(i) (Instr.latency instrs.(i) + weight.(j)))
+      idg.Idg.succ.(i)
+  done;
+  let scheduled = Array.make n false in
+  let unpreds = Array.map (fun ps -> List.length ps) idg.Idg.pred in
+  let done_count = ref 0 in
+  let packets = ref [] in
+  while !done_count < n do
+    let members = ref [] in
+    let progress = ref true in
+    while !progress && List.length !members < Packet.max_size do
+      progress := false;
+      let best = ref None in
+      for i = 0 to n - 1 do
+        if
+          (not scheduled.(i))
+          && (not (List.mem i !members))
+          && unpreds.(i) = 0
+          && (* all dependencies hard: no co-packing with any dependence *)
+          List.for_all
+            (fun j ->
+              (not (List.mem_assoc j idg.Idg.succ.(i)))
+              && not (List.mem_assoc i idg.Idg.succ.(j)))
+            !members
+          && Packet.legal (to_packet idg (insert_sorted i !members))
+        then
+          match !best with
+          | Some (_, bw) when weight.(i) <= bw -> ()
+          | _ -> best := Some (i, weight.(i))
+      done;
+      match !best with
+      | Some (i, _) ->
+        members := insert_sorted i !members;
+        progress := true
+      | None -> ()
+    done;
+    (match !members with
+    | [] ->
+      (* Cannot happen: some unscheduled instruction always has unpreds = 0. *)
+      assert false
+    | ms ->
+      List.iter
+        (fun i ->
+          scheduled.(i) <- true;
+          incr done_count;
+          List.iter
+            (fun (j, _) -> unpreds.(j) <- unpreds.(j) - 1)
+            idg.Idg.succ.(i))
+        ms;
+      packets := ms :: !packets)
+  done;
+  List.rev !packets
+
+(* The in-order packetizer: no reordering; a packet closes as soon as the
+   next instruction cannot join it (any dependency with a member counts,
+   soft included). *)
+let pack_in_order instrs =
+  let idg = Idg.build instrs in
+  let n = Idg.size idg in
+  let packets = ref [] and cur = ref [] in
+  let depends i j =
+    List.mem_assoc j idg.Idg.succ.(i) || List.mem_assoc i idg.Idg.succ.(j)
+  in
+  for i = 0 to n - 1 do
+    let ok =
+      List.for_all (fun j -> not (depends i j)) !cur
+      && Packet.legal (to_packet idg (insert_sorted i !cur))
+    in
+    if ok then cur := insert_sorted i !cur
+    else begin
+      if !cur <> [] then packets := !cur :: !packets;
+      cur := [ i ]
+    end
+  done;
+  if !cur <> [] then packets := !cur :: !packets;
+  List.rev !packets
+
+(** [pack_indices strategy instrs] packs one basic block (given in program
+    order) and returns packets as ascending instruction-index lists. *)
+let pack_indices strategy instrs =
+  if Array.length instrs = 0 then []
+  else
+    match strategy with
+    | Sda { w; p } ->
+      (* The stall penalty pays off in slot-saturated code (avoid stalls,
+         other instructions will fill the packet) and hurts in
+         dependence-bound code (a stall is cheaper than an extra packet).
+         The penalty is "empirically decided" (the paper); we decide it
+         per block by packing under both policies and keeping the cheaper
+         schedule. *)
+      let with_gate = pack_bottom_up ~w ~pscale:p ~as_hard:false ~penalize:true ~gate:true instrs in
+      let without = pack_bottom_up ~w ~pscale:0.0 ~as_hard:false ~penalize:true ~gate:false instrs in
+      let cost packets =
+        List.fold_left
+          (fun acc members -> acc + Packet.cycles (List.map (fun i -> instrs.(i)) members))
+          0 packets
+      in
+      if cost with_gate <= cost without then with_gate else without
+    | Soft_to_hard ->
+      pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:true ~penalize:false ~gate:false instrs
+    | Soft_to_none ->
+      pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:false ~penalize:false ~gate:false instrs
+    | List_topdown -> pack_list_topdown instrs
+    | In_order -> pack_in_order instrs
+
+(** [pack strategy instrs] packs one basic block (given in program order)
+    into a legal packet sequence. *)
+let pack strategy instrs =
+  List.map (fun members -> List.map (fun i -> instrs.(i)) members)
+    (pack_indices strategy instrs)
+
+(** Total cycles of a packed block (no overlap between packets). *)
+let block_cycles packets = List.fold_left (fun a p -> a + Packet.cycles p) 0 packets

@@ -1,0 +1,35 @@
+(** VLIW instruction packing: the paper's Soft-Dependency-Aware algorithm
+    (Algorithm 1) and the comparison strategies of its evaluation. *)
+
+open Gcd2_isa
+
+type strategy =
+  | Sda of { w : float; p : float }
+      (** Algorithm 1: [w] weights depth vs latency-matching in Equation 4,
+          [p] scales the soft-dependency stall penalty; both "empirically
+          decided" — the packer additionally decides the penalty policy per
+          block by costing both and keeping the cheaper schedule *)
+  | Soft_to_hard  (** soft dependencies treated as hard (Figure 11) *)
+  | Soft_to_none  (** penalty terms removed (lines 27-28 of Algorithm 1) *)
+  | List_topdown  (** conventional latency-weighted list scheduling *)
+  | In_order
+      (** LLVM-packetizer-like baseline: scan in program order, append
+          while legal, never reorder (the stock backends' packing) *)
+
+val default_w : float
+val default_p : float
+
+(** The tuned SDA configuration. *)
+val sda : strategy
+
+val pp_strategy : Format.formatter -> strategy -> unit
+
+(** Pack one basic block (program order); packets as ascending
+    instruction-index lists. *)
+val pack_indices : strategy -> Instr.t array -> int list list
+
+(** Pack one basic block into a legal packet sequence. *)
+val pack : strategy -> Instr.t array -> Packet.t list
+
+(** Total cycles of a packed block (packets never overlap). *)
+val block_cycles : Packet.t list -> int

@@ -1,0 +1,1 @@
+lib/tensor/layout.ml: Float Fmt Gcd2_util

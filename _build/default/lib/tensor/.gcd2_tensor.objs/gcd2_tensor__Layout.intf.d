@@ -1,0 +1,1 @@
+lib/tensor/layout.mli: Format

@@ -1,0 +1,1 @@
+lib/tensor/pack.ml: Array Layout Tensor

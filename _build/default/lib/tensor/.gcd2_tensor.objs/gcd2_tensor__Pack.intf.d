@@ -1,0 +1,1 @@
+lib/tensor/pack.mli: Layout Tensor

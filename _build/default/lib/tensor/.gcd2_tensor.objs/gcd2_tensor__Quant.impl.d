@@ -1,0 +1,1 @@
+lib/tensor/quant.ml: Array Float Fmt Gcd2_util

@@ -1,0 +1,1 @@
+lib/tensor/quant.mli: Format

@@ -1,0 +1,1 @@
+lib/tensor/tensor.mli: Format Gcd2_util Quant

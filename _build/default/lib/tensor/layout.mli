@@ -1,0 +1,33 @@
+(** The paper's dense matrix layouts (Figure 2) feeding the SIMD multiply
+    instructions: 1-column (vmpy), 2-column (vmpa), 4-column (vrmpy), plus
+    the row-major interchange format.  Tensors of any rank are viewed as a
+    matrix (rows = product of leading dims, cols = last dim). *)
+
+type t = Row_major | Col1 | Col2 | Col4
+
+val all : t list
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Rows per panel (128 / 64 / 32; 1 for row-major). *)
+val panel_rows : t -> int
+
+(** Columns stored adjacently within a panel (1 / 2 / 4). *)
+val column_group : t -> int
+
+(** Dimensions after padding to panel/group granularity. *)
+val padded_dims : t -> rows:int -> cols:int -> int * int
+
+(** Bytes of an int8 matrix in this layout, padding included. *)
+val padded_bytes : t -> rows:int -> cols:int -> int
+
+(** Linear byte offset of element [(r, c)] (paper Figure 2). *)
+val offset : t -> rows:int -> cols:int -> r:int -> c:int -> int
+
+(** Sustained DDR bandwidth, bytes per model cycle (see
+    {!Gcd2_cost.Config.model_cycles_per_sec} for the calibration). *)
+val ddr_bytes_per_cycle : float
+
+(** The paper's data-transformation cost [TC]: cycles to convert a matrix
+    between layouts (zero when equal) — memory traffic over the DDR rate. *)
+val transform_cycles : src:t -> dst:t -> rows:int -> cols:int -> int

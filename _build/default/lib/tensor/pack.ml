@@ -1,0 +1,44 @@
+(** Materialization of layout-specific int8 buffers (what the generated DSP
+    code actually loads and stores).  [pack] pads with zeros; [unpack]
+    recovers the logical row-major matrix. *)
+
+type buffer = {
+  layout : Layout.t;
+  rows : int;  (** logical (unpadded) rows *)
+  cols : int;  (** logical (unpadded) columns *)
+  bytes : int array;  (** int8 values, length {!Layout.padded_bytes} *)
+}
+
+(** [pack layout ~rows ~cols data] lays out a logical row-major [rows] x
+    [cols] int8 matrix. *)
+let pack layout ~rows ~cols data =
+  if Array.length data <> rows * cols then invalid_arg "Pack.pack: size mismatch";
+  let bytes = Array.make (Layout.padded_bytes layout ~rows ~cols) 0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      bytes.(Layout.offset layout ~rows ~cols ~r ~c) <- data.((r * cols) + c)
+    done
+  done;
+  { layout; rows; cols; bytes }
+
+(** Inverse of {!pack} (drops padding). *)
+let unpack buf =
+  let out = Array.make (buf.rows * buf.cols) 0 in
+  for r = 0 to buf.rows - 1 do
+    for c = 0 to buf.cols - 1 do
+      out.((r * buf.cols) + c) <-
+        buf.bytes.(Layout.offset buf.layout ~rows:buf.rows ~cols:buf.cols ~r ~c)
+    done
+  done;
+  out
+
+(** Pack a tensor through its matrix view. *)
+let pack_tensor layout t =
+  let rows, cols = Tensor.matrix_dims t in
+  pack layout ~rows ~cols t.Tensor.data
+
+(** Re-layout an existing buffer (the runtime transformation whose cost is
+    {!Layout.transform_cycles}). *)
+let convert buf dst_layout =
+  if buf.layout = dst_layout then buf
+  else pack dst_layout ~rows:buf.rows ~cols:buf.cols (unpack buf)

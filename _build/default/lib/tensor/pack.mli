@@ -1,0 +1,23 @@
+(** Materialized layout buffers — what the generated DSP code actually
+    loads and stores.  [pack] zero-pads; [unpack] recovers the logical
+    matrix. *)
+
+type buffer = {
+  layout : Layout.t;
+  rows : int;  (** logical (unpadded) rows *)
+  cols : int;  (** logical (unpadded) columns *)
+  bytes : int array;  (** int8 values, length {!Layout.padded_bytes} *)
+}
+
+(** Lay out a logical row-major [rows] x [cols] int8 matrix. *)
+val pack : Layout.t -> rows:int -> cols:int -> int array -> buffer
+
+(** Inverse of {!pack} (drops padding). *)
+val unpack : buffer -> int array
+
+(** Pack a tensor through its matrix view. *)
+val pack_tensor : Layout.t -> Tensor.t -> buffer
+
+(** Re-layout a buffer (the runtime transformation whose cost is
+    {!Layout.transform_cycles}). *)
+val convert : buffer -> Layout.t -> buffer

@@ -1,0 +1,50 @@
+(** Symmetric int8 quantization parameters (TFLite-style post-training
+    quantization, which the paper applies identically across all compared
+    frameworks).  A quantized value [q] represents the real value
+    [scale * (q - zero)]; we use [zero = 0] (symmetric) everywhere except
+    where a test exercises the general case. *)
+
+module Sat = Gcd2_util.Saturate
+
+type t = { scale : float; zero : int }
+
+let make ?(zero = 0) scale =
+  if scale <= 0.0 then invalid_arg "Quant.make: scale must be positive";
+  { scale; zero }
+
+let default = { scale = 1.0 /. 16.0; zero = 0 }
+
+let dequantize t q = t.scale *. float_of_int (q - t.zero)
+
+let quantize t x =
+  Sat.sat8 (int_of_float (Float.round (x /. t.scale)) + t.zero)
+
+(** Fixed-point multiplier for requantizing an int32 accumulator of
+    products [in_a * in_b] into the [out] scale:
+    [acc_scale = in_a.scale * in_b.scale], multiplier = acc_scale / out.scale. *)
+let requant_multiplier ~in_a ~in_b ~out =
+  Sat.quantize_multiplier (in_a.scale *. in_b.scale /. out.scale)
+
+(** Multiplier for rescaling a single int8 input into another scale
+    (elementwise adds first bring operands to a common scale). *)
+let rescale_multiplier ~from ~into = Sat.quantize_multiplier (from.scale /. into.scale)
+
+(** Per-channel requantization (per-output-channel weight scales, the
+    quantization refinement the paper lists as future work): fixed-point
+    multipliers normalized to one common shift so the vector engine can
+    apply them with a single per-lane multiply ({!Gcd2_isa.Instr.Vscalev}).
+    Returns [(mults, shift)]. *)
+let per_channel_requant ~in_a ~weight_scales ~out =
+  if Array.length weight_scales = 0 then invalid_arg "per_channel_requant: no channels";
+  let pairs =
+    Array.map
+      (fun ws -> Sat.quantize_multiplier (in_a.scale *. ws /. out.scale))
+      weight_scales
+  in
+  let smin = Array.fold_left (fun a (_, sh) -> min a sh) max_int pairs in
+  let mults =
+    Array.map (fun (m, sh) -> Sat.rounding_shift_right m (sh - smin)) pairs
+  in
+  (mults, smin)
+
+let pp ppf t = Fmt.pf ppf "q(scale=%.6f, zero=%d)" t.scale t.zero

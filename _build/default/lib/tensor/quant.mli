@@ -1,0 +1,26 @@
+(** Symmetric int8 quantization parameters (TFLite-style): a quantized
+    value [q] represents [scale * (q - zero)]. *)
+
+type t = { scale : float; zero : int }
+
+(** [make ?zero scale] — raises on non-positive scale. *)
+val make : ?zero:int -> float -> t
+
+(** scale 1/16, zero 0 — the default activation quantization. *)
+val default : t
+
+val dequantize : t -> int -> float
+val quantize : t -> float -> int
+
+(** Fixed-point multiplier for requantizing an int32 accumulator of
+    [in_a * in_b] products into the [out] scale. *)
+val requant_multiplier : in_a:t -> in_b:t -> out:t -> int * int
+
+(** Multiplier rescaling a single int8 input into another scale. *)
+val rescale_multiplier : from:t -> into:t -> int * int
+
+(** Per-channel requantization multipliers normalized to a common shift
+    (applied by {!Gcd2_isa.Instr.Vscalev}); returns [(mults, shift)]. *)
+val per_channel_requant : in_a:t -> weight_scales:float array -> out:t -> int array * int
+
+val pp : Format.formatter -> t -> unit

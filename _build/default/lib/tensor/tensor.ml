@@ -1,0 +1,69 @@
+(** Quantized int8 tensors.  Data is stored row-major in logical order;
+    {!Pack} materializes layout-specific buffers for the DSP. *)
+
+module Rng = Gcd2_util.Rng
+
+type t = {
+  dims : int array;
+  data : int array;  (** int8 values, logical row-major order *)
+  quant : Quant.t;
+}
+
+let numel_of dims = Array.fold_left ( * ) 1 dims
+
+let create ?(quant = Quant.default) dims =
+  if Array.exists (fun d -> d <= 0) dims then
+    invalid_arg "Tensor.create: dimensions must be positive";
+  { dims; data = Array.make (numel_of dims) 0; quant }
+
+let of_array ?(quant = Quant.default) dims data =
+  if Array.length data <> numel_of dims then
+    invalid_arg "Tensor.of_array: data length does not match dims";
+  { dims; data; quant }
+
+let random ?(quant = Quant.default) rng dims =
+  let t = create ~quant dims in
+  Rng.fill_int8 rng t.data;
+  t
+
+let numel t = numel_of t.dims
+let rank t = Array.length t.dims
+
+(** Matrix view: rows = product of leading dims, cols = last dim. *)
+let matrix_dims t =
+  match Array.length t.dims with
+  | 0 -> (1, 1)
+  | 1 -> (1, t.dims.(0))
+  | n -> (numel_of (Array.sub t.dims 0 (n - 1)), t.dims.(n - 1))
+
+let linear_index t idx =
+  if Array.length idx <> Array.length t.dims then
+    invalid_arg "Tensor.linear_index: rank mismatch";
+  let off = ref 0 in
+  Array.iteri
+    (fun i x ->
+      if x < 0 || x >= t.dims.(i) then invalid_arg "Tensor.linear_index: out of bounds";
+      off := (!off * t.dims.(i)) + x)
+    idx;
+  !off
+
+let get t idx = t.data.(linear_index t idx)
+let set t idx v = t.data.(linear_index t idx) <- Gcd2_util.Saturate.sat8 v
+
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- Gcd2_util.Saturate.sat8 v
+
+(** Real-valued view (dequantized), for comparing against float references
+    in tests. *)
+let to_float t = Array.map (fun q -> Quant.dequantize t.quant q) t.data
+
+let reshape t dims =
+  if numel_of dims <> numel t then invalid_arg "Tensor.reshape: element count mismatch";
+  { t with dims }
+
+let copy t = { t with data = Array.copy t.data }
+
+let equal_data a b = a.data = b.data && a.dims = b.dims
+
+let pp ppf t =
+  Fmt.pf ppf "tensor%a %a" Fmt.(Dump.array int) t.dims Quant.pp t.quant

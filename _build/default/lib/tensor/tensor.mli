@@ -1,0 +1,37 @@
+(** Quantized int8 tensors, stored row-major in logical order. *)
+
+type t = {
+  dims : int array;
+  data : int array;  (** int8 values, logical row-major order *)
+  quant : Quant.t;
+}
+
+val create : ?quant:Quant.t -> int array -> t
+
+(** [of_array dims data] — raises when sizes disagree. *)
+val of_array : ?quant:Quant.t -> int array -> int array -> t
+
+(** Random symmetric int8 contents. *)
+val random : ?quant:Quant.t -> Gcd2_util.Rng.t -> int array -> t
+
+val numel : t -> int
+val rank : t -> int
+
+(** Matrix view: rows = product of leading dims, cols = last dim. *)
+val matrix_dims : t -> int * int
+
+val get : t -> int array -> int
+
+(** [set] saturates the stored value to int8. *)
+val set : t -> int array -> int -> unit
+
+val get_flat : t -> int -> int
+val set_flat : t -> int -> int -> unit
+
+(** Dequantized view, for float comparisons in tests. *)
+val to_float : t -> float array
+
+val reshape : t -> int array -> t
+val copy : t -> t
+val equal_data : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Deterministic splitmix64 random-number generator.  Every experiment in
+    the benchmark harness seeds its own generator so results are exactly
+    reproducible run to run. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] draws a uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) land max_int in
+  v mod bound
+
+(** [int8 t] draws a uniform signed 8-bit value in [-127, 127] (symmetric
+    quantized range, avoiding -128 as quantizers conventionally do). *)
+let int8 t = int t 255 - 127
+
+(** [float t] draws a uniform float in [0, 1). *)
+let float t =
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int v /. 9007199254740992.0
+
+(** [fill_int8 t arr] fills [arr] with symmetric int8 values. *)
+let fill_int8 t arr =
+  for i = 0 to Array.length arr - 1 do
+    arr.(i) <- int8 t
+  done

@@ -1,0 +1,20 @@
+(** Deterministic splitmix64 pseudo-random generator; every experiment
+    seeds its own instance so results are exactly reproducible. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+(** [int t bound] draws uniformly from [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform signed value in [-127, 127] (symmetric quantized range). *)
+val int8 : t -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Fill an array with symmetric int8 values. *)
+val fill_int8 : t -> int array -> unit

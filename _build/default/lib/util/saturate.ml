@@ -1,0 +1,72 @@
+(** Saturating fixed-point arithmetic used by both the reference kernels and
+    the DSP simulator.  All values are plain OCaml [int]s carrying the logical
+    value; these helpers clamp them to the range of the simulated lane
+    width. *)
+
+let i8_min = -128
+let i8_max = 127
+let i16_min = -32768
+let i16_max = 32767
+let i32_min = -0x8000_0000
+let i32_max = 0x7fff_ffff
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+(** [sat8 x] saturates [x] to signed 8-bit range. *)
+let sat8 x = clamp ~lo:i8_min ~hi:i8_max x
+
+(** [sat16 x] saturates [x] to signed 16-bit range. *)
+let sat16 x = clamp ~lo:i16_min ~hi:i16_max x
+
+(** [sat32 x] saturates [x] to signed 32-bit range. *)
+let sat32 x = clamp ~lo:i32_min ~hi:i32_max x
+
+(** [wrap32 x] wraps [x] to signed 32-bit two's-complement, the behaviour of
+    non-saturating scalar arithmetic on the DSP. *)
+let wrap32 x =
+  let m = x land 0xffff_ffff in
+  if m land 0x8000_0000 <> 0 then m - 0x1_0000_0000 else m
+
+(** Sign-extend the low [bits] bits of [x]. *)
+let sign_extend ~bits x =
+  let m = x land ((1 lsl bits) - 1) in
+  if m land (1 lsl (bits - 1)) <> 0 then m - (1 lsl bits) else m
+
+(** [rounding_shift_right x n] arithmetic right shift with round-to-nearest
+    (ties away from zero), as used by requantization. [n >= 0]. *)
+let rounding_shift_right x n =
+  if n = 0 then x
+  else begin
+    let half = 1 lsl (n - 1) in
+    if x >= 0 then (x + half) asr n else - (((- x) + half) asr n)
+  end
+
+(** Fixed-point requantization multiplier: the pair [(mult, shift)] encodes a
+    real scale [s = mult / 2^shift] with [mult] a signed 31-bit integer.
+    [quantize_multiplier s] computes such a pair for [0 < s < 1]. *)
+let quantize_multiplier s =
+  if s <= 0.0 then invalid_arg "quantize_multiplier: scale must be positive";
+  let rec norm s shift =
+    if s >= 0.5 || shift >= 31 then (s, shift) else norm (s *. 2.0) (shift + 1)
+  in
+  let rec shrink s shift =
+    if s < 1.0 || shift <= 0 then (s, shift) else shrink (s /. 2.0) (shift - 1)
+  in
+  let s, shift = norm s 0 in
+  let s, shift = shrink s shift in
+  let mult = int_of_float (Float.round (s *. 2147483648.0)) in
+  let mult, shift = if mult = 0x8000_0000 then (mult / 2, shift - 1) else (mult, shift) in
+  (mult, shift + 31)
+
+(** [apply_multiplier x (mult, shift)] computes
+    [round (x * mult / 2^shift)] with saturation to 32 bits, mirroring the
+    DSP's fixed-point scaling instruction. *)
+let apply_multiplier x (mult, shift) =
+  (* Products of a 32-bit accumulator and a 31-bit multiplier fit in OCaml's
+     63-bit native ints, so the computation below is exact. *)
+  sat32 (rounding_shift_right (x * mult) shift)
+
+(** Requantize a 32-bit accumulator to int8:
+    [requantize acc ~mult ~shift ~zero] = sat8 (round (acc * s) + zero). *)
+let requantize acc ~mult ~shift ~zero =
+  sat8 (apply_multiplier acc (mult, shift) + zero)

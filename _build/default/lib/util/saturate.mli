@@ -1,0 +1,43 @@
+(** Saturating fixed-point arithmetic shared by the reference kernels and
+    the DSP simulator.  Values are plain OCaml [int]s carrying the logical
+    value; these helpers clamp or wrap them to simulated lane widths. *)
+
+val i8_min : int
+val i8_max : int
+val i16_min : int
+val i16_max : int
+val i32_min : int
+val i32_max : int
+
+val clamp : lo:int -> hi:int -> int -> int
+
+(** Saturate to signed 8-bit range. *)
+val sat8 : int -> int
+
+(** Saturate to signed 16-bit range. *)
+val sat16 : int -> int
+
+(** Saturate to signed 32-bit range. *)
+val sat32 : int -> int
+
+(** Wrap to signed 32-bit two's complement (non-saturating scalar ops). *)
+val wrap32 : int -> int
+
+(** [sign_extend ~bits x] sign-extends the low [bits] bits of [x]. *)
+val sign_extend : bits:int -> int -> int
+
+(** Arithmetic right shift with round-to-nearest, ties away from zero. *)
+val rounding_shift_right : int -> int -> int
+
+(** [quantize_multiplier s] encodes a positive real scale as a fixed-point
+    pair [(mult, shift)] with [s = mult / 2^shift] and [mult] a signed
+    31-bit integer. *)
+val quantize_multiplier : float -> int * int
+
+(** [apply_multiplier x (mult, shift)] computes
+    [sat32 (round (x * mult / 2^shift))] exactly. *)
+val apply_multiplier : int -> int * int -> int
+
+(** Requantize a 32-bit accumulator to int8:
+    [sat8 (round (acc * mult / 2^shift) + zero)]. *)
+val requantize : int -> mult:int -> shift:int -> zero:int -> int

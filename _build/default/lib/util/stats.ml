@@ -1,0 +1,22 @@
+(** Small statistics helpers for the benchmark harness. *)
+
+let mean xs =
+  if xs = [] then 0.0
+  else List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(** Geometric mean, the aggregate the paper reports for speedups. *)
+let geomean xs =
+  if xs = [] then 0.0
+  else begin
+    let logs = List.map (fun x -> if x <= 0.0 then 0.0 else log x) xs in
+    exp (mean logs)
+  end
+
+let maxf xs = List.fold_left Float.max neg_infinity xs
+let minf xs = List.fold_left Float.min infinity xs
+
+(** Integer ceiling division. *)
+let ceil_div a b = (a + b - 1) / b
+
+(** Round [a] up to the next multiple of [b]. *)
+let round_up a b = ceil_div a b * b

@@ -1,0 +1,15 @@
+(** Small numeric helpers for the benchmark harness. *)
+
+val mean : float list -> float
+
+(** Geometric mean (the paper's speedup aggregate). *)
+val geomean : float list -> float
+
+val maxf : float list -> float
+val minf : float list -> float
+
+(** Integer ceiling division. *)
+val ceil_div : int -> int -> int
+
+(** Round [a] up to the next multiple of [b]. *)
+val round_up : int -> int -> int

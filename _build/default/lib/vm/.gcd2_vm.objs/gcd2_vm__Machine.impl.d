@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Bytes Char Fmt Gcd2_isa Gcd2_util Instr List Packet Program Reg

@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Gcd2_isa Instr Program Reg

@@ -1,0 +1,364 @@
+(** Functional + timing simulator for the DSP of {!Gcd2_isa}.
+
+    Instructions inside a packet are evaluated in program order.  Hard-
+    dependent instructions are never co-packed (checked by the schedule
+    verifier), and for the soft dependencies that {e are} co-packed the
+    interlocked pipeline of the real machine produces exactly the
+    program-order result, so this evaluation order is faithful.
+
+    Timing: each executed packet contributes {!Gcd2_isa.Packet.cycles}
+    (max member latency + soft-dependency stalls); packets do not overlap
+    (paper footnote 5).  The cycle counter therefore always equals
+    {!Gcd2_isa.Program.static_cycles} of the executed program — a property
+    the test suite checks. *)
+
+open Gcd2_isa
+module Sat = Gcd2_util.Saturate
+
+type counters = {
+  mutable cycles : int;
+  mutable packets : int;
+  mutable instrs : int;
+  mutable macs : int;  (** 8-bit multiply-accumulates executed *)
+  mutable loaded_bytes : int;
+  mutable stored_bytes : int;
+}
+
+type t = {
+  sregs : int array;  (** 32 scalar registers, signed 32-bit values *)
+  vregs : Bytes.t array;  (** 32 vector registers of 128 bytes *)
+  mem : Bytes.t;
+  mutable tables : (int * int array) list;
+  counters : counters;
+}
+
+let create ?(mem_bytes = 1 lsl 22) () =
+  {
+    sregs = Array.make Reg.scalar_count 0;
+    vregs = Array.init Reg.vector_count (fun _ -> Bytes.make Reg.vector_bytes '\000');
+    mem = Bytes.make mem_bytes '\000';
+    tables = [];
+    counters =
+      { cycles = 0; packets = 0; instrs = 0; macs = 0; loaded_bytes = 0; stored_bytes = 0 };
+  }
+
+let counters t = t.counters
+let memory_size t = Bytes.length t.mem
+
+(* ------------------------------------------------------------------ *)
+(* Register access                                                     *)
+
+let get_sreg t = function
+  | Reg.R n -> t.sregs.(n)
+  | r -> invalid_arg (Fmt.str "get_sreg: %a is not scalar" Reg.pp r)
+
+let set_sreg t r v =
+  match r with
+  | Reg.R n -> t.sregs.(n) <- Sat.wrap32 v
+  | r -> invalid_arg (Fmt.str "set_sreg: %a is not scalar" Reg.pp r)
+
+(* A vector operand is a list of (physical register, byte offset) windows;
+   pairs span two registers. *)
+let operand_bytes = function
+  | Reg.V _ -> Reg.vector_bytes
+  | Reg.P _ -> 2 * Reg.vector_bytes
+  | Reg.R _ -> invalid_arg "vector operand expected"
+
+let get_byte t r i =
+  match r with
+  | Reg.V n -> Char.code (Bytes.get t.vregs.(n) i)
+  | Reg.P k ->
+    if i < Reg.vector_bytes then Char.code (Bytes.get t.vregs.(2 * k) i)
+    else Char.code (Bytes.get t.vregs.((2 * k) + 1) (i - Reg.vector_bytes))
+  | Reg.R _ -> invalid_arg "get_byte: scalar register"
+
+let set_byte t r i v =
+  let c = Char.chr (v land 0xff) in
+  match r with
+  | Reg.V n -> Bytes.set t.vregs.(n) i c
+  | Reg.P k ->
+    if i < Reg.vector_bytes then Bytes.set t.vregs.(2 * k) i c
+    else Bytes.set t.vregs.((2 * k) + 1) (i - Reg.vector_bytes) c
+  | Reg.R _ -> invalid_arg "set_byte: scalar register"
+
+let lane_bytes = Instr.width_bytes
+
+(* Little-endian signed lane read/write at an arbitrary width. *)
+let get_lane t r ~width l =
+  let b = lane_bytes width in
+  let base = l * b in
+  let rec go i acc = if i = b then acc else go (i + 1) (acc lor (get_byte t r (base + i) lsl (8 * i))) in
+  Sat.sign_extend ~bits:(8 * b) (go 0 0)
+
+let set_lane t r ~width l v =
+  let b = lane_bytes width in
+  let base = l * b in
+  for i = 0 to b - 1 do
+    set_byte t r (base + i) ((v asr (8 * i)) land 0xff)
+  done
+
+let lane_count r width = operand_bytes r / lane_bytes width
+
+(* ------------------------------------------------------------------ *)
+(* Memory access                                                       *)
+
+let effective_address t (a : Instr.addr) = get_sreg t a.base + a.offset
+
+let check_bounds t addr size =
+  if addr < 0 || addr + size > Bytes.length t.mem then
+    invalid_arg (Fmt.str "memory access out of bounds: [%d, %d)" addr (addr + size))
+
+let mem_read8 t addr =
+  check_bounds t addr 1;
+  Char.code (Bytes.get t.mem addr)
+
+let mem_write8 t addr v =
+  check_bounds t addr 1;
+  Bytes.set t.mem addr (Char.chr (v land 0xff))
+
+let mem_read32 t addr =
+  check_bounds t addr 4;
+  let b i = Char.code (Bytes.get t.mem (addr + i)) in
+  Sat.sign_extend ~bits:32 (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
+
+let mem_write32 t addr v =
+  check_bounds t addr 4;
+  for i = 0 to 3 do
+    Bytes.set t.mem (addr + i) (Char.chr ((v asr (8 * i)) land 0xff))
+  done
+
+(** Stage an int8 array into memory at [addr] (one byte per element). *)
+let write_i8_array t ~addr data =
+  check_bounds t addr (Array.length data);
+  Array.iteri (fun i v -> Bytes.set t.mem (addr + i) (Char.chr (v land 0xff))) data
+
+(** Read [len] int8 values from memory at [addr]. *)
+let read_i8_array t ~addr ~len =
+  check_bounds t addr len;
+  Array.init len (fun i -> Sat.sign_extend ~bits:8 (Char.code (Bytes.get t.mem (addr + i))))
+
+(** Stage an int32 array into memory at [addr] (4 bytes per element). *)
+let write_i32_array t ~addr data =
+  Array.iteri (fun i v -> mem_write32 t (addr + (4 * i)) v) data
+
+let read_i32_array t ~addr ~len = Array.init len (fun i -> mem_read32 t (addr + (4 * i)))
+
+(* ------------------------------------------------------------------ *)
+(* Instruction semantics                                               *)
+
+let scalar_byte v m = Sat.sign_extend ~bits:8 ((v asr (8 * m)) land 0xff)
+
+let operand_value t = function Instr.Reg r -> get_sreg t r | Instr.Imm i -> i
+
+let exec_salu op a b =
+  match op with
+  | Instr.Add -> Sat.wrap32 (a + b)
+  | Instr.Sub -> Sat.wrap32 (a - b)
+  | Instr.And -> a land b
+  | Instr.Or -> a lor b
+  | Instr.Xor -> a lxor b
+  | Instr.Shl -> Sat.wrap32 (a lsl (b land 31))
+  | Instr.Shr -> a asr (b land 31)
+  | Instr.Min -> min a b
+  | Instr.Max -> max a b
+
+let exec_valu op width a b =
+  let sat =
+    match width with Instr.W8 -> Sat.sat8 | Instr.W16 -> Sat.sat16 | Instr.W32 -> Sat.sat32
+  in
+  match op with
+  | Instr.Vadd -> sat (a + b)
+  | Instr.Vsub -> sat (a - b)
+  | Instr.Vmax -> max a b
+  | Instr.Vmin -> min a b
+  | Instr.Vavg -> (a + b + 1) asr 1
+  | Instr.Vand -> a land b
+  | Instr.Vor -> a lor b
+  | Instr.Vxor -> a lxor b
+
+let exec t instr =
+  let c = t.counters in
+  c.instrs <- c.instrs + 1;
+  c.macs <- c.macs + Instr.macs instr;
+  match instr with
+  | Instr.Smovi (rd, imm) -> set_sreg t rd imm
+  | Instr.Salu (op, rd, rs, o) -> set_sreg t rd (exec_salu op (get_sreg t rs) (operand_value t o))
+  | Instr.Smul (rd, rs, o) -> set_sreg t rd (Sat.wrap32 (get_sreg t rs * operand_value t o))
+  | Instr.Sload (rd, a) ->
+    c.loaded_bytes <- c.loaded_bytes + 4;
+    set_sreg t rd (mem_read32 t (effective_address t a))
+  | Instr.Sstore (a, rs) ->
+    c.stored_bytes <- c.stored_bytes + 4;
+    mem_write32 t (effective_address t a) (get_sreg t rs)
+  | Instr.Vload (vd, a) ->
+    c.loaded_bytes <- c.loaded_bytes + Reg.vector_bytes;
+    let addr = effective_address t a in
+    check_bounds t addr Reg.vector_bytes;
+    for i = 0 to Reg.vector_bytes - 1 do
+      set_byte t vd i (mem_read8 t (addr + i))
+    done
+  | Instr.Vstore (a, vs) ->
+    c.stored_bytes <- c.stored_bytes + Reg.vector_bytes;
+    let addr = effective_address t a in
+    check_bounds t addr Reg.vector_bytes;
+    for i = 0 to Reg.vector_bytes - 1 do
+      mem_write8 t (addr + i) (get_byte t vs i)
+    done
+  | Instr.Vmovi (vd, v) ->
+    for i = 0 to operand_bytes vd - 1 do
+      set_byte t vd i v
+    done
+  | Instr.Valu (op, width, vd, va, vb) ->
+    let n = lane_count vd width in
+    for l = 0 to n - 1 do
+      set_lane t vd ~width l
+        (exec_valu op width (get_lane t va ~width l) (get_lane t vb ~width l))
+    done
+  | Instr.Vaddw (pd, vs) ->
+    for l = 0 to Reg.lanes_16 - 1 do
+      let acc = get_lane t pd ~width:Instr.W32 l in
+      let x = get_lane t vs ~width:Instr.W16 l in
+      set_lane t pd ~width:Instr.W32 l (Sat.wrap32 (acc + x))
+    done
+  | Instr.Vmpy (pd, vs, rt) ->
+    let rt_v = get_sreg t rt in
+    let lo, hi =
+      match pd with
+      | Reg.P k -> (Reg.V (2 * k), Reg.V ((2 * k) + 1))
+      | _ -> invalid_arg "Vmpy: destination must be a pair"
+    in
+    for i = 0 to Reg.lanes_8 - 1 do
+      let a = Sat.sign_extend ~bits:8 (get_byte t vs i) in
+      let prod = a * scalar_byte rt_v (i mod 4) in
+      let dst = if i mod 2 = 0 then lo else hi in
+      let l = i / 2 in
+      set_lane t dst ~width:Instr.W16 l
+        (Sat.sat16 (get_lane t dst ~width:Instr.W16 l + prod))
+    done
+  | Instr.Vmpyb (pd, vs, rt, sel) ->
+    let rt_v = get_sreg t rt in
+    let wv = scalar_byte rt_v sel in
+    let lo, hi =
+      match pd with
+      | Reg.P k -> (Reg.V (2 * k), Reg.V ((2 * k) + 1))
+      | _ -> invalid_arg "Vmpyb: destination must be a pair"
+    in
+    for i = 0 to Reg.lanes_8 - 1 do
+      let a = Sat.sign_extend ~bits:8 (get_byte t vs i) in
+      let dst = if i mod 2 = 0 then lo else hi in
+      let l = i / 2 in
+      set_lane t dst ~width:Instr.W16 l
+        (Sat.sat16 (get_lane t dst ~width:Instr.W16 l + (a * wv)))
+    done
+  | Instr.Vmul (pd, va, vb) ->
+    let lo, hi =
+      match pd with
+      | Reg.P k -> (Reg.V (2 * k), Reg.V ((2 * k) + 1))
+      | _ -> invalid_arg "Vmul: destination must be a pair"
+    in
+    for i = 0 to Reg.lanes_8 - 1 do
+      let a = Sat.sign_extend ~bits:8 (get_byte t va i) in
+      let b = Sat.sign_extend ~bits:8 (get_byte t vb i) in
+      let dst = if i mod 2 = 0 then lo else hi in
+      let l = i / 2 in
+      set_lane t dst ~width:Instr.W16 l
+        (Sat.sat16 (get_lane t dst ~width:Instr.W16 l + (a * b)))
+    done
+  | Instr.Vmpa (pd, ps, rt) ->
+    let rt_v = get_sreg t rt in
+    let b m = scalar_byte rt_v m in
+    let lo, hi =
+      match pd with
+      | Reg.P k -> (Reg.V (2 * k), Reg.V ((2 * k) + 1))
+      | _ -> invalid_arg "Vmpa: destination must be a pair"
+    in
+    let q0, q1 =
+      match ps with
+      | Reg.P k -> (Reg.V (2 * k), Reg.V ((2 * k) + 1))
+      | _ -> invalid_arg "Vmpa: source must be a pair"
+    in
+    let s8 r i = Sat.sign_extend ~bits:8 (get_byte t r i) in
+    for j = 0 to Reg.lanes_16 - 1 do
+      let l = get_lane t lo ~width:Instr.W16 j in
+      set_lane t lo ~width:Instr.W16 j
+        (Sat.sat16 (l + (s8 q0 (2 * j) * b 0) + (s8 q1 (2 * j) * b 1)));
+      let h = get_lane t hi ~width:Instr.W16 j in
+      set_lane t hi ~width:Instr.W16 j
+        (Sat.sat16 (h + (s8 q0 ((2 * j) + 1) * b 2) + (s8 q1 ((2 * j) + 1) * b 3)))
+    done
+  | Instr.Vrmpy (vd, vs, rt) ->
+    let rt_v = get_sreg t rt in
+    for l = 0 to Reg.lanes_32 - 1 do
+      let acc = ref (get_lane t vd ~width:Instr.W32 l) in
+      for m = 0 to 3 do
+        let a = Sat.sign_extend ~bits:8 (get_byte t vs ((4 * l) + m)) in
+        acc := !acc + (a * scalar_byte rt_v m)
+      done;
+      set_lane t vd ~width:Instr.W32 l (Sat.wrap32 !acc)
+    done
+  | Instr.Vscale (vd, vs, mult, shift) ->
+    for l = 0 to Reg.lanes_32 - 1 do
+      set_lane t vd ~width:Instr.W32 l
+        (Sat.apply_multiplier (get_lane t vs ~width:Instr.W32 l) (mult, shift))
+    done
+  | Instr.Vscalev (vd, vs, vm, shift) ->
+    for l = 0 to Reg.lanes_32 - 1 do
+      let mult = get_lane t vm ~width:Instr.W32 l in
+      set_lane t vd ~width:Instr.W32 l
+        (Sat.apply_multiplier (get_lane t vs ~width:Instr.W32 l) (mult, shift))
+    done;
+    ()
+  | Instr.Vpack (vd, ps, w) ->
+    (match w with
+    | Instr.W32 ->
+      for l = 0 to Reg.lanes_16 - 1 do
+        set_lane t vd ~width:Instr.W16 l (Sat.sat16 (get_lane t ps ~width:Instr.W32 l))
+      done
+    | Instr.W16 ->
+      for l = 0 to Reg.lanes_8 - 1 do
+        set_lane t vd ~width:Instr.W8 l (Sat.sat8 (get_lane t ps ~width:Instr.W16 l))
+      done
+    | Instr.W8 -> invalid_arg "Vpack: cannot narrow 8-bit lanes")
+  | Instr.Vshuff (pd, ps, width) ->
+    let half = Reg.vector_bytes / lane_bytes width in
+    (* Read the whole source pair first so pd = ps is well-defined. *)
+    let src = Array.init (2 * half) (fun l -> get_lane t ps ~width l) in
+    for i = 0 to half - 1 do
+      set_lane t pd ~width (2 * i) src.(i);
+      set_lane t pd ~width ((2 * i) + 1) src.(half + i)
+    done
+  | Instr.Vlut (vd, vs, id) ->
+    let table =
+      match List.assoc_opt id t.tables with
+      | Some tbl -> tbl
+      | None -> invalid_arg (Fmt.str "Vlut: unknown table %d" id)
+    in
+    let src = Array.init Reg.lanes_8 (fun i -> get_byte t vs i) in
+    for i = 0 to Reg.lanes_8 - 1 do
+      set_byte t vd i table.(src.(i) land 0xff)
+    done
+  | Instr.Vdup (vd, rs) ->
+    let v = get_sreg t rs land 0xff in
+    for i = 0 to operand_bytes vd - 1 do
+      set_byte t vd i v
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Program execution                                                   *)
+
+let exec_packet t (p : Packet.t) =
+  t.counters.packets <- t.counters.packets + 1;
+  t.counters.cycles <- t.counters.cycles + Packet.cycles p;
+  List.iter (exec t) p
+
+let rec exec_node t = function
+  | Program.Block packets -> List.iter (exec_packet t) packets
+  | Program.Loop { trip; body } ->
+    for _ = 1 to trip do
+      List.iter (exec_node t) body
+    done
+
+(** Run a whole program; registers and memory persist across calls. *)
+let run t (prog : Program.t) =
+  t.tables <- prog.Program.tables;
+  List.iter (exec_node t) prog.Program.nodes

@@ -1,0 +1,50 @@
+(** Functional + timing simulator for the DSP.
+
+    Instructions inside a packet evaluate in program order, which is
+    exactly what the interlocked hardware computes for the co-packings the
+    packers permit (hard-dependent instructions are never co-packed).
+    Executed packets accumulate {!Gcd2_isa.Packet.cycles}, so the dynamic
+    cycle counter always equals {!Gcd2_isa.Program.static_cycles} of the
+    program — a property the test suite checks. *)
+
+open Gcd2_isa
+
+type counters = {
+  mutable cycles : int;
+  mutable packets : int;
+  mutable instrs : int;
+  mutable macs : int;  (** 8-bit multiply-accumulates executed *)
+  mutable loaded_bytes : int;
+  mutable stored_bytes : int;
+}
+
+type t
+
+(** [create ~mem_bytes ()] — fresh machine with zeroed registers and
+    memory (default 4 MiB). *)
+val create : ?mem_bytes:int -> unit -> t
+
+val counters : t -> counters
+val memory_size : t -> int
+
+val get_sreg : t -> Reg.t -> int
+val set_sreg : t -> Reg.t -> int -> unit
+
+(** Little-endian signed lane access into a vector register or pair. *)
+val get_lane : t -> Reg.t -> width:Instr.width -> int -> int
+
+val set_lane : t -> Reg.t -> width:Instr.width -> int -> int -> unit
+
+(** Staging helpers (int8 = 1 byte/element, int32 = 4 bytes, little
+    endian).  All memory access is bounds-checked. *)
+val write_i8_array : t -> addr:int -> int array -> unit
+
+val read_i8_array : t -> addr:int -> len:int -> int array
+val write_i32_array : t -> addr:int -> int array -> unit
+val read_i32_array : t -> addr:int -> len:int -> int array
+
+(** Execute one instruction (updates counters). *)
+val exec : t -> Instr.t -> unit
+
+(** Run a whole program; registers and memory persist across calls. *)
+val run : t -> Program.t -> unit

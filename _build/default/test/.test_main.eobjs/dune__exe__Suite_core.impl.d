@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Gcd2 Gcd2_graph Gcd2_kernels Gcd2_tensor Gcd2_util Graph List Op QCheck QCheck_alcotest

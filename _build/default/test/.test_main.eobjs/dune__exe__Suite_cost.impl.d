@@ -1,0 +1,1 @@
+test/suite_cost.ml: Alcotest Array Gcd2_cost Gcd2_graph Gcd2_layout Gcd2_tensor Graph List Op

@@ -1,0 +1,1 @@
+test/suite_devices.ml: Alcotest Fmt Gcd2_devices List

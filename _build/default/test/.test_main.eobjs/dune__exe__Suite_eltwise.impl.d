@@ -1,0 +1,1 @@
+test/suite_eltwise.ml: Alcotest Array Fmt Gcd2_codegen Gcd2_graph Gcd2_kernels Gcd2_sched Gcd2_tensor Gcd2_util Gcd2_vm List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_frameworks.ml: Alcotest Gcd2 Gcd2_frameworks Gcd2_models List

@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Flops Gcd2_graph Graph Op Passes Shape

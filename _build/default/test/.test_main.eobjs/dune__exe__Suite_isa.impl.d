@@ -1,0 +1,1 @@
+test/suite_isa.ml: Alcotest Dep Gcd2_isa Instr Packet Program Reg

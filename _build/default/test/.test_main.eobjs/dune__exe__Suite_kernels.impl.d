@@ -1,0 +1,1 @@
+test/suite_kernels.ml: Alcotest Array Fmt Gcd2_graph Gcd2_kernels Gcd2_tensor Gcd2_util List Op

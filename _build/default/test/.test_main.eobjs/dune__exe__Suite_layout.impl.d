@@ -1,0 +1,1 @@
+test/suite_layout.ml: Alcotest Array Float Fmt Fun Gcd2_layout Gcd2_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_models.ml: Alcotest Gcd2_graph Gcd2_models List

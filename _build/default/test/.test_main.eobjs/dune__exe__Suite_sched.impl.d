@@ -1,0 +1,1 @@
+test/suite_sched.ml: Alcotest Array Fmt Gcd2_isa Gcd2_sched Gcd2_util Gcd2_vm Idg Instr List Packer Packet Program QCheck QCheck_alcotest Reg String Verify

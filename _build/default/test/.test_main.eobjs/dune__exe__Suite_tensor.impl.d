@@ -1,0 +1,1 @@
+test/suite_tensor.ml: Alcotest Array Fmt Gcd2_tensor Gcd2_util Hashtbl List QCheck QCheck_alcotest

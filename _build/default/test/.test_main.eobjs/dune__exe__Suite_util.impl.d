@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Float Gcd2_util List QCheck QCheck_alcotest Rng Saturate Stats

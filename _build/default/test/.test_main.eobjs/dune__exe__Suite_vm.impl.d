@@ -1,0 +1,1 @@
+test/suite_vm.ml: Alcotest Array Float Fmt Gcd2_isa Gcd2_util Gcd2_vm Instr List Program Reg

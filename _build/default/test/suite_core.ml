@@ -1,0 +1,163 @@
+(* Tests for the end-to-end compiler and the mixed VM/host runtime: the
+   compiled model executed on the simulated DSP must produce exactly the
+   reference interpreter's results, for every selection strategy. *)
+
+module T = Gcd2_tensor.Tensor
+module Q = Gcd2_tensor.Quant
+module Rng = Gcd2_util.Rng
+module Interp = Gcd2_kernels.Interp
+module Compiler = Gcd2.Compiler
+module Runtime = Gcd2.Runtime
+open Gcd2_graph
+module B = Graph.Builder
+
+let weight_q = Q.make (1.0 /. 64.0)
+
+(* A small residual CNN with real weights. *)
+let weighted_cnn seed =
+  let rng = Rng.create seed in
+  let b = B.create () in
+  let x = B.input b [| 1; 8; 8; 4 |] in
+  let w1 = T.random ~quant:weight_q rng [| 3; 3; 4; 8 |] in
+  let c1 = B.conv2d ~weight:w1 b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:8 in
+  let r1 = B.add b Op.Relu [ c1 ] in
+  let w2 = T.random ~quant:weight_q rng [| 1; 1; 8; 8 |] in
+  let c2 = B.conv2d ~weight:w2 b r1 ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:8 in
+  let s = B.add b Op.Add [ r1; c2 ] in
+  let t = B.add b Op.Tanh [ s ] in
+  let flat = B.add b (Op.Reshape { shape = [| 64; 8 |] }) [ t ] in
+  let w3 = T.random ~quant:weight_q rng [| 8; 10 |] in
+  let m = B.matmul ~weight:w3 b flat ~cout:10 in
+  let _ = B.add b Op.Softmax [ m ] in
+  B.finish b
+
+(* A tiny transformer-flavoured graph: matmuls, gelu, elementwise mul. *)
+let weighted_mlp seed =
+  let rng = Rng.create seed in
+  let b = B.create () in
+  let x = B.input b [| 16; 12 |] in
+  let w1 = T.random ~quant:weight_q rng [| 12; 24 |] in
+  let h = B.matmul ~weight:w1 b x ~cout:24 in
+  let h = B.add b Op.Gelu [ h ] in
+  let w2 = T.random ~quant:weight_q rng [| 24; 12 |] in
+  let h = B.matmul ~weight:w2 b h ~cout:12 in
+  let s = B.add b Op.Add [ x; h ] in
+  let p = B.add b (Op.Pow 2.0) [ s ] in
+  let _ = B.add b Op.Mul [ s; p ] in
+  B.finish b
+
+let run_both ?config graph_fn seed =
+  let g = graph_fn seed in
+  let c = Compiler.compile ?config g in
+  let rng = Rng.create (seed * 7) in
+  let input_node = (Graph.node c.Compiler.graph 0).Graph.out_shape in
+  let input = T.random rng input_node in
+  let inputs = [ (0, input) ] in
+  let vm, stats = Runtime.run_with_stats c ~inputs in
+  let host = Interp.run c.Compiler.graph ~inputs in
+  (c, vm, host, stats)
+
+let check_equal name vm host =
+  Array.iteri
+    (fun i (t_vm : T.t) ->
+      let t_host : T.t = host.(i) in
+      if not (T.equal_data t_vm t_host) then begin
+        let bad = ref (-1) in
+        Array.iteri
+          (fun j v -> if !bad = -1 && v <> t_host.T.data.(j) then bad := j)
+          t_vm.T.data;
+        Alcotest.failf "%s: node %d differs at flat index %d (vm %d vs host %d)" name i !bad
+          t_vm.T.data.(!bad) t_host.T.data.(!bad)
+      end)
+    vm
+
+let test_cnn_runtime_matches_reference () =
+  List.iter
+    (fun seed ->
+      let _, vm, host, stats = run_both weighted_cnn seed in
+      check_equal "cnn" vm host;
+      Alcotest.(check bool) "some nodes ran on the vm" true (stats.Runtime.vm_nodes > 0))
+    [ 1; 2; 3 ]
+
+let test_mlp_runtime_matches_reference () =
+  let _, vm, host, stats = run_both weighted_mlp 11 in
+  check_equal "mlp" vm host;
+  Alcotest.(check bool) "vm cycles counted" true (stats.Runtime.vm_cycles > 0)
+
+let test_all_selections_agree_functionally () =
+  let configs =
+    [
+      Compiler.default;
+      { Compiler.default with Compiler.name = "local"; selection = Compiler.Local };
+      { Compiler.default with Compiler.name = "optimal"; selection = Compiler.Optimal_dp };
+      { Compiler.default with Compiler.name = "gcd2(5)"; selection = Compiler.Partitioned 5 };
+    ]
+  in
+  let results =
+    List.map
+      (fun config ->
+        let _, vm, _, _ = run_both ~config weighted_cnn 5 in
+        vm)
+      configs
+  in
+  match results with
+  | first :: rest ->
+    List.iteri
+      (fun i vm ->
+        Array.iteri
+          (fun j t ->
+            if not (T.equal_data t first.(j)) then
+              Alcotest.failf "config %d node %d differs from default" i j)
+          vm)
+      rest
+  | [] -> ()
+
+let test_fusion_reduces_nodes () =
+  let g = weighted_cnn 1 in
+  let c = Compiler.compile g in
+  Alcotest.(check bool) "fusion shrank the graph" true
+    (Graph.size c.Compiler.graph < Graph.size g)
+
+let test_selection_costs_ordered () =
+  let g = weighted_cnn 2 in
+  let compile sel =
+    Compiler.compile
+      ~config:{ Compiler.default with Compiler.name = "x"; selection = sel }
+      g
+  in
+  let local = compile Compiler.Local in
+  let optimal = compile Compiler.Optimal_dp in
+  let partitioned = compile Compiler.(Partitioned 13) in
+  let ms c = Compiler.latency_ms c in
+  Alcotest.(check bool) "optimal <= local" true (ms optimal <= ms local +. 1e-9);
+  Alcotest.(check bool) "optimal <= partitioned" true (ms optimal <= ms partitioned +. 1e-9);
+  Alcotest.(check bool) "partitioned <= local" true (ms partitioned <= ms local +. 1e-9)
+
+let test_selection_time_recorded () =
+  let g = weighted_cnn 3 in
+  let c = Compiler.compile g in
+  Alcotest.(check bool) "non-negative" true (c.Compiler.selection_seconds >= 0.0)
+
+let test_latency_positive () =
+  let c = Compiler.compile (weighted_cnn 4) in
+  Alcotest.(check bool) "latency > 0" true (Compiler.latency_ms c > 0.0)
+
+let qcheck_runtime_equivalence =
+  QCheck.Test.make ~name:"compiled models match the reference on random seeds" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let _, vm, host, _ = run_both weighted_cnn seed in
+      Array.for_all2 (fun a b -> T.equal_data a b) vm host)
+
+let tests =
+  [
+    Alcotest.test_case "cnn: vm = reference" `Quick test_cnn_runtime_matches_reference;
+    Alcotest.test_case "mlp: vm = reference" `Quick test_mlp_runtime_matches_reference;
+    Alcotest.test_case "all selections agree functionally" `Quick
+      test_all_selections_agree_functionally;
+    Alcotest.test_case "fusion reduces node count" `Quick test_fusion_reduces_nodes;
+    Alcotest.test_case "selection quality ordering" `Quick test_selection_costs_ordered;
+    Alcotest.test_case "selection time recorded" `Quick test_selection_time_recorded;
+    Alcotest.test_case "latency positive" `Quick test_latency_positive;
+    QCheck_alcotest.to_alcotest qcheck_runtime_equivalence;
+  ]

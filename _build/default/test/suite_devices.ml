@@ -1,0 +1,60 @@
+(* Tests for the analytic device models (Tables I and V, Figure 13). *)
+
+module D = Gcd2_devices.Device
+
+let test_power_monotone_in_utilization () =
+  let p1 = D.dsp_power_w ~utilization:0.5 in
+  let p2 = D.dsp_power_w ~utilization:0.9 in
+  Alcotest.(check bool) "higher utilization draws more" true (p2 > p1);
+  Alcotest.(check bool) "plausible range" true (p1 > 1.0 && p2 < 3.6)
+
+let test_dsp_beats_gpu_on_efficiency () =
+  (* Figure 13: every DSP solution is more energy-efficient than the GPU. *)
+  let gmacs = 4.1 in
+  let dsp_latency = 7.5 in
+  let fpw_dsp = D.dsp_fpw ~latency_ms:dsp_latency ~utilization:0.85 in
+  let gpu_latency = D.xpu_latency_ms D.gpu ~gmacs ~ops:140 in
+  let fpw_gpu = 1000.0 /. gpu_latency /. D.gpu_power_w ~gmacs in
+  Alcotest.(check bool) "dsp frames/watt higher" true (fpw_dsp > fpw_gpu)
+
+let test_cpu_slower_than_gpu () =
+  List.iter
+    (fun (gmacs, ops) ->
+      let c = D.xpu_latency_ms D.cpu ~gmacs ~ops in
+      let g = D.xpu_latency_ms D.gpu ~gmacs ~ops in
+      Alcotest.(check bool) (Fmt.str "cpu > gpu at %.1fG" gmacs) true (c > g))
+    [ (0.4, 254); (4.1, 140); (8.8, 150); (186.0, 84) ]
+
+let test_latency_grows_with_macs () =
+  let l1 = D.xpu_latency_ms D.cpu ~gmacs:1.0 ~ops:100 in
+  let l2 = D.xpu_latency_ms D.cpu ~gmacs:10.0 ~ops:100 in
+  Alcotest.(check bool) "monotone" true (l2 > l1)
+
+let test_table5_orderings () =
+  (* Table V: Jetson int8 has the highest FPS; GCD2's DSP has the best
+     frames-per-Watt. *)
+  let gcd2_fps = D.dsp_fps ~latency_ms:7.5 in
+  let gcd2_fpw = D.dsp_fpw ~latency_ms:7.5 ~utilization:0.85 in
+  Alcotest.(check bool) "jetson int8 fastest" true (D.jetson_int8.D.fps > gcd2_fps);
+  Alcotest.(check bool) "gcd2 most efficient" true
+    (gcd2_fpw > D.fpw D.jetson_int8
+    && gcd2_fpw > D.fpw D.jetson_fp16
+    && gcd2_fpw > D.fpw D.edgetpu)
+
+let test_gpu_power_range () =
+  Alcotest.(check bool) "small model ~2.9W" true (D.gpu_power_w ~gmacs:0.4 < 3.0);
+  Alcotest.(check bool) "huge model ~3.8W" true (D.gpu_power_w ~gmacs:186.0 > 3.5)
+
+let test_energy () =
+  Alcotest.(check (float 1e-9)) "mJ = ms * W" 26.0 (D.energy_mj ~latency_ms:10.0 ~power_w:2.6)
+
+let tests =
+  [
+    Alcotest.test_case "dsp power model" `Quick test_power_monotone_in_utilization;
+    Alcotest.test_case "dsp beats gpu on frames/watt" `Quick test_dsp_beats_gpu_on_efficiency;
+    Alcotest.test_case "cpu slower than gpu" `Quick test_cpu_slower_than_gpu;
+    Alcotest.test_case "latency grows with macs" `Quick test_latency_grows_with_macs;
+    Alcotest.test_case "table V orderings" `Quick test_table5_orderings;
+    Alcotest.test_case "gpu power range" `Quick test_gpu_power_range;
+    Alcotest.test_case "energy accounting" `Quick test_energy;
+  ]

@@ -1,0 +1,116 @@
+(* Tests for the simulated baseline frameworks and kernel compilers: the
+   orderings the paper reports must hold on our machine model. *)
+
+module F = Gcd2_frameworks.Framework
+module K = Gcd2_frameworks.Kernel_compilers
+module Zoo = Gcd2_models.Zoo
+module Compiler = Gcd2.Compiler
+
+let latency config g = Compiler.latency_ms (F.compile config g)
+
+let test_gcd2_beats_production_frameworks () =
+  (* the headline Table IV ordering, on the two cheapest-to-compile models *)
+  List.iter
+    (fun name ->
+      let g = (Zoo.find name).Zoo.build () in
+      let t = latency F.tflite g and s = latency F.snpe g and gc = latency F.gcd2 g in
+      if not (gc < s && s <= t) then
+        Alcotest.failf "%s: expected gcd2 < snpe <= tflite, got %.2f %.2f %.2f" name gc s t)
+    [ "MobileNet-V3"; "ResNet-50" ]
+
+let test_ablation_ladder_monotone () =
+  (* Figure 9: each added optimization may only help. *)
+  let g = (Zoo.find "ResNet-50").Zoo.build () in
+  let steps = [ F.no_opt; F.plus_selection; F.plus_vliw; F.plus_other ] in
+  let ms = List.map (fun c -> latency c g) steps in
+  let rec check = function
+    | a :: b :: rest ->
+      if b > 1.02 *. a then
+        Alcotest.failf "ablation got slower: %.3f -> %.3f ms" a b;
+      check (b :: rest)
+    | _ -> ()
+  in
+  check ms
+
+let test_sda_ablations () =
+  (* Figure 11: SDA no worse than either degraded treatment. *)
+  let g = (Zoo.find "MobileNet-V3").Zoo.build () in
+  let sda = latency F.gcd2 g in
+  let hard = latency F.soft_to_hard g in
+  let none = latency F.soft_to_none g in
+  if sda > hard +. 1e-6 then Alcotest.failf "sda %.3f > soft_to_hard %.3f" sda hard;
+  if sda > none +. 1e-6 then Alcotest.failf "sda %.3f > soft_to_none %.3f" sda none
+
+let test_gcd2b_between () =
+  (* GCD_b (tensor opts only) sits between the baselines and full GCD2.
+     SDA is a heuristic, so allow it a 2% slack on any particular model
+     (it wins clearly in aggregate; see the Figure 7/11 benches). *)
+  let g = (Zoo.find "MobileNet-V3").Zoo.build () in
+  let gb = latency F.gcd2_b g and gc = latency F.gcd2 g in
+  Alcotest.(check bool) "gcd2 <= 1.02 * gcd2_b" true (gc <= 1.02 *. gb)
+
+(* ---- kernel compilers (Figure 7 / Table III) ---- *)
+
+let resnet_first_conv = K.conv_mkn ~n:1 ~h:224 ~w:224 ~c:3 ~kh:7 ~kw:7 ~stride:2 ~pad:3 ~cout:64
+
+let test_kernel_orderings () =
+  let m, k, n = resnet_first_conv in
+  let r f = K.conv f ~m ~k ~n in
+  let halide = r K.Halide and tvm = r K.Tvm and gb = r K.Gcd_b and g2 = r K.Gcd2_kernel in
+  Alcotest.(check bool) "tvm <= halide (unroll search)" true
+    (tvm.K.cycles <= halide.K.cycles);
+  Alcotest.(check bool) "gcd_b <= tvm (instruction selection)" true
+    (gb.K.cycles <= tvm.K.cycles);
+  Alcotest.(check bool) "gcd2 within 2%% of gcd_b or better" true
+    (float_of_int g2.K.cycles <= 1.02 *. float_of_int gb.K.cycles);
+  Alcotest.(check bool) "gcd2 uses fewer packets than halide" true
+    (g2.K.packets < halide.K.packets)
+
+let test_rake_vs_gcd2_instruction_choice () =
+  (* Table III: on some ResNet-50 shapes RAKE (instruction-count driven)
+     picks a different instruction than GCD2 (cycle driven), and GCD2's
+     kernel is faster. *)
+  let shapes =
+    [
+      K.conv_mkn ~n:1 ~h:224 ~w:224 ~c:3 ~kh:7 ~kw:7 ~stride:2 ~pad:3 ~cout:64;
+      K.conv_mkn ~n:1 ~h:56 ~w:56 ~c:64 ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:64;
+      K.conv_mkn ~n:1 ~h:28 ~w:28 ~c:128 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:128;
+    ]
+  in
+  let any_differs = ref false in
+  List.iter
+    (fun (m, k, n) ->
+      let rake = K.conv K.Rake ~m ~k ~n in
+      let gcd2 = K.conv K.Gcd2_kernel ~m ~k ~n in
+      if rake.K.simd <> gcd2.K.simd then any_differs := true;
+      if gcd2.K.cycles > rake.K.cycles then
+        Alcotest.failf "gcd2 slower than rake on %dx%dx%d" m k n)
+    shapes;
+  Alcotest.(check bool) "instruction choices diverge somewhere" true !any_differs
+
+let test_kernel_results_have_ms () =
+  let m, k, n = resnet_first_conv in
+  List.iter
+    (fun f ->
+      let r = K.conv f ~m ~k ~n in
+      Alcotest.(check bool) (K.name f ^ " has positive ms") true (r.K.ms > 0.0))
+    K.all
+
+let test_transformers_unsupported_by_baselines () =
+  (* the CPU-fallback mechanism makes TFLite/SNPE dramatically slower than
+     GCD2 on the transformer models (in the paper they cannot run at all) *)
+  let g = (Zoo.find "TinyBERT").Zoo.build () in
+  let t = latency F.tflite g and gc = latency F.gcd2 g in
+  Alcotest.(check bool) "tflite pays heavy fallbacks" true (t > 2.0 *. gc)
+
+let tests =
+  [
+    Alcotest.test_case "table IV ordering" `Slow test_gcd2_beats_production_frameworks;
+    Alcotest.test_case "figure 9 ladder monotone" `Slow test_ablation_ladder_monotone;
+    Alcotest.test_case "figure 11 sda ablations" `Slow test_sda_ablations;
+    Alcotest.test_case "gcd_b between baselines and gcd2" `Slow test_gcd2b_between;
+    Alcotest.test_case "figure 7 kernel orderings" `Quick test_kernel_orderings;
+    Alcotest.test_case "table III rake divergence" `Quick test_rake_vs_gcd2_instruction_choice;
+    Alcotest.test_case "kernel results well-formed" `Quick test_kernel_results_have_ms;
+    Alcotest.test_case "transformer fallbacks" `Slow test_transformers_unsupported_by_baselines;
+  ]

@@ -1,0 +1,162 @@
+(* Tests for Gcd2_graph: shape inference, builder validation, passes
+   (fusion, dce), MAC counting. *)
+
+open Gcd2_graph
+module B = Graph.Builder
+
+let shape = Alcotest.(array int)
+
+let infer op ins = Shape.infer op ins
+
+let test_conv_shapes () =
+  Alcotest.check shape "stride 1 same pad" [| 1; 8; 8; 16 |]
+    (infer (Op.Conv2d { kh = 3; kw = 3; stride = 1; pad = 1; cout = 16; act = None })
+       [ [| 1; 8; 8; 4 |] ]);
+  Alcotest.check shape "stride 2" [| 1; 4; 4; 16 |]
+    (infer (Op.Conv2d { kh = 3; kw = 3; stride = 2; pad = 1; cout = 16; act = None })
+       [ [| 1; 8; 8; 4 |] ]);
+  Alcotest.check shape "7x7 stride 2 pad 3" [| 1; 112; 112; 64 |]
+    (infer (Op.Conv2d { kh = 7; kw = 7; stride = 2; pad = 3; cout = 64; act = None })
+       [ [| 1; 224; 224; 3 |] ]);
+  (* kernel-1 axes take no padding *)
+  Alcotest.check shape "1-d over time" [| 1; 10; 1; 8 |]
+    (infer (Op.Depthwise_conv2d { kh = 9; kw = 1; stride = 1; pad = 4; act = None })
+       [ [| 1; 10; 1; 8 |] ])
+
+let test_tconv_shape () =
+  Alcotest.check shape "2x upsample" [| 1; 16; 16; 8 |]
+    (infer (Op.Transposed_conv2d { kh = 4; kw = 4; stride = 2; pad = 1; cout = 8; act = None })
+       [ [| 1; 8; 8; 4 |] ])
+
+let test_matmul_shapes () =
+  Alcotest.check shape "2d" [| 5; 7 |] (infer (Op.Matmul { cout = 7; act = None }) [ [| 5; 3 |] ]);
+  Alcotest.check shape "batched bmm" [| 4; 6; 6 |]
+    (infer (Op.Batch_matmul { transpose_b = true }) [ [| 4; 6; 8 |]; [| 4; 6; 8 |] ]);
+  Alcotest.check shape "bmm plain" [| 4; 6; 5 |]
+    (infer (Op.Batch_matmul { transpose_b = false }) [ [| 4; 6; 8 |]; [| 4; 8; 5 |] ])
+
+let test_elementwise_broadcast () =
+  Alcotest.check shape "same shapes" [| 2; 3 |] (infer Op.Add [ [| 2; 3 |]; [| 2; 3 |] ]);
+  Alcotest.check shape "scalar broadcast" [| 2; 3 |] (infer Op.Mul [ [| 2; 3 |]; [| 1 |] ]);
+  Alcotest.check shape "channel broadcast" [| 2; 3 |] (infer Op.Mul [ [| 2; 3 |]; [| 3 |] ]);
+  Alcotest.check_raises "mismatch rejected"
+    (Shape.Shape_error "elementwise shapes differ: [|2; 3|] vs [|3; 2|]") (fun () ->
+      ignore (infer Op.Add [ [| 2; 3 |]; [| 3; 2 |] ]))
+
+let test_shape_errors () =
+  let fails op ins =
+    match infer op ins with
+    | exception Shape.Shape_error _ -> ()
+    | _ -> Alcotest.fail "expected shape error"
+  in
+  fails (Op.Conv2d { kh = 9; kw = 9; stride = 1; pad = 0; cout = 4; act = None })
+    [ [| 1; 4; 4; 2 |] ];
+  fails (Op.Reshape { shape = [| 5 |] }) [ [| 2; 3 |] ];
+  fails (Op.Transpose { perm = [| 0; 0 |] }) [ [| 2; 3 |] ];
+  fails (Op.Concat { axis = 1 }) [ [| 2; 3 |]; [| 3; 3 |] ];
+  fails (Op.Batch_matmul { transpose_b = false }) [ [| 2; 3; 4 |]; [| 2; 5; 6 |] ]
+
+let test_builder_arity_check () =
+  let b = B.create () in
+  let x = B.input b [| 1; 4; 4; 2 |] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Builder.add: add expects 2 inputs, got 1") (fun () ->
+      ignore (B.add b Op.Add [ x ]))
+
+let test_validate_rejects_cycles () =
+  (* a graph referencing a later node is not topologically ordered *)
+  let g =
+    {
+      Graph.nodes =
+        [|
+          {
+            Graph.id = 0;
+            name = "bad";
+            op = Op.Relu;
+            inputs = [ 0 ];
+            out_shape = [| 1 |];
+            weight = None;
+          };
+        |];
+    }
+  in
+  Alcotest.check_raises "self reference"
+    (Invalid_argument "Graph.validate: not topologically ordered") (fun () ->
+      Graph.validate g)
+
+let small_graph () =
+  let b = B.create () in
+  let x = B.input b [| 1; 8; 8; 4 |] in
+  let c = B.conv2d b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:8 in
+  let r = B.add b Op.Relu [ c ] in
+  let c2 = B.conv2d b r ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:8 in
+  let r2 = B.add b Op.Relu6 [ c2 ] in
+  let _ = B.add b Op.Add [ r; r2 ] in
+  B.finish b
+
+let test_fusion () =
+  let g = small_graph () in
+  let fused = Passes.fuse_activations g in
+  Graph.validate fused;
+  (* both activations fuse: each one is its convolution's only user (the
+     relu node's own fan-out does not matter, its users re-wire to the
+     fused conv) *)
+  Alcotest.(check int) "two activations fused away" (Graph.size g - 2) (Graph.size fused);
+  let has_fused =
+    Graph.fold
+      (fun acc n ->
+        match n.Graph.op with Op.Conv2d { act = Some Op.A_relu6; _ } -> true | _ -> acc)
+      false fused
+  in
+  Alcotest.(check bool) "conv carries the fused relu6" true has_fused
+
+let test_dce () =
+  let b = B.create () in
+  let x = B.input b [| 4; 4 |] in
+  let keep = B.add b Op.Relu [ x ] in
+  let _dead = B.add b Op.Tanh [ x ] in
+  let g = B.finish b in
+  let pruned = Passes.dead_code_elimination g ~outputs:[ keep ] in
+  Alcotest.(check int) "dead node removed" 2 (Graph.size pruned)
+
+let test_identity_reshape_elimination () =
+  let b = B.create () in
+  let x = B.input b [| 4; 4 |] in
+  let same = B.add b (Op.Reshape { shape = [| 4; 4 |] }) [ x ] in
+  let _ = B.add b Op.Relu [ same ] in
+  let g = B.finish b in
+  let out = Passes.eliminate_identity_reshapes g in
+  Graph.validate out;
+  Alcotest.(check int) "reshape removed" 2 (Graph.size out)
+
+let test_macs () =
+  let b = B.create () in
+  let x = B.input b [| 1; 4; 4; 2 |] in
+  let c = B.conv2d b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:8 in
+  let _ = B.add b (Op.Depthwise_conv2d { kh = 3; kw = 3; stride = 1; pad = 1; act = None }) [ c ] in
+  let g = B.finish b in
+  (* conv: 4*4*8 outputs x 2*9 macs; dw: 4*4*8 x 9 *)
+  Alcotest.(check int) "total macs" ((16 * 8 * 18) + (16 * 8 * 9)) (Flops.total_macs g);
+  Alcotest.(check int) "conv params" ((9 * 2 * 8) + 8) (Flops.node_params g (Graph.node g 1))
+
+let test_successors_outputs () =
+  let g = small_graph () in
+  let succ = Graph.successors g in
+  Alcotest.(check (list int)) "relu feeds conv2 and add" [ 3; 5 ] succ.(2);
+  Alcotest.(check (list int)) "single output" [ 5 ] (Graph.outputs g)
+
+let tests =
+  [
+    Alcotest.test_case "conv shape inference" `Quick test_conv_shapes;
+    Alcotest.test_case "transposed conv shape" `Quick test_tconv_shape;
+    Alcotest.test_case "matmul shapes" `Quick test_matmul_shapes;
+    Alcotest.test_case "elementwise broadcast" `Quick test_elementwise_broadcast;
+    Alcotest.test_case "shape errors" `Quick test_shape_errors;
+    Alcotest.test_case "builder arity check" `Quick test_builder_arity_check;
+    Alcotest.test_case "validation rejects bad graphs" `Quick test_validate_rejects_cycles;
+    Alcotest.test_case "activation fusion" `Quick test_fusion;
+    Alcotest.test_case "dead code elimination" `Quick test_dce;
+    Alcotest.test_case "identity reshape elimination" `Quick test_identity_reshape_elimination;
+    Alcotest.test_case "mac and param counting" `Quick test_macs;
+    Alcotest.test_case "successors and outputs" `Quick test_successors_outputs;
+  ]

@@ -1,0 +1,217 @@
+(* Tests for Gcd2_layout: the global selection solvers.  The key property:
+   frontier DP is exact (matches exhaustive enumeration) on random DAGs,
+   chain DP matches on chains, and the GCD2 partitioned heuristic is never
+   worse than local-optimal and close to optimal. *)
+
+module Problem = Gcd2_layout.Problem
+module Solver = Gcd2_layout.Solver
+
+(* Deterministic pseudo-random problems. *)
+let random_problem ?(max_plans = 3) ~seed ~n ~chain () =
+  let rng = Gcd2_util.Rng.create seed in
+  let preds =
+    Array.init n (fun v ->
+        if v = 0 then []
+        else if chain then [ v - 1 ]
+        else begin
+          (* 1-2 predecessors among the recent nodes: DNN-like narrow DAG *)
+          let p1 = max 0 (v - 1 - Gcd2_util.Rng.int rng (min v 3)) in
+          if v > 2 && Gcd2_util.Rng.int rng 4 = 0 then
+            let p2 = max 0 (v - 1 - Gcd2_util.Rng.int rng (min v 5)) in
+            if p2 = p1 then [ p1 ] else [ min p1 p2; max p1 p2 ]
+          else [ p1 ]
+        end)
+  in
+  let options = Array.init n (fun _ -> 1 + Gcd2_util.Rng.int rng max_plans) in
+  (* random but fixed cost tables *)
+  let node_tbl =
+    Array.init n (fun v -> Array.init options.(v) (fun _ -> float_of_int (10 + Gcd2_util.Rng.int rng 90)))
+  in
+  let edge_seed = Gcd2_util.Rng.int rng 1000000 in
+  let edge_cost u pu v pv =
+    if pu = pv then 0.0
+    else
+      (* deterministic hash-based transform cost *)
+      let h = (u * 131) + (pu * 17) + (v * 13) + (pv * 7) + edge_seed in
+      float_of_int (5 + (h mod 40))
+  in
+  {
+    Problem.n;
+    preds;
+    options;
+    node_cost = (fun v p -> node_tbl.(v).(p));
+    edge_cost;
+    desirable_edge = (fun _ _ -> false);
+  }
+
+let test_validate () =
+  let p = random_problem ~seed:1 ~n:10 ~chain:false () in
+  Problem.validate p;
+  Alcotest.(check pass) "random problem validates" () ()
+
+let test_total_cost_empty () =
+  let p = random_problem ~seed:1 ~n:0 ~chain:true () in
+  Alcotest.(check (float 0.0)) "empty graph costs nothing" 0.0 (Solver.local p).Solver.cost
+
+let test_local_ignores_edges () =
+  let p = random_problem ~seed:2 ~n:12 ~chain:true () in
+  let r = Solver.local p in
+  (* every node individually at its cheapest plan *)
+  Array.iteri
+    (fun v plan ->
+      for o = 0 to p.Problem.options.(v) - 1 do
+        if p.Problem.node_cost v o < p.Problem.node_cost v plan then
+          Alcotest.failf "node %d: local picked %d but %d is cheaper" v plan o
+      done)
+    r.Solver.plans
+
+let test_chain_dp_matches_exhaustive () =
+  for seed = 1 to 10 do
+    let p = random_problem ~seed ~n:8 ~chain:true () in
+    let dp = Solver.chain_dp p in
+    let ex = Solver.exhaustive p in
+    Alcotest.(check (float 1e-9))
+      (Fmt.str "seed %d" seed)
+      ex.Solver.cost dp.Solver.cost
+  done
+
+let test_frontier_dp_matches_exhaustive () =
+  for seed = 1 to 15 do
+    let p = random_problem ~seed ~n:9 ~chain:false () in
+    let dp = Solver.optimal p in
+    let ex = Solver.exhaustive p in
+    Alcotest.(check (float 1e-9))
+      (Fmt.str "seed %d" seed)
+      ex.Solver.cost dp.Solver.cost
+  done
+
+let test_partitioned_quality () =
+  for seed = 1 to 10 do
+    let p = random_problem ~seed ~n:30 ~chain:false () in
+    let part = Solver.partitioned ~max_size:10 p in
+    let loc = Solver.local p in
+    let opt = Solver.optimal p in
+    if part.Solver.cost > loc.Solver.cost +. 1e-9 then
+      Alcotest.failf "seed %d: partitioned %.1f worse than local %.1f" seed part.cost loc.cost;
+    if part.Solver.cost < opt.Solver.cost -. 1e-9 then
+      Alcotest.failf "seed %d: partitioned beat the optimum?!" seed;
+    (* the paper's finding: partitioned solutions are near-optimal *)
+    if part.Solver.cost > opt.Solver.cost *. 1.10 then
+      Alcotest.failf "seed %d: partitioned %.1f more than 10%% off optimal %.1f" seed
+        part.cost opt.cost
+  done
+
+let test_exhaustive_guard () =
+  let p = random_problem ~max_plans:3 ~seed:3 ~n:40 ~chain:false () in
+  (* force all nodes to 3 plans so the space is 3^40 *)
+  let p = { p with Problem.options = Array.make 40 3 } in
+  Alcotest.check_raises "too large" Solver.Too_large (fun () ->
+      ignore (Solver.exhaustive ~max_states:1000 p))
+
+let test_partition_points_respect_max () =
+  let p = random_problem ~seed:5 ~n:40 ~chain:false () in
+  let cuts = Solver.partition_points p ~max_size:8 in
+  let rec check lo = function
+    | [] -> Alcotest.(check bool) "last part bounded-ish" true (p.Problem.n - lo <= 16)
+    | c :: rest ->
+      if c - lo + 1 > 8 then Alcotest.failf "part [%d, %d] exceeds max size" lo c;
+      check (c + 1) rest
+  in
+  check 0 cuts
+
+let test_desirable_edges_used () =
+  (* A chain with an explicitly desirable edge must cut there. *)
+  let p = random_problem ~seed:6 ~n:12 ~chain:true () in
+  let p = { p with Problem.desirable_edge = (fun u v -> u = 5 && v = 6) } in
+  let cuts = Solver.partition_points p ~max_size:8 in
+  Alcotest.(check bool) "cut at the desirable edge" true (List.mem 5 cuts)
+
+let qcheck_frontier_exact =
+  QCheck.Test.make ~name:"frontier dp is exact on random dags" ~count:40
+    QCheck.(pair (int_range 1 8) (int_range 0 10000))
+    (fun (n, seed) ->
+      let p = random_problem ~seed ~n ~chain:false () in
+      let dp = Solver.optimal p in
+      let ex = Solver.exhaustive p in
+      Float.abs (dp.Solver.cost -. ex.Solver.cost) < 1e-9)
+
+let qcheck_assignments_complete =
+  QCheck.Test.make ~name:"solvers assign a plan to every node" ~count:40
+    QCheck.(pair (int_range 1 20) (int_range 0 10000))
+    (fun (n, seed) ->
+      let p = random_problem ~seed ~n ~chain:false () in
+      List.for_all
+        (fun (r : Solver.result) ->
+          Array.length r.Solver.plans = n
+          && Array.for_all (fun x -> x >= 0) r.Solver.plans
+          && Array.to_list r.Solver.plans
+             |> List.mapi (fun v o -> o < p.Problem.options.(v))
+             |> List.for_all (fun b -> b))
+        [ Solver.local p; Solver.optimal p; Solver.partitioned ~max_size:7 p ])
+
+let tests =
+  [
+    Alcotest.test_case "problem validation" `Quick test_validate;
+    Alcotest.test_case "empty problem" `Quick test_total_cost_empty;
+    Alcotest.test_case "local optimal semantics" `Quick test_local_ignores_edges;
+    Alcotest.test_case "chain dp = exhaustive (eq. 2)" `Quick test_chain_dp_matches_exhaustive;
+    Alcotest.test_case "frontier dp = exhaustive" `Quick test_frontier_dp_matches_exhaustive;
+    Alcotest.test_case "partitioned between local and optimal" `Quick test_partitioned_quality;
+    Alcotest.test_case "exhaustive blow-up guard" `Quick test_exhaustive_guard;
+    Alcotest.test_case "partition size bound" `Quick test_partition_points_respect_max;
+    Alcotest.test_case "desirable edges drive cuts" `Quick test_desirable_edges_used;
+    QCheck_alcotest.to_alcotest qcheck_frontier_exact;
+    QCheck_alcotest.to_alcotest qcheck_assignments_complete;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* PBQP solver (paper section IV-B's alternative)                      *)
+
+module Pbqp = Gcd2_layout.Pbqp
+
+let test_pbqp_matches_optimal_on_trees () =
+  (* chains have max degree 2: only exact reductions fire *)
+  for seed = 1 to 10 do
+    let p = random_problem ~seed ~n:10 ~chain:true () in
+    let pb = Pbqp.solve p in
+    let opt = Solver.optimal p in
+    Alcotest.(check (float 1e-9))
+      (Fmt.str "seed %d" seed)
+      opt.Solver.cost pb.Solver.cost
+  done
+
+let test_pbqp_quality_on_dags () =
+  for seed = 1 to 12 do
+    let p = random_problem ~seed ~n:20 ~chain:false () in
+    let pb = Pbqp.solve p in
+    let opt = Solver.optimal p in
+    let loc = Solver.local p in
+    if pb.Solver.cost < opt.Solver.cost -. 1e-9 then
+      Alcotest.failf "seed %d: pbqp beat the optimum?!" seed;
+    if pb.Solver.cost > loc.Solver.cost +. 1e-9 then
+      Alcotest.failf "seed %d: pbqp %.1f worse than local %.1f" seed pb.Solver.cost
+        loc.Solver.cost;
+    (* "in practice close" (the paper) *)
+    if pb.Solver.cost > opt.Solver.cost *. 1.15 then
+      Alcotest.failf "seed %d: pbqp %.1f more than 15%% off optimal %.1f" seed pb.Solver.cost
+        opt.Solver.cost
+  done
+
+let qcheck_pbqp_valid =
+  QCheck.Test.make ~name:"pbqp assigns valid plans" ~count:40
+    QCheck.(pair (int_range 1 25) (int_range 0 10000))
+    (fun (n, seed) ->
+      let p = random_problem ~seed ~n ~chain:false () in
+      let r = Pbqp.solve p in
+      Array.length r.Solver.plans = n
+      && Array.to_list r.Solver.plans
+         |> List.mapi (fun v o -> o >= 0 && o < p.Problem.options.(v))
+         |> List.for_all Fun.id)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "pbqp exact on chains" `Quick test_pbqp_matches_optimal_on_trees;
+      Alcotest.test_case "pbqp near-optimal on dags" `Quick test_pbqp_quality_on_dags;
+      QCheck_alcotest.to_alcotest qcheck_pbqp_valid;
+    ]

@@ -1,0 +1,107 @@
+(* Tests for Gcd2_util: saturating arithmetic, requantization, RNG, stats. *)
+
+open Gcd2_util
+
+let check_int = Alcotest.(check int)
+
+let test_sat_bounds () =
+  check_int "sat8 clamps high" 127 (Saturate.sat8 1000);
+  check_int "sat8 clamps low" (-128) (Saturate.sat8 (-1000));
+  check_int "sat8 passes through" 5 (Saturate.sat8 5);
+  check_int "sat16 clamps high" 32767 (Saturate.sat16 100000);
+  check_int "sat16 clamps low" (-32768) (Saturate.sat16 (-100000));
+  check_int "sat32 clamps high" 0x7fffffff (Saturate.sat32 (1 lsl 40));
+  check_int "sat32 clamps low" (-0x80000000) (Saturate.sat32 (-(1 lsl 40)))
+
+let test_wrap32 () =
+  check_int "wrap32 positive overflow" (-0x80000000) (Saturate.wrap32 0x80000000);
+  check_int "wrap32 identity" 42 (Saturate.wrap32 42);
+  check_int "wrap32 negative" (-1) (Saturate.wrap32 0xffffffff)
+
+let test_sign_extend () =
+  check_int "8-bit negative" (-1) (Saturate.sign_extend ~bits:8 0xff);
+  check_int "8-bit positive" 127 (Saturate.sign_extend ~bits:8 0x7f);
+  check_int "16-bit negative" (-2) (Saturate.sign_extend ~bits:16 0xfffe)
+
+let test_rounding_shift () =
+  check_int "rounds up at half" 2 (Saturate.rounding_shift_right 3 1);
+  check_int "rounds down below half" 1 (Saturate.rounding_shift_right 5 2);
+  check_int "symmetric for negatives" (-2) (Saturate.rounding_shift_right (-3) 1);
+  check_int "shift by zero" 7 (Saturate.rounding_shift_right 7 0)
+
+let test_quantize_multiplier () =
+  (* apply_multiplier (quantize_multiplier s) must approximate x * s. *)
+  List.iter
+    (fun s ->
+      let mult, shift = Saturate.quantize_multiplier s in
+      List.iter
+        (fun x ->
+          let got = Saturate.apply_multiplier x (mult, shift) in
+          let want = Float.round (float_of_int x *. s) in
+          let err = abs (got - int_of_float want) in
+          if err > 1 then
+            Alcotest.failf "scale %.6f x %d: got %d want %.0f" s x got want)
+        [ 0; 1; -1; 100; -100; 12345; -54321; 1000000 ])
+    [ 0.5; 0.25; 0.1; 0.0123; 0.9; 0.003; 0.7071 ]
+
+let test_requantize () =
+  let mult, shift = Saturate.quantize_multiplier 0.05 in
+  check_int "requantize saturates" 127
+    (Saturate.requantize 1_000_000 ~mult ~shift ~zero:0);
+  check_int "requantize zero point" 3 (Saturate.requantize 60 ~mult ~shift ~zero:0)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same seeds agree" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_int8_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int8 r in
+    if v < -127 || v > 127 then Alcotest.failf "int8 out of range: %d" v
+  done
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "geomean of (2,8)" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_int "ceil_div exact" 3 (Stats.ceil_div 9 3);
+  check_int "ceil_div rounds up" 4 (Stats.ceil_div 10 3);
+  check_int "round_up" 128 (Stats.round_up 100 64)
+
+let qcheck_sat8 =
+  QCheck.Test.make ~name:"sat8 stays in range" ~count:500
+    QCheck.(int_range (-100000) 100000)
+    (fun x ->
+      let v = Gcd2_util.Saturate.sat8 x in
+      v >= -128 && v <= 127 && (x < -128 || x > 127 || v = x))
+
+let qcheck_rounding =
+  QCheck.Test.make ~name:"rounding shift within 1 of float division" ~count:500
+    QCheck.(pair (int_range (-1000000) 1000000) (int_range 0 16))
+    (fun (x, n) ->
+      let got = Saturate.rounding_shift_right x n in
+      let want = Float.round (float_of_int x /. float_of_int (1 lsl n)) in
+      abs_float (float_of_int got -. want) <= 0.5)
+
+let tests =
+  [
+    Alcotest.test_case "saturation bounds" `Quick test_sat_bounds;
+    Alcotest.test_case "wrap32" `Quick test_wrap32;
+    Alcotest.test_case "sign extension" `Quick test_sign_extend;
+    Alcotest.test_case "rounding shift" `Quick test_rounding_shift;
+    Alcotest.test_case "quantize multiplier roundtrip" `Quick test_quantize_multiplier;
+    Alcotest.test_case "requantize" `Quick test_requantize;
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng int8 range" `Quick test_rng_int8_range;
+    Alcotest.test_case "stats helpers" `Quick test_stats;
+    QCheck_alcotest.to_alcotest qcheck_sat8;
+    QCheck_alcotest.to_alcotest qcheck_rounding;
+  ]

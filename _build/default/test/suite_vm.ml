@@ -1,0 +1,541 @@
+(* Tests for Gcd2_vm: instruction semantics (against straight-line OCaml
+   reference computations), loop execution, and the agreement between
+   dynamic cycle counting and the static program cost. *)
+
+open Gcd2_isa
+module Machine = Gcd2_vm.Machine
+module Sat = Gcd2_util.Saturate
+
+let r n = Reg.R n
+let v n = Reg.V n
+let p n = Reg.P n
+let addr base offset = { Instr.base; offset }
+
+(* One instruction per packet, one block. *)
+let seq instrs = [ Program.Block (List.map (fun i -> [ i ]) instrs) ]
+
+let run ?tables instrs =
+  let m = Machine.create ~mem_bytes:(1 lsl 16) () in
+  Machine.run m (Program.make ?tables "test" (seq instrs));
+  m
+
+let test_scalar_ops () =
+  let m =
+    run
+      [
+        Instr.Smovi (r 0, 10);
+        Instr.Smovi (r 1, 3);
+        Instr.Salu (Instr.Add, r 2, r 0, Instr.Reg (r 1));
+        Instr.Salu (Instr.Sub, r 3, r 0, Instr.Imm 4);
+        Instr.Smul (r 4, r 0, Instr.Reg (r 1));
+        Instr.Salu (Instr.Shl, r 5, r 0, Instr.Imm 2);
+        Instr.Salu (Instr.Shr, r 6, r 0, Instr.Imm 1);
+        Instr.Salu (Instr.Min, r 7, r 0, Instr.Reg (r 1));
+        Instr.Salu (Instr.Max, r 8, r 0, Instr.Reg (r 1));
+      ]
+  in
+  let check name want reg = Alcotest.(check int) name want (Machine.get_sreg m reg) in
+  check "add" 13 (r 2);
+  check "sub" 6 (r 3);
+  check "mul" 30 (r 4);
+  check "shl" 40 (r 5);
+  check "shr" 5 (r 6);
+  check "min" 3 (r 7);
+  check "max" 10 (r 8)
+
+let test_scalar_wrap () =
+  let m =
+    run
+      [
+        Instr.Smovi (r 0, 0x7fffffff);
+        Instr.Salu (Instr.Add, r 1, r 0, Instr.Imm 1);
+      ]
+  in
+  Alcotest.(check int) "wraps to min_int32" (-0x80000000) (Machine.get_sreg m (r 1))
+
+let test_scalar_memory () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 100);
+            Instr.Smovi (r 1, -123456);
+            Instr.Sstore (addr (r 0) 8, r 1);
+            Instr.Sload (r 2, addr (r 0) 8);
+          ]));
+  Alcotest.(check int) "store/load roundtrip" (-123456) (Machine.get_sreg m (r 2))
+
+let test_vector_load_store () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  let data = Array.init 128 (fun i -> i - 64) in
+  Machine.write_i8_array m ~addr:256 data;
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 256);
+            Instr.Smovi (r 1, 512);
+            Instr.Vload (v 0, addr (r 0) 0);
+            Instr.Vstore (addr (r 1) 0, v 0);
+          ]));
+  let out = Machine.read_i8_array m ~addr:512 ~len:128 in
+  Alcotest.(check (array int)) "vector copy" data out
+
+let test_valu_add_sat () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  let a = Array.init 128 (fun i -> if i = 0 then 120 else i mod 50) in
+  let b = Array.init 128 (fun i -> if i = 0 then 120 else -(i mod 30)) in
+  Machine.write_i8_array m ~addr:0 a;
+  Machine.write_i8_array m ~addr:128 b;
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Vload (v 0, addr (r 0) 0);
+            Instr.Vload (v 1, addr (r 0) 128);
+            Instr.Valu (Instr.Vadd, Instr.W8, v 2, v 0, v 1);
+            Instr.Vstore (addr (r 0) 256, v 2);
+          ]));
+  let out = Machine.read_i8_array m ~addr:256 ~len:128 in
+  let want = Array.init 128 (fun i -> Sat.sat8 (a.(i) + b.(i))) in
+  Alcotest.(check (array int)) "saturating vadd" want out
+
+let test_vmpy_semantics () =
+  (* vmpy: lane i multiplied by scalar byte (i mod 4); even lanes accumulate
+     into the low half, odd lanes into the high half (paper fig 1a). *)
+  let m = Machine.create ~mem_bytes:4096 () in
+  let a = Array.init 128 (fun i -> (i * 7 mod 250) - 125) in
+  Machine.write_i8_array m ~addr:0 a;
+  let weights = [| 3; -5; 7; -2 |] in
+  let packed =
+    (weights.(0) land 0xff)
+    lor ((weights.(1) land 0xff) lsl 8)
+    lor ((weights.(2) land 0xff) lsl 16)
+    lor ((weights.(3) land 0xff) lsl 24)
+  in
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Smovi (r 1, packed);
+            Instr.Vload (v 4, addr (r 0) 0);
+            Instr.Vmovi (p 1, 0);
+            Instr.Vmpy (p 1, v 4, r 1);
+            Instr.Vstore (addr (r 0) 512, v 2);
+            Instr.Vstore (addr (r 0) 1024, v 3);
+          ]));
+  (* v2 = low half = even-lane products; v3 = high half = odd lanes. *)
+  let lo = Machine.read_i8_array m ~addr:512 ~len:128 in
+  let hi = Machine.read_i8_array m ~addr:1024 ~len:128 in
+  let lane16 arr j = Sat.sign_extend ~bits:16 ((arr.((2 * j) + 1) land 0xff) lsl 8 lor (arr.(2 * j) land 0xff)) in
+  for j = 0 to 63 do
+    let even = a.(2 * j) * weights.((2 * j) mod 4) in
+    let odd = a.((2 * j) + 1) * weights.(((2 * j) + 1) mod 4) in
+    Alcotest.(check int) (Fmt.str "even lane %d" j) (Sat.sat16 even) (lane16 lo j);
+    Alcotest.(check int) (Fmt.str "odd lane %d" j) (Sat.sat16 odd) (lane16 hi j)
+  done
+
+let test_vrmpy_semantics () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  let a = Array.init 128 (fun i -> (i * 13 mod 250) - 125) in
+  Machine.write_i8_array m ~addr:0 a;
+  let weights = [| -7; 11; 2; -3 |] in
+  let packed =
+    (weights.(0) land 0xff)
+    lor ((weights.(1) land 0xff) lsl 8)
+    lor ((weights.(2) land 0xff) lsl 16)
+    lor ((weights.(3) land 0xff) lsl 24)
+  in
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Smovi (r 1, packed);
+            Instr.Vload (v 4, addr (r 0) 0);
+            Instr.Vmovi (v 5, 0);
+            Instr.Vrmpy (v 5, v 4, r 1);
+            Instr.Vrmpy (v 5, v 4, r 1);
+            Instr.Vstore (addr (r 0) 512, v 5);
+          ]));
+  let out = Machine.read_i32_array m ~addr:512 ~len:32 in
+  for l = 0 to 31 do
+    let dot = ref 0 in
+    for mxx = 0 to 3 do
+      dot := !dot + (a.((4 * l) + mxx) * weights.(mxx))
+    done;
+    (* accumulated twice *)
+    Alcotest.(check int) (Fmt.str "lane %d" l) (2 * !dot) out.(l)
+  done
+
+let test_vmpa_semantics () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  let q0 = Array.init 128 (fun i -> (i mod 17) - 8) in
+  let q1 = Array.init 128 (fun i -> ((i * 3) mod 19) - 9) in
+  Machine.write_i8_array m ~addr:0 q0;
+  Machine.write_i8_array m ~addr:128 q1;
+  let w = [| 4; -6; 9; -1 |] in
+  let packed =
+    (w.(0) land 0xff) lor ((w.(1) land 0xff) lsl 8) lor ((w.(2) land 0xff) lsl 16)
+    lor ((w.(3) land 0xff) lsl 24)
+  in
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Smovi (r 1, packed);
+            Instr.Vload (v 4, addr (r 0) 0);
+            Instr.Vload (v 5, addr (r 0) 128);
+            Instr.Vmovi (p 1, 0);
+            Instr.Vmpa (p 1, p 2, r 1);
+            Instr.Vstore (addr (r 0) 512, v 2);
+            Instr.Vstore (addr (r 0) 1024, v 3);
+          ]));
+  let lo = Machine.read_i8_array m ~addr:512 ~len:128 in
+  let hi = Machine.read_i8_array m ~addr:1024 ~len:128 in
+  let lane16 arr j =
+    Sat.sign_extend ~bits:16 (((arr.((2 * j) + 1) land 0xff) lsl 8) lor (arr.(2 * j) land 0xff))
+  in
+  for j = 0 to 63 do
+    let want_lo = (q0.(2 * j) * w.(0)) + (q1.(2 * j) * w.(1)) in
+    let want_hi = (q0.((2 * j) + 1) * w.(2)) + (q1.((2 * j) + 1) * w.(3)) in
+    Alcotest.(check int) (Fmt.str "lo %d" j) (Sat.sat16 want_lo) (lane16 lo j);
+    Alcotest.(check int) (Fmt.str "hi %d" j) (Sat.sat16 want_hi) (lane16 hi j)
+  done
+
+let test_vaddw_vpack_vshuff () =
+  (* Widen 16 -> 32, then narrow back, with a shuffle roundtrip. *)
+  let m = Machine.create ~mem_bytes:4096 () in
+  (* v0 holds 64 16-bit lanes: j*100 - 3000 *)
+  let bytes16 = Array.init 128 (fun i ->
+      let j = i / 2 in
+      let value = (j * 100) - 3000 in
+      if i mod 2 = 0 then value land 0xff else (value asr 8) land 0xff)
+  in
+  Machine.write_i8_array m ~addr:0 bytes16;
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Vload (v 0, addr (r 0) 0);
+            Instr.Vmovi (p 1, 0);
+            Instr.Vaddw (p 1, v 0);
+            Instr.Vaddw (p 1, v 0);
+            Instr.Vstore (addr (r 0) 512, v 2);
+            Instr.Vstore (addr (r 0) 640, v 3);
+          ]));
+  let words = Machine.read_i32_array m ~addr:512 ~len:64 in
+  for j = 0 to 63 do
+    Alcotest.(check int) (Fmt.str "widened lane %d" j) (2 * ((j * 100) - 3000)) words.(j)
+  done
+
+let test_vscale () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  let acc = Array.init 32 (fun i -> (i * 1000) - 16000) in
+  Machine.write_i32_array m ~addr:0 acc;
+  let mult, shift = Sat.quantize_multiplier 0.05 in
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Vload (v 0, addr (r 0) 0);
+            Instr.Vscale (v 1, v 0, mult, shift);
+            Instr.Vstore (addr (r 0) 512, v 1);
+          ]));
+  let out = Machine.read_i32_array m ~addr:512 ~len:32 in
+  for l = 0 to 31 do
+    let want = int_of_float (Float.round (float_of_int acc.(l) *. 0.05)) in
+    if abs (out.(l) - want) > 1 then
+      Alcotest.failf "lane %d: got %d want about %d" l out.(l) want
+  done
+
+let test_vlut () =
+  let table = Array.init 256 (fun i -> (255 - i) land 0xff) in
+  let m = Machine.create ~mem_bytes:4096 () in
+  let src = Array.init 128 (fun i -> i - 64) in
+  Machine.write_i8_array m ~addr:0 src;
+  Machine.run m
+    (Program.make ~tables:[ (0, table) ] "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Vload (v 0, addr (r 0) 0);
+            Instr.Vlut (v 1, v 0, 0);
+            Instr.Vstore (addr (r 0) 512, v 1);
+          ]));
+  let out = Machine.read_i8_array m ~addr:512 ~len:128 in
+  Array.iteri
+    (fun i s ->
+      let want = Sat.sign_extend ~bits:8 (table.(s land 0xff)) in
+      Alcotest.(check int) (Fmt.str "lane %d" i) want out.(i))
+    src
+
+let test_loop_execution () =
+  (* Sum 1..10 via a loop: r1 += r2; r2 += 1, ten times. *)
+  let body =
+    Program.Block
+      [
+        [ Instr.Salu (Instr.Add, r 1, r 1, Instr.Reg (r 2)) ];
+        [ Instr.Salu (Instr.Add, r 2, r 2, Instr.Imm 1) ];
+      ]
+  in
+  let prog =
+    Program.make "sum"
+      [
+        Program.Block [ [ Instr.Smovi (r 1, 0) ]; [ Instr.Smovi (r 2, 1) ] ];
+        Program.Loop { trip = 10; body = [ body ] };
+      ]
+  in
+  let m = Machine.create ~mem_bytes:4096 () in
+  Machine.run m prog;
+  Alcotest.(check int) "sum 1..10" 55 (Machine.get_sreg m (r 1))
+
+let test_cycles_match_static () =
+  let body =
+    Program.Block
+      [
+        [ Instr.Vload (v 0, addr (r 0) 0); Instr.Salu (Instr.Add, r 1, r 1, Instr.Imm 1) ];
+        [ Instr.Vrmpy (v 1, v 0, r 2) ];
+      ]
+  in
+  let prog =
+    Program.make "k"
+      [
+        Program.Block [ [ Instr.Smovi (r 0, 0) ]; [ Instr.Smovi (r 1, 0) ] ];
+        Program.Loop { trip = 7; body = [ body ] };
+      ]
+  in
+  let m = Machine.create ~mem_bytes:4096 () in
+  Machine.run m prog;
+  let c = Machine.counters m in
+  Alcotest.(check int) "dynamic cycles = static cycles" (Program.static_cycles prog) c.cycles;
+  Alcotest.(check int) "dynamic packets = static" (Program.packet_count prog) c.packets;
+  Alcotest.(check int) "macs counted" (Program.macs prog) c.macs;
+  Alcotest.(check int) "load bytes" (Program.load_bytes prog) c.loaded_bytes
+
+let test_out_of_bounds () =
+  let m = Machine.create ~mem_bytes:256 () in
+  Alcotest.check_raises "oob load raises"
+    (Invalid_argument "memory access out of bounds: [1024, 1152)") (fun () ->
+      Machine.run m
+        (Program.make "t" (seq [ Instr.Smovi (r 0, 1024); Instr.Vload (v 0, addr (r 0) 0) ])))
+
+let tests =
+  [
+    Alcotest.test_case "scalar alu" `Quick test_scalar_ops;
+    Alcotest.test_case "scalar wraparound" `Quick test_scalar_wrap;
+    Alcotest.test_case "scalar memory" `Quick test_scalar_memory;
+    Alcotest.test_case "vector load/store" `Quick test_vector_load_store;
+    Alcotest.test_case "saturating vector add" `Quick test_valu_add_sat;
+    Alcotest.test_case "vmpy semantics (fig 1a)" `Quick test_vmpy_semantics;
+    Alcotest.test_case "vrmpy semantics (fig 1c)" `Quick test_vrmpy_semantics;
+    Alcotest.test_case "vmpa semantics (fig 1b)" `Quick test_vmpa_semantics;
+    Alcotest.test_case "vaddw widening accumulate" `Quick test_vaddw_vpack_vshuff;
+    Alcotest.test_case "vscale requantization" `Quick test_vscale;
+    Alcotest.test_case "vlut table lookup" `Quick test_vlut;
+    Alcotest.test_case "loop execution" `Quick test_loop_execution;
+    Alcotest.test_case "dynamic counters match static" `Quick test_cycles_match_static;
+    Alcotest.test_case "bounds checking" `Quick test_out_of_bounds;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Full coverage of remaining vector operations                        *)
+
+let test_valu_ops () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  let a = Array.init 128 (fun i -> (i mod 200) - 100) in
+  let b = Array.init 128 (fun i -> ((i * 7) mod 150) - 75) in
+  Machine.write_i8_array m ~addr:0 a;
+  Machine.write_i8_array m ~addr:128 b;
+  let check op fn =
+    Machine.run m
+      (Program.make "t"
+         (seq
+            [
+              Instr.Smovi (r 0, 0);
+              Instr.Vload (v 0, addr (r 0) 0);
+              Instr.Vload (v 1, addr (r 0) 128);
+              Instr.Valu (op, Instr.W8, v 2, v 0, v 1);
+              Instr.Vstore (addr (r 0) 512, v 2);
+            ]));
+    let out = Machine.read_i8_array m ~addr:512 ~len:128 in
+    Array.iteri
+      (fun i got ->
+        let want = fn a.(i) b.(i) in
+        if got <> want then
+          Alcotest.failf "%s lane %d: got %d want %d" (Instr.to_string (Instr.Valu (op, Instr.W8, v 2, v 0, v 1))) i got want)
+      out
+  in
+  check Instr.Vsub (fun x y -> Sat.sat8 (x - y));
+  check Instr.Vmax max;
+  check Instr.Vmin min;
+  check Instr.Vavg (fun x y -> (x + y + 1) asr 1);
+  check Instr.Vand (fun x y -> Sat.sign_extend ~bits:8 ((x land y) land 0xff));
+  check Instr.Vor (fun x y -> Sat.sign_extend ~bits:8 ((x lor y) land 0xff));
+  check Instr.Vxor (fun x y -> Sat.sign_extend ~bits:8 ((x lxor y) land 0xff))
+
+let test_vdup () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Smovi (r 1, 0x1234_56AB);
+            Instr.Vdup (v 0, r 1);
+            Instr.Vstore (addr (r 0) 0, v 0);
+          ]));
+  let out = Machine.read_i8_array m ~addr:0 ~len:128 in
+  Array.iter
+    (fun x -> Alcotest.(check int) "low byte splat" (Sat.sign_extend ~bits:8 0xAB) x)
+    out
+
+let test_vpack_w32 () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  let words = Array.init 64 (fun i -> (i * 3000) - 90000) in
+  Machine.write_i32_array m ~addr:0 words;
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Vload (v 0, addr (r 0) 0);
+            Instr.Vload (v 1, addr (r 0) 128);
+            Instr.Vpack (v 2, p 0, Instr.W32);
+            Instr.Vstore (addr (r 0) 512, v 2);
+          ]));
+  let out = Machine.read_i8_array m ~addr:512 ~len:128 in
+  let lane16 j =
+    Sat.sign_extend ~bits:16 (((out.((2 * j) + 1) land 0xff) lsl 8) lor (out.(2 * j) land 0xff))
+  in
+  for j = 0 to 63 do
+    Alcotest.(check int) (Fmt.str "lane %d" j) (Sat.sat16 words.(j)) (lane16 j)
+  done
+
+let test_vshuff_roundtrip_widths () =
+  (* shuffling a pair whose halves hold 0..127 / 128..255 interleaves the
+     byte streams; checking one width thoroughly and the others spot-wise *)
+  let m = Machine.create ~mem_bytes:4096 () in
+  Machine.write_i8_array m ~addr:0 (Array.init 256 (fun i -> Sat.sign_extend ~bits:8 i));
+  List.iter
+    (fun (w, bytes_per_lane) ->
+      Machine.run m
+        (Program.make "t"
+           (seq
+              [
+                Instr.Smovi (r 0, 0);
+                Instr.Vload (v 0, addr (r 0) 0);
+                Instr.Vload (v 1, addr (r 0) 128);
+                Instr.Vshuff (p 1, p 0, w);
+                Instr.Vstore (addr (r 0) 512, v 2);
+                Instr.Vstore (addr (r 0) 640, v 3);
+              ]));
+      let out = Machine.read_i8_array m ~addr:512 ~len:256 in
+      (* lane 0 comes from the low half, lane 1 from the high half *)
+      Alcotest.(check int) "first lane from lo" 0 out.(0);
+      Alcotest.(check int)
+        (Fmt.str "second lane from hi (width %d)" bytes_per_lane)
+        (Sat.sign_extend ~bits:8 128)
+        out.(bytes_per_lane))
+    [ (Instr.W8, 1); (Instr.W16, 2); (Instr.W32, 4) ]
+
+let test_vmpyb_selects_byte () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  let a = Array.init 128 (fun i -> (i mod 20) - 10) in
+  Machine.write_i8_array m ~addr:0 a;
+  let weights = [| 3; -5; 7; -2 |] in
+  let packed =
+    (weights.(0) land 0xff) lor ((weights.(1) land 0xff) lsl 8)
+    lor ((weights.(2) land 0xff) lsl 16) lor ((weights.(3) land 0xff) lsl 24)
+  in
+  for sel = 0 to 3 do
+    Machine.run m
+      (Program.make "t"
+         (seq
+            [
+              Instr.Smovi (r 0, 0);
+              Instr.Smovi (r 1, packed);
+              Instr.Vload (v 4, addr (r 0) 0);
+              Instr.Vmovi (p 1, 0);
+              Instr.Vmpyb (p 1, v 4, r 1, sel);
+              Instr.Vstore (addr (r 0) 512, v 2);
+              Instr.Vstore (addr (r 0) 1024, v 3);
+            ]));
+    let lo = Machine.read_i8_array m ~addr:512 ~len:128 in
+    let lane16 arr j =
+      Sat.sign_extend ~bits:16 (((arr.((2 * j) + 1) land 0xff) lsl 8) lor (arr.(2 * j) land 0xff))
+    in
+    for j = 0 to 63 do
+      Alcotest.(check int)
+        (Fmt.str "sel %d lane %d" sel j)
+        (Sat.sat16 (a.(2 * j) * weights.(sel)))
+        (lane16 lo j)
+    done
+  done
+
+let test_vmul_elementwise () =
+  let m = Machine.create ~mem_bytes:4096 () in
+  let a = Array.init 128 (fun i -> (i mod 23) - 11) in
+  let b = Array.init 128 (fun i -> ((i * 5) mod 19) - 9) in
+  Machine.write_i8_array m ~addr:0 a;
+  Machine.write_i8_array m ~addr:128 b;
+  Machine.run m
+    (Program.make "t"
+       (seq
+          [
+            Instr.Smovi (r 0, 0);
+            Instr.Vload (v 4, addr (r 0) 0);
+            Instr.Vload (v 5, addr (r 0) 128);
+            Instr.Vmovi (p 1, 0);
+            Instr.Vmul (p 1, v 4, v 5);
+            Instr.Vstore (addr (r 0) 512, v 2);
+            Instr.Vstore (addr (r 0) 640, v 3);
+          ]));
+  let lo = Machine.read_i8_array m ~addr:512 ~len:128 in
+  let hi = Machine.read_i8_array m ~addr:640 ~len:128 in
+  let lane16 arr j =
+    Sat.sign_extend ~bits:16 (((arr.((2 * j) + 1) land 0xff) lsl 8) lor (arr.(2 * j) land 0xff))
+  in
+  for j = 0 to 63 do
+    Alcotest.(check int) (Fmt.str "even %d" j) (Sat.sat16 (a.(2 * j) * b.(2 * j))) (lane16 lo j);
+    Alcotest.(check int)
+      (Fmt.str "odd %d" j)
+      (Sat.sat16 (a.((2 * j) + 1) * b.((2 * j) + 1)))
+      (lane16 hi j)
+  done
+
+let test_scalar_logic_and_shift_ops () =
+  let m =
+    run
+      [
+        Instr.Smovi (r 0, 0b1100);
+        Instr.Smovi (r 1, 0b1010);
+        Instr.Salu (Instr.And, r 2, r 0, Instr.Reg (r 1));
+        Instr.Salu (Instr.Or, r 3, r 0, Instr.Reg (r 1));
+        Instr.Salu (Instr.Xor, r 4, r 0, Instr.Reg (r 1));
+        Instr.Smovi (r 5, -16);
+        Instr.Salu (Instr.Shr, r 6, r 5, Instr.Imm 2);
+      ]
+  in
+  Alcotest.(check int) "and" 0b1000 (Machine.get_sreg m (r 2));
+  Alcotest.(check int) "or" 0b1110 (Machine.get_sreg m (r 3));
+  Alcotest.(check int) "xor" 0b0110 (Machine.get_sreg m (r 4));
+  Alcotest.(check int) "arithmetic shift" (-4) (Machine.get_sreg m (r 6))
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "vector alu op coverage" `Quick test_valu_ops;
+      Alcotest.test_case "vdup" `Quick test_vdup;
+      Alcotest.test_case "vpack 32->16" `Quick test_vpack_w32;
+      Alcotest.test_case "vshuff widths" `Quick test_vshuff_roundtrip_widths;
+      Alcotest.test_case "vmpyb byte select" `Quick test_vmpyb_selects_byte;
+      Alcotest.test_case "vmul elementwise" `Quick test_vmul_elementwise;
+      Alcotest.test_case "scalar logic and shifts" `Quick test_scalar_logic_and_shift_ops;
+    ]

@@ -1,0 +1,21 @@
+(* Top-level alcotest runner aggregating every suite. *)
+
+let () =
+  Alcotest.run "gcd2"
+    [
+      ("util", Suite_util.tests);
+      ("isa", Suite_isa.tests);
+      ("sched", Suite_sched.tests);
+      ("vm", Suite_vm.tests);
+      ("tensor", Suite_tensor.tests);
+      ("graph", Suite_graph.tests);
+      ("kernels", Suite_kernels.tests);
+      ("codegen", Suite_codegen.tests);
+      ("eltwise", Suite_eltwise.tests);
+      ("layout", Suite_layout.tests);
+      ("cost", Suite_cost.tests);
+      ("core", Suite_core.tests);
+      ("models", Suite_models.tests);
+      ("frameworks", Suite_frameworks.tests);
+      ("devices", Suite_devices.tests);
+    ]
