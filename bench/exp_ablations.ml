@@ -56,9 +56,9 @@ let run () =
   Report.row "%6s | %10s | %12s | %10s\n" "k" "ms" "vs optimal" "solve (s)";
   List.iter
     (fun k ->
-      let t0 = Sys.time () in
+      let t0 = Gcd2_util.Trace.now () in
       let r = Solver.partitioned ~max_size:k p in
-      let dt = Sys.time () -. t0 in
+      let dt = Gcd2_util.Trace.now () -. t0 in
       let ms = eval r.Solver.plans in
       Report.row "%6d | %10.3f | %11.2f%% | %10.4f\n" k ms
         (100.0 *. ((ms /. optimal) -. 1.0))

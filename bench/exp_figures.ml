@@ -131,9 +131,9 @@ let resnet_prefix n =
   { Graph.nodes = Array.sub full.Graph.nodes 0 n }
 
 let time f =
-  let t0 = Sys.time () in
+  let t0 = Gcd2_util.Trace.now () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Gcd2_util.Trace.now () -. t0)
 
 let fig10 () =
   Report.header

@@ -32,9 +32,9 @@ let usage () =
 let run name =
   match List.assoc_opt name experiments with
   | Some f ->
-    let t0 = Sys.time () in
+    let t0 = Gcd2_util.Trace.now () in
     f ();
-    Printf.printf "   [%s finished in %.1f s]\n%!" name (Sys.time () -. t0)
+    Printf.printf "   [%s finished in %.1f s]\n%!" name (Gcd2_util.Trace.now () -. t0)
   | None ->
     Printf.printf "unknown experiment %S\n" name;
     usage ();

@@ -17,3 +17,28 @@ let note fmt = Printf.ksprintf (fun s -> Printf.printf "   note: %s\n" s) fmt
 let ratio a b = if b = 0.0 then 0.0 else a /. b
 
 let pp_opt_ms = function Some v -> Printf.sprintf "%8.1f" v | None -> "       -"
+
+(* Per-pass compile timing columns, driven by the traces that
+   [Compiler.compile] records: one column per top-level pass. *)
+
+module Trace = Gcd2_util.Trace
+
+let phase_names traces =
+  List.fold_left
+    (fun acc tr ->
+      List.fold_left
+        (fun acc (n, _) -> if List.mem n acc then acc else acc @ [ n ])
+        acc (Trace.top_spans tr))
+    [] traces
+
+let phase_width name = max 9 (String.length name)
+
+let phase_header ~label_width names =
+  Printf.printf "%-*s" label_width "model";
+  List.iter (fun n -> Printf.printf " %*s" (phase_width n) n) names;
+  Printf.printf " %9s\n" "total"
+
+let phase_row ~label_width label trace names =
+  Printf.printf "%-*s" label_width label;
+  List.iter (fun n -> Printf.printf " %*.4f" (phase_width n) (Trace.span_seconds trace n)) names;
+  Printf.printf " %9.4f\n" (Trace.total_seconds trace)

@@ -57,6 +57,21 @@ let verbose_arg =
   let doc = "Print the chosen execution plan of every operator." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Print the compile trace: per-pass wall time plus the counters the \
+     deeper layers record (fused nodes, partitions, packets, stalls)."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let dump_after_arg =
+  let doc =
+    "Dump the intermediate artifact after the named pass (repeatable; see \
+     the pass names printed by --trace, e.g. fuse-activations or \
+     'select:gcd2(13)')."
+  in
+  Arg.(value & opt_all string [] & info [ "dump-after" ] ~docv:"PASS" ~doc)
+
 let config_of ~framework ~selection =
   let base =
     match String.lowercase_ascii framework with
@@ -78,13 +93,16 @@ let config_of ~framework ~selection =
   in
   { base with Compiler.selection }
 
-let compile_run model framework selection verbose =
+let compile_run model framework selection verbose trace dump_after =
   let entry = Zoo.find model in
   let config = config_of ~framework ~selection in
-  let c = Compiler.compile ~config (entry.Zoo.build ()) in
+  let c =
+    Compiler.compile ~config ~dump_after ~dump_ppf:Fmt.stdout (entry.Zoo.build ())
+  in
   Fmt.pr "%a@." Compiler.pp_summary c;
   Fmt.pr "selection: %a in %.3f s@." Compiler.pp_selection config.Compiler.selection
     c.Compiler.selection_seconds;
+  if trace then Fmt.pr "@.%a@." Compiler.pp_trace c;
   Fmt.pr "paper reports %.1f ms for GCD2 on this model@." entry.Zoo.paper_gcd2_ms;
   if verbose then begin
     Fmt.pr "@.%-4s %-26s %-24s %10s@." "id" "operator" "plan" "cycles";
@@ -101,7 +119,9 @@ let compile_cmd =
   let doc = "Compile a zoo model and report latency/utilization." in
   Cmd.v
     (Cmd.info "compile" ~doc)
-    Term.(const compile_run $ model_arg $ framework_arg $ selection_arg $ verbose_arg)
+    Term.(
+      const compile_run $ model_arg $ framework_arg $ selection_arg $ verbose_arg
+      $ trace_arg $ dump_after_arg)
 
 (* ---------------- compare ---------------- *)
 

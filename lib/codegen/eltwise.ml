@@ -82,6 +82,7 @@ let binary_body op s ~ra ~rb ~ro ~regs count =
 
 (** Generate a binary elementwise kernel. *)
 let binary ?(tables = []) op s (b : buffers) =
+  Gcd2_util.Trace.in_span "eltwise-emit" @@ fun () ->
   validate s;
   let pool = Regs.create () in
   let ra = Regs.scalar pool and rb = Regs.scalar pool and ro = Regs.scalar pool in
@@ -113,6 +114,7 @@ let binary ?(tables = []) op s (b : buffers) =
 (** Generate a unary lookup kernel ([table] maps input bytes to output
     bytes): activations, [Pow], reciprocal, requantize. *)
 let unary ?(tables = []) ~table s ~in_base ~out_base =
+  Gcd2_util.Trace.in_span "eltwise-emit" @@ fun () ->
   validate s;
   let pool = Regs.create () in
   let ra = Regs.scalar pool and ro = Regs.scalar pool in

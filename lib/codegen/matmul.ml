@@ -540,6 +540,7 @@ let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
     {!Gcd2_tensor.Quant.per_channel_requant}, with the multiplier vectors
     prepacked at [q_base] ({!Weights.prepack_channel_mults}). *)
 let generate ?(tables = []) ?per_channel ?q_base spec buffers =
+  Gcd2_util.Trace.in_span "matmul-emit" @@ fun () ->
   let ctx = make_ctx spec in
   let nodes, _pool =
     match spec.simd with

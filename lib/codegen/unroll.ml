@@ -39,6 +39,7 @@ let clamp_ug ~k ug =
     small tiles, fat outputs wide ones — and the reduction unroll deepens
     to the scheduler's window except when the reduction is shallow. *)
 let adaptive simd ~m ~k ~n =
+  Gcd2_util.Trace.in_span "unroll" @@ fun () ->
   let un = clamp_un simd ~n (Matmul.max_un simd) in
   ignore (classify ~m ~n);
   { un; ug = clamp_ug ~k 4 }
@@ -56,6 +57,7 @@ let none simd ~k ~n = { un = clamp_un simd ~n 1; ug = clamp_ug ~k 1 }
 (** Exhaustive grid search minimizing the generated kernel's cycle count —
     the expensive baseline of Figure 12. *)
 let exhaustive (base : Matmul.spec) =
+  Gcd2_util.Trace.in_span "unroll" @@ fun () ->
   let simd = base.Matmul.simd in
   let group = Gcd2_tensor.Layout.column_group (Simd.layout simd) in
   let uns =

@@ -5,6 +5,14 @@
     selection} -> SIMD code-generation plan -> kernels packed by the
     {b SDA} scheduler -> latency/utilization report.
 
+    The driver is an explicit {!Pipeline} of named passes — [validate],
+    the graph optimizations ([eliminate-identity-reshapes],
+    [fuse-activations]), [build-costs] (plan enumeration, which
+    generates, unrolls and SDA-packs every candidate kernel),
+    [select:<strategy>] and [report] — each timed into the compile
+    {!Trace} together with the counters the deeper layers record
+    (fused nodes, partitions, packets packed, stalls inserted).
+
     The [selection] and [opcost] knobs expose every ablation the paper
     evaluates (local vs global selection, sub-graph size bounds,
     soft-dependency treatments, unrolling strategies, division lookup). *)
@@ -14,6 +22,7 @@ module Graphcost = Gcd2_cost.Graphcost
 module Solver = Gcd2_layout.Solver
 module Passes = Gcd2_graph.Passes
 module Graph = Gcd2_graph.Graph
+module Trace = Gcd2_util.Trace
 
 type selection =
   | Local  (** per-operator best plan, transformation costs ignored *)
@@ -50,6 +59,7 @@ type compiled = {
   assignment : int array;  (** chosen plan index per node *)
   report : Graphcost.report;
   selection_seconds : float;  (** wall time spent in global selection *)
+  trace : Trace.t;  (** per-pass wall time and counters of this compile *)
 }
 
 let solve selection (cost : Graphcost.t) =
@@ -61,24 +71,137 @@ let solve selection (cost : Graphcost.t) =
   | Partitioned k -> Solver.partitioned ~max_size:k cost.Graphcost.problem
   | Pbqp -> Gcd2_layout.Pbqp.solve cost.Graphcost.problem
 
-let compile ?(config = default) (g : Graph.t) =
-  Graph.validate g;
-  let g = if config.optimize_graph then Passes.optimize g else g in
-  let cost = Graphcost.build config.opcost g in
-  let t0 = Sys.time () in
-  let solved = solve config.selection cost in
-  let selection_seconds = Sys.time () -. t0 in
-  let report = Graphcost.report cost solved.Solver.plans in
-  { config; graph = g; cost; assignment = solved.Solver.plans; report; selection_seconds }
+(* ------------------------------------------------------------------ *)
+(* The pass pipeline                                                   *)
+
+(** The artifact flowing through the pipeline: fields fill in as the
+    passes run. *)
+type artifact = {
+  art_graph : Graph.t;
+  art_cost : Graphcost.t option;
+  art_solved : Solver.result option;
+  art_report : Graphcost.report option;
+}
+
+let require what = function
+  | Some x -> x
+  | None -> invalid_arg (Fmt.str "Compiler: the %S pass did not run" what)
+
+let dump_graph ppf a = Graph.pp ppf a.art_graph
+
+let dump_costs ppf a =
+  let cost = require "build-costs" a.art_cost in
+  Fmt.pf ppf "%-4s %-26s %s@\n" "id" "operator" "plans";
+  Graph.iter
+    (fun node ->
+      Fmt.pf ppf "%-4d %-26s %a@\n" node.Graph.id
+        (Gcd2_graph.Op.name node.Graph.op)
+        Fmt.(list ~sep:(any " | ") Gcd2_cost.Plan.pp)
+        (Array.to_list cost.Graphcost.plans.(node.Graph.id)))
+    a.art_graph
+
+let dump_assignment ppf a =
+  let cost = require "build-costs" a.art_cost in
+  let solved = require "select" a.art_solved in
+  Fmt.pf ppf "cost %.0f@\n" solved.Solver.cost;
+  Graph.iter
+    (fun node ->
+      let v = node.Graph.id in
+      Fmt.pf ppf "%-4d %-26s -> %a@\n" v
+        (Gcd2_graph.Op.name node.Graph.op)
+        Gcd2_cost.Plan.pp
+        cost.Graphcost.plans.(v).(solved.Solver.plans.(v)))
+    a.art_graph
+
+let dump_report ppf a =
+  let r = require "report" a.art_report in
+  Fmt.pf ppf "%.2f ms, %.0f cycles, util %.1f%%, %.2f GB/s" r.Graphcost.ms
+    r.Graphcost.cycles
+    (100.0 *. r.Graphcost.utilization)
+    r.Graphcost.bandwidth_gbs
+
+(* One graph-rewrite pass, recording how many nodes it removed. *)
+let graph_pass name ~counter rewrite =
+  Pipeline.pass ~dump:dump_graph name (fun _ a ->
+      let before = Graph.size a.art_graph in
+      let g = rewrite a.art_graph in
+      Trace.count counter (before - Graph.size g);
+      { a with art_graph = g })
+
+let select_pass_name config = Fmt.str "select:%a" pp_selection config.selection
+
+let passes config =
+  [ Pipeline.pass "validate" (fun _ a ->
+        Graph.validate a.art_graph;
+        a) ]
+  @ (if config.optimize_graph then
+       [
+         graph_pass "eliminate-identity-reshapes" ~counter:"reshapes-eliminated"
+           Passes.eliminate_identity_reshapes;
+         graph_pass "fuse-activations" ~counter:"fused-nodes" (fun g ->
+             let g = Passes.fuse_activations g in
+             Graph.validate g;
+             g);
+       ]
+     else [])
+  @ [
+      Pipeline.pass ~dump:dump_costs "build-costs" (fun (config : config) a ->
+          { a with art_cost = Some (Graphcost.build config.opcost a.art_graph) });
+      Pipeline.pass ~dump:dump_assignment (select_pass_name config) (fun config a ->
+          let cost = require "build-costs" a.art_cost in
+          { a with art_solved = Some (solve config.selection cost) });
+      Pipeline.pass ~dump:dump_report "report" (fun _ a ->
+          let cost = require "build-costs" a.art_cost in
+          let solved = require "select" a.art_solved in
+          { a with art_report = Some (Graphcost.report cost solved.Solver.plans) });
+    ]
+
+(** Pass names of a configuration, in execution order. *)
+let pass_names config = Pipeline.names (passes config)
+
+let compile ?(config = default) ?(sink = Trace.Silent) ?(disable = []) ?(dump_after = [])
+    ?dump_ppf (g : Graph.t) =
+  let trace = Trace.create ~sink "compile" in
+  let passes =
+    List.filter (fun p -> not (List.mem p.Pipeline.name disable)) (passes config)
+  in
+  let art =
+    Trace.with_ambient trace @@ fun () ->
+    Trace.run_root trace @@ fun () ->
+    Pipeline.run ~trace
+      ~dump_after:(fun n -> List.mem n dump_after)
+      ?dump_ppf passes config
+      { art_graph = g; art_cost = None; art_solved = None; art_report = None }
+  in
+  let cost = require "build-costs" art.art_cost in
+  let solved = require "select" art.art_solved in
+  let report = require "report" art.art_report in
+  {
+    config;
+    graph = art.art_graph;
+    cost;
+    assignment = solved.Solver.plans;
+    report;
+    selection_seconds = Trace.span_seconds trace (select_pass_name config);
+    trace;
+  }
 
 (** Latency in milliseconds of a compiled model. *)
 let latency_ms c = c.report.Graphcost.ms
 
+let pp_phases ppf c =
+  Fmt.pf ppf "compile %.3fs (%a)" (Trace.total_seconds c.trace)
+    Fmt.(list ~sep:(any ", ") (fun ppf (n, s) -> pf ppf "%s %.3fs" n s))
+    (Trace.top_spans c.trace)
+
+let pp_trace ppf c = Trace.pp ppf c.trace
+
 let pp_summary ppf c =
   let r = c.report in
   Fmt.pf ppf
-    "%s: %d ops, %.2f ms (%.0f cycles), util %.1f%%, %.2f GB/s, %.2f effective TOPS"
+    "%s: %d ops, %.2f ms (%.0f cycles), util %.1f%%, %.2f GB/s, %.2f effective TOPS@\n  %a"
     c.config.name (Graph.size c.graph) r.Graphcost.ms r.Graphcost.cycles
     (100.0 *. r.Graphcost.utilization)
     r.Graphcost.bandwidth_gbs
     (Gcd2_cost.Config.tops ~macs:r.Graphcost.macs ~cycles:r.Graphcost.cycles)
+    pp_phases c

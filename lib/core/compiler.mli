@@ -1,11 +1,16 @@
-(** The end-to-end GCD2 compiler (paper Figure 6): graph optimizations,
-    local plan enumeration, global layout & instruction selection, SDA
-    packing, latency report.  The knobs expose every ablation of the
-    paper's Section V. *)
+(** The end-to-end GCD2 compiler (paper Figure 6), expressed as an
+    instrumented {!Pipeline} of named passes: [validate], the graph
+    optimizations ([eliminate-identity-reshapes], [fuse-activations]),
+    [build-costs] (plan enumeration — kernel generation, unrolling and
+    SDA packing), [select:<strategy>], [report].  Every compile carries
+    a {!Gcd2_util.Trace} with per-pass wall time and the counters the
+    deeper layers record (fused nodes, partitions, packets, stalls).
+    The knobs expose every ablation of the paper's Section V. *)
 
 module Opcost = Gcd2_cost.Opcost
 module Graphcost = Gcd2_cost.Graphcost
 module Graph = Gcd2_graph.Graph
+module Trace = Gcd2_util.Trace
 
 type selection =
   | Local  (** per-operator best plan, transformation costs ignored *)
@@ -35,11 +40,39 @@ type compiled = {
   assignment : int array;  (** chosen plan index per node *)
   report : Graphcost.report;
   selection_seconds : float;  (** wall time spent in global selection *)
+  trace : Trace.t;  (** per-pass wall time and counters of this compile *)
 }
 
-val compile : ?config:config -> Graph.t -> compiled
+(** Pass names of a configuration, in execution order (the [select] pass
+    is named after the strategy, e.g. ["select:gcd2(13)"]). *)
+val pass_names : config -> string list
+
+(** [compile ?config ?sink ?disable ?dump_after ?dump_ppf g] runs the
+    pass pipeline over [g].
+
+    - [sink] streams every closed trace span (default {!Trace.Silent});
+    - [disable] skips the named passes (only the optional graph
+      optimizations may be disabled safely — disabling a structural pass
+      raises [Invalid_argument]);
+    - [dump_after] prints the artifact after each named pass to
+      [dump_ppf] (default stderr). *)
+val compile :
+  ?config:config ->
+  ?sink:Trace.sink ->
+  ?disable:string list ->
+  ?dump_after:string list ->
+  ?dump_ppf:Format.formatter ->
+  Graph.t ->
+  compiled
 
 (** Latency in milliseconds. *)
 val latency_ms : compiled -> float
+
+(** One line of per-pass compile seconds. *)
+val pp_phases : Format.formatter -> compiled -> unit
+
+(** The full trace tree: per-pass and per-sub-span wall time, call
+    counts and counters. *)
+val pp_trace : Format.formatter -> compiled -> unit
 
 val pp_summary : Format.formatter -> compiled -> unit

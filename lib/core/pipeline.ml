@@ -1,0 +1,25 @@
+(** A typed, instrumented pass pipeline (see the interface). *)
+
+module Trace = Gcd2_util.Trace
+
+type ('env, 'a) pass = {
+  name : string;
+  run : 'env -> 'a -> 'a;
+  dump : (Format.formatter -> 'a -> unit) option;
+}
+
+let pass ?dump name run = { name; run; dump }
+
+let names passes = List.map (fun p -> p.name) passes
+
+let run ~trace ?(dump_after = fun _ -> false) ?(dump_ppf = Format.err_formatter) passes env
+    artifact =
+  List.fold_left
+    (fun artifact p ->
+      let artifact = Trace.with_span trace p.name (fun () -> p.run env artifact) in
+      (match p.dump with
+      | Some dump when dump_after p.name ->
+        Format.fprintf dump_ppf "== after %s ==@\n%a@." p.name dump artifact
+      | _ -> ());
+      artifact)
+    artifact passes

@@ -1,0 +1,37 @@
+(** A typed, instrumented pass pipeline.
+
+    A pass is a named artifact transformer with an optional dump
+    pretty-printer.  {!run} executes a pass list in order, timing each
+    pass into a {!Gcd2_util.Trace} span bearing its name; pass bodies
+    (and anything they call, down to the kernel generators and the VLIW
+    packer) record counters and sub-spans against the same trace through
+    the ambient {!Gcd2_util.Trace.count} / {!Gcd2_util.Trace.in_span}
+    hooks.  This is the LLVM-pass-manager shape the compiler driver is
+    expressed in — every stage first-class, observable and toggleable. *)
+
+module Trace = Gcd2_util.Trace
+
+type ('env, 'a) pass = {
+  name : string;
+  run : 'env -> 'a -> 'a;
+  dump : (Format.formatter -> 'a -> unit) option;
+      (** pretty-print the artifact after this pass (for [--dump-after]) *)
+}
+
+val pass :
+  ?dump:(Format.formatter -> 'a -> unit) -> string -> ('env -> 'a -> 'a) -> ('env, 'a) pass
+
+val names : ('env, 'a) pass list -> string list
+
+(** [run ~trace ?dump_after ?dump_ppf passes env artifact] — execute the
+    passes in order, each inside a trace span of its name.  After a pass
+    whose name satisfies [dump_after] (default: none), its [dump] — when
+    present — prints the artifact to [dump_ppf] (default: stderr). *)
+val run :
+  trace:Trace.t ->
+  ?dump_after:(string -> bool) ->
+  ?dump_ppf:Format.formatter ->
+  ('env, 'a) pass list ->
+  'env ->
+  'a ->
+  'a

@@ -269,6 +269,7 @@ let partitioned ?(max_size = 13) (p : Problem.t) =
   let cuts = partition_points p ~max_size in
   let plans = Array.make p.Problem.n 0 in
   let solve_part ~lo ~hi =
+    Gcd2_util.Trace.count "partitions" 1;
     let part = frontier_dp ~fixed:plans ~lo ~hi p in
     Array.blit part 0 plans lo (hi - lo)
   in

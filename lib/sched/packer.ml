@@ -245,11 +245,15 @@ let pack_in_order instrs =
   if !cur <> [] then packets := !cur :: !packets;
   List.rev !packets
 
+module Trace = Gcd2_util.Trace
+
 (** [pack_indices strategy instrs] packs one basic block (given in program
     order) and returns packets as ascending instruction-index lists. *)
 let pack_indices strategy instrs =
   if Array.length instrs = 0 then []
-  else
+  else begin
+  let packets =
+    Trace.in_span "pack" @@ fun () ->
     match strategy with
     | Sda { w; p } ->
       (* The stall penalty pays off in slot-saturated code (avoid stalls,
@@ -272,6 +276,19 @@ let pack_indices strategy instrs =
       pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:false ~penalize:false ~gate:false instrs
     | List_topdown -> pack_list_topdown instrs
     | In_order -> pack_in_order instrs
+  in
+  (* Observability: how many packets this schedule issues and how many
+     stall cycles its soft co-packings pay (ambient trace only — the
+     stall recount is not worth paying when nobody is listening). *)
+  if Trace.enabled () then begin
+    Trace.count "packets" (List.length packets);
+    Trace.count "stalls"
+      (List.fold_left
+         (fun acc members -> acc + Packet.stall (List.map (fun i -> instrs.(i)) members))
+         0 packets)
+  end;
+  packets
+  end
 
 (** [pack strategy instrs] packs one basic block (given in program order)
     into a legal packet sequence. *)

@@ -19,6 +19,7 @@ let pp_error ppf = function
 (** [check instrs packets] — [packets] as returned by
     {!Packer.pack_indices}. *)
 let check instrs (packets : int list list) =
+  Gcd2_util.Trace.in_span "verify" @@ fun () ->
   let n = Array.length instrs in
   let position = Array.make n (-1) in
   (* packet index of every instruction; also checks the partition. *)

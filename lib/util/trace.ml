@@ -1,0 +1,155 @@
+(** Wall-clock span tracing (see the interface for the model). *)
+
+let now () = Unix.gettimeofday ()
+
+type sink =
+  | Silent
+  | Text of Format.formatter
+  | Jsonl of Format.formatter
+
+type span = {
+  span_name : string;
+  mutable seconds : float;
+  mutable calls : int;
+  mutable counters : (string * int) list;
+  mutable children : span list;
+}
+
+type t = {
+  root_span : span;
+  mutable stack : span list;  (** open spans, innermost first; root at the bottom *)
+  sink : sink;
+}
+
+let make_span name =
+  { span_name = name; seconds = 0.0; calls = 0; counters = []; children = [] }
+
+let create ?(sink = Silent) name =
+  let root_span = make_span name in
+  { root_span; stack = [ root_span ]; sink }
+
+let root t = t.root_span
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+
+let child_span parent name =
+  match List.find_opt (fun s -> s.span_name = name) parent.children with
+  | Some s -> s
+  | None ->
+    let s = make_span name in
+    parent.children <- parent.children @ [ s ];
+    s
+
+let path t =
+  String.concat "/" (List.rev_map (fun s -> s.span_name) t.stack)
+
+let emit t span dt =
+  match t.sink with
+  | Silent -> ()
+  | Text ppf ->
+    Format.fprintf ppf "[trace] %s %.6fs" (path t) dt;
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) span.counters;
+    Format.fprintf ppf "@."
+  | Jsonl ppf ->
+    Format.fprintf ppf {|{"span":"%s","path":"%s","seconds":%.6f,"calls":%d|}
+      span.span_name (path t) dt span.calls;
+    if span.counters <> [] then begin
+      Format.fprintf ppf {|,"counters":{|};
+      List.iteri
+        (fun i (k, v) -> Format.fprintf ppf {|%s"%s":%d|} (if i > 0 then "," else "") k v)
+        span.counters;
+      Format.fprintf ppf "}"
+    end;
+    Format.fprintf ppf "}@."
+
+let time_into t span f =
+  let t0 = now () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = now () -. t0 in
+      span.seconds <- span.seconds +. dt;
+      span.calls <- span.calls + 1;
+      emit t span dt;
+      t.stack <- List.tl t.stack)
+    f
+
+let with_span t name f =
+  let parent = match t.stack with s :: _ -> s | [] -> t.root_span in
+  let span = child_span parent name in
+  t.stack <- span :: t.stack;
+  time_into t span f
+
+let run_root t f =
+  t.stack <- [ t.root_span ];
+  time_into t t.root_span f
+
+let add t key n =
+  let span = match t.stack with s :: _ -> s | [] -> t.root_span in
+  let rec bump = function
+    | [] -> [ (key, n) ]
+    | (k, v) :: rest when k = key -> (k, v + n) :: rest
+    | kv :: rest -> kv :: bump rest
+  in
+  span.counters <- bump span.counters
+
+(* ------------------------------------------------------------------ *)
+(* Ambient instrumentation                                             *)
+
+let ambient : t option ref = ref None
+
+let with_ambient t f =
+  let saved = !ambient in
+  ambient := Some t;
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+let enabled () = !ambient <> None
+
+let count key n = match !ambient with Some t -> add t key n | None -> ()
+
+let in_span name f =
+  match !ambient with Some t -> with_span t name f | None -> f ()
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let find t name =
+  let rec go s =
+    if s.span_name = name then Some s
+    else
+      List.fold_left (fun acc c -> match acc with Some _ -> acc | None -> go c) None s.children
+  in
+  go t.root_span
+
+let span_seconds t name = match find t name with Some s -> s.seconds | None -> 0.0
+
+let fold t ~init ~f =
+  let rec go acc s = List.fold_left go (f acc s) s.children in
+  go init t.root_span
+
+let counter t key =
+  fold t ~init:0 ~f:(fun acc s ->
+      match List.assoc_opt key s.counters with Some v -> acc + v | None -> acc)
+
+let counter_names t =
+  List.rev
+    (fold t ~init:[] ~f:(fun acc s ->
+         List.fold_left
+           (fun acc (k, _) -> if List.mem k acc then acc else k :: acc)
+           acc s.counters))
+
+let top_spans t = List.map (fun s -> (s.span_name, s.seconds)) t.root_span.children
+
+let total_seconds t = t.root_span.seconds
+
+let pp ppf t =
+  let rec go indent s =
+    Format.fprintf ppf "%s%-*s %10.4f s" indent
+      (max 1 (34 - String.length indent))
+      s.span_name s.seconds;
+    if s.calls > 1 then Format.fprintf ppf "  (%d calls)" s.calls;
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%d" k v) s.counters;
+    Format.fprintf ppf "@\n";
+    List.iter (go (indent ^ "  ")) s.children
+  in
+  go "" t.root_span

@@ -1,0 +1,91 @@
+(** Wall-clock span tracing for the compiler pipeline.
+
+    A trace is a tree of named spans.  Each span accumulates monotonic
+    wall-clock seconds ({!now} is [Unix.gettimeofday] — never
+    [Sys.time], which reports CPU time and misreports I/O-bound or
+    multi-threaded phases), an invocation count, and named integer
+    counters.  Spans with the same name under the same parent merge, so
+    hot instrumentation points (one per generated kernel, say) stay
+    compact in the tree.
+
+    Two ways to record:
+
+    - explicitly, against a trace value: {!with_span}, {!add};
+    - ambiently, from code that has no trace in scope (the packer, the
+      kernel generators): {!in_span} and {!count} are no-ops unless a
+      trace has been installed with {!with_ambient}.
+
+    Closed spans stream to a pluggable {!sink}: silent (default), one
+    text line per close, or one JSON object per close (JSON-lines). *)
+
+(** Wall-clock timestamp in seconds. *)
+val now : unit -> float
+
+type sink =
+  | Silent
+  | Text of Format.formatter  (** one line per closed span *)
+  | Jsonl of Format.formatter  (** one JSON object per closed span *)
+
+type span = {
+  span_name : string;
+  mutable seconds : float;  (** total wall time over all invocations *)
+  mutable calls : int;
+  mutable counters : (string * int) list;  (** insertion order *)
+  mutable children : span list;  (** first-opened order *)
+}
+
+type t
+
+(** [create ?sink name] — a fresh trace whose root span is [name]. *)
+val create : ?sink:sink -> string -> t
+
+val root : t -> span
+
+(** [run_root t f] times [f] into the root span itself. *)
+val run_root : t -> (unit -> 'a) -> 'a
+
+(** [with_span t name f] runs [f] inside a child span [name] of the
+    innermost open span, accumulating its wall time (also on raise). *)
+val with_span : t -> string -> (unit -> 'a) -> 'a
+
+(** [add t key n] adds [n] to counter [key] of the innermost open span. *)
+val add : t -> string -> int -> unit
+
+(** {2 Ambient instrumentation} *)
+
+(** [with_ambient t f] installs [t] as the ambient trace for the
+    duration of [f] (restored on exit, also on raise). *)
+val with_ambient : t -> (unit -> 'a) -> 'a
+
+(** Is an ambient trace installed?  Lets hot paths skip computing
+    counter values that would be discarded. *)
+val enabled : unit -> bool
+
+(** Ambient {!add}; no-op without an ambient trace. *)
+val count : string -> int -> unit
+
+(** Ambient {!with_span}; just runs the thunk without an ambient trace. *)
+val in_span : string -> (unit -> 'a) -> 'a
+
+(** {2 Queries} *)
+
+(** Depth-first search for the first span named [name]. *)
+val find : t -> string -> span option
+
+(** Seconds of the first span named [name]; 0 when absent. *)
+val span_seconds : t -> string -> float
+
+(** Counter [key] summed over every span of the tree. *)
+val counter : t -> string -> int
+
+(** All counter keys, in first-seen depth-first order. *)
+val counter_names : t -> string list
+
+(** Direct children of the root: [(name, seconds)] in order. *)
+val top_spans : t -> (string * float) list
+
+(** Wall time recorded on the root span. *)
+val total_seconds : t -> float
+
+(** Indented tree: per-span seconds, calls and counters. *)
+val pp : Format.formatter -> t -> unit
