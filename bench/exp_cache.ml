@@ -1,0 +1,47 @@
+(* Compile-cache benchmark: cold-vs-warm compile wall time per zoo model
+   through a throwaway cache directory.  Not part of the paper — it
+   characterizes the artifact store (lib/store): how much of a compile a
+   verified cache hit saves, and what the artifact costs on disk. *)
+
+module Zoo = Gcd2_models.Zoo
+module Compiler = Gcd2.Compiler
+module Trace = Gcd2_util.Trace
+module Stats = Gcd2_util.Stats
+
+let temp_cache_dir () =
+  let f = Filename.temp_file "gcd2-bench-cache" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let timed f =
+  let t0 = Trace.now () in
+  let v = f () in
+  (v, Trace.now () -. t0)
+
+let run () =
+  let dir = temp_cache_dir () in
+  Printf.printf "\n== Compile cache: cold vs warm compile per zoo model ==\n";
+  Printf.printf "   (content-addressed artifact store under %s)\n\n" dir;
+  Printf.printf "   %-18s %10s %10s %9s %12s\n" "model" "cold (s)" "warm (s)" "speedup"
+    "artifact";
+  let speedups =
+    List.map
+      (fun (e : Zoo.entry) ->
+        let cold, cold_s =
+          timed (fun () -> Compiler.compile ~cache_dir:dir (e.Zoo.build ()))
+        in
+        let warm, warm_s =
+          timed (fun () -> Compiler.compile ~cache_dir:dir (e.Zoo.build ()))
+        in
+        if not (Compiler.from_cache warm) then
+          Printf.printf "   %-18s WARM COMPILE MISSED THE CACHE\n" e.Zoo.name;
+        let bytes = Trace.counter cold.Compiler.trace "cache-bytes" in
+        let speedup = cold_s /. Float.max warm_s 1e-9 in
+        Printf.printf "   %-18s %10.3f %10.4f %8.0fx %9d KB\n" e.Zoo.name cold_s warm_s
+          speedup (bytes / 1024);
+        speedup)
+      Zoo.all
+  in
+  Printf.printf "\n   geomean speedup %.0fx over %d models\n"
+    (Stats.geomean speedups) (List.length speedups)

@@ -21,13 +21,15 @@ let experiments =
     ("fig13", Exp_figures.fig13);
     ("ablations", Exp_ablations.run);
     ("micro", Exp_micro.benchmark);
+    ("cache", Exp_cache.run);
   ]
 
 let usage () =
   print_endline "usage: bench/main.exe [experiment...]";
   print_endline "experiments:";
   List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments;
-  print_endline "  all (default: every table, figure and ablation; micro must be asked for explicitly)"
+  print_endline
+    "  all (default: every table, figure and ablation; micro and cache must be asked for explicitly)"
 
 let run name =
   match List.assoc_opt name experiments with

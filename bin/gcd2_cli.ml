@@ -1,7 +1,8 @@
 (* gcd2 — command-line front end.
 
      gcd2 list                         models in the zoo
-     gcd2 compile MODEL [options]      compile and report
+     gcd2 compile MODEL [options]      compile and report (--cache-dir to reuse artifacts)
+     gcd2 serve [MODELS...]            batch-serve compile requests through the cache
      gcd2 compare MODEL                TFLite vs SNPE vs GCD2
      gcd2 kernel -m M -k K -n N        explore one matmul/conv kernel
 *)
@@ -18,6 +19,9 @@ module Simd = Gcd2_codegen.Simd
 module Matmul = Gcd2_codegen.Matmul
 module Unroll = Gcd2_codegen.Unroll
 module Packer = Gcd2_sched.Packer
+module Cache = Gcd2_store.Cache
+module Stats = Gcd2_util.Stats
+module Trace = Gcd2_util.Trace
 
 (* ---------------- list ---------------- *)
 
@@ -72,6 +76,21 @@ let dump_after_arg =
   in
   Arg.(value & opt_all string [] & info [ "dump-after" ] ~docv:"PASS" ~doc)
 
+let cache_dir_arg =
+  let doc = "Reuse compiled artifacts from the content-addressed cache rooted at $(docv) \
+             (created as needed)." in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_arg =
+  let doc = "Enable the compile cache at its default location (\\$GCD2_CACHE_DIR, else \
+             \\$XDG_CACHE_HOME/gcd2, else ~/.cache/gcd2)." in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let resolve_cache_dir ~cache_dir ~cache =
+  match cache_dir with
+  | Some _ -> cache_dir
+  | None -> if cache then Some (Cache.default_dir ()) else None
+
 let config_of ~framework ~selection =
   let base =
     match String.lowercase_ascii framework with
@@ -93,11 +112,13 @@ let config_of ~framework ~selection =
   in
   { base with Compiler.selection }
 
-let compile_run model framework selection verbose trace dump_after =
+let compile_run model framework selection verbose trace dump_after cache_dir cache =
   let entry = Zoo.find model in
   let config = config_of ~framework ~selection in
   let c =
-    Compiler.compile ~config ~dump_after ~dump_ppf:Fmt.stdout (entry.Zoo.build ())
+    Compiler.compile ~config ~dump_after ~dump_ppf:Fmt.stdout
+      ?cache_dir:(resolve_cache_dir ~cache_dir ~cache)
+      (entry.Zoo.build ())
   in
   Fmt.pr "%a@." Compiler.pp_summary c;
   Fmt.pr "selection: %a in %.3f s@." Compiler.pp_selection config.Compiler.selection
@@ -121,7 +142,127 @@ let compile_cmd =
     (Cmd.info "compile" ~doc)
     Term.(
       const compile_run $ model_arg $ framework_arg $ selection_arg $ verbose_arg
-      $ trace_arg $ dump_after_arg)
+      $ trace_arg $ dump_after_arg $ cache_dir_arg $ cache_arg)
+
+(* ---------------- serve ---------------- *)
+
+(* One request per line: `MODEL [FRAMEWORK [SELECTION]]`, blank lines and
+   `#` comments ignored.  Missing fields fall back to the command-line
+   defaults. *)
+let parse_request ~framework ~selection line =
+  match String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") with
+  | [] -> None
+  | _ when String.length (String.trim line) > 0 && (String.trim line).[0] = '#' -> None
+  | [ model ] -> Some (model, framework, selection)
+  | [ model; fw ] -> Some (model, fw, selection)
+  | model :: fw :: sel :: _ -> Some (model, fw, sel)
+
+let read_request_lines ic =
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some line -> go (line :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+type served = { ok : bool; hit : bool; ms : float }
+
+let serve_one ~cache_dir request =
+  let model, framework, selection = request in
+  let t0 = Trace.now () in
+  match
+    let entry = Zoo.find model in
+    let config = config_of ~framework ~selection in
+    Compiler.compile ~config ?cache_dir (entry.Zoo.build ())
+  with
+  | c ->
+    let ms = 1000.0 *. (Trace.now () -. t0) in
+    let hit = Compiler.from_cache c in
+    Fmt.pr "%-16s %-8s %-10s %5s %10.1f ms   model %8.2f ms@." model framework selection
+      (if hit then "hit" else "miss")
+      ms (Compiler.latency_ms c);
+    { ok = true; hit; ms }
+  | exception (Invalid_argument msg | Failure msg) ->
+    let ms = 1000.0 *. (Trace.now () -. t0) in
+    Fmt.pr "%-16s %-8s %-10s error %s@." model framework selection msg;
+    { ok = false; hit = false; ms }
+  | exception exn ->
+    let ms = 1000.0 *. (Trace.now () -. t0) in
+    Fmt.pr "%-16s %-8s %-10s error %s@." model framework selection (Printexc.to_string exn);
+    { ok = false; hit = false; ms }
+
+let serve_run models requests_file framework selection repeat cache_dir no_cache =
+  let cache_dir =
+    if no_cache then None
+    else Some (match cache_dir with Some d -> d | None -> Cache.default_dir ())
+  in
+  let of_lines lines =
+    List.filter_map (parse_request ~framework ~selection) lines
+  in
+  let requests =
+    List.map (fun m -> (m, framework, selection)) models
+    @ (match requests_file with
+      | Some path -> In_channel.with_open_text path (fun ic -> of_lines (read_request_lines ic))
+      | None -> [])
+  in
+  let requests =
+    if requests <> [] then requests
+    else begin
+      (* no positional models and no request file: serve stdin as the
+         request stream, one request per line until EOF *)
+      Fmt.epr "reading requests from stdin (MODEL [FRAMEWORK [SELECTION]] per line)...@.";
+      of_lines (read_request_lines In_channel.stdin)
+    end
+  in
+  let requests = List.concat (List.init (max 1 repeat) (fun _ -> requests)) in
+  (match cache_dir with
+  | Some d -> Fmt.pr "serving %d requests (cache: %s)@." (List.length requests) d
+  | None -> Fmt.pr "serving %d requests (cache disabled)@." (List.length requests));
+  let results = List.map (serve_one ~cache_dir) requests in
+  let n = List.length results in
+  let hits = List.length (List.filter (fun r -> r.hit) results) in
+  let errors = List.length (List.filter (fun r -> not r.ok) results) in
+  let lat = List.map (fun r -> r.ms) (List.filter (fun r -> r.ok) results) in
+  Fmt.pr "@.-- serving report --@.";
+  Fmt.pr "requests  %d  (errors %d)@." n errors;
+  if n > errors then begin
+    Fmt.pr "cache     %d hits / %d misses  (%.1f%% hit rate)@." hits
+      (n - errors - hits)
+      (100.0 *. float_of_int hits /. float_of_int (n - errors));
+    Fmt.pr "latency   p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms, mean %.1f ms@."
+      (Stats.p50 lat) (Stats.p95 lat) (Stats.p99 lat) (Stats.maxf lat) (Stats.mean lat)
+  end;
+  if errors > 0 then exit 1
+
+let serve_cmd =
+  let doc =
+    "Serve a batch of compile requests through the content-addressed artifact cache \
+     and report hit rate and request-latency percentiles."
+  in
+  let models_arg =
+    let doc = "Models to serve (repeatable; see `gcd2 list`)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"MODEL" ~doc)
+  in
+  let requests_arg =
+    let doc =
+      "Read requests from $(docv), one `MODEL [FRAMEWORK [SELECTION]]` per line \
+       (`#` comments and blank lines ignored).  Without models and without this \
+       option, requests are read from standard input."
+    in
+    Arg.(value & opt (some file) None & info [ "requests" ] ~docv:"FILE" ~doc)
+  in
+  let repeat_arg =
+    let doc = "Serve the request list $(docv) times (warm requests hit the cache)." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the cache (every request cold-compiles; for comparison)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_run $ models_arg $ requests_arg $ framework_arg $ selection_arg
+      $ repeat_arg $ cache_dir_arg $ no_cache_arg)
 
 (* ---------------- compare ---------------- *)
 
@@ -188,4 +329,4 @@ let kernel_cmd =
 let () =
   let doc = "GCD2: a globally optimizing DNN compiler for a simulated mobile DSP" in
   let info = Cmd.info "gcd2" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; compare_cmd; kernel_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; serve_cmd; compare_cmd; kernel_cmd ]))

@@ -23,6 +23,9 @@ module Solver = Gcd2_layout.Solver
 module Passes = Gcd2_graph.Passes
 module Graph = Gcd2_graph.Graph
 module Trace = Gcd2_util.Trace
+module Artifact = Gcd2_store.Artifact
+module Cache = Gcd2_store.Cache
+module Fingerprint = Gcd2_store.Fingerprint
 
 type selection =
   | Local  (** per-operator best plan, transformation costs ignored *)
@@ -81,7 +84,21 @@ type artifact = {
   art_cost : Graphcost.t option;
   art_solved : Solver.result option;
   art_report : Graphcost.report option;
+  art_digest : string option;  (** request content-address, set by [cache-lookup] *)
+  art_cached : bool;  (** filled from a verified cache entry *)
+  art_selection_seconds : float option;  (** selection wall time of the cached compile *)
 }
+
+let empty_artifact g =
+  {
+    art_graph = g;
+    art_cost = None;
+    art_solved = None;
+    art_report = None;
+    art_digest = None;
+    art_cached = false;
+    art_selection_seconds = None;
+  }
 
 let require what = function
   | Some x -> x
@@ -120,9 +137,14 @@ let dump_report ppf a =
     (100.0 *. r.Graphcost.utilization)
     r.Graphcost.bandwidth_gbs
 
+(* Passes already satisfied by a verified cache entry: everything the
+   stored artifact carries (the optimized graph, plan tables, assignment
+   and report) is skipped outright on a hit. *)
+let cached a = a.art_cached
+
 (* One graph-rewrite pass, recording how many nodes it removed. *)
 let graph_pass name ~counter rewrite =
-  Pipeline.pass ~dump:dump_graph name (fun _ a ->
+  Pipeline.pass ~dump:dump_graph ~skip:cached name (fun _ a ->
       let before = Graph.size a.art_graph in
       let g = rewrite a.art_graph in
       Trace.count counter (before - Graph.size g);
@@ -130,8 +152,70 @@ let graph_pass name ~counter rewrite =
 
 let select_pass_name config = Fmt.str "select:%a" pp_selection config.selection
 
-let passes config =
-  [ Pipeline.pass "validate" (fun _ a ->
+(* ------------------------------------------------------------------ *)
+(* The compile cache                                                    *)
+
+(** Content-address of the request [(g, config)] — the cache key. *)
+let fingerprint (config : config) (g : Graph.t) =
+  Fingerprint.request
+    ~selection:(Fmt.str "%a" pp_selection config.selection)
+    ~optimize_graph:config.optimize_graph ~options:config.opcost g
+
+(* Consult the on-disk cache for the request's digest.  On a verified
+   hit the whole downstream pipeline is satisfied from the entry: the
+   cost tables are rebuilt from the stored plans (cheap — plan
+   enumeration is what the cache exists to skip) under the live config's
+   options.  Any corrupt, stale or mismatching entry is a miss, never an
+   error. *)
+let cache_lookup_pass dir =
+  Pipeline.pass "cache-lookup" (fun (config : config) a ->
+      let digest = fingerprint config a.art_graph in
+      match Cache.lookup ~dir digest with
+      | Some (art, bytes) ->
+        Trace.count "cache-hits" 1;
+        Trace.count "cache-bytes" bytes;
+        {
+          art_graph = art.Artifact.graph;
+          art_cost = Some (Graphcost.of_plans config.opcost art.Artifact.graph art.Artifact.plans);
+          art_solved =
+            Some { Solver.plans = art.Artifact.assignment; cost = art.Artifact.objective };
+          art_report = Some art.Artifact.report;
+          art_digest = Some digest;
+          art_cached = true;
+          art_selection_seconds = Some art.Artifact.selection_seconds;
+        }
+      | None ->
+        Trace.count "cache-misses" 1;
+        { a with art_digest = Some digest })
+
+(* Persist the finished compile under its request digest (skipped when
+   the compile itself came from the cache). *)
+let cache_store_pass dir =
+  Pipeline.pass ~skip:cached "cache-store" (fun (config : config) a ->
+      let digest = require "cache-lookup" a.art_digest in
+      let cost = require "build-costs" a.art_cost in
+      let solved = require "select" a.art_solved in
+      let report = require "report" a.art_report in
+      let artifact =
+        {
+          Artifact.digest;
+          graph = a.art_graph;
+          plans = cost.Graphcost.plans;
+          assignment = solved.Solver.plans;
+          objective = solved.Solver.cost;
+          report;
+          programs =
+            Artifact.programs_of ~options:config.opcost a.art_graph cost.Graphcost.plans
+              solved.Solver.plans;
+          selection_seconds = Trace.ambient_span_seconds (select_pass_name config);
+        }
+      in
+      Trace.count "cache-bytes" (Cache.store ~dir artifact);
+      a)
+
+let passes ?cache_dir config =
+  (match cache_dir with Some dir -> [ cache_lookup_pass dir ] | None -> [])
+  @ [ Pipeline.pass "validate" (fun _ a ->
         Graph.validate a.art_graph;
         a) ]
   @ (if config.optimize_graph then
@@ -145,33 +229,34 @@ let passes config =
        ]
      else [])
   @ [
-      Pipeline.pass ~dump:dump_costs "build-costs" (fun (config : config) a ->
+      Pipeline.pass ~dump:dump_costs ~skip:cached "build-costs" (fun (config : config) a ->
           { a with art_cost = Some (Graphcost.build config.opcost a.art_graph) });
-      Pipeline.pass ~dump:dump_assignment (select_pass_name config) (fun config a ->
+      Pipeline.pass ~dump:dump_assignment ~skip:cached (select_pass_name config)
+        (fun config a ->
           let cost = require "build-costs" a.art_cost in
           { a with art_solved = Some (solve config.selection cost) });
-      Pipeline.pass ~dump:dump_report "report" (fun _ a ->
+      Pipeline.pass ~dump:dump_report ~skip:cached "report" (fun _ a ->
           let cost = require "build-costs" a.art_cost in
           let solved = require "select" a.art_solved in
           { a with art_report = Some (Graphcost.report cost solved.Solver.plans) });
     ]
+  @ match cache_dir with Some dir -> [ cache_store_pass dir ] | None -> []
 
 (** Pass names of a configuration, in execution order. *)
-let pass_names config = Pipeline.names (passes config)
+let pass_names ?cache_dir config = Pipeline.names (passes ?cache_dir config)
 
 let compile ?(config = default) ?(sink = Trace.Silent) ?(disable = []) ?(dump_after = [])
-    ?dump_ppf (g : Graph.t) =
+    ?dump_ppf ?cache_dir (g : Graph.t) =
   let trace = Trace.create ~sink "compile" in
   let passes =
-    List.filter (fun p -> not (List.mem p.Pipeline.name disable)) (passes config)
+    List.filter (fun p -> not (List.mem p.Pipeline.name disable)) (passes ?cache_dir config)
   in
   let art =
     Trace.with_ambient trace @@ fun () ->
     Trace.run_root trace @@ fun () ->
     Pipeline.run ~trace
       ~dump_after:(fun n -> List.mem n dump_after)
-      ?dump_ppf passes config
-      { art_graph = g; art_cost = None; art_solved = None; art_report = None }
+      ?dump_ppf passes config (empty_artifact g)
   in
   let cost = require "build-costs" art.art_cost in
   let solved = require "select" art.art_solved in
@@ -182,9 +267,15 @@ let compile ?(config = default) ?(sink = Trace.Silent) ?(disable = []) ?(dump_af
     cost;
     assignment = solved.Solver.plans;
     report;
-    selection_seconds = Trace.span_seconds trace (select_pass_name config);
+    selection_seconds =
+      (match art.art_selection_seconds with
+      | Some s -> s  (* a cache hit reports the original compile's selection time *)
+      | None -> Trace.span_seconds trace (select_pass_name config));
     trace;
   }
+
+(** Was this compile answered from the on-disk cache? *)
+let from_cache c = Trace.counter c.trace "cache-hits" > 0
 
 (** Latency in milliseconds of a compiled model. *)
 let latency_ms c = c.report.Graphcost.ms
@@ -196,12 +287,21 @@ let pp_phases ppf c =
 
 let pp_trace ppf c = Trace.pp ppf c.trace
 
+(* One "cache: ..." line, only when the compile consulted a cache. *)
+let pp_cache ppf c =
+  let hits = Trace.counter c.trace "cache-hits" in
+  let misses = Trace.counter c.trace "cache-misses" in
+  if hits + misses > 0 then
+    Fmt.pf ppf "@\n  cache: %s, %d bytes"
+      (if hits > 0 then "hit" else "miss")
+      (Trace.counter c.trace "cache-bytes")
+
 let pp_summary ppf c =
   let r = c.report in
   Fmt.pf ppf
-    "%s: %d ops, %.2f ms (%.0f cycles), util %.1f%%, %.2f GB/s, %.2f effective TOPS@\n  %a"
+    "%s: %d ops, %.2f ms (%.0f cycles), util %.1f%%, %.2f GB/s, %.2f effective TOPS@\n  %a%a"
     c.config.name (Graph.size c.graph) r.Graphcost.ms r.Graphcost.cycles
     (100.0 *. r.Graphcost.utilization)
     r.Graphcost.bandwidth_gbs
     (Gcd2_cost.Config.tops ~macs:r.Graphcost.macs ~cycles:r.Graphcost.cycles)
-    pp_phases c
+    pp_phases c pp_cache c

@@ -5,7 +5,17 @@
     SDA packing), [select:<strategy>], [report].  Every compile carries
     a {!Gcd2_util.Trace} with per-pass wall time and the counters the
     deeper layers record (fused nodes, partitions, packets, stalls).
-    The knobs expose every ablation of the paper's Section V. *)
+    The knobs expose every ablation of the paper's Section V.
+
+    With [?cache_dir] the pipeline gains a [cache-lookup] /
+    [cache-store] pair consulting the {!Gcd2_store.Cache}
+    content-addressed artifact store: a verified hit satisfies every
+    expensive pass (the optimization passes, [build-costs] and [select]
+    do not run at all) and the compile is reconstructed from the stored
+    artifact, bit-identical to the cold compile that stored it.  Hits,
+    misses and bytes moved are recorded as [cache-hits] /
+    [cache-misses] / [cache-bytes] trace counters; any corrupt or stale
+    entry is silently a miss. *)
 
 module Opcost = Gcd2_cost.Opcost
 module Graphcost = Gcd2_cost.Graphcost
@@ -44,26 +54,39 @@ type compiled = {
 }
 
 (** Pass names of a configuration, in execution order (the [select] pass
-    is named after the strategy, e.g. ["select:gcd2(13)"]). *)
-val pass_names : config -> string list
+    is named after the strategy, e.g. ["select:gcd2(13)"]; with
+    [?cache_dir] the list is bracketed by [cache-lookup] and
+    [cache-store]). *)
+val pass_names : ?cache_dir:string -> config -> string list
 
-(** [compile ?config ?sink ?disable ?dump_after ?dump_ppf g] runs the
-    pass pipeline over [g].
+(** Content-address of the request [(g, config)] — the key under which
+    the compile cache stores/finds its artifact
+    ({!Gcd2_store.Fingerprint.request}). *)
+val fingerprint : config -> Graph.t -> string
+
+(** [compile ?config ?sink ?disable ?dump_after ?dump_ppf ?cache_dir g]
+    runs the pass pipeline over [g].
 
     - [sink] streams every closed trace span (default {!Trace.Silent});
     - [disable] skips the named passes (only the optional graph
       optimizations may be disabled safely — disabling a structural pass
       raises [Invalid_argument]);
     - [dump_after] prints the artifact after each named pass to
-      [dump_ppf] (default stderr). *)
+      [dump_ppf] (default stderr);
+    - [cache_dir] enables the content-addressed compile cache rooted at
+      that directory (created on first store). *)
 val compile :
   ?config:config ->
   ?sink:Trace.sink ->
   ?disable:string list ->
   ?dump_after:string list ->
   ?dump_ppf:Format.formatter ->
+  ?cache_dir:string ->
   Graph.t ->
   compiled
+
+(** Was this compile answered from the on-disk cache? *)
+val from_cache : compiled -> bool
 
 (** Latency in milliseconds. *)
 val latency_ms : compiled -> float

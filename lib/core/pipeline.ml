@@ -6,9 +6,10 @@ type ('env, 'a) pass = {
   name : string;
   run : 'env -> 'a -> 'a;
   dump : (Format.formatter -> 'a -> unit) option;
+  skip : ('a -> bool) option;
 }
 
-let pass ?dump name run = { name; run; dump }
+let pass ?dump ?skip name run = { name; run; dump; skip }
 
 let names passes = List.map (fun p -> p.name) passes
 
@@ -16,10 +17,13 @@ let run ~trace ?(dump_after = fun _ -> false) ?(dump_ppf = Format.err_formatter)
     artifact =
   List.fold_left
     (fun artifact p ->
-      let artifact = Trace.with_span trace p.name (fun () -> p.run env artifact) in
-      (match p.dump with
-      | Some dump when dump_after p.name ->
-        Format.fprintf dump_ppf "== after %s ==@\n%a@." p.name dump artifact
-      | _ -> ());
-      artifact)
+      match p.skip with
+      | Some skip when skip artifact -> artifact
+      | _ ->
+        let artifact = Trace.with_span trace p.name (fun () -> p.run env artifact) in
+        (match p.dump with
+        | Some dump when dump_after p.name ->
+          Format.fprintf dump_ppf "== after %s ==@\n%a@." p.name dump artifact
+        | _ -> ());
+        artifact)
     artifact passes

@@ -16,10 +16,18 @@ type ('env, 'a) pass = {
   run : 'env -> 'a -> 'a;
   dump : (Format.formatter -> 'a -> unit) option;
       (** pretty-print the artifact after this pass (for [--dump-after]) *)
+  skip : ('a -> bool) option;
+      (** when the predicate holds on the incoming artifact the pass does
+          not run at all — no trace span is opened and no dump fires (how
+          a cache hit elides the expensive phases) *)
 }
 
 val pass :
-  ?dump:(Format.formatter -> 'a -> unit) -> string -> ('env -> 'a -> 'a) -> ('env, 'a) pass
+  ?dump:(Format.formatter -> 'a -> unit) ->
+  ?skip:('a -> bool) ->
+  string ->
+  ('env -> 'a -> 'a) ->
+  ('env, 'a) pass
 
 val names : ('env, 'a) pass list -> string list
 

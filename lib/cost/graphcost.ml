@@ -27,9 +27,13 @@ let edge_tc (g : Graph.t) plans u pu v pv =
     float_of_int (Layout.transform_cycles ~src ~dst ~rows ~cols)
   end
 
-let build options (g : Graph.t) =
+(** Assemble the selection problem from already-enumerated plan tables —
+    the cheap tail of {!build}, split out so a cached compile can rebuild
+    the (closure-bearing, hence unserializable) problem from stored
+    plans without re-running plan enumeration. *)
+let of_plans options (g : Graph.t) plans =
   let n = Graph.size g in
-  let plans = Array.init n (fun v -> Opcost.plans options g (Graph.node g v)) in
+  if Array.length plans <> n then invalid_arg "Graphcost.of_plans: plan table size mismatch";
   let preds = Array.init n (fun v -> (Graph.node g v).Graph.inputs) in
   let node_cost v p = Plan.cycles plans.(v).(p) in
   let edge_cost u pu v pv = edge_tc g plans u pu v pv in
@@ -67,6 +71,10 @@ let build options (g : Graph.t) =
   in
   Problem.validate problem;
   { graph = g; options; plans; problem }
+
+let build options (g : Graph.t) =
+  let n = Graph.size g in
+  of_plans options g (Array.init n (fun v -> Opcost.plans options g (Graph.node g v)))
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)

@@ -18,6 +18,11 @@ val edge_tc : Graph.t -> Plan.t array array -> int -> int -> int -> int -> float
 
 val build : Opcost.options -> Graph.t -> t
 
+(** Assemble the selection problem from already-enumerated plan tables —
+    the cheap tail of {!build}, for rebuilding a [t] from a cached
+    artifact's stored plans without re-running plan enumeration. *)
+val of_plans : Opcost.options -> Graph.t -> Plan.t array array -> t
+
 type node_report = {
   node : Graph.node;
   plan : Plan.t;

@@ -348,3 +348,60 @@ let plans options (g : Graph.t) (node : Graph.node) =
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin ~vout -> Streams.copy_cycles ~vectors:(vin + vout))
       ~bytes_mult:1.0 ~macs:0
+
+(* ------------------------------------------------------------------ *)
+
+(** The generator spec behind a chosen matmul-family plan — the same
+    dimensions and knobs {!matmul_plans} costed the plan with, so
+    [Matmul.generate] on it reproduces the packed kernel whose cycle
+    count the plan carries.  [None] for plans that do not run on the
+    SIMD multiply unit (flexible/host/fallback plans). *)
+let plan_spec options (g : Graph.t) (node : Graph.node) (plan : Plan.t) =
+  match (plan.Plan.simd, plan.Plan.unroll) with
+  | Some simd, Some u ->
+    let pad_channels c = Stats.round_up c options.channel_pad in
+    let in_dims =
+      match node.Graph.inputs with
+      | i :: _ -> (Graph.node g i).Graph.out_shape
+      | [] -> [||]
+    in
+    let out_dims = node.Graph.out_shape in
+    let mkn =
+      match node.Graph.op with
+      | Op.Conv2d { kh; kw; cout; _ } ->
+        let cin = pad_channels in_dims.(3) in
+        Some
+          (out_dims.(0) * out_dims.(1) * out_dims.(2), kh * kw * cin, pad_channels cout)
+      | Op.Transposed_conv2d { kh; kw; cout; _ } ->
+        Some (in_dims.(0) * in_dims.(1) * in_dims.(2), in_dims.(3), cout * kh * kw)
+      | Op.Matmul { cout; _ } ->
+        let m, k = mat_dims in_dims in
+        Some (m, pad_channels k, pad_channels cout)
+      | Op.Batch_matmul _ ->
+        let r = Array.length in_dims in
+        Some (in_dims.(r - 2), in_dims.(r - 1), out_dims.(Array.length out_dims - 1))
+      | _ -> None
+    in
+    Option.map
+      (fun (m, k, n) ->
+        let act =
+          match node.Graph.op with
+          | Op.Conv2d { act; _ } | Op.Transposed_conv2d { act; _ } | Op.Matmul { act; _ }
+            -> act <> None
+          | _ -> false
+        in
+        {
+          Matmul.simd;
+          m;
+          k;
+          n;
+          mult = 1 lsl 30;
+          shift = 30;
+          act_table = (if act then Some 1 else None);
+          strategy = options.strategy;
+          un = u.Unroll.un;
+          ug = u.Unroll.ug;
+          addressing = Matmul.Bump;
+        })
+      mkn
+  | _ -> None

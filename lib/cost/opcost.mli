@@ -36,3 +36,11 @@ val mat_dims : int array -> int * int
 
 (** Enumerate the execution plans of one node. *)
 val plans : options -> Graph.t -> Graph.node -> Plan.t array
+
+(** The generator spec behind a chosen matmul-family plan — the same
+    dimensions and knobs {!plans} costed it with, so
+    [Gcd2_codegen.Matmul.generate] on it reproduces the packed kernel
+    whose cycle count the plan carries.  [None] for plans that do not
+    run on the SIMD multiply unit. *)
+val plan_spec :
+  options -> Graph.t -> Graph.node -> Plan.t -> Gcd2_codegen.Matmul.spec option

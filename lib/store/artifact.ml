@@ -1,0 +1,158 @@
+(** Versioned, checksummed binary serialization of compile artifacts.
+
+    An artifact is everything the compiler produces for one request: the
+    optimized graph, the enumerated plan tables, the globally selected
+    assignment with its objective value, the latency report, and the
+    packed VLIW program of every node the plan runs on the SIMD unit.
+    Loading an artifact and handing it back to {!Gcd2.Compiler} must be
+    indistinguishable from recompiling — the cost tables are rebuilt from
+    the stored plans, so no closure ever crosses the serialization
+    boundary.
+
+    On-disk layout (all integers big-endian):
+
+    {v
+      offset  size  field
+      0       8     magic   "GCD2ART\n"
+      8       4     format version (currently 1)
+      12      32    request digest, lowercase hex (Fingerprint.request)
+      44      16    raw MD5 of the payload
+      60      8     payload length in bytes
+      68      n     payload: Marshal of the artifact record
+    v}
+
+    Readers reject (and the cache treats as a miss) anything whose magic,
+    version, digest, length or checksum does not match — a truncated or
+    bit-flipped file can never surface as a wrong answer, only as a
+    recompile. *)
+
+module Graph = Gcd2_graph.Graph
+module Plan = Gcd2_cost.Plan
+module Graphcost = Gcd2_cost.Graphcost
+module Opcost = Gcd2_cost.Opcost
+module Matmul = Gcd2_codegen.Matmul
+module Program = Gcd2_isa.Program
+
+type t = {
+  digest : string;  (** content-address of the request (hex) *)
+  graph : Graph.t;  (** graph after the optimization passes *)
+  plans : Plan.t array array;  (** enumerated execution plans per node *)
+  assignment : int array;  (** chosen plan index per node *)
+  objective : float;  (** solver objective of the assignment *)
+  report : Graphcost.report;
+  programs : Program.t option array;
+      (** packed VLIW program of each node's chosen plan, for the nodes
+          lowered to the SIMD unit *)
+  selection_seconds : float;  (** wall time the original global selection took *)
+}
+
+let version = 1
+let magic = "GCD2ART\n"
+let digest_hex_len = 32
+let header_len = 8 + 4 + digest_hex_len + 16 + 8
+
+(** Packed programs of the chosen assignment: one generated kernel per
+    node whose selected plan runs on the SIMD unit. *)
+let programs_of ~options (g : Graph.t) plans assignment =
+  Array.init (Graph.size g) (fun v ->
+      let node = Graph.node g v in
+      let plan = plans.(v).(assignment.(v)) in
+      match Opcost.plan_spec options g node plan with
+      | Some spec ->
+        Some (Matmul.generate spec { Matmul.a_base = 0; w_base = 0; c_base = 0 })
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let to_bytes t =
+  let payload =
+    Marshal.to_bytes
+      ( t.graph,
+        t.plans,
+        t.assignment,
+        t.objective,
+        t.report,
+        t.programs,
+        t.selection_seconds )
+      []
+  in
+  if String.length t.digest <> digest_hex_len then
+    invalid_arg "Artifact.to_bytes: digest must be 32 hex chars";
+  let b = Bytes.create (header_len + Bytes.length payload) in
+  Bytes.blit_string magic 0 b 0 8;
+  Bytes.set_int32_be b 8 (Int32.of_int version);
+  Bytes.blit_string t.digest 0 b 12 digest_hex_len;
+  Bytes.blit_string (Stdlib.Digest.bytes payload) 0 b 44 16;
+  Bytes.set_int64_be b 60 (Int64.of_int (Bytes.length payload));
+  Bytes.blit payload 0 b header_len (Bytes.length payload);
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding — every failure is an [Error reason], never an exception.   *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let check cond reason = if cond then Ok () else Error reason
+
+let of_bytes ?expect_digest b =
+  let* () = check (Bytes.length b >= header_len) "too short for header" in
+  let* () = check (Bytes.sub_string b 0 8 = magic) "bad magic" in
+  let* () =
+    check (Bytes.get_int32_be b 8 = Int32.of_int version) "format version mismatch"
+  in
+  let digest = Bytes.sub_string b 12 digest_hex_len in
+  let* () =
+    match expect_digest with
+    | Some d -> check (d = digest) "request digest mismatch"
+    | None -> Ok ()
+  in
+  let len = Int64.to_int (Bytes.get_int64_be b 60) in
+  let* () = check (len >= 0 && Bytes.length b = header_len + len) "length mismatch" in
+  let payload = Bytes.sub b header_len len in
+  let* () =
+    check (Stdlib.Digest.bytes payload = Bytes.sub_string b 44 16) "payload checksum mismatch"
+  in
+  match Marshal.from_bytes payload 0 with
+  | graph, plans, assignment, objective, report, programs, selection_seconds ->
+    let t =
+      { digest; graph; plans; assignment; objective; report; programs; selection_seconds }
+    in
+    let* () =
+      check
+        (Graph.size graph = Array.length plans
+        && Graph.size graph = Array.length assignment
+        && Graph.size graph = Array.length programs)
+        "inconsistent artifact shape"
+    in
+    Ok t
+  | exception _ -> Error "undecodable payload"
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+
+(** Write atomically (temp file + rename) so that a concurrent reader
+    never observes a torn entry.  Returns the bytes written. *)
+let save ~path t =
+  let b = to_bytes t in
+  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "gcd2art" ".tmp" in
+  let oc = Out_channel.open_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> Out_channel.close oc)
+    (fun () -> Out_channel.output_bytes oc b);
+  Sys.rename tmp path;
+  Bytes.length b
+
+(** Read and verify an artifact file.  [Ok (artifact, bytes_read)] on
+    success. *)
+let load ?expect_digest ~path () =
+  match In_channel.open_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let b =
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () -> In_channel.input_all ic)
+    in
+    let* t = of_bytes ?expect_digest (Bytes.unsafe_of_string b) in
+    Ok (t, String.length b)

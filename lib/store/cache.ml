@@ -1,0 +1,50 @@
+(** The on-disk content-addressed compile cache.
+
+    One file per request under the cache directory, named by the
+    request's {!Fingerprint} digest: [<dir>/<digest>.gcd2art].  Lookups
+    are infallible by design — {e any} problem with an entry (missing,
+    truncated, bit-flipped, wrong format version, digest mismatch) is
+    reported as a miss and the compiler falls back to a full compile,
+    which then re-stores a fresh entry over the bad one.
+
+    The default directory follows the XDG convention:
+    [$GCD2_CACHE_DIR], else [$XDG_CACHE_HOME/gcd2], else
+    [$HOME/.cache/gcd2], else a [gcd2] directory under the system temp
+    directory for HOME-less environments. *)
+
+let default_dir () =
+  match Sys.getenv_opt "GCD2_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Filename.concat d "gcd2"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Filename.concat (Filename.concat h ".cache") "gcd2"
+      | _ -> Filename.concat (Filename.get_temp_dir_name ()) "gcd2"))
+
+let rec ensure_dir d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then ensure_dir parent;
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+(** Path of the entry holding [digest]'s artifact. *)
+let entry_path dir digest = Filename.concat dir (digest ^ ".gcd2art")
+
+(** Look up an artifact; [Some (artifact, bytes_read)] on a verified hit,
+    [None] on a miss for any reason. *)
+let lookup ~dir digest =
+  let path = entry_path dir digest in
+  if not (Sys.file_exists path) then None
+  else
+    match Artifact.load ~expect_digest:digest ~path () with
+    | Ok (art, bytes) -> Some (art, bytes)
+    | Error _ -> None
+
+(** Store an artifact under its digest; returns the bytes written.
+    Creates the cache directory (and parents) as needed. *)
+let store ~dir (art : Artifact.t) =
+  ensure_dir dir;
+  Artifact.save ~path:(entry_path dir art.Artifact.digest) art

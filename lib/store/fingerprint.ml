@@ -1,0 +1,176 @@
+(** Content-addressing of compile requests.
+
+    A compile request is the pair (computational graph, compiler
+    configuration): if two requests render to the same canonical byte
+    string, the compiler is guaranteed to produce the same artifact, so
+    the cache may answer the second from the first's stored result.
+
+    The canonical rendering is exhaustive over everything that can change
+    the compiler's output — every operator attribute (including the ones
+    {!Gcd2_graph.Op.name} elides, e.g. convolution padding and reshape
+    shapes), weight contents, and every costing knob of
+    {!Gcd2_cost.Opcost.options}.  The one non-printable knob, the
+    [supported] predicate, is canonicalized {e extensionally}: it is
+    evaluated on each node of the request's graph and rendered as a
+    bitmap, which is exact for that graph.  The cosmetic configuration
+    [name] is deliberately excluded, so "GCD2" and "gcd2" share entries.
+
+    The digest is the MD5 of the canonical rendering, in lowercase hex —
+    the cache's file name and the artifact header's request id. *)
+
+module Graph = Gcd2_graph.Graph
+module Op = Gcd2_graph.Op
+module Opcost = Gcd2_cost.Opcost
+module Packer = Gcd2_sched.Packer
+module Layout = Gcd2_tensor.Layout
+module Simd = Gcd2_codegen.Simd
+module T = Gcd2_tensor.Tensor
+
+let add = Buffer.add_string
+
+let add_dims buf dims =
+  add buf "[";
+  Array.iter (fun d -> add buf (string_of_int d); add buf ",") dims;
+  add buf "]"
+
+(* Floats are rendered in hex so the canonical form is exact, not
+   rounded. *)
+let add_float buf f = add buf (Printf.sprintf "%h" f)
+
+let add_act buf = function
+  | None -> add buf "-"
+  | Some a -> add buf (Op.act_name a)
+
+(* Exhaustive over every attribute of every operator: unlike [Op.name]
+   (display-oriented), nothing that changes compilation may be elided. *)
+let add_op buf (op : Op.t) =
+  match op with
+  | Op.Input { shape } ->
+    add buf "input";
+    add_dims buf shape
+  | Op.Constant { shape } ->
+    add buf "const";
+    add_dims buf shape
+  | Op.Conv2d { kh; kw; stride; pad; cout; act } ->
+    add buf (Printf.sprintf "conv2d:%d:%d:%d:%d:%d:" kh kw stride pad cout);
+    add_act buf act
+  | Op.Depthwise_conv2d { kh; kw; stride; pad; act } ->
+    add buf (Printf.sprintf "dwconv:%d:%d:%d:%d:" kh kw stride pad);
+    add_act buf act
+  | Op.Transposed_conv2d { kh; kw; stride; pad; cout; act } ->
+    add buf (Printf.sprintf "tconv:%d:%d:%d:%d:%d:" kh kw stride pad cout);
+    add_act buf act
+  | Op.Matmul { cout; act } ->
+    add buf (Printf.sprintf "matmul:%d:" cout);
+    add_act buf act
+  | Op.Batch_matmul { transpose_b } ->
+    add buf (if transpose_b then "bmm:t" else "bmm:n")
+  | Op.Add -> add buf "add"
+  | Op.Mul -> add buf "mul"
+  | Op.Sub -> add buf "sub"
+  | Op.Div -> add buf "div"
+  | Op.Pow p ->
+    add buf "pow:";
+    add_float buf p
+  | Op.Relu -> add buf "relu"
+  | Op.Relu6 -> add buf "relu6"
+  | Op.Hard_swish -> add buf "hswish"
+  | Op.Sigmoid -> add buf "sigmoid"
+  | Op.Tanh -> add buf "tanh"
+  | Op.Gelu -> add buf "gelu"
+  | Op.Softmax -> add buf "softmax"
+  | Op.Layer_norm -> add buf "layer_norm"
+  | Op.Max_pool { kernel; stride } -> add buf (Printf.sprintf "maxpool:%d:%d" kernel stride)
+  | Op.Avg_pool { kernel; stride } -> add buf (Printf.sprintf "avgpool:%d:%d" kernel stride)
+  | Op.Global_avg_pool -> add buf "gap"
+  | Op.Reshape { shape } ->
+    add buf "reshape";
+    add_dims buf shape
+  | Op.Transpose { perm } ->
+    add buf "transpose";
+    add_dims buf perm
+  | Op.Concat { axis } -> add buf (Printf.sprintf "concat:%d" axis)
+  | Op.Pad_spatial { pad } -> add buf (Printf.sprintf "pad:%d" pad)
+  | Op.Upsample { factor } -> add buf (Printf.sprintf "upsample:%d" factor)
+
+let add_weight buf = function
+  | None -> add buf "w:-"
+  | Some (w : T.t) ->
+    (* Digest the raw parameter values; artifacts embed them, so two
+       graphs differing only in weights are different requests. *)
+    add buf "w:";
+    add buf
+      (Stdlib.Digest.to_hex
+         (Stdlib.Digest.string (Marshal.to_string (w.T.dims, w.T.data, w.T.quant) [])))
+
+let add_graph buf (g : Graph.t) =
+  Graph.iter
+    (fun node ->
+      add buf (string_of_int node.Graph.id);
+      add buf ":";
+      add_op buf node.Graph.op;
+      add buf "<-";
+      List.iter
+        (fun i ->
+          add buf (string_of_int i);
+          add buf ",")
+        node.Graph.inputs;
+      add buf "=>";
+      add_dims buf node.Graph.out_shape;
+      add buf ";";
+      add_weight buf node.Graph.weight;
+      add buf "\n")
+    g
+
+let add_unroll_mode buf (m : Opcost.unroll_mode) =
+  match m with
+  | `None -> add buf "none"
+  | `Out f -> add buf (Printf.sprintf "out:%d" f)
+  | `Mid f -> add buf (Printf.sprintf "mid:%d" f)
+  | `Adaptive -> add buf "adaptive"
+  | `Exhaustive -> add buf "exhaustive"
+
+let add_options buf (g : Graph.t) (o : Opcost.options) =
+  add buf "strategy=";
+  add buf (Fmt.str "%a" Packer.pp_strategy o.Opcost.strategy);
+  add buf ";unroll=";
+  add_unroll_mode buf o.Opcost.unroll_mode;
+  add buf ";layouts=";
+  List.iter
+    (fun l ->
+      add buf (Layout.name l);
+      add buf ",")
+    o.Opcost.layouts;
+  add buf ";simds=";
+  List.iter
+    (fun s ->
+      add buf (Simd.name s);
+      add buf ",")
+    o.Opcost.simds;
+  add buf (Printf.sprintf ";lut_division=%b" o.Opcost.lut_division);
+  add buf ";dispatch_us=";
+  add_float buf o.Opcost.dispatch_us;
+  add buf (Printf.sprintf ";channel_pad=%d" o.Opcost.channel_pad);
+  (* extensional rendering of the [supported] predicate over this graph *)
+  add buf ";supported=";
+  Graph.iter (fun node -> add buf (if o.Opcost.supported node.Graph.op then "1" else "0")) g
+
+(** Canonical rendering of a compile request.  [selection] is the
+    rendered selection strategy (e.g. ["gcd2(13)"]); the graph is the
+    request's input graph, {e before} any optimization pass runs. *)
+let canonical ~selection ~optimize_graph ~options (g : Graph.t) =
+  let buf = Buffer.create 4096 in
+  add buf "gcd2-request-v1\n";
+  add buf "selection=";
+  add buf selection;
+  add buf (Printf.sprintf ";optimize_graph=%b;" optimize_graph);
+  add_options buf g options;
+  add buf "\n";
+  add_graph buf g;
+  Buffer.contents buf
+
+(** Content-address of a compile request: lowercase-hex MD5 of the
+    canonical rendering. *)
+let request ~selection ~optimize_graph ~options (g : Graph.t) =
+  Stdlib.Digest.to_hex
+    (Stdlib.Digest.string (canonical ~selection ~optimize_graph ~options g))

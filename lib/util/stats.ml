@@ -15,6 +15,21 @@ let geomean xs =
 let maxf xs = List.fold_left Float.max neg_infinity xs
 let minf xs = List.fold_left Float.min infinity xs
 
+(** Nearest-rank percentile (inclusive): the smallest element of [xs]
+    such that at least [p] percent of the sample is <= it.  Works on a
+    sorted copy; [0.0] on an empty sample (matching {!mean}). *)
+let percentile p xs =
+  match List.sort Float.compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let p50 xs = percentile 50.0 xs
+let p95 xs = percentile 95.0 xs
+let p99 xs = percentile 99.0 xs
+
 (** Integer ceiling division. *)
 let ceil_div a b = (a + b - 1) / b
 

@@ -8,6 +8,15 @@ val geomean : float list -> float
 val maxf : float list -> float
 val minf : float list -> float
 
+(** [percentile p xs] — nearest-rank percentile (inclusive), [p] in
+    [0..100]: the smallest element with at least [p]% of the sample at
+    or below it.  Sorts a copy; [0.0] on an empty sample. *)
+val percentile : float -> float list -> float
+
+val p50 : float list -> float
+val p95 : float list -> float
+val p99 : float list -> float
+
 (** Integer ceiling division. *)
 val ceil_div : int -> int -> int
 

@@ -123,6 +123,9 @@ let find t name =
 
 let span_seconds t name = match find t name with Some s -> s.seconds | None -> 0.0
 
+let ambient_span_seconds name =
+  match !ambient with Some t -> span_seconds t name | None -> 0.0
+
 let fold t ~init ~f =
   let rec go acc s = List.fold_left go (f acc s) s.children in
   go init t.root_span

@@ -67,6 +67,11 @@ val count : string -> int -> unit
 (** Ambient {!with_span}; just runs the thunk without an ambient trace. *)
 val in_span : string -> (unit -> 'a) -> 'a
 
+(** Ambient {!span_seconds}: seconds recorded so far on the first span
+    named [name] of the ambient trace; 0 without one.  Lets a late pass
+    read an earlier pass's wall time without a trace in scope. *)
+val ambient_span_seconds : string -> float
+
 (** {2 Queries} *)
 
 (** Depth-first search for the first span named [name]. *)

@@ -1,0 +1,234 @@
+(* Tests for the compiled-artifact store: request fingerprints,
+   save/load round-trips that are bit-identical, cache hits that are
+   indistinguishable from the cold compile that stored them (down to
+   Runtime outputs), and corrupt entries degrading to misses. *)
+
+module T = Gcd2_tensor.Tensor
+module Q = Gcd2_tensor.Quant
+module Rng = Gcd2_util.Rng
+module Trace = Gcd2_util.Trace
+module Compiler = Gcd2.Compiler
+module Runtime = Gcd2.Runtime
+module Artifact = Gcd2_store.Artifact
+module Zoo = Gcd2_models.Zoo
+open Gcd2_graph
+module B = Graph.Builder
+
+let check_int = Alcotest.(check int)
+
+let temp_dir () =
+  let f = Filename.temp_file "gcd2-store-test" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let weight_q = Q.make (1.0 /. 64.0)
+
+(* Same shape of graph as the core suite: convs, a residual add, a
+   matmul head — enough to exercise SIMD plans and packed programs. *)
+let weighted_cnn seed =
+  let rng = Rng.create seed in
+  let b = B.create () in
+  let x = B.input b [| 1; 8; 8; 4 |] in
+  let w1 = T.random ~quant:weight_q rng [| 3; 3; 4; 8 |] in
+  let c1 = B.conv2d ~weight:w1 b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:8 in
+  let r1 = B.add b Op.Relu [ c1 ] in
+  let w2 = T.random ~quant:weight_q rng [| 1; 1; 8; 8 |] in
+  let c2 = B.conv2d ~weight:w2 b r1 ~kh:1 ~kw:1 ~stride:1 ~pad:0 ~cout:8 in
+  let s = B.add b Op.Add [ r1; c2 ] in
+  let flat = B.add b (Op.Reshape { shape = [| 64; 8 |] }) [ s ] in
+  let w3 = T.random ~quant:weight_q rng [| 8; 10 |] in
+  let _ = B.matmul ~weight:w3 b flat ~cout:10 in
+  B.finish b
+
+let only_entry dir =
+  match
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".gcd2art")
+  with
+  | [ f ] -> Filename.concat dir f
+  | fs -> Alcotest.failf "expected exactly one cache entry, found %d" (List.length fs)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints *)
+
+let test_fingerprint () =
+  let d cfg g = Compiler.fingerprint cfg g in
+  let default = Compiler.default in
+  let digest = d default (weighted_cnn 1) in
+  check_int "32 hex chars" 32 (String.length digest);
+  String.iter
+    (fun ch ->
+      if not ((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f')) then
+        Alcotest.failf "non-hex digest char %c" ch)
+    digest;
+  Alcotest.(check string) "deterministic" digest (d default (weighted_cnn 1));
+  Alcotest.(check bool) "weights change the digest" false
+    (digest = d default (weighted_cnn 2));
+  let local = { default with Compiler.selection = Compiler.Local } in
+  Alcotest.(check bool) "selection changes the digest" false
+    (digest = d local (weighted_cnn 1));
+  let noopt = { default with Compiler.optimize_graph = false } in
+  Alcotest.(check bool) "optimize_graph changes the digest" false
+    (digest = d noopt (weighted_cnn 1));
+  let renamed = { default with Compiler.name = "renamed" } in
+  Alcotest.(check string) "cosmetic name is excluded" digest (d renamed (weighted_cnn 1))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization round-trip *)
+
+let test_roundtrip_bytes () =
+  let dir = temp_dir () in
+  let c = Compiler.compile ~cache_dir:dir (weighted_cnn 3) in
+  Alcotest.(check bool) "cold compile is not from cache" false (Compiler.from_cache c);
+  let path = only_entry dir in
+  let raw = read_file path in
+  let art, bytes_read =
+    match Artifact.load ~path () with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "load failed: %s" e
+  in
+  check_int "load reports the file size" (String.length raw) bytes_read;
+  Alcotest.(check string) "entry is named by its digest"
+    (Filename.basename path)
+    (art.Artifact.digest ^ ".gcd2art");
+  Alcotest.(check string) "digest matches the request"
+    (Compiler.fingerprint c.Compiler.config (weighted_cnn 3))
+    art.Artifact.digest;
+  Alcotest.(check (array int)) "stored assignment matches the compile"
+    c.Compiler.assignment art.Artifact.assignment;
+  Alcotest.(check bool) "some packed programs are stored" true
+    (Array.exists Option.is_some art.Artifact.programs);
+  Alcotest.(check string) "save -> load -> to_bytes is bit-identical"
+    (Stdlib.Digest.to_hex (Stdlib.Digest.string raw))
+    (Stdlib.Digest.to_hex (Stdlib.Digest.bytes (Artifact.to_bytes art)))
+
+let test_of_bytes_rejects_garbage () =
+  let err b = match Artifact.of_bytes b with Ok _ -> "ok" | Error e -> e in
+  Alcotest.(check string) "short input" "too short for header"
+    (err (Bytes.of_string "short"));
+  Alcotest.(check string) "wrong magic" "bad magic"
+    (err (Bytes.make Artifact.header_len 'x'))
+
+(* ------------------------------------------------------------------ *)
+(* Cache hits are bit-identical to the compile that stored them *)
+
+let test_cache_hit_equivalence () =
+  let dir = temp_dir () in
+  let c1 = Compiler.compile ~cache_dir:dir (weighted_cnn 5) in
+  let c2 = Compiler.compile ~cache_dir:dir (weighted_cnn 5) in
+  Alcotest.(check bool) "first compile misses" false (Compiler.from_cache c1);
+  Alcotest.(check bool) "second compile hits" true (Compiler.from_cache c2);
+  check_int "cold cache-misses" 1 (Trace.counter c1.Compiler.trace "cache-misses");
+  check_int "warm cache-hits" 1 (Trace.counter c2.Compiler.trace "cache-hits");
+  check_int "warm cache-misses" 0 (Trace.counter c2.Compiler.trace "cache-misses");
+  (* the expensive passes never even open a span on a hit *)
+  let select =
+    List.find
+      (fun n -> String.length n > 7 && String.sub n 0 7 = "select:")
+      (Compiler.pass_names ~cache_dir:dir c2.Compiler.config)
+  in
+  Alcotest.(check bool) "build-costs ran cold" true
+    (Trace.find c1.Compiler.trace "build-costs" <> None);
+  Alcotest.(check bool) "build-costs skipped warm" true
+    (Trace.find c2.Compiler.trace "build-costs" = None);
+  Alcotest.(check bool) "select skipped warm" true
+    (Trace.find c2.Compiler.trace select = None);
+  (* identical results, bit for bit *)
+  Alcotest.(check (float 0.0)) "latency" (Compiler.latency_ms c1) (Compiler.latency_ms c2);
+  Alcotest.(check (float 0.0)) "report cycles" c1.Compiler.report.Compiler.Graphcost.cycles
+    c2.Compiler.report.Compiler.Graphcost.cycles;
+  Alcotest.(check (array int)) "assignment" c1.Compiler.assignment c2.Compiler.assignment;
+  (* and the cached compile runs: outputs match tensor for tensor *)
+  let rng = Rng.create 42 in
+  let input = T.random rng (Graph.node c1.Compiler.graph 0).Graph.out_shape in
+  let inputs = [ (0, input) ] in
+  let o1 = Runtime.run c1 ~inputs in
+  let o2 = Runtime.run c2 ~inputs in
+  check_int "same node count" (Array.length o1) (Array.length o2);
+  Array.iteri
+    (fun i t1 ->
+      if not (T.equal_data t1 o2.(i)) then
+        Alcotest.failf "node %d: cached compile's output differs" i)
+    o1
+
+(* ------------------------------------------------------------------ *)
+(* Corruption: every damaged entry is a miss, never an error *)
+
+let with_mangled_entry name mangle =
+  let dir = temp_dir () in
+  let c1 = Compiler.compile ~cache_dir:dir (weighted_cnn 7) in
+  let path = only_entry dir in
+  mangle path (read_file path);
+  let c2 = Compiler.compile ~cache_dir:dir (weighted_cnn 7) in
+  Alcotest.(check bool) (name ^ ": recompile is a miss") false (Compiler.from_cache c2);
+  check_int (name ^ ": counted as a miss") 1
+    (Trace.counter c2.Compiler.trace "cache-misses");
+  Alcotest.(check (float 0.0))
+    (name ^ ": recompile result unchanged")
+    (Compiler.latency_ms c1) (Compiler.latency_ms c2);
+  (* the recompile stored a fresh entry over the damaged one *)
+  match Artifact.load ~path:(only_entry dir) () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s: entry not repaired after recompile: %s" name e
+
+let test_corrupt_entries_are_misses () =
+  with_mangled_entry "truncated" (fun path raw ->
+      write_file path (String.sub raw 0 (String.length raw / 2)));
+  with_mangled_entry "bit-flipped payload" (fun path raw ->
+      let b = Bytes.of_string raw in
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      write_file path (Bytes.to_string b));
+  with_mangled_entry "future format version" (fun path raw ->
+      let b = Bytes.of_string raw in
+      Bytes.set b 11 '\xff';
+      write_file path (Bytes.to_string b));
+  with_mangled_entry "garbage file" (fun path _ -> write_file path "not an artifact")
+
+(* ------------------------------------------------------------------ *)
+(* Every zoo model round-trips bit-identically and re-serves from cache *)
+
+let test_zoo_roundtrip () =
+  let dir = temp_dir () in
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let g = e.Zoo.build () in
+      let cold = Compiler.compile ~cache_dir:dir g in
+      let digest = Compiler.fingerprint cold.Compiler.config (e.Zoo.build ()) in
+      let path = Filename.concat dir (digest ^ ".gcd2art") in
+      let raw = read_file path in
+      let art =
+        match Artifact.load ~expect_digest:digest ~path () with
+        | Ok (art, _) -> art
+        | Error err -> Alcotest.failf "%s: load failed: %s" e.Zoo.name err
+      in
+      Alcotest.(check string)
+        (e.Zoo.name ^ ": save -> load -> to_bytes is bit-identical")
+        (Stdlib.Digest.to_hex (Stdlib.Digest.string raw))
+        (Stdlib.Digest.to_hex (Stdlib.Digest.bytes (Artifact.to_bytes art)));
+      let warm = Compiler.compile ~cache_dir:dir (e.Zoo.build ()) in
+      Alcotest.(check bool) (e.Zoo.name ^ ": warm compile hits") true
+        (Compiler.from_cache warm);
+      Alcotest.(check (float 0.0))
+        (e.Zoo.name ^ ": warm latency identical")
+        (Compiler.latency_ms cold) (Compiler.latency_ms warm);
+      Alcotest.(check (array int))
+        (e.Zoo.name ^ ": warm assignment identical")
+        cold.Compiler.assignment warm.Compiler.assignment)
+    Zoo.all
+
+let tests =
+  [
+    Alcotest.test_case "request fingerprint" `Quick test_fingerprint;
+    Alcotest.test_case "artifact round-trip is bit-identical" `Quick test_roundtrip_bytes;
+    Alcotest.test_case "of_bytes rejects garbage" `Quick test_of_bytes_rejects_garbage;
+    Alcotest.test_case "cache hit equals cold compile" `Quick test_cache_hit_equivalence;
+    Alcotest.test_case "corrupt entries are misses" `Quick test_corrupt_entries_are_misses;
+    Alcotest.test_case "zoo artifacts round-trip" `Slow test_zoo_roundtrip;
+  ]

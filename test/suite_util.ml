@@ -76,6 +76,34 @@ let test_stats () =
   check_int "ceil_div rounds up" 4 (Stats.ceil_div 10 3);
   check_int "round_up" 128 (Stats.round_up 100 64)
 
+(* Nearest-rank percentile: the smallest element with at least p% of the
+   sample at or below it. *)
+let test_percentile () =
+  let checkf = Alcotest.(check (float 1e-9)) in
+  checkf "empty sample" 0.0 (Stats.percentile 50.0 []);
+  checkf "singleton p1" 7.0 (Stats.percentile 1.0 [ 7.0 ]);
+  checkf "singleton p99" 7.0 (Stats.percentile 99.0 [ 7.0 ]);
+  let xs = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  checkf "sorts its input" 1.0 (Stats.percentile 10.0 xs);
+  (* nearest rank over 5 elements: rank = ceil(p/100 * 5) *)
+  checkf "p20 is the 1st of 5" 1.0 (Stats.percentile 20.0 xs);
+  checkf "p21 is the 2nd of 5" 2.0 (Stats.percentile 21.0 xs);
+  checkf "p50 of odd count is the middle" 3.0 (Stats.p50 xs);
+  checkf "p100 is the max" 5.0 (Stats.percentile 100.0 xs);
+  checkf "p0 clamps to the min" 1.0 (Stats.percentile 0.0 xs);
+  let hundred = List.init 100 (fun i -> float_of_int (i + 1)) in
+  checkf "p50 of 1..100" 50.0 (Stats.p50 hundred);
+  checkf "p95 of 1..100" 95.0 (Stats.p95 hundred);
+  checkf "p99 of 1..100" 99.0 (Stats.p99 hundred)
+
+let qcheck_percentile_member =
+  QCheck.Test.make ~name:"percentile is a member of the sample" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (float_bound_inclusive 1000.0))
+        (float_bound_inclusive 100.0))
+    (fun (xs, p) -> List.mem (Gcd2_util.Stats.percentile p xs) xs)
+
 let qcheck_sat8 =
   QCheck.Test.make ~name:"sat8 stays in range" ~count:500
     QCheck.(int_range (-100000) 100000)
@@ -102,6 +130,8 @@ let tests =
     Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
     Alcotest.test_case "rng int8 range" `Quick test_rng_int8_range;
     Alcotest.test_case "stats helpers" `Quick test_stats;
+    Alcotest.test_case "nearest-rank percentile" `Quick test_percentile;
+    QCheck_alcotest.to_alcotest qcheck_percentile_member;
     QCheck_alcotest.to_alcotest qcheck_sat8;
     QCheck_alcotest.to_alcotest qcheck_rounding;
   ]

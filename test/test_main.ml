@@ -15,6 +15,7 @@ let () =
       ("layout", Suite_layout.tests);
       ("cost", Suite_cost.tests);
       ("core", Suite_core.tests);
+      ("store", Suite_store.tests);
       ("pipeline", Suite_pipeline.tests);
       ("models", Suite_models.tests);
       ("frameworks", Suite_frameworks.tests);
