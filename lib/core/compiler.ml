@@ -142,9 +142,32 @@ let dump_report ppf a =
    and report) is skipped outright on a hit. *)
 let cached a = a.art_cached
 
+(* The optional graph-rewrite passes, shared between the pipeline and
+   [fingerprint] so both always agree on the graph the expensive phases
+   consume: (pass name, removed-nodes counter, rewrite). *)
+let graph_rewrites config =
+  if not config.optimize_graph then []
+  else
+    [
+      ("eliminate-identity-reshapes", "reshapes-eliminated", Passes.eliminate_identity_reshapes);
+      ( "fuse-activations",
+        "fused-nodes",
+        fun g ->
+          let g = Passes.fuse_activations g in
+          Graph.validate g;
+          g );
+    ]
+
+(* The graph the selection phases see: the input graph after every
+   optimization pass that [disable] leaves enabled. *)
+let optimized ~disable config g =
+  List.fold_left
+    (fun g (name, _, rewrite) -> if List.mem name disable then g else rewrite g)
+    g (graph_rewrites config)
+
 (* One graph-rewrite pass, recording how many nodes it removed. *)
-let graph_pass name ~counter rewrite =
-  Pipeline.pass ~dump:dump_graph ~skip:cached name (fun _ a ->
+let graph_pass (name, counter, rewrite) =
+  Pipeline.pass ~dump:dump_graph name (fun _ a ->
       let before = Graph.size a.art_graph in
       let g = rewrite a.art_graph in
       Trace.count counter (before - Graph.size g);
@@ -155,11 +178,21 @@ let select_pass_name config = Fmt.str "select:%a" pp_selection config.selection
 (* ------------------------------------------------------------------ *)
 (* The compile cache                                                    *)
 
-(** Content-address of the request [(g, config)] — the cache key. *)
-let fingerprint (config : config) (g : Graph.t) =
+(* Digest of a request whose graph is already optimized — what the
+   cache passes compute in the middle of the pipeline, where [g] is the
+   artifact's current (post-rewrite) graph. *)
+let post_opt_fingerprint ~disable (config : config) (g : Graph.t) =
   Fingerprint.request
     ~selection:(Fmt.str "%a" pp_selection config.selection)
-    ~optimize_graph:config.optimize_graph ~options:config.opcost g
+    ~optimize_graph:config.optimize_graph ~disable ~options:config.opcost g
+
+(** Content-address of the request [(g, config, disable)] — the cache
+    key.  [g] is the input graph; the digest is computed over its
+    optimized form (the op universe plan enumeration and selection
+    actually see), so the extensional [supported] bitmap also covers
+    fused/rewritten ops. *)
+let fingerprint ?(disable = []) (config : config) (g : Graph.t) =
+  post_opt_fingerprint ~disable config (optimized ~disable config g)
 
 (* Consult the on-disk cache for the request's digest.  On a verified
    hit the whole downstream pipeline is satisfied from the entry: the
@@ -167,9 +200,9 @@ let fingerprint (config : config) (g : Graph.t) =
    enumeration is what the cache exists to skip) under the live config's
    options.  Any corrupt, stale or mismatching entry is a miss, never an
    error. *)
-let cache_lookup_pass dir =
+let cache_lookup_pass ~disable dir =
   Pipeline.pass "cache-lookup" (fun (config : config) a ->
-      let digest = fingerprint config a.art_graph in
+      let digest = post_opt_fingerprint ~disable config a.art_graph in
       match Cache.lookup ~dir digest with
       | Some (art, bytes) ->
         Trace.count "cache-hits" 1;
@@ -189,10 +222,15 @@ let cache_lookup_pass dir =
         { a with art_digest = Some digest })
 
 (* Persist the finished compile under its request digest (skipped when
-   the compile itself came from the cache). *)
-let cache_store_pass dir =
+   the compile itself came from the cache; recomputed when [cache-lookup]
+   itself was disabled). *)
+let cache_store_pass ~disable dir =
   Pipeline.pass ~skip:cached "cache-store" (fun (config : config) a ->
-      let digest = require "cache-lookup" a.art_digest in
+      let digest =
+        match a.art_digest with
+        | Some d -> d
+        | None -> post_opt_fingerprint ~disable config a.art_graph
+      in
       let cost = require "build-costs" a.art_cost in
       let solved = require "select" a.art_solved in
       let report = require "report" a.art_report in
@@ -213,21 +251,15 @@ let cache_store_pass dir =
       Trace.count "cache-bytes" (Cache.store ~dir artifact);
       a)
 
-let passes ?cache_dir config =
-  (match cache_dir with Some dir -> [ cache_lookup_pass dir ] | None -> [])
-  @ [ Pipeline.pass "validate" (fun _ a ->
+let passes ?cache_dir ?(disable = []) config =
+  [ Pipeline.pass "validate" (fun _ a ->
         Graph.validate a.art_graph;
         a) ]
-  @ (if config.optimize_graph then
-       [
-         graph_pass "eliminate-identity-reshapes" ~counter:"reshapes-eliminated"
-           Passes.eliminate_identity_reshapes;
-         graph_pass "fuse-activations" ~counter:"fused-nodes" (fun g ->
-             let g = Passes.fuse_activations g in
-             Graph.validate g;
-             g);
-       ]
-     else [])
+  @ List.map graph_pass (graph_rewrites config)
+  (* [cache-lookup] sits after the (cheap) graph rewrites so the digest —
+     in particular its extensional [supported] bitmap — covers the op
+     universe the expensive passes below actually see. *)
+  @ (match cache_dir with Some dir -> [ cache_lookup_pass ~disable dir ] | None -> [])
   @ [
       Pipeline.pass ~dump:dump_costs ~skip:cached "build-costs" (fun (config : config) a ->
           { a with art_cost = Some (Graphcost.build config.opcost a.art_graph) });
@@ -240,7 +272,7 @@ let passes ?cache_dir config =
           let solved = require "select" a.art_solved in
           { a with art_report = Some (Graphcost.report cost solved.Solver.plans) });
     ]
-  @ match cache_dir with Some dir -> [ cache_store_pass dir ] | None -> []
+  @ match cache_dir with Some dir -> [ cache_store_pass ~disable dir ] | None -> []
 
 (** Pass names of a configuration, in execution order. *)
 let pass_names ?cache_dir config = Pipeline.names (passes ?cache_dir config)
@@ -248,8 +280,11 @@ let pass_names ?cache_dir config = Pipeline.names (passes ?cache_dir config)
 let compile ?(config = default) ?(sink = Trace.Silent) ?(disable = []) ?(dump_after = [])
     ?dump_ppf ?cache_dir (g : Graph.t) =
   let trace = Trace.create ~sink "compile" in
+  let disable = List.sort_uniq String.compare disable in
   let passes =
-    List.filter (fun p -> not (List.mem p.Pipeline.name disable)) (passes ?cache_dir config)
+    List.filter
+      (fun p -> not (List.mem p.Pipeline.name disable))
+      (passes ?cache_dir ~disable config)
   in
   let art =
     Trace.with_ambient trace @@ fun () ->

@@ -9,11 +9,13 @@
 
     With [?cache_dir] the pipeline gains a [cache-lookup] /
     [cache-store] pair consulting the {!Gcd2_store.Cache}
-    content-addressed artifact store: a verified hit satisfies every
-    expensive pass (the optimization passes, [build-costs] and [select]
-    do not run at all) and the compile is reconstructed from the stored
-    artifact, bit-identical to the cold compile that stored it.  Hits,
-    misses and bytes moved are recorded as [cache-hits] /
+    content-addressed artifact store.  [cache-lookup] runs right after
+    the (cheap) graph optimizations, so the request digest is computed
+    over the op universe the expensive passes actually see; a verified
+    hit then satisfies every expensive pass ([build-costs], [select] and
+    [report] do not run at all) and the compile is reconstructed from
+    the stored artifact, bit-identical to the cold compile that stored
+    it.  Hits, misses and bytes moved are recorded as [cache-hits] /
     [cache-misses] / [cache-bytes] trace counters; any corrupt or stale
     entry is silently a miss. *)
 
@@ -55,14 +57,18 @@ type compiled = {
 
 (** Pass names of a configuration, in execution order (the [select] pass
     is named after the strategy, e.g. ["select:gcd2(13)"]; with
-    [?cache_dir] the list is bracketed by [cache-lookup] and
-    [cache-store]). *)
+    [?cache_dir], [cache-lookup] follows the graph optimizations and
+    [cache-store] closes the list). *)
 val pass_names : ?cache_dir:string -> config -> string list
 
-(** Content-address of the request [(g, config)] — the key under which
-    the compile cache stores/finds its artifact
-    ({!Gcd2_store.Fingerprint.request}). *)
-val fingerprint : config -> Graph.t -> string
+(** Content-address of the request [(g, config, disable)] — the key
+    under which the compile cache stores/finds its artifact
+    ({!Gcd2_store.Fingerprint.request}).  [g] is the input graph; the
+    digest is computed over its optimized form, the op universe plan
+    enumeration and selection actually see.  [disable] (default [[]])
+    must match the [?disable] list the compile runs with: an ablated
+    compile never shares an entry with a full one. *)
+val fingerprint : ?disable:string list -> config -> Graph.t -> string
 
 (** [compile ?config ?sink ?disable ?dump_after ?dump_ppf ?cache_dir g]
     runs the pass pipeline over [g].

@@ -86,6 +86,9 @@ type node_report = {
   cycles : float;  (** roofline node time + incoming transforms *)
 }
 
+(* [report] (with the node_reports inside) is marshaled into compile
+   artifacts: any change to its layout requires updating
+   Gcd2_store.Artifact.layout, or stale cache entries decode as garbage. *)
 type report = {
   per_node : node_report array;
   cycles : float;

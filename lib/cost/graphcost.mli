@@ -30,6 +30,9 @@ type node_report = {
   cycles : float;  (** roofline node time + incoming transforms *)
 }
 
+(** Marshaled into compile artifacts: any layout change requires updating
+    {!Gcd2_store.Artifact}[.layout], or stale cache entries decode as
+    garbage. *)
 type report = {
   per_node : node_report array;
   cycles : float;

@@ -6,6 +6,9 @@ module Layout = Gcd2_tensor.Layout
 module Simd = Gcd2_codegen.Simd
 module Unroll = Gcd2_codegen.Unroll
 
+(** Marshaled into compile artifacts: any layout change requires updating
+    {!Gcd2_store.Artifact}[.layout], or stale cache entries decode as
+    garbage. *)
 type t = {
   layout : Layout.t;  (** input/output data layout *)
   simd : Simd.t option;  (** multiply instruction, when applicable *)

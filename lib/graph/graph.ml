@@ -2,6 +2,9 @@
     a DAG of operator nodes, each producing exactly one output tensor.
     Nodes are stored in topological order (the builder guarantees it). *)
 
+(* Marshaled into compile artifacts (with the Op.t and Tensor.t inside):
+   any change to this type's layout requires updating
+   Gcd2_store.Artifact.layout, or stale cache entries decode as garbage. *)
 type node = {
   id : int;
   name : string;

@@ -2,6 +2,9 @@
     a DAG of operator nodes, each producing one output tensor, stored in
     topological order. *)
 
+(** Marshaled into compile artifacts: any layout change requires updating
+    {!Gcd2_store.Artifact}[.layout], or stale cache entries decode as
+    garbage. *)
 type node = {
   id : int;
   name : string;

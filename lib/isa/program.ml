@@ -7,6 +7,9 @@
     packet cycles.  The timing reported by the functional simulator
     ({!Gcd2_vm.Machine}) agrees with {!static_cycles} by construction. *)
 
+(* Programs (with the Packet.t / Instr.t inside) are marshaled into
+   compile artifacts: any change to these types' layout requires updating
+   Gcd2_store.Artifact.layout, or stale cache entries decode as garbage. *)
 type node =
   | Block of Packet.t list
   | Loop of { trip : int; body : node list }

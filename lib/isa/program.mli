@@ -3,6 +3,9 @@
     cost below is a static quantity that the simulator's dynamic counters
     match exactly. *)
 
+(** Marshaled into compile artifacts: any layout change (here or in
+    {!Packet}/{!Instr}) requires updating {!Gcd2_store.Artifact}[.layout],
+    or stale cache entries decode as garbage. *)
 type node =
   | Block of Packet.t list
   | Loop of { trip : int; body : node list }

@@ -14,7 +14,8 @@
     {v
       offset  size  field
       0       8     magic   "GCD2ART\n"
-      8       4     format version (currently 1)
+      8       4     version word (format version mixed with the digest
+                    of the payload [layout] description)
       12      32    request digest, lowercase hex (Fingerprint.request)
       44      16    raw MD5 of the payload
       60      8     payload length in bytes
@@ -22,8 +23,8 @@
     v}
 
     Readers reject (and the cache treats as a miss) anything whose magic,
-    version, digest, length or checksum does not match — a truncated or
-    bit-flipped file can never surface as a wrong answer, only as a
+    version word, digest, length or checksum does not match — a truncated
+    or bit-flipped file can never surface as a wrong answer, only as a
     recompile. *)
 
 module Graph = Gcd2_graph.Graph
@@ -46,8 +47,30 @@ type t = {
   selection_seconds : float;  (** wall time the original global selection took *)
 }
 
-let version = 1
+let version = 2
 let magic = "GCD2ART\n"
+
+(* The payload is decoded with [Marshal.from_bytes], which is not
+   type-safe: an entry whose marshaled type layout changed since it was
+   written would pass every structural check and decode into garbage (or
+   segfault).  [layout] names every type the payload transitively
+   marshals; each of those definitions carries a comment pointing back
+   here, and ANY change to one of them must be accompanied by an edit to
+   this string (or a [version] bump).  The 4-byte version word written to
+   disk is derived from the digest of both, so stale-layout entries are
+   rejected as a version mismatch instead of being decoded. *)
+let layout =
+  "graph=Gcd2_graph.Graph.t(Op.t,Tensor.t,Quant.t);\
+   plans=Gcd2_cost.Plan.t(Layout.t,Simd.t,Unroll.t) array array;\
+   assignment=int array;objective=float;\
+   report=Gcd2_cost.Graphcost.report;\
+   programs=Gcd2_isa.Program.t(Packet.t,Instr.t) option array;\
+   selection_seconds=float"
+
+let version_word =
+  Bytes.get_int32_be
+    (Bytes.unsafe_of_string (Stdlib.Digest.string (Printf.sprintf "%d:%s" version layout)))
+    0
 let digest_hex_len = 32
 let header_len = 8 + 4 + digest_hex_len + 16 + 8
 
@@ -81,7 +104,7 @@ let to_bytes t =
     invalid_arg "Artifact.to_bytes: digest must be 32 hex chars";
   let b = Bytes.create (header_len + Bytes.length payload) in
   Bytes.blit_string magic 0 b 0 8;
-  Bytes.set_int32_be b 8 (Int32.of_int version);
+  Bytes.set_int32_be b 8 version_word;
   Bytes.blit_string t.digest 0 b 12 digest_hex_len;
   Bytes.blit_string (Stdlib.Digest.bytes payload) 0 b 44 16;
   Bytes.set_int64_be b 60 (Int64.of_int (Bytes.length payload));
@@ -98,9 +121,7 @@ let check cond reason = if cond then Ok () else Error reason
 let of_bytes ?expect_digest b =
   let* () = check (Bytes.length b >= header_len) "too short for header" in
   let* () = check (Bytes.sub_string b 0 8 = magic) "bad magic" in
-  let* () =
-    check (Bytes.get_int32_be b 8 = Int32.of_int version) "format version mismatch"
-  in
+  let* () = check (Bytes.get_int32_be b 8 = version_word) "format version mismatch" in
   let digest = Bytes.sub_string b 12 digest_hex_len in
   let* () =
     match expect_digest with
@@ -144,15 +165,19 @@ let save ~path t =
   Bytes.length b
 
 (** Read and verify an artifact file.  [Ok (artifact, bytes_read)] on
-    success. *)
+    success; {e any} failure to open, read or decode — the path is a
+    directory, the device errors mid-read, the payload is damaged — is
+    an [Error], never an exception, so {!Cache.lookup} can keep its
+    "every problem is a miss" contract. *)
 let load ?expect_digest ~path () =
-  match In_channel.open_bin path with
+  match
+    let ic = In_channel.open_bin path in
+    Fun.protect
+      ~finally:(fun () -> In_channel.close ic)
+      (fun () -> In_channel.input_all ic)
+  with
   | exception Sys_error e -> Error e
-  | ic ->
-    let b =
-      Fun.protect
-        ~finally:(fun () -> In_channel.close ic)
-        (fun () -> In_channel.input_all ic)
-    in
+  | exception exn -> Error (Printexc.to_string exn)
+  | b ->
     let* t = of_bytes ?expect_digest (Bytes.unsafe_of_string b) in
     Ok (t, String.length b)

@@ -1,19 +1,30 @@
 (** Content-addressing of compile requests.
 
-    A compile request is the pair (computational graph, compiler
-    configuration): if two requests render to the same canonical byte
-    string, the compiler is guaranteed to produce the same artifact, so
-    the cache may answer the second from the first's stored result.
+    A compile request is the triple (computational graph, compiler
+    configuration, disabled passes): if two requests render to the same
+    canonical byte string, the compiler is guaranteed to produce the
+    same artifact, so the cache may answer the second from the first's
+    stored result.
 
-    The canonical rendering is exhaustive over everything that can change
-    the compiler's output — every operator attribute (including the ones
-    {!Gcd2_graph.Op.name} elides, e.g. convolution padding and reshape
-    shapes), weight contents, and every costing knob of
-    {!Gcd2_cost.Opcost.options}.  The one non-printable knob, the
-    [supported] predicate, is canonicalized {e extensionally}: it is
-    evaluated on each node of the request's graph and rendered as a
-    bitmap, which is exact for that graph.  The cosmetic configuration
-    [name] is deliberately excluded, so "GCD2" and "gcd2" share entries.
+    The graph rendered here must be the graph the expensive phases (plan
+    enumeration, global selection) actually consume — i.e. the graph
+    {e after} the optimization passes have run, which is where
+    {!Gcd2.Compiler} computes the digest.  This matters for the one
+    non-printable knob, the [supported] predicate, which is canonicalized
+    {e extensionally}: it is evaluated on each node and rendered as a
+    bitmap.  Over the optimized graph that bitmap covers exactly the op
+    universe selection sees — including fused/rewritten ops that do not
+    exist in the user's input graph — so two configurations whose
+    predicates agree on every rendered op compile identically.
+
+    The rest of the rendering is exhaustive over everything else that
+    can change the compiler's output — every operator attribute
+    (including the ones {!Gcd2_graph.Op.name} elides, e.g. convolution
+    padding and reshape shapes), weight contents, every costing knob of
+    {!Gcd2_cost.Opcost.options}, and the sorted list of disabled pass
+    names (an ablated compile must never share an entry with a full
+    one).  The cosmetic configuration [name] is deliberately excluded,
+    so "GCD2" and "gcd2" share entries.
 
     The digest is the MD5 of the canonical rendering, in lowercase hex —
     the cache's file name and the artifact header's request id. *)
@@ -156,14 +167,24 @@ let add_options buf (g : Graph.t) (o : Opcost.options) =
   Graph.iter (fun node -> add buf (if o.Opcost.supported node.Graph.op then "1" else "0")) g
 
 (** Canonical rendering of a compile request.  [selection] is the
-    rendered selection strategy (e.g. ["gcd2(13)"]); the graph is the
-    request's input graph, {e before} any optimization pass runs. *)
-let canonical ~selection ~optimize_graph ~options (g : Graph.t) =
+    rendered selection strategy (e.g. ["gcd2(13)"]); [disable] is the
+    list of disabled pass names (rendered sorted and deduplicated, so
+    callers need not normalize); the graph is the one the selection
+    phases consume, {e after} the optimization passes that [disable]
+    left enabled. *)
+let canonical ~selection ~optimize_graph ~disable ~options (g : Graph.t) =
   let buf = Buffer.create 4096 in
-  add buf "gcd2-request-v1\n";
+  add buf "gcd2-request-v2\n";
   add buf "selection=";
   add buf selection;
-  add buf (Printf.sprintf ";optimize_graph=%b;" optimize_graph);
+  add buf (Printf.sprintf ";optimize_graph=%b" optimize_graph);
+  add buf ";disable=[";
+  List.iter
+    (fun n ->
+      add buf n;
+      add buf ",")
+    (List.sort_uniq String.compare disable);
+  add buf "];";
   add_options buf g options;
   add buf "\n";
   add_graph buf g;
@@ -171,6 +192,6 @@ let canonical ~selection ~optimize_graph ~options (g : Graph.t) =
 
 (** Content-address of a compile request: lowercase-hex MD5 of the
     canonical rendering. *)
-let request ~selection ~optimize_graph ~options (g : Graph.t) =
+let request ~selection ~optimize_graph ~disable ~options (g : Graph.t) =
   Stdlib.Digest.to_hex
-    (Stdlib.Digest.string (canonical ~selection ~optimize_graph ~options g))
+    (Stdlib.Digest.string (canonical ~selection ~optimize_graph ~disable ~options g))

@@ -3,6 +3,10 @@
 
 module Rng = Gcd2_util.Rng
 
+(* Marshaled into compile artifacts as graph weights (and digested by
+   Gcd2_store.Fingerprint): any change to this type's layout requires
+   updating Gcd2_store.Artifact.layout, or stale cache entries decode as
+   garbage. *)
 type t = {
   dims : int array;
   data : int array;  (** int8 values, logical row-major order *)

@@ -1,5 +1,8 @@
 (** Quantized int8 tensors, stored row-major in logical order. *)
 
+(** Marshaled into compile artifacts as graph weights: any layout change
+    requires updating {!Gcd2_store.Artifact}[.layout], or stale cache
+    entries decode as garbage. *)
 type t = {
   dims : int array;
   data : int array;  (** int8 values, logical row-major order *)

@@ -79,6 +79,39 @@ let test_fingerprint () =
   let renamed = { default with Compiler.name = "renamed" } in
   Alcotest.(check string) "cosmetic name is excluded" digest (d renamed (weighted_cnn 1))
 
+(* The digest must separate everything that changes the compile: the
+   disabled-pass list, and `supported` predicates that only differ on ops
+   the optimizer derives (the bitmap is rendered over the optimized
+   graph, the op universe selection actually sees). *)
+let test_fingerprint_disable_and_derived_ops () =
+  let default = Compiler.default in
+  let digest = Compiler.fingerprint default (weighted_cnn 1) in
+  Alcotest.(check bool) "disabling a pass changes the digest" false
+    (digest
+    = Compiler.fingerprint ~disable:[ "fuse-activations" ] default (weighted_cnn 1));
+  Alcotest.(check string) "the disable list is order/duplicate-insensitive"
+    (Compiler.fingerprint ~disable:[ "fuse-activations"; "report" ] default
+       (weighted_cnn 1))
+    (Compiler.fingerprint
+       ~disable:[ "report"; "fuse-activations"; "report" ]
+       default (weighted_cnn 1));
+  (* rejects fused convolutions only — agrees with the default predicate
+     on every op of the *input* graph, where convs still carry no act *)
+  let reject_fused =
+    {
+      default with
+      Compiler.opcost =
+        {
+          default.Compiler.opcost with
+          Gcd2_cost.Opcost.supported =
+            (fun op ->
+              match op with Op.Conv2d { act = Some _; _ } -> false | _ -> true);
+        };
+    }
+  in
+  Alcotest.(check bool) "supported differing only on fused ops changes the digest" false
+    (digest = Compiler.fingerprint reject_fused (weighted_cnn 1))
+
 (* ------------------------------------------------------------------ *)
 (* Serialization round-trip *)
 
@@ -177,6 +210,45 @@ let with_mangled_entry name mangle =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "%s: entry not repaired after recompile: %s" name e
 
+(* An ablated compile and a full compile of the same graph through the
+   same cache must never serve each other's artifacts. *)
+let test_disabled_passes_do_not_share_entries () =
+  let dir = temp_dir () in
+  let g = weighted_cnn 9 in
+  let ablated = Compiler.compile ~cache_dir:dir ~disable:[ "fuse-activations" ] g in
+  let full = Compiler.compile ~cache_dir:dir g in
+  Alcotest.(check bool) "ablated cold compile misses" false (Compiler.from_cache ablated);
+  Alcotest.(check bool) "full compile does not hit the ablated entry" false
+    (Compiler.from_cache full);
+  Alcotest.(check bool) "fusion made the two graphs differ" true
+    (Graph.size ablated.Compiler.graph > Graph.size full.Compiler.graph);
+  let ablated2 = Compiler.compile ~cache_dir:dir ~disable:[ "fuse-activations" ] g in
+  let full2 = Compiler.compile ~cache_dir:dir g in
+  Alcotest.(check bool) "ablated warm compile hits" true (Compiler.from_cache ablated2);
+  Alcotest.(check bool) "full warm compile hits" true (Compiler.from_cache full2);
+  check_int "ablated hit returns the unfused graph"
+    (Graph.size ablated.Compiler.graph)
+    (Graph.size ablated2.Compiler.graph);
+  check_int "full hit returns the fused graph"
+    (Graph.size full.Compiler.graph)
+    (Graph.size full2.Compiler.graph);
+  Alcotest.(check (float 0.0)) "ablated latency preserved"
+    (Compiler.latency_ms ablated) (Compiler.latency_ms ablated2);
+  Alcotest.(check (float 0.0)) "full latency preserved" (Compiler.latency_ms full)
+    (Compiler.latency_ms full2)
+
+(* Any failure to read an entry must surface as [Error], never as an
+   exception: here the entry path is a directory, so the open succeeds
+   and the read itself fails. *)
+let test_load_never_raises () =
+  let dir = temp_dir () in
+  (match Artifact.load ~path:dir () with
+  | Ok _ -> Alcotest.fail "loading a directory succeeded"
+  | Error _ -> ());
+  match Artifact.load ~path:(Filename.concat dir "absent.gcd2art") () with
+  | Ok _ -> Alcotest.fail "loading a missing file succeeded"
+  | Error _ -> ()
+
 let test_corrupt_entries_are_misses () =
   with_mangled_entry "truncated" (fun path raw ->
       write_file path (String.sub raw 0 (String.length raw / 2)));
@@ -226,6 +298,11 @@ let test_zoo_roundtrip () =
 let tests =
   [
     Alcotest.test_case "request fingerprint" `Quick test_fingerprint;
+    Alcotest.test_case "fingerprint: disable list and derived ops" `Quick
+      test_fingerprint_disable_and_derived_ops;
+    Alcotest.test_case "disabled passes do not share entries" `Quick
+      test_disabled_passes_do_not_share_entries;
+    Alcotest.test_case "load never raises" `Quick test_load_never_raises;
     Alcotest.test_case "artifact round-trip is bit-identical" `Quick test_roundtrip_bytes;
     Alcotest.test_case "of_bytes rejects garbage" `Quick test_of_bytes_rejects_garbage;
     Alcotest.test_case "cache hit equals cold compile" `Quick test_cache_hit_equivalence;
