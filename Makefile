@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all build test check fmt-check fmt clean
+.PHONY: all build test test-parallel check fmt-check fmt clean
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	dune runtest
+
+# Run the suite again with two worker domains so the parallel plan
+# enumeration path (and the domain-safety of memo/trace) is exercised on
+# every push, not just the sequential default.  test/dune declares
+# GCD2_JOBS as a dependency, so this is not a cached no-op after `test`.
+test-parallel:
+	GCD2_JOBS=2 dune runtest
 
 # Formatting gate: enforced when ocamlformat is available (the committed
 # .ocamlformat pins the style), skipped with a note otherwise so `check`
@@ -27,7 +34,7 @@ fmt:
 		echo "ocamlformat not installed; cannot format"; \
 	fi
 
-check: build test fmt-check
+check: build test test-parallel fmt-check
 
 clean:
 	dune clean

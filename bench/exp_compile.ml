@@ -1,0 +1,77 @@
+(* Compile-time benchmark ("compile"): per-zoo-model cold compile wall
+   time at jobs:1, split into total and the build-costs pass that
+   dominates it, plus the same-process warm recompile that kernel-cost
+   memoization makes a distinct population.  Writes BENCH_compile.json
+   so the numbers can be tracked across revisions. *)
+
+module Zoo = Gcd2_models.Zoo
+module Compiler = Gcd2.Compiler
+module Trace = Gcd2_util.Trace
+module Memo = Gcd2_util.Memo
+
+let timed f =
+  let t0 = Trace.now () in
+  let v = f () in
+  (v, Trace.now () -. t0)
+
+type row = {
+  name : string;
+  cold_s : float;
+  build_costs_s : float;
+  warm_s : float;
+  memo_hits : int;
+  memo_misses : int;
+  latency_ms : float;
+}
+
+let measure (e : Zoo.entry) =
+  (* cold = process-cold: memo tables cleared, no artifact cache *)
+  Memo.clear_all ();
+  let cold, cold_s = timed (fun () -> Compiler.compile (e.Zoo.build ())) in
+  (* warm = same process, memo tables kept: what a repeat request costs
+     inside one serve process even without the artifact cache *)
+  let _, warm_s = timed (fun () -> Compiler.compile (e.Zoo.build ())) in
+  {
+    name = e.Zoo.name;
+    cold_s;
+    build_costs_s = Trace.span_seconds cold.Compiler.trace "build-costs";
+    warm_s;
+    memo_hits = Trace.counter cold.Compiler.trace "memo-hits";
+    memo_misses = Trace.counter cold.Compiler.trace "memo-misses";
+    latency_ms = Compiler.latency_ms cold;
+  }
+
+let json_of rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"experiment\": \"compile\",\n  \"models\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"cold_s\": %.6f, \"build_costs_s\": %.6f, \
+            \"warm_s\": %.6f, \"memo_hits\": %d, \"memo_misses\": %d, \
+            \"latency_ms\": %.6f}%s\n"
+           r.name r.cold_s r.build_costs_s r.warm_s r.memo_hits r.memo_misses
+           r.latency_ms
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run () =
+  Report.header "compile: per-model cold compile wall time (jobs:1)";
+  Printf.printf "   (cold = memo tables cleared first; warm = same-process recompile)\n\n";
+  Printf.printf "   %-18s %10s %14s %10s %7s %7s\n" "model" "cold (s)"
+    "build-costs" "warm (s)" "hits" "misses";
+  let rows = List.map measure Zoo.all in
+  List.iter
+    (fun r ->
+      Printf.printf "   %-18s %10.3f %14.3f %10.4f %7d %7d\n" r.name r.cold_s
+        r.build_costs_s r.warm_s r.memo_hits r.memo_misses)
+    rows;
+  let path = "BENCH_compile.json" in
+  let oc = open_out path in
+  output_string oc (json_of rows);
+  close_out oc;
+  Printf.printf "\n   wrote %s (%d models) for trajectory tracking\n" path
+    (List.length rows)

@@ -117,6 +117,44 @@ let test_vm_matmul =
               }
               ~a ~w)))
 
+(* ------------------------------------------------------------------ *)
+(* pack-scaling: incremental vs reference SDA packer wall time as the
+   block grows.  Blocks are the vmpy inner block tiled back-to-back; the
+   copies reuse the same registers, so the packer sees one long block
+   threaded by WAW/RAW dependences rather than k independent ones. *)
+
+let replicate k block = Array.concat (List.init k (fun _ -> block))
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let time_pack pack block =
+  let reps = max 3 (2000 / max 1 (Array.length block)) in
+  let samples =
+    List.init reps (fun _ ->
+        let t0 = Gcd2_util.Trace.now () in
+        ignore (pack Packer.sda block);
+        Gcd2_util.Trace.now () -. t0)
+  in
+  median samples
+
+let pack_scaling () =
+  Report.header "pack-scaling: incremental vs reference SDA packer (median wall time)";
+  let base = Lazy.force kernel_block in
+  Report.row "   base block: %d instructions (vmpy inner block)\n\n" (Array.length base);
+  Report.row "   %8s %14s %14s %9s\n" "instrs" "incremental" "reference" "speedup";
+  List.iter
+    (fun k ->
+      let block = replicate k base in
+      let inc = time_pack Packer.pack_indices block in
+      let reference = time_pack Packer.pack_indices_reference block in
+      Report.row "   %8d %11.3f ms %11.3f ms %8.1fx\n" (Array.length block)
+        (inc *. 1e3) (reference *. 1e3)
+        (reference /. Float.max inc 1e-9))
+    [ 1; 2; 4; 8; 16 ]
+
 let benchmark () =
   let tests =
     [
@@ -149,4 +187,5 @@ let benchmark () =
             Report.row "%-44s %12.1f ns/run\n" (Test.name test) est
           | _ -> Report.row "%-44s %12s\n" (Test.name test) "n/a")
         result)
-    tests results
+    tests results;
+  pack_scaling ()

@@ -1,6 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section V).  Run with no arguments for the full set, or
-   name experiments: table1..table5, fig7..fig13, micro.
+   name experiments: table1..table5, fig7..fig13, micro, pack-scaling,
+   compile, cache.
 
    Outputs print measured rows next to the paper's reported values;
    EXPERIMENTS.md records the comparison and known residuals. *)
@@ -21,6 +22,8 @@ let experiments =
     ("fig13", Exp_figures.fig13);
     ("ablations", Exp_ablations.run);
     ("micro", Exp_micro.benchmark);
+    ("pack-scaling", Exp_micro.pack_scaling);
+    ("compile", Exp_compile.run);
     ("cache", Exp_cache.run);
   ]
 
@@ -29,7 +32,7 @@ let usage () =
   print_endline "experiments:";
   List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments;
   print_endline
-    "  all (default: every table, figure and ablation; micro and cache must be asked for explicitly)"
+    "  all (default: every table, figure and ablation; micro, pack-scaling, compile and cache must be asked for explicitly)"
 
 let run name =
   match List.assoc_opt name experiments with

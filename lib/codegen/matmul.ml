@@ -29,6 +29,10 @@ type addressing =
           unit — the generic loop-nest lowering of compilers that do not
           specialize addressing to the layout *)
 
+(* [spec] is the memo key of [cycles] (Gcd2_util.Memo): it must stay pure
+   data and keep determining the emitted loop nest completely — a new
+   field that changes generation enters the key automatically *because*
+   the whole record is the key; never memoize on a projection of it. *)
 type spec = {
   simd : Simd.t;
   m : int;
@@ -551,6 +555,15 @@ let generate ?(tables = []) ?per_channel ?q_base spec buffers =
   Program.make ~tables (Fmt.str "matmul_%s_%dx%dx%d" (Simd.name spec.simd) spec.m spec.k spec.n)
     nodes
 
-(** Static cycle count of the kernel (buffer addresses do not affect it). *)
+(* Generating and SDA-packing a kernel is ~99% of a cold compile, and the
+   spec determines the program exactly, so each unique spec is costed
+   once per process.  Plan enumeration repeats specs heavily (every conv
+   of a given shape, every unroll candidate revisited per node). *)
+let cycles_memo : (spec, int) Gcd2_util.Memo.t = Gcd2_util.Memo.create "matmul-cycles"
+
+(** Static cycle count of the kernel (buffer addresses do not affect it).
+    Memoized by the full [spec] — the generator is deterministic, so the
+    first costing of a spec answers every later one. *)
 let cycles spec =
-  Program.static_cycles (generate spec { a_base = 0; w_base = 0; c_base = 0 })
+  Gcd2_util.Memo.find_or_add cycles_memo spec (fun () ->
+      Program.static_cycles (generate spec { a_base = 0; w_base = 0; c_base = 0 }))

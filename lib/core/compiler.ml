@@ -251,7 +251,11 @@ let cache_store_pass ~disable dir =
       Trace.count "cache-bytes" (Cache.store ~dir artifact);
       a)
 
-let passes ?cache_dir ?(disable = []) config =
+(* [jobs] parallelizes plan enumeration only (the one long pass); it is
+   deliberately absent from [Fingerprint.request] — worker count cannot
+   change the artifact, so compiles at different [jobs] share cache
+   entries. *)
+let passes ?cache_dir ?(disable = []) ?(jobs = 1) config =
   [ Pipeline.pass "validate" (fun _ a ->
         Graph.validate a.art_graph;
         a) ]
@@ -262,7 +266,7 @@ let passes ?cache_dir ?(disable = []) config =
   @ (match cache_dir with Some dir -> [ cache_lookup_pass ~disable dir ] | None -> [])
   @ [
       Pipeline.pass ~dump:dump_costs ~skip:cached "build-costs" (fun (config : config) a ->
-          { a with art_cost = Some (Graphcost.build config.opcost a.art_graph) });
+          { a with art_cost = Some (Graphcost.build ~jobs config.opcost a.art_graph) });
       Pipeline.pass ~dump:dump_assignment ~skip:cached (select_pass_name config)
         (fun config a ->
           let cost = require "build-costs" a.art_cost in
@@ -278,13 +282,14 @@ let passes ?cache_dir ?(disable = []) config =
 let pass_names ?cache_dir config = Pipeline.names (passes ?cache_dir config)
 
 let compile ?(config = default) ?(sink = Trace.Silent) ?(disable = []) ?(dump_after = [])
-    ?dump_ppf ?cache_dir (g : Graph.t) =
+    ?dump_ppf ?cache_dir ?jobs (g : Graph.t) =
+  let jobs = match jobs with Some j -> j | None -> Gcd2_util.Pool.default_jobs () in
   let trace = Trace.create ~sink "compile" in
   let disable = List.sort_uniq String.compare disable in
   let passes =
     List.filter
       (fun p -> not (List.mem p.Pipeline.name disable))
-      (passes ?cache_dir ~disable config)
+      (passes ?cache_dir ~disable ~jobs config)
   in
   let art =
     Trace.with_ambient trace @@ fun () ->

@@ -70,8 +70,8 @@ val pass_names : ?cache_dir:string -> config -> string list
     compile never shares an entry with a full one. *)
 val fingerprint : ?disable:string list -> config -> Graph.t -> string
 
-(** [compile ?config ?sink ?disable ?dump_after ?dump_ppf ?cache_dir g]
-    runs the pass pipeline over [g].
+(** [compile ?config ?sink ?disable ?dump_after ?dump_ppf ?cache_dir
+    ?jobs g] runs the pass pipeline over [g].
 
     - [sink] streams every closed trace span (default {!Trace.Silent});
     - [disable] skips the named passes (only the optional graph
@@ -80,7 +80,12 @@ val fingerprint : ?disable:string list -> config -> Graph.t -> string
     - [dump_after] prints the artifact after each named pass to
       [dump_ppf] (default stderr);
     - [cache_dir] enables the content-addressed compile cache rooted at
-      that directory (created on first store). *)
+      that directory (created on first store);
+    - [jobs] (default [$GCD2_JOBS], else 1) sets the worker count of
+      plan enumeration ({!Gcd2_util.Pool}).  Semantically inert: the
+      compiled result is identical for every value, and [jobs] is
+      deliberately excluded from {!fingerprint}, so compiles at
+      different worker counts share cache entries. *)
 val compile :
   ?config:config ->
   ?sink:Trace.sink ->
@@ -88,6 +93,7 @@ val compile :
   ?dump_after:string list ->
   ?dump_ppf:Format.formatter ->
   ?cache_dir:string ->
+  ?jobs:int ->
   Graph.t ->
   compiled
 

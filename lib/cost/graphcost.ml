@@ -72,9 +72,16 @@ let of_plans options (g : Graph.t) plans =
   Problem.validate problem;
   { graph = g; options; plans; problem }
 
-let build options (g : Graph.t) =
+(* Plan enumeration is per-node independent (kernel generation + packing
+   + roofline arithmetic; the only shared state is the domain-safe memo
+   tables), so the node loop maps over a Pool.  The pool writes result
+   [v] into slot [v] whatever the worker count — [jobs] only changes
+   wall time, never the plan tables. *)
+let build ?(jobs = 1) options (g : Graph.t) =
   let n = Graph.size g in
-  of_plans options g (Array.init n (fun v -> Opcost.plans options g (Graph.node g v)))
+  let nodes = Array.init n (Graph.node g) in
+  of_plans options g
+    (Gcd2_util.Pool.map_array ~jobs (fun node -> Opcost.plans options g node) nodes)
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)

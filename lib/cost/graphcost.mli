@@ -16,7 +16,11 @@ type t = {
     tensor. *)
 val edge_tc : Graph.t -> Plan.t array array -> int -> int -> int -> int -> float
 
-val build : Opcost.options -> Graph.t -> t
+(** [build ?jobs options g] — enumerate every node's plan table and
+    assemble the selection problem.  [jobs] (default 1) sets the worker
+    count for the per-node enumeration ({!Gcd2_util.Pool}); it changes
+    wall time only — the result is identical for every value. *)
+val build : ?jobs:int -> Opcost.options -> Graph.t -> t
 
 (** Assemble the selection problem from already-enumerated plan tables —
     the cheap tail of {!build}, for rebuilding a [t] from a cached

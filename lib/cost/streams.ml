@@ -10,24 +10,42 @@ module Emit = Gcd2_codegen.Emit
 module Eltwise = Gcd2_codegen.Eltwise
 module Regs = Gcd2_codegen.Regs
 
+(* Each costing below is memoized (Gcd2_util.Memo) on the complete set of
+   parameters that reach the emitter — the memo key IS the argument
+   tuple.  A new parameter to any [*_cycles] must be added to that
+   table's key tuple, or distinct streams will alias one cached count. *)
+let unary_memo : (Packer.strategy * int, float) Gcd2_util.Memo.t =
+  Gcd2_util.Memo.create "stream-unary"
+
+let binary_memo : (Packer.strategy * Eltwise.binary * int, float) Gcd2_util.Memo.t =
+  Gcd2_util.Memo.create "stream-binary"
+
+let dwconv_memo : (Packer.strategy * int * int, float) Gcd2_util.Memo.t =
+  Gcd2_util.Memo.create "stream-dwconv"
+
+let pool_memo : (Packer.strategy * int * int, float) Gcd2_util.Memo.t =
+  Gcd2_util.Memo.create "stream-pool"
+
 (** Cycles of a unary pass (load, table lookup, store) over [vectors]
     128-byte vectors. *)
 let unary_cycles ~strategy ~vectors =
   if vectors <= 0 then 0.0
-  else begin
-    let s = { (Eltwise.default_spec ~strategy ~vectors ()) with Eltwise.uv = 2 } in
-    let prog = Eltwise.unary ~table:0 s ~in_base:0 ~out_base:0 in
-    float_of_int (Program.static_cycles prog)
-  end
+  else
+    Gcd2_util.Memo.find_or_add unary_memo (strategy, vectors) (fun () ->
+        let s = { (Eltwise.default_spec ~strategy ~vectors ()) with Eltwise.uv = 2 } in
+        let prog = Eltwise.unary ~table:0 s ~in_base:0 ~out_base:0 in
+        float_of_int (Program.static_cycles prog))
 
 (** Cycles of a binary elementwise pass. *)
 let binary_cycles ~strategy ~op ~vectors =
   if vectors <= 0 then 0.0
-  else begin
-    let s = Eltwise.default_spec ~strategy ~vectors () in
-    let prog = Eltwise.binary op s { Eltwise.a_base = 0; b_base = 4096; out_base = 8192 } in
-    float_of_int (Program.static_cycles prog)
-  end
+  else
+    Gcd2_util.Memo.find_or_add binary_memo (strategy, op, vectors) (fun () ->
+        let s = Eltwise.default_spec ~strategy ~vectors () in
+        let prog =
+          Eltwise.binary op s { Eltwise.a_base = 0; b_base = 4096; out_base = 8192 }
+        in
+        float_of_int (Program.static_cycles prog))
 
 (** Depthwise convolution stream: per output vector, one shifted load and
     one cyclic multiply per tap, a 16->32 drain every other tap, and the
@@ -35,7 +53,8 @@ let binary_cycles ~strategy ~op ~vectors =
     panel, amortized across the pixel dimension. *)
 let dwconv_cycles ~strategy ~vectors ~taps =
   if vectors <= 0 then 0.0
-  else begin
+  else
+    Gcd2_util.Memo.find_or_add dwconv_memo (strategy, vectors, taps) @@ fun () ->
     let pool = Regs.create () in
     let ra = Regs.scalar pool and ro = Regs.scalar pool and rw = Regs.scalar pool in
     let rwv = [| Regs.scalar pool; Regs.scalar pool |] in
@@ -75,13 +94,13 @@ let dwconv_cycles ~strategy ~vectors ~taps =
     let body = Emit.block ~strategy e in
     let prog = Program.make "dwconv_stream" [ Emit.loop ~trip:vectors [ body ] ] in
     float_of_int (Program.static_cycles prog)
-  end
 
 (** Pooling stream: per output vector, one load and one lane-wise
     max/average per window position. *)
 let pool_cycles ~strategy ~vectors ~window =
   if vectors <= 0 then 0.0
-  else begin
+  else
+    Gcd2_util.Memo.find_or_add pool_memo (strategy, vectors, window) @@ fun () ->
     let pool = Regs.create () in
     let ra = Regs.scalar pool and ro = Regs.scalar pool in
     let acc = Regs.vector pool in
@@ -98,7 +117,6 @@ let pool_cycles ~strategy ~vectors ~window =
     let body = Emit.block ~strategy e in
     let prog = Program.make "pool_stream" [ Emit.loop ~trip:vectors [ body ] ] in
     float_of_int (Program.static_cycles prog)
-  end
 
 (** Pure data-movement cost in cycles (layout repacking, transpose,
     concat, padding): one load, one permute and one store per vector,

@@ -39,37 +39,61 @@ let combine a b =
 
 let regs_intersect xs ys = List.exists (fun x -> List.exists (Reg.overlap x) ys) xs
 
-(* Conservative memory aliasing: accesses through different base registers
-   are assumed disjoint (the code generator gives each buffer its own base
-   register); same-base accesses alias iff their byte ranges overlap. *)
-let mem_conflict i j =
-  match (Instr.mem_access i, Instr.mem_access j) with
-  | Some (Instr.Mem_load _), Some (Instr.Mem_load _) | None, _ | _, None -> false
-  | Some a, Some b ->
-    let range = function Instr.Mem_load (a, n) | Instr.Mem_store (a, n) -> (a, n) in
-    let (aa, an), (ba, bn) = (range a, range b) in
-    aa.Instr.base = ba.Instr.base
-    && aa.offset < ba.offset + bn
-    && ba.offset < aa.offset + an
-
-let raw_kind producer consumer =
-  match Instr.iclass producer with
+let raw_kind_classes producer consumer =
+  match producer with
   | Iclass.Ld -> Soft (Iclass.latency Iclass.Ld - 2)
   | Iclass.Salu -> Soft 1
   | Iclass.Smul -> Soft 2
   | Iclass.Vmpy -> Soft 2
   | Iclass.Vshift | Iclass.Vperm -> Soft 1
-  | Iclass.Valu ->
-    (match Instr.iclass consumer with Iclass.St -> Soft 1 | _ -> Hard)
+  | Iclass.Valu -> (match consumer with Iclass.St -> Soft 1 | _ -> Hard)
   | Iclass.St | Iclass.Vmpy_deep -> Hard
+
+(** Per-instruction facts {!classify} derives on every call, precomputed
+    once so an O(n²) IDG build does not recompute register sets O(n²)
+    times.  {!classify_info} on two [info]s is exactly {!classify} on the
+    underlying instructions. *)
+type info = {
+  inf_defs : Reg.t list;
+  inf_uses : Reg.t list;
+  inf_mem : Instr.mem_access option;
+  inf_class : Iclass.t;
+}
+
+let info i =
+  {
+    inf_defs = Instr.defs i;
+    inf_uses = Instr.uses i;
+    inf_mem = Instr.mem_access i;
+    inf_class = Instr.iclass i;
+  }
+
+(* Conservative memory aliasing: accesses through different base registers
+   are assumed disjoint (the code generator gives each buffer its own base
+   register); same-base accesses alias iff their byte ranges overlap. *)
+let mem_conflict_info a b =
+  match (a.inf_mem, b.inf_mem) with
+  | Some (Instr.Mem_load _), Some (Instr.Mem_load _) | None, _ | _, None -> false
+  | Some x, Some y ->
+    let range = function Instr.Mem_load (a, n) | Instr.Mem_store (a, n) -> (a, n) in
+    let (aa, an), (ba, bn) = (range x, range y) in
+    aa.Instr.base = ba.Instr.base
+    && aa.offset < ba.offset + bn
+    && ba.offset < aa.offset + an
+
+(** [classify_info a b] — {!classify} over precomputed {!info}s ([a]'s
+    instruction preceding [b]'s in program order). *)
+let classify_info a b =
+  let raw =
+    if regs_intersect a.inf_defs b.inf_uses then
+      Some (raw_kind_classes a.inf_class b.inf_class)
+    else None
+  in
+  let war = if regs_intersect a.inf_uses b.inf_defs then Some (Soft 0) else None in
+  let waw = if regs_intersect a.inf_defs b.inf_defs then Some Hard else None in
+  let mem = if mem_conflict_info a b then Some Hard else None in
+  combine (combine raw war) (combine waw mem)
 
 (** [classify i j] — with [i] preceding [j] in program order — returns the
     dependency from [i] to [j], if any. *)
-let classify i j =
-  let di = Instr.defs i and ui = Instr.uses i in
-  let dj = Instr.defs j and uj = Instr.uses j in
-  let raw = if regs_intersect di uj then Some (raw_kind i j) else None in
-  let war = if regs_intersect ui dj then Some (Soft 0) else None in
-  let waw = if regs_intersect di dj then Some Hard else None in
-  let mem = if mem_conflict i j then Some Hard else None in
-  combine (combine raw war) (combine waw mem)
+let classify i j = classify_info (info i) (info j)

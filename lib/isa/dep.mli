@@ -15,3 +15,15 @@ val pp_kind : Format.formatter -> kind -> unit
     base registers are assumed disjoint (the code generator gives each
     buffer its own base register). *)
 val classify : Instr.t -> Instr.t -> kind option
+
+(** Per-instruction facts (register sets, memory access, class) that
+    {!classify} recomputes on every call.  An O(n²) pairwise
+    classification should build one [info] per instruction and use
+    {!classify_info}. *)
+type info
+
+val info : Instr.t -> info
+
+(** [classify_info a b] ≡ [classify i j] for the instructions [a] and [b]
+    were built from ([i] before [j] in program order). *)
+val classify_info : info -> info -> kind option

@@ -53,6 +53,10 @@ let slots = function
   | Vshift -> [ 2 ]
   | Vperm -> [ 3 ]
 
+(** {!slots} as a bitmask (bit [s] set iff slot [s] is allowed) — the
+    form the packer's feasibility check consumes. *)
+let slot_mask c = List.fold_left (fun m s -> m lor (1 lsl s)) 0 (slots c)
+
 (** Cycles from issue to result write-back (see module doc). *)
 let latency = function
   | Salu -> 3

@@ -21,6 +21,9 @@ val name : t -> string
 (** Slots (0..3) in which the class may issue. *)
 val slots : t -> int list
 
+(** {!slots} as a bitmask: bit [s] set iff slot [s] is allowed. *)
+val slot_mask : t -> int
+
 (** Issue-to-writeback cycles (three-stage pipeline of the paper's Fig. 4,
     plus extra execute stages for loads/multiplies). *)
 val latency : t -> int

@@ -15,18 +15,28 @@ type t = Instr.t list
 
 let max_size = 4
 
-(* Exact slot-assignment check: try to injectively map instructions to
-   slots 0..3.  At most 4 instructions, so backtracking is trivial. *)
-let slots_feasible instrs =
-  let classes = List.map Instr.iclass instrs in
+(* Exact slot-assignment check over {!Iclass.slot_mask} bitmasks: does an
+   injective map of instructions to slots 0..3 exist?  Backtracking over
+   at most 4 masks; existence is order-independent, so callers may pass
+   masks in any order.  This is the packer's hot legality primitive — no
+   lists, no [Instr.t] in sight. *)
+let masks_feasible masks =
   let rec assign used = function
     | [] -> true
-    | c :: rest ->
-      List.exists
-        (fun s -> (not (List.mem s used)) && assign (s :: used) rest)
-        (Iclass.slots c)
+    | m :: rest ->
+      let avail = ref (m land lnot used) and ok = ref false in
+      while (not !ok) && !avail <> 0 do
+        let bit = !avail land - !avail in
+        avail := !avail land lnot bit;
+        if assign (used lor bit) rest then ok := true
+      done;
+      !ok
   in
-  List.length instrs <= max_size && assign [] classes
+  List.length masks <= max_size && assign 0 masks
+
+(** Does a slot assignment exist for these instructions? *)
+let slots_feasible instrs =
+  masks_feasible (List.map (fun i -> Iclass.slot_mask (Instr.iclass i)) instrs)
 
 (* Hard dependencies forbid co-packing. *)
 let rec no_hard_pairs = function

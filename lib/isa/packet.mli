@@ -7,6 +7,11 @@ type t = Instr.t list
 
 val max_size : int
 
+(** Does an injective slot assignment exist for these
+    {!Iclass.slot_mask} bitmasks (order-irrelevant)?  The packer's
+    allocation-free legality primitive. *)
+val masks_feasible : int list -> bool
+
 (** Does a slot assignment exist for these instructions? *)
 val slots_feasible : Instr.t list -> bool
 

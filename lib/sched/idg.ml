@@ -2,7 +2,12 @@
 
     Vertices are instructions of one basic block, edges are the hard/soft
     dependencies of {!Gcd2_isa.Dep}.  Instructions only depend on earlier
-    instructions, so program order is already a topological order. *)
+    instructions, so program order is already a topological order.
+
+    Besides the adjacency lists the build precomputes what the packer's
+    inner loop would otherwise rederive per candidate: a dense n×n
+    dependence-kind matrix (O(1) pair queries), and per-instruction
+    latency and slot-mask arrays. *)
 
 open Gcd2_isa
 
@@ -12,17 +17,36 @@ type t = {
   pred : (int * Dep.kind) list array;  (** incoming edges *)
   order : int array;  (** longest hop-distance from an entry (paper's [i.order]) *)
   ancestors : int array;  (** number of transitive predecessors (paper's [i.pred]) *)
+  lat : int array;  (** [Instr.latency], by instruction index *)
+  slot_mask : int array;  (** [Iclass.slot_mask] of the class, by index *)
+  kinds : Bytes.t;  (** n×n dependence-kind matrix; query via {!edge} *)
 }
+
+(* Kind encoding in the matrix: 0 = no edge, 1 = hard, [2 + p] = soft with
+   penalty [p].  Soft penalties are tiny (0..2 cycles today), so a byte is
+   roomy; [encode] is total anyway. *)
+let encode = function
+  | None -> 0
+  | Some Dep.Hard -> 1
+  | Some (Dep.Soft p) -> 2 + p
+
+let decode = function
+  | 0 -> None
+  | 1 -> Some Dep.Hard
+  | c -> Some (Dep.Soft (c - 2))
 
 let build instrs =
   let n = Array.length instrs in
+  let infos = Array.map Dep.info instrs in
   let succ = Array.make n [] and pred = Array.make n [] in
+  let kinds = Bytes.make (n * n) '\000' in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      match Dep.classify instrs.(i) instrs.(j) with
+      match Dep.classify_info infos.(i) infos.(j) with
       | Some kind ->
         succ.(i) <- (j, kind) :: succ.(i);
-        pred.(j) <- (i, kind) :: pred.(j)
+        pred.(j) <- (i, kind) :: pred.(j);
+        Bytes.unsafe_set kinds ((i * n) + j) (Char.chr (encode (Some kind)))
       | None -> ()
     done
   done;
@@ -50,9 +74,22 @@ let build instrs =
     done;
     ancestors.(j) <- !count
   done;
-  { instrs; succ; pred; order; ancestors }
+  let lat = Array.map Instr.latency instrs in
+  let slot_mask = Array.map (fun i -> Iclass.slot_mask (Instr.iclass i)) instrs in
+  { instrs; succ; pred; order; ancestors; lat; slot_mask; kinds }
 
 let size t = Array.length t.instrs
+
+(** [edge t i j] — the dependency from [i] to [j] ([i < j] in program
+    order), if any; O(1) via the kind matrix. *)
+let edge t i j =
+  decode (Char.code (Bytes.unsafe_get t.kinds ((i * Array.length t.instrs) + j)))
+
+(** [hard t i j] / [soft t i j] — O(1) kind tests ([i < j]). *)
+let hard t i j = Bytes.unsafe_get t.kinds ((i * Array.length t.instrs) + j) = '\001'
+
+let soft t i j =
+  Char.code (Bytes.unsafe_get t.kinds ((i * Array.length t.instrs) + j)) >= 2
 
 (** [critical_path t alive] — the maximum-total-latency path through the
     vertices for which [alive] holds, as a list of indices from entry side
@@ -63,11 +100,11 @@ let critical_path t alive =
   let down = Array.make n 0 and next = Array.make n (-1) in
   for i = n - 1 downto 0 do
     if alive.(i) then begin
-      down.(i) <- Instr.latency t.instrs.(i);
+      down.(i) <- t.lat.(i);
       List.iter
         (fun (j, _) ->
-          if alive.(j) && down.(i) < Instr.latency t.instrs.(i) + down.(j) then begin
-            down.(i) <- Instr.latency t.instrs.(i) + down.(j);
+          if alive.(j) && down.(i) < t.lat.(i) + down.(j) then begin
+            down.(i) <- t.lat.(i) + down.(j);
             next.(i) <- j
           end)
         t.succ.(i)

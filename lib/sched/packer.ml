@@ -15,7 +15,18 @@
     and [Soft_to_none] removes the penalty term only — the two ablations of
     the paper's Figure 11.  [List_topdown] is a conventional latency-
     weighted list scheduler that does not distinguish soft dependencies,
-    standing in for the LLVM packetizer used by Halide/TVM/RAKE. *)
+    standing in for the LLVM packetizer used by Halide/TVM/RAKE.
+
+    Two implementations live here.  The optimized one (the default) keeps
+    freeness as per-instruction blocking-successor counters, checks packet
+    legality on slot bitmasks and the IDG's O(1) kind matrix, and scores
+    stall penalties with a tiny ≤4-member chain DP instead of two
+    from-scratch {!Packet.stall} recomputations.  {!pack_reference} is the
+    original direct transcription of Algorithm 1, kept as the executable
+    specification: both produce {e identical} packet lists (same order,
+    same tie-breaks — the candidate scan is the same ascending index loop
+    with the same replace-on-[score >= best] rule), which the property
+    tests in the test suite pin across random blocks and every strategy. *)
 
 open Gcd2_isa
 
@@ -58,79 +69,67 @@ let insert_sorted i members =
 
 let to_packet idg members = List.map (fun i -> idg.Idg.instrs.(i)) members
 
-(* An instruction is free when every still-alive successor sits in the
-   current packet through a soft edge (treating members as being packed).
-   Under [as_hard], soft edges forbid co-packing too, so freedom requires
-   every successor to be already retired. *)
-let free ~as_hard idg alive members i =
-  alive.(i)
-  && (not (List.mem i members))
-  && List.for_all
-       (fun (j, kind) ->
-         (not alive.(j))
-         || (List.mem j members
-             && (match kind with Dep.Soft _ -> not as_hard | Dep.Hard -> false)))
-       idg.Idg.succ.(i)
+(* ------------------------------------------------------------------ *)
+(* Matrix-backed packet queries (members ascending = program order, so
+   the pair (i, j) with i < j is exactly the program-order pair the
+   reference asks Dep.classify about).                                 *)
 
-let has_soft_with_members idg members i =
-  let touches j =
-    let kind_between a b =
-      List.assoc_opt b idg.Idg.succ.(a)
-    in
-    match (kind_between i j, kind_between j i) with
-    | Some (Dep.Soft _), _ | _, Some (Dep.Soft _) -> true
-    | _ -> false
+(* Packet.stall over member indices: longest penalty-weighted soft chain,
+   via O(1) matrix lookups.  Packets hold <= 4 members, so the list DP
+   carries its own (index, chain-stall) pairs. *)
+let stall_of idg members =
+  let rec go acc earlier = function
+    | [] -> acc
+    | j :: rest ->
+      let e =
+        List.fold_left
+          (fun e (i, ei) ->
+            match Idg.edge idg i j with
+            | Some (Dep.Soft pen) when ei + pen > e -> ei + pen
+            | _ -> e)
+          0 earlier
+      in
+      go (max acc e) ((j, e) :: earlier) rest
   in
-  List.exists touches members
+  go 0 [] members
 
-(* Penalty p(i, packet): the additional stall the packet would suffer if i
-   joined — the exact quantity the hardware will pay. *)
-let stall_penalty idg members i =
-  let before = Packet.stall (to_packet idg members) in
-  let after = Packet.stall (to_packet idg (insert_sorted i members)) in
-  max 0 (after - before)
+(* Packet.cycles over member indices. *)
+let members_cycles idg members =
+  match members with
+  | [] -> 0
+  | _ ->
+    List.fold_left (fun m i -> max m idg.Idg.lat.(i)) 0 members + stall_of idg members
 
-(* select_instruction of Algorithm 1. *)
-let select_instruction ~w ~pscale ~penalize ~gate idg alive ~as_hard members =
-  let n = Idg.size idg in
-  let hi_lat =
-    List.fold_left (fun m j -> max m (Instr.latency idg.Idg.instrs.(j))) 0 members
-  in
-  let best = ref None in
-  for i = 0 to n - 1 do
-    if free ~as_hard idg alive members i then begin
-      let cand = insert_sorted i members in
-      if Packet.legal (to_packet idg cand) then begin
-        let lat = Instr.latency idg.Idg.instrs.(i) in
-        let score =
-          (float_of_int (idg.Idg.order.(i) + idg.Idg.ancestors.(i)) *. w)
-          -. (float_of_int (abs (hi_lat - lat)) *. (1.0 -. w))
-        in
-        let stall = stall_penalty idg members i in
-        let score =
-          if penalize && has_soft_with_members idg members i then
-            score -. (pscale *. float_of_int stall)
-          else score
-        in
-        (* Economic gate (part of the penalty mechanism): once the packet
-           has real contents, refuse candidates whose stall would cost as
-           much as issuing them in a later packet's free slot. *)
-        if penalize && gate && stall >= 2 && List.length members >= 2 then ()
-        else
-        match !best with
-        | Some (_, best_score) when score < best_score -> ()
-        | _ -> best := Some (i, score)
-      end
-    end
-  done;
-  Option.map fst !best
+let hard_between idg i j = if i < j then Idg.hard idg i j else Idg.hard idg j i
+let soft_between idg i j = if i < j then Idg.soft idg i j else Idg.soft idg j i
+let edge_between idg i j = if i < j then Idg.edge idg i j else Idg.edge idg j i
 
+(* Candidate legality against the open packet: no hard pair with a member
+   (members are pairwise legal by construction) and a slot assignment
+   exists for the member masks plus the candidate's. *)
+let legal_with idg members i =
+  List.for_all (fun m -> not (hard_between idg m i)) members
+  && Packet.masks_feasible
+       (idg.Idg.slot_mask.(i) :: List.map (fun m -> idg.Idg.slot_mask.(m)) members)
+
+(* ------------------------------------------------------------------ *)
 (* The bottom-up packing loop of Algorithm 1 (specialised by soft-edge
-   treatment). *)
-let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate instrs =
-  let idg = Idg.build instrs in
+   treatment), incremental version.
+
+   Freeness bookkeeping: blockers.(i) counts the successors of i that
+   still pin it — alive successors not absorbed into the open packet
+   through a soft edge.  An alive non-member is free iff its count is 0.
+   Joining the packet unpins soft predecessors (unless as_hard);
+   retiring at the end of the round unpins the rest, so every edge is
+   decremented exactly once over the lifetime of its successor. *)
+let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate idg =
   let n = Idg.size idg in
   let alive = Array.make n true in
+  let member = Array.make n false in
+  let blockers = Array.make n 0 in
+  for i = 0 to n - 1 do
+    blockers.(i) <- List.length idg.Idg.succ.(i)
+  done;
   let remaining = ref n in
   let packets = ref [] in
   while !remaining > 0 do
@@ -141,15 +140,73 @@ let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate instrs =
       | [] -> assert false
     in
     let members = ref [ seed ] in
+    let mcount = ref 1 in
+    let hi_lat = ref idg.Idg.lat.(seed) in
+    let cur_stall = ref 0 in
+    let join i =
+      member.(i) <- true;
+      if not as_hard then
+        List.iter
+          (fun (p, kind) ->
+            match kind with
+            | Dep.Soft _ -> blockers.(p) <- blockers.(p) - 1
+            | Dep.Hard -> ())
+          idg.Idg.pred.(i)
+    in
+    join seed;
     let full = ref false in
-    while (not !full) && List.length !members < Packet.max_size do
-      match select_instruction ~w ~pscale ~penalize ~gate idg alive ~as_hard !members with
-      | Some i -> members := insert_sorted i !members
+    while (not !full) && !mcount < Packet.max_size do
+      (* select_instruction of Algorithm 1: same ascending scan and same
+         replace-on-ties rule as the reference, so the chosen index is
+         identical — only the per-candidate work is cheaper. *)
+      let best = ref None in
+      for i = 0 to n - 1 do
+        if alive.(i) && (not member.(i)) && blockers.(i) = 0 && legal_with idg !members i
+        then begin
+          let lat = idg.Idg.lat.(i) in
+          let score =
+            (float_of_int (idg.Idg.order.(i) + idg.Idg.ancestors.(i)) *. w)
+            -. (float_of_int (abs (!hi_lat - lat)) *. (1.0 -. w))
+          in
+          let stall =
+            if penalize then
+              max 0 (stall_of idg (insert_sorted i !members) - !cur_stall)
+            else 0
+          in
+          let score =
+            if penalize && List.exists (fun m -> soft_between idg m i) !members then
+              score -. (pscale *. float_of_int stall)
+            else score
+          in
+          (* Economic gate (part of the penalty mechanism): once the packet
+             has real contents, refuse candidates whose stall would cost as
+             much as issuing them in a later packet's free slot. *)
+          if penalize && gate && stall >= 2 && !mcount >= 2 then ()
+          else
+            match !best with
+            | Some (_, best_score) when score < best_score -> ()
+            | _ -> best := Some (i, score)
+        end
+      done;
+      match Option.map fst !best with
+      | Some i ->
+        members := insert_sorted i !members;
+        incr mcount;
+        if idg.Idg.lat.(i) > !hi_lat then hi_lat := idg.Idg.lat.(i);
+        join i;
+        cur_stall := stall_of idg !members
       | None -> full := true
     done;
     List.iter
       (fun i ->
         alive.(i) <- false;
+        member.(i) <- false;
+        List.iter
+          (fun (p, kind) ->
+            match kind with
+            | Dep.Hard -> blockers.(p) <- blockers.(p) - 1
+            | Dep.Soft _ -> if as_hard then blockers.(p) <- blockers.(p) - 1)
+          idg.Idg.pred.(i);
         decr remaining)
       !members;
     (* Packets are created exit-first; collecting with (::) restores program
@@ -160,15 +217,14 @@ let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate instrs =
 
 (* Conventional top-down list scheduling, all dependencies treated as hard
    (the behaviour the paper ascribes to the Halide/TVM/RAKE backends). *)
-let pack_list_topdown instrs =
-  let idg = Idg.build instrs in
+let pack_list_topdown idg =
   let n = Idg.size idg in
   (* Priority: heaviest latency path to the exit. *)
   let weight = Array.make n 0 in
   for i = n - 1 downto 0 do
-    weight.(i) <- Instr.latency instrs.(i);
+    weight.(i) <- idg.Idg.lat.(i);
     List.iter
-      (fun (j, _) -> weight.(i) <- max weight.(i) (Instr.latency instrs.(i) + weight.(j)))
+      (fun (j, _) -> weight.(i) <- max weight.(i) (idg.Idg.lat.(i) + weight.(j)))
       idg.Idg.succ.(i)
   done;
   let scheduled = Array.make n false in
@@ -187,12 +243,10 @@ let pack_list_topdown instrs =
           && (not (List.mem i !members))
           && unpreds.(i) = 0
           && (* all dependencies hard: no co-packing with any dependence *)
-          List.for_all
-            (fun j ->
-              (not (List.mem_assoc j idg.Idg.succ.(i)))
-              && not (List.mem_assoc i idg.Idg.succ.(j)))
-            !members
-          && Packet.legal (to_packet idg (insert_sorted i !members))
+          List.for_all (fun j -> edge_between idg i j = None) !members
+          && Packet.masks_feasible
+               (idg.Idg.slot_mask.(i)
+               :: List.map (fun m -> idg.Idg.slot_mask.(m)) !members)
         then
           match !best with
           | Some (_, bw) when weight.(i) <= bw -> ()
@@ -213,9 +267,7 @@ let pack_list_topdown instrs =
         (fun i ->
           scheduled.(i) <- true;
           incr done_count;
-          List.iter
-            (fun (j, _) -> unpreds.(j) <- unpreds.(j) - 1)
-            idg.Idg.succ.(i))
+          List.iter (fun (j, _) -> unpreds.(j) <- unpreds.(j) - 1) idg.Idg.succ.(i))
         ms;
       packets := ms :: !packets)
   done;
@@ -224,17 +276,14 @@ let pack_list_topdown instrs =
 (* The in-order packetizer: no reordering; a packet closes as soon as the
    next instruction cannot join it (any dependency with a member counts,
    soft included). *)
-let pack_in_order instrs =
-  let idg = Idg.build instrs in
+let pack_in_order idg =
   let n = Idg.size idg in
   let packets = ref [] and cur = ref [] in
-  let depends i j =
-    List.mem_assoc j idg.Idg.succ.(i) || List.mem_assoc i idg.Idg.succ.(j)
-  in
   for i = 0 to n - 1 do
     let ok =
-      List.for_all (fun j -> not (depends i j)) !cur
-      && Packet.legal (to_packet idg (insert_sorted i !cur))
+      List.for_all (fun j -> edge_between idg i j = None) !cur
+      && Packet.masks_feasible
+           (idg.Idg.slot_mask.(i) :: List.map (fun m -> idg.Idg.slot_mask.(m)) !cur)
     in
     if ok then cur := insert_sorted i !cur
     else begin
@@ -247,47 +296,52 @@ let pack_in_order instrs =
 
 module Trace = Gcd2_util.Trace
 
+(* Strategy dispatch over a prebuilt IDG (built once per block — the Sda
+   dual-policy run shares it). *)
+let pack_indices_idg strategy idg =
+  match strategy with
+  | Sda { w; p } ->
+    (* The stall penalty pays off in slot-saturated code (avoid stalls,
+       other instructions will fill the packet) and hurts in
+       dependence-bound code (a stall is cheaper than an extra packet).
+       The penalty is "empirically decided" (the paper); we decide it
+       per block by packing under both policies and keeping the cheaper
+       schedule. *)
+    let with_gate = pack_bottom_up ~w ~pscale:p ~as_hard:false ~penalize:true ~gate:true idg in
+    let without = pack_bottom_up ~w ~pscale:0.0 ~as_hard:false ~penalize:true ~gate:false idg in
+    let cost packets =
+      List.fold_left (fun acc members -> acc + members_cycles idg members) 0 packets
+    in
+    if cost with_gate <= cost without then with_gate else without
+  | Soft_to_hard ->
+    pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:true ~penalize:false ~gate:false idg
+  | Soft_to_none ->
+    pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:false ~penalize:false ~gate:false idg
+  | List_topdown -> pack_list_topdown idg
+  | In_order -> pack_in_order idg
+
 (** [pack_indices strategy instrs] packs one basic block (given in program
     order) and returns packets as ascending instruction-index lists. *)
 let pack_indices strategy instrs =
   if Array.length instrs = 0 then []
   else begin
-  let packets =
-    Trace.in_span "pack" @@ fun () ->
-    match strategy with
-    | Sda { w; p } ->
-      (* The stall penalty pays off in slot-saturated code (avoid stalls,
-         other instructions will fill the packet) and hurts in
-         dependence-bound code (a stall is cheaper than an extra packet).
-         The penalty is "empirically decided" (the paper); we decide it
-         per block by packing under both policies and keeping the cheaper
-         schedule. *)
-      let with_gate = pack_bottom_up ~w ~pscale:p ~as_hard:false ~penalize:true ~gate:true instrs in
-      let without = pack_bottom_up ~w ~pscale:0.0 ~as_hard:false ~penalize:true ~gate:false instrs in
-      let cost packets =
-        List.fold_left
-          (fun acc members -> acc + Packet.cycles (List.map (fun i -> instrs.(i)) members))
-          0 packets
-      in
-      if cost with_gate <= cost without then with_gate else without
-    | Soft_to_hard ->
-      pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:true ~penalize:false ~gate:false instrs
-    | Soft_to_none ->
-      pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:false ~penalize:false ~gate:false instrs
-    | List_topdown -> pack_list_topdown instrs
-    | In_order -> pack_in_order instrs
-  in
-  (* Observability: how many packets this schedule issues and how many
-     stall cycles its soft co-packings pay (ambient trace only — the
-     stall recount is not worth paying when nobody is listening). *)
-  if Trace.enabled () then begin
-    Trace.count "packets" (List.length packets);
-    Trace.count "stalls"
-      (List.fold_left
-         (fun acc members -> acc + Packet.stall (List.map (fun i -> instrs.(i)) members))
-         0 packets)
-  end;
-  packets
+    let idg = ref None in
+    let packets =
+      Trace.in_span "pack" @@ fun () ->
+      let g = Idg.build instrs in
+      idg := Some g;
+      pack_indices_idg strategy g
+    in
+    (* Observability: how many packets this schedule issues and how many
+       stall cycles its soft co-packings pay (ambient trace only — the
+       stall recount is not worth paying when nobody is listening). *)
+    if Trace.enabled () then begin
+      let g = Option.get !idg in
+      Trace.count "packets" (List.length packets);
+      Trace.count "stalls"
+        (List.fold_left (fun acc members -> acc + stall_of g members) 0 packets)
+    end;
+    packets
   end
 
 (** [pack strategy instrs] packs one basic block (given in program order)
@@ -298,3 +352,221 @@ let pack strategy instrs =
 
 (** Total cycles of a packed block (no overlap between packets). *)
 let block_cycles packets = List.fold_left (fun a p -> a + Packet.cycles p) 0 packets
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation                                            *)
+
+(* The pre-optimization packer, kept verbatim as the executable
+   specification of the incremental one above: per-candidate freeness
+   rescans over the successor lists, Packet.legal / Packet.stall on
+   rebuilt instruction lists.  Property tests assert [pack_reference]
+   and [pack] return identical packet lists for every strategy; the
+   pack-scaling micro-benchmark measures the gap. *)
+module Reference = struct
+  (* An instruction is free when every still-alive successor sits in the
+     current packet through a soft edge (treating members as being packed).
+     Under [as_hard], soft edges forbid co-packing too, so freedom requires
+     every successor to be already retired. *)
+  let free ~as_hard idg alive members i =
+    alive.(i)
+    && (not (List.mem i members))
+    && List.for_all
+         (fun (j, kind) ->
+           (not alive.(j))
+           || (List.mem j members
+               && (match kind with Dep.Soft _ -> not as_hard | Dep.Hard -> false)))
+         idg.Idg.succ.(i)
+
+  let has_soft_with_members idg members i =
+    let touches j =
+      let kind_between a b = List.assoc_opt b idg.Idg.succ.(a) in
+      match (kind_between i j, kind_between j i) with
+      | Some (Dep.Soft _), _ | _, Some (Dep.Soft _) -> true
+      | _ -> false
+    in
+    List.exists touches members
+
+  (* Penalty p(i, packet): the additional stall the packet would suffer if i
+     joined — the exact quantity the hardware will pay. *)
+  let stall_penalty idg members i =
+    let before = Packet.stall (to_packet idg members) in
+    let after = Packet.stall (to_packet idg (insert_sorted i members)) in
+    max 0 (after - before)
+
+  (* select_instruction of Algorithm 1. *)
+  let select_instruction ~w ~pscale ~penalize ~gate idg alive ~as_hard members =
+    let n = Idg.size idg in
+    let hi_lat =
+      List.fold_left (fun m j -> max m (Instr.latency idg.Idg.instrs.(j))) 0 members
+    in
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if free ~as_hard idg alive members i then begin
+        let cand = insert_sorted i members in
+        if Packet.legal (to_packet idg cand) then begin
+          let lat = Instr.latency idg.Idg.instrs.(i) in
+          let score =
+            (float_of_int (idg.Idg.order.(i) + idg.Idg.ancestors.(i)) *. w)
+            -. (float_of_int (abs (hi_lat - lat)) *. (1.0 -. w))
+          in
+          let stall = stall_penalty idg members i in
+          let score =
+            if penalize && has_soft_with_members idg members i then
+              score -. (pscale *. float_of_int stall)
+            else score
+          in
+          if penalize && gate && stall >= 2 && List.length members >= 2 then ()
+          else
+            match !best with
+            | Some (_, best_score) when score < best_score -> ()
+            | _ -> best := Some (i, score)
+        end
+      end
+    done;
+    Option.map fst !best
+
+  let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate instrs =
+    let idg = Idg.build instrs in
+    let n = Idg.size idg in
+    let alive = Array.make n true in
+    let remaining = ref n in
+    let packets = ref [] in
+    while !remaining > 0 do
+      let path = Idg.critical_path idg alive in
+      let seed =
+        match List.rev path with
+        | s :: _ -> s
+        | [] -> assert false
+      in
+      let members = ref [ seed ] in
+      let full = ref false in
+      while (not !full) && List.length !members < Packet.max_size do
+        match
+          select_instruction ~w ~pscale ~penalize ~gate idg alive ~as_hard !members
+        with
+        | Some i -> members := insert_sorted i !members
+        | None -> full := true
+      done;
+      List.iter
+        (fun i ->
+          alive.(i) <- false;
+          decr remaining)
+        !members;
+      packets := !members :: !packets
+    done;
+    !packets
+
+  let pack_list_topdown instrs =
+    let idg = Idg.build instrs in
+    let n = Idg.size idg in
+    let weight = Array.make n 0 in
+    for i = n - 1 downto 0 do
+      weight.(i) <- Instr.latency instrs.(i);
+      List.iter
+        (fun (j, _) ->
+          weight.(i) <- max weight.(i) (Instr.latency instrs.(i) + weight.(j)))
+        idg.Idg.succ.(i)
+    done;
+    let scheduled = Array.make n false in
+    let unpreds = Array.map (fun ps -> List.length ps) idg.Idg.pred in
+    let done_count = ref 0 in
+    let packets = ref [] in
+    while !done_count < n do
+      let members = ref [] in
+      let progress = ref true in
+      while !progress && List.length !members < Packet.max_size do
+        progress := false;
+        let best = ref None in
+        for i = 0 to n - 1 do
+          if
+            (not scheduled.(i))
+            && (not (List.mem i !members))
+            && unpreds.(i) = 0
+            && List.for_all
+                 (fun j ->
+                   (not (List.mem_assoc j idg.Idg.succ.(i)))
+                   && not (List.mem_assoc i idg.Idg.succ.(j)))
+                 !members
+            && Packet.legal (to_packet idg (insert_sorted i !members))
+          then
+            match !best with
+            | Some (_, bw) when weight.(i) <= bw -> ()
+            | _ -> best := Some (i, weight.(i))
+        done;
+        match !best with
+        | Some (i, _) ->
+          members := insert_sorted i !members;
+          progress := true
+        | None -> ()
+      done;
+      match !members with
+      | [] -> assert false
+      | ms ->
+        List.iter
+          (fun i ->
+            scheduled.(i) <- true;
+            incr done_count;
+            List.iter (fun (j, _) -> unpreds.(j) <- unpreds.(j) - 1) idg.Idg.succ.(i))
+          ms;
+        packets := ms :: !packets
+    done;
+    List.rev !packets
+
+  let pack_in_order instrs =
+    let idg = Idg.build instrs in
+    let n = Idg.size idg in
+    let packets = ref [] and cur = ref [] in
+    let depends i j =
+      List.mem_assoc j idg.Idg.succ.(i) || List.mem_assoc i idg.Idg.succ.(j)
+    in
+    for i = 0 to n - 1 do
+      let ok =
+        List.for_all (fun j -> not (depends i j)) !cur
+        && Packet.legal (to_packet idg (insert_sorted i !cur))
+      in
+      if ok then cur := insert_sorted i !cur
+      else begin
+        if !cur <> [] then packets := !cur :: !packets;
+        cur := [ i ]
+      end
+    done;
+    if !cur <> [] then packets := !cur :: !packets;
+    List.rev !packets
+end
+
+(** The pre-optimization packer (the executable specification): returns
+    the same packet-index lists as {!pack_indices}, recomputed the
+    original O(n)-rescan way.  For tests and benchmarks. *)
+let pack_indices_reference strategy instrs =
+  if Array.length instrs = 0 then []
+  else
+    match strategy with
+    | Sda { w; p } ->
+      let with_gate =
+        Reference.pack_bottom_up ~w ~pscale:p ~as_hard:false ~penalize:true ~gate:true
+          instrs
+      in
+      let without =
+        Reference.pack_bottom_up ~w ~pscale:0.0 ~as_hard:false ~penalize:true
+          ~gate:false instrs
+      in
+      let cost packets =
+        List.fold_left
+          (fun acc members ->
+            acc + Packet.cycles (List.map (fun i -> instrs.(i)) members))
+          0 packets
+      in
+      if cost with_gate <= cost without then with_gate else without
+    | Soft_to_hard ->
+      Reference.pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:true ~penalize:false
+        ~gate:false instrs
+    | Soft_to_none ->
+      Reference.pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:false ~penalize:false
+        ~gate:false instrs
+    | List_topdown -> Reference.pack_list_topdown instrs
+    | In_order -> Reference.pack_in_order instrs
+
+(** Reference {!pack}. *)
+let pack_reference strategy instrs =
+  List.map (fun members -> List.map (fun i -> instrs.(i)) members)
+    (pack_indices_reference strategy instrs)

@@ -31,5 +31,15 @@ val pack_indices : strategy -> Instr.t array -> int list list
 (** Pack one basic block into a legal packet sequence. *)
 val pack : strategy -> Instr.t array -> Packet.t list
 
+(** The pre-optimization packer, kept as the executable specification of
+    the incremental one: [pack_indices_reference s b = pack_indices s b]
+    for every strategy and block (the property tests pin this).  Slower —
+    per-candidate freeness rescans and from-scratch legality/stall
+    recomputation — so for tests and the pack-scaling benchmark only. *)
+val pack_indices_reference : strategy -> Instr.t array -> int list list
+
+(** Reference {!pack}. *)
+val pack_reference : strategy -> Instr.t array -> Packet.t list
+
 (** Total cycles of a packed block (packets never overlap). *)
 val block_cycles : Packet.t list -> int

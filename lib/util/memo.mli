@@ -1,0 +1,54 @@
+(** Content-keyed memo tables for deterministic computations.
+
+    A table maps a {e complete} description of a computation (its key) to
+    the computed value.  The contract mirrors the artifact store's
+    fingerprints one layer down: the key must determine the value
+    exactly, so a lookup can stand in for the computation bit-for-bit.
+    The main clients are the kernel costings — a {!Gcd2_codegen.Matmul}
+    generator spec determines the emitted loop nest, hence its packed
+    cycle count; costing each {e unique} spec once collapses the
+    hundreds of per-node kernel generations of a cold compile into the
+    dozens that are actually distinct.
+
+    {b Key discipline}: always key by the full spec value (a pure-data
+    record), never by a hand-picked subset of its fields — a new spec
+    field then enters the key automatically.  Where a key must be
+    assembled by hand (tuples over a function's arguments), every
+    argument that can change the result must be a component; the spec
+    types carry bump-reminder comments pointing here.
+
+    Tables are domain-safe: lookups and inserts are serialized by a
+    per-table mutex, while the computation itself runs unlocked (two
+    domains racing on the same key both compute; the duplicate insert is
+    dropped — values are deterministic, so no caller can observe the
+    race).  Hits and misses are recorded against the ambient {!Trace} as
+    [memo-hits] / [memo-misses] counters.
+
+    Values live for the whole process, deliberately: a serving loop
+    compiling many models reuses kernel costings across requests.
+    Benchmarks measuring a {e cold} compile must call {!clear_all}
+    first — "first kernel of a shape" and "repeat kernel" now cost very
+    different amounts. *)
+
+type ('a, 'b) t
+
+(** [create name] — a fresh empty table, registered for {!clear_all}.
+    Keys use structural equality and hashing, so they must be pure data
+    (no functions, no cyclic values). *)
+val create : string -> ('a, 'b) t
+
+val name : ('a, 'b) t -> string
+
+(** Number of memoized entries. *)
+val size : ('a, 'b) t -> int
+
+(** [find_or_add t key f] — the memoized value of [key], computing it
+    with [f] on first use.  Records a [memo-hits] or [memo-misses]
+    ambient trace count. *)
+val find_or_add : ('a, 'b) t -> 'a -> (unit -> 'b) -> 'b
+
+val clear : ('a, 'b) t -> unit
+
+(** Empty every table ever {!create}d — restores the process to a true
+    cold-compile state (benchmarks; tests that measure miss paths). *)
+val clear_all : unit -> unit

@@ -1,0 +1,55 @@
+(** Fixed-size domain pool for deterministic data-parallel maps (see the
+    interface). *)
+
+let default_jobs () =
+  match Sys.getenv_opt "GCD2_JOBS" with
+  | None -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with Some n when n > 0 -> n | _ -> 1)
+
+let map_array ?(jobs = 1) f arr =
+  let n = Array.length arr in
+  if jobs <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let w = min jobs n in
+    let results = Array.make n None in
+    let errors = Array.make w None in
+    let traced = Trace.enabled () in
+    let worker_traces =
+      Array.init w (fun i ->
+          if traced then Some (Trace.create (Printf.sprintf "worker-%d" i)) else None)
+    in
+    (* Static interleaved partition: worker [wi] owns indices [wi], [wi+w],
+       ... — deterministic ownership (no work-stealing), so each worker's
+       task set, and therefore the by-index merge below, never depends on
+       scheduling. *)
+    let run_worker wi =
+      let body () =
+        let i = ref wi in
+        while !i < n do
+          results.(!i) <- Some (f arr.(!i));
+          i := !i + w
+        done
+      in
+      try
+        match worker_traces.(wi) with
+        | Some t -> Trace.with_ambient t body
+        | None -> body ()
+      with e -> errors.(wi) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    let domains = Array.init (w - 1) (fun k -> Domain.spawn (fun () -> run_worker (k + 1))) in
+    run_worker 0;
+    Array.iter Domain.join domains;
+    if traced then begin
+      Trace.count "pool-workers" w;
+      Trace.count "pool-tasks" n;
+      (* worker-order absorption keeps the merged span tree reproducible *)
+      Array.iter
+        (function Some t -> Trace.absorb (Trace.root t) | None -> ())
+        worker_traces
+    end;
+    Array.iter
+      (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,26 @@
+(** Fixed-size domain pool: data-parallel maps over arrays on OCaml 5
+    [Domain]s with deterministic results.
+
+    {!map_array} distributes indices over a fixed worker count by static
+    interleaving (worker [i] owns indices [i], [i+jobs], ...) and writes
+    each result into its own slot, so the output array is the same value
+    as [Array.map f] regardless of scheduling — parallelism is
+    observable only as wall time (plus the [pool-workers] / [pool-tasks]
+    trace counters).  Workers never share mutable state through the
+    pool; [f] must be domain-safe (pure, or internally synchronized like
+    {!Memo} tables).
+
+    Tracing: the ambient {!Trace} is domain-local, so each worker runs
+    under its own trace; after the join the parent absorbs every
+    worker's span tree, in worker order, into its innermost open span
+    ({!Trace.absorb}).  A worker exception is re-raised in the caller
+    (first worker in index order wins) after all workers have joined. *)
+
+(** Worker count from the [GCD2_JOBS] environment variable (a positive
+    integer), defaulting to 1 — sequential — when unset or malformed. *)
+val default_jobs : unit -> int
+
+(** [map_array ~jobs f arr] — [Array.map f arr], computed by [min jobs
+    (Array.length arr)] domains ([jobs <= 1] runs sequentially in the
+    calling domain, spawning nothing). *)
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array

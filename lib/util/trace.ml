@@ -96,19 +96,53 @@ let add t key n =
 (* ------------------------------------------------------------------ *)
 (* Ambient instrumentation                                             *)
 
-let ambient : t option ref = ref None
+(* Domain-local, not a global ref: traces are single-domain structures
+   (mutable spans, no locks), so each worker domain of a parallel phase
+   must record into its own trace.  A freshly spawned domain starts with
+   no ambient trace; {!Pool} installs a per-worker one and the parent
+   absorbs the worker span trees after the join. *)
+let ambient : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let get_ambient () = Domain.DLS.get ambient
 
 let with_ambient t f =
-  let saved = !ambient in
-  ambient := Some t;
-  Fun.protect ~finally:(fun () -> ambient := saved) f
+  let saved = get_ambient () in
+  Domain.DLS.set ambient (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
 
-let enabled () = !ambient <> None
+let enabled () = get_ambient () <> None
 
-let count key n = match !ambient with Some t -> add t key n | None -> ()
+let count key n = match get_ambient () with Some t -> add t key n | None -> ()
 
 let in_span name f =
-  match !ambient with Some t -> with_span t name f | None -> f ()
+  match get_ambient () with Some t -> with_span t name f | None -> f ()
+
+(* ------------------------------------------------------------------ *)
+(* Merging (parallel phases)                                           *)
+
+let add_to_span span key n =
+  let rec bump = function
+    | [] -> [ (key, n) ]
+    | (k, v) :: rest when k = key -> (k, v + n) :: rest
+    | kv :: rest -> kv :: bump rest
+  in
+  span.counters <- bump span.counters
+
+let rec merge_span dst src =
+  dst.seconds <- dst.seconds +. src.seconds;
+  dst.calls <- dst.calls + src.calls;
+  List.iter (fun (k, v) -> add_to_span dst k v) src.counters;
+  List.iter (fun c -> merge_span (child_span dst c.span_name) c) src.children
+
+(** Merge the counters and children of [src] (a worker trace's root
+    span) into the innermost open span of the ambient trace. *)
+let absorb src =
+  match get_ambient () with
+  | None -> ()
+  | Some t ->
+    let dst = match t.stack with s :: _ -> s | [] -> t.root_span in
+    List.iter (fun (k, v) -> add_to_span dst k v) src.counters;
+    List.iter (fun c -> merge_span (child_span dst c.span_name) c) src.children
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -124,7 +158,7 @@ let find t name =
 let span_seconds t name = match find t name with Some s -> s.seconds | None -> 0.0
 
 let ambient_span_seconds name =
-  match !ambient with Some t -> span_seconds t name | None -> 0.0
+  match get_ambient () with Some t -> span_seconds t name | None -> 0.0
 
 let fold t ~init ~f =
   let rec go acc s = List.fold_left go (f acc s) s.children in

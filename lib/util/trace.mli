@@ -67,6 +67,18 @@ val count : string -> int -> unit
 (** Ambient {!with_span}; just runs the thunk without an ambient trace. *)
 val in_span : string -> (unit -> 'a) -> 'a
 
+(** [absorb src] merges the counters and children of span [src] into the
+    innermost open span of the ambient trace (no-op without one).  This
+    is how a parallel phase folds its per-worker span trees back into
+    the parent: each worker domain records into its own trace (the
+    ambient trace is domain-local — traces themselves are unlocked
+    single-domain structures), and the parent absorbs each worker's root
+    span after the join, in worker order.  Same-named spans merge, so
+    the result reads like the sequential tree; the absorbed seconds sum
+    worker wall time and may legitimately exceed the enclosing span's
+    wall time when workers overlap. *)
+val absorb : span -> unit
+
 (** Ambient {!span_seconds}: seconds recorded so far on the first span
     named [name] of the ambient trace; 0 without one.  Lets a late pass
     read an earlier pass's wall time without a trace in scope. *)

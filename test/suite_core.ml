@@ -142,6 +142,34 @@ let test_latency_positive () =
   let c = Compiler.compile (weighted_cnn 4) in
   Alcotest.(check bool) "latency > 0" true (Compiler.latency_ms c > 0.0)
 
+(* [?jobs] must be semantically inert: same latency report, same
+   assignment, same plan tables, same packed programs whatever the
+   worker count — parallel plan enumeration may only change wall time.
+   jobs:4 genuinely spawns domains, so this also exercises the
+   domain-safety of the memo tables and domain-local tracing. *)
+let test_jobs_semantically_inert () =
+  let g = weighted_cnn 5 in
+  let seq = Compiler.compile ~jobs:1 g in
+  let par = Compiler.compile ~jobs:4 g in
+  Alcotest.(check (float 0.0))
+    "same latency" (Compiler.latency_ms seq) (Compiler.latency_ms par);
+  Alcotest.(check (float 0.0))
+    "same cycles" seq.Compiler.report.Gcd2_cost.Graphcost.cycles
+    par.Compiler.report.Gcd2_cost.Graphcost.cycles;
+  Alcotest.(check (array int)) "same assignment" seq.Compiler.assignment
+    par.Compiler.assignment;
+  let plans (c : Compiler.compiled) =
+    Array.map
+      (fun per_node -> Array.map (Fmt.str "%a" Gcd2_cost.Plan.pp) per_node)
+      c.Compiler.cost.Gcd2_cost.Graphcost.plans
+  in
+  Alcotest.(check (array (array string))) "same plan tables" (plans seq) (plans par);
+  let programs (c : Compiler.compiled) =
+    Gcd2_store.Artifact.programs_of ~options:c.Compiler.config.Compiler.opcost
+      c.Compiler.graph c.Compiler.cost.Gcd2_cost.Graphcost.plans c.Compiler.assignment
+  in
+  Alcotest.(check bool) "same packed programs" true (programs seq = programs par)
+
 let qcheck_runtime_equivalence =
   QCheck.Test.make ~name:"compiled models match the reference on random seeds" ~count:8
     QCheck.(int_range 1 1000)
@@ -159,5 +187,6 @@ let tests =
     Alcotest.test_case "selection quality ordering" `Quick test_selection_costs_ordered;
     Alcotest.test_case "selection time recorded" `Quick test_selection_time_recorded;
     Alcotest.test_case "latency positive" `Quick test_latency_positive;
+    Alcotest.test_case "jobs is semantically inert" `Quick test_jobs_semantically_inert;
     QCheck_alcotest.to_alcotest qcheck_runtime_equivalence;
   ]

@@ -104,6 +104,11 @@ let test_disabling_fusion_matches_no_opt_config () =
     (Graph.size disabled.Compiler.graph)
 
 let test_counters_recorded () =
+  (* The deep-layer counters (packets, stalls) are only recorded when
+     kernels are actually generated, i.e. on a cold compile — a memo-warm
+     one reuses every costing.  Earlier tests compile the same graph, so
+     restore a cold state first. *)
+  Gcd2_util.Memo.clear_all ();
   let c = Compiler.compile (weighted_cnn 1) in
   let tr = c.Compiler.trace in
   Alcotest.(check bool) "fused-nodes > 0" true (Trace.counter tr "fused-nodes" > 0);

@@ -169,6 +169,29 @@ let prop_schedules_valid strategy name =
       | Ok () -> true
       | Error _ -> false)
 
+(* The incremental packer must be an exact drop-in for the original
+   O(n)-rescan implementation it replaced: same packet-index lists (so
+   same order, same tie-breaks) and same cycle counts, on every strategy.
+   This is what lets the compile-time optimization claim bit-identical
+   schedules. *)
+let prop_incremental_matches_reference =
+  QCheck.Test.make ~name:"incremental packer = reference packer" ~count:100
+    arbitrary_block (fun instrs ->
+      List.for_all
+        (fun (name, strategy) ->
+          let fast = Packer.pack_indices strategy instrs in
+          let ref_ = Packer.pack_indices_reference strategy instrs in
+          if fast <> ref_ then
+            QCheck.Test.fail_reportf "%s: packets differ@.fast %a@.ref  %a" name
+              Fmt.(Dump.list (Dump.list int))
+              fast
+              Fmt.(Dump.list (Dump.list int))
+              ref_
+          else
+            Packer.block_cycles (Packer.pack strategy instrs)
+            = Packer.block_cycles (Packer.pack_reference strategy instrs))
+        all_strategies)
+
 let prop_packing_never_slower_than_sequential =
   QCheck.Test.make ~name:"packed cycles never exceed fully sequential" ~count:100
     arbitrary_block (fun instrs ->
@@ -194,6 +217,7 @@ let tests =
     QCheck_alcotest.to_alcotest (prop_schedules_valid Packer.Soft_to_none "soft_to_none");
     QCheck_alcotest.to_alcotest (prop_schedules_valid Packer.List_topdown "list_topdown");
     QCheck_alcotest.to_alcotest (prop_schedules_valid Packer.In_order "in_order");
+    QCheck_alcotest.to_alcotest prop_incremental_matches_reference;
     QCheck_alcotest.to_alcotest prop_packing_never_slower_than_sequential;
   ]
 

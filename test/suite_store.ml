@@ -237,6 +237,27 @@ let test_disabled_passes_do_not_share_entries () =
   Alcotest.(check (float 0.0)) "full latency preserved" (Compiler.latency_ms full)
     (Compiler.latency_ms full2)
 
+(* [jobs] is deliberately excluded from the request fingerprint: the
+   worker count of plan enumeration cannot change the artifact, so a
+   sequential compile's entry must serve a parallel compile verbatim
+   (and vice versa).  Guards against someone "helpfully" adding jobs to
+   Fingerprint.request and silently splitting the cache per machine. *)
+let test_jobs_share_cache_entries () =
+  let dir = temp_dir () in
+  let g = weighted_cnn 11 in
+  let seq = Compiler.compile ~cache_dir:dir ~jobs:1 g in
+  Alcotest.(check bool) "jobs:1 cold compile misses" false (Compiler.from_cache seq);
+  let par = Compiler.compile ~cache_dir:dir ~jobs:4 g in
+  Alcotest.(check bool) "jobs:4 hits the jobs:1 entry" true (Compiler.from_cache par);
+  check_int "still exactly one entry" 1
+    (Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".gcd2art")
+    |> List.length);
+  Alcotest.(check (float 0.0))
+    "identical latency" (Compiler.latency_ms seq) (Compiler.latency_ms par);
+  Alcotest.(check (array int)) "identical assignment" seq.Compiler.assignment
+    par.Compiler.assignment
+
 (* Any failure to read an entry must surface as [Error], never as an
    exception: here the entry path is a directory, so the open succeeds
    and the read itself fails. *)
@@ -300,6 +321,8 @@ let tests =
     Alcotest.test_case "request fingerprint" `Quick test_fingerprint;
     Alcotest.test_case "fingerprint: disable list and derived ops" `Quick
       test_fingerprint_disable_and_derived_ops;
+    Alcotest.test_case "job counts share cache entries" `Quick
+      test_jobs_share_cache_entries;
     Alcotest.test_case "disabled passes do not share entries" `Quick
       test_disabled_passes_do_not_share_entries;
     Alcotest.test_case "load never raises" `Quick test_load_never_raises;

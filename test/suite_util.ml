@@ -119,6 +119,96 @@ let qcheck_rounding =
       let want = Float.round (float_of_int x /. float_of_int (1 lsl n)) in
       abs_float (float_of_int got -. want) <= 0.5)
 
+(* ------------------------------------------------------------------ *)
+(* Memo tables *)
+
+let test_memo_caches_and_counts () =
+  let m : (int, int) Memo.t = Memo.create "test-square" in
+  let calls = ref 0 in
+  let square x =
+    Memo.find_or_add m x (fun () ->
+        incr calls;
+        x * x)
+  in
+  Alcotest.(check int) "computes" 9 (square 3);
+  Alcotest.(check int) "hits" 9 (square 3);
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "distinct key computes" 16 (square 4);
+  Alcotest.(check int) "two entries" 2 (Memo.size m);
+  Memo.clear m;
+  Alcotest.(check int) "cleared" 0 (Memo.size m);
+  Alcotest.(check int) "recomputes after clear" 9 (square 3);
+  Alcotest.(check int) "three computations total" 3 !calls
+
+let test_memo_clear_all () =
+  let a : (int, int) Memo.t = Memo.create "test-a" in
+  let b : (int, int) Memo.t = Memo.create "test-b" in
+  ignore (Memo.find_or_add a 1 (fun () -> 1));
+  ignore (Memo.find_or_add b 2 (fun () -> 2));
+  Memo.clear_all ();
+  Alcotest.(check int) "a cleared" 0 (Memo.size a);
+  Alcotest.(check int) "b cleared" 0 (Memo.size b)
+
+let test_memo_parallel_domains () =
+  let m : (int, int) Memo.t = Memo.create "test-parallel" in
+  (* hammer one table from several domains: every read must be coherent
+     (the benign compute race may duplicate work, never corrupt a value) *)
+  let results =
+    Pool.map_array ~jobs:4
+      (fun i -> Memo.find_or_add m (i mod 7) (fun () -> (i mod 7) * 1000))
+      (Array.init 200 (fun i -> i))
+  in
+  Array.iteri
+    (fun i got -> Alcotest.(check int) (Fmt.str "slot %d" i) (i mod 7 * 1000) got)
+    results;
+  Alcotest.(check int) "7 unique keys" 7 (Memo.size m)
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool *)
+
+let test_pool_default_jobs () =
+  Alcotest.(check bool) "positive" true (Pool.default_jobs () >= 1)
+
+let test_pool_matches_sequential_map () =
+  let arr = Array.init 57 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let seq = Array.map f arr in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Fmt.str "jobs:%d" jobs) seq
+        (Pool.map_array ~jobs f arr))
+    [ 1; 2; 3; 4; 8; 100 ]
+
+let test_pool_empty_and_single () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map_array ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "single" [| 7 |]
+    (Pool.map_array ~jobs:4 (fun x -> x + 1) [| 6 |])
+
+let test_pool_propagates_exception () =
+  match
+    Pool.map_array ~jobs:3
+      (fun x -> if x = 5 then failwith "boom" else x)
+      (Array.init 10 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "worker exception was swallowed"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg
+
+let test_pool_merges_worker_traces () =
+  let tr = Trace.create "parent" in
+  Trace.with_ambient tr (fun () ->
+      Trace.run_root tr (fun () ->
+          ignore
+            (Pool.map_array ~jobs:4
+               (fun x ->
+                 Trace.in_span "work" (fun () -> Trace.count "items" 1);
+                 x)
+               (Array.init 20 (fun i -> i)))));
+  Alcotest.(check int) "worker counters absorbed" 20 (Trace.counter tr "items");
+  Alcotest.(check int) "pool-tasks recorded" 20 (Trace.counter tr "pool-tasks");
+  Alcotest.(check bool) "worker span tree merged" true
+    (Trace.find tr "work" <> None)
+
 let tests =
   [
     Alcotest.test_case "saturation bounds" `Quick test_sat_bounds;
@@ -131,6 +221,14 @@ let tests =
     Alcotest.test_case "rng int8 range" `Quick test_rng_int8_range;
     Alcotest.test_case "stats helpers" `Quick test_stats;
     Alcotest.test_case "nearest-rank percentile" `Quick test_percentile;
+    Alcotest.test_case "memo caches and counts" `Quick test_memo_caches_and_counts;
+    Alcotest.test_case "memo clear_all" `Quick test_memo_clear_all;
+    Alcotest.test_case "memo under parallel domains" `Quick test_memo_parallel_domains;
+    Alcotest.test_case "pool default jobs" `Quick test_pool_default_jobs;
+    Alcotest.test_case "pool = sequential map" `Quick test_pool_matches_sequential_map;
+    Alcotest.test_case "pool edge sizes" `Quick test_pool_empty_and_single;
+    Alcotest.test_case "pool propagates exceptions" `Quick test_pool_propagates_exception;
+    Alcotest.test_case "pool merges worker traces" `Quick test_pool_merges_worker_traces;
     QCheck_alcotest.to_alcotest qcheck_percentile_member;
     QCheck_alcotest.to_alcotest qcheck_sat8;
     QCheck_alcotest.to_alcotest qcheck_rounding;
