@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all build test test-parallel check fmt-check fmt clean
+.PHONY: all build test test-parallel vm-smoke check fmt-check fmt clean
 
 all: build
 
@@ -34,7 +34,13 @@ fmt:
 		echo "ocamlformat not installed; cannot format"; \
 	fi
 
-check: build test test-parallel fmt-check
+# Tiny vm benchmark: exercises both the translated engine and the
+# reference interpreter on every opcode plus a small whole model, and
+# fails if their outputs or statistics ever diverge.
+vm-smoke: build
+	./_build/default/bench/main.exe vm-smoke
+
+check: build test test-parallel vm-smoke fmt-check
 
 clean:
 	dune clean

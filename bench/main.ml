@@ -25,6 +25,8 @@ let experiments =
     ("pack-scaling", Exp_micro.pack_scaling);
     ("compile", Exp_compile.run);
     ("cache", Exp_cache.run);
+    ("vm", Exp_vm.run);
+    ("vm-smoke", Exp_vm.smoke);
   ]
 
 let usage () =

@@ -12,6 +12,8 @@ open Cmdliner
 module Zoo = Gcd2_models.Zoo
 module F = Gcd2_frameworks.Framework
 module Compiler = Gcd2.Compiler
+module Runtime = Gcd2.Runtime
+module T = Gcd2_tensor.Tensor
 module Graphcost = Gcd2_cost.Graphcost
 module Graph = Gcd2_graph.Graph
 module Op = Gcd2_graph.Op
@@ -300,20 +302,61 @@ let serve_cmd =
 
 (* ---------------- compare ---------------- *)
 
-let compare_run model =
+(* Above this budget a single simulated inference takes minutes even on
+   the fast engine, so `compare` only measures wall time by default on
+   models below it; `--infer` forces the measurement. *)
+let compare_infer_budget_gmacs = 2.0
+
+let compare_run model force_infer =
   let entry = Zoo.find model in
-  let g = entry.Zoo.build () in
-  Fmt.pr "%-8s %10s %8s@." "stack" "ms" "fps";
+  let g = Zoo.with_random_weights (entry.Zoo.build ()) in
+  let gmacs = float_of_int (Gcd2_graph.Flops.total_macs g) /. 1e9 in
+  let measure = force_infer || gmacs <= compare_infer_budget_gmacs in
+  (* One shared random input set: the modeled latency column is static, but
+     the inference columns come from actually running each compiled model
+     on the simulated DSP. *)
+  let rng = Gcd2_util.Rng.create 42 in
+  let inputs =
+    let acc = ref [] in
+    Graph.iter
+      (fun node ->
+        match node.Graph.op with
+        | Op.Input { shape } -> acc := (node.Graph.id, T.random rng shape) :: !acc
+        | _ -> ())
+      g;
+    List.rev !acc
+  in
+  Fmt.pr "%-8s %10s %8s %10s %5s %5s %12s@." "stack" "ms" "fps" "infer-ms" "vm" "host"
+    "vm-cycles";
   List.iter
     (fun config ->
       let c = Compiler.compile ~config g in
       let ms = Compiler.latency_ms c in
-      Fmt.pr "%-8s %10.2f %8.1f@." config.Compiler.name ms (1000.0 /. ms))
-    [ F.tflite; F.snpe; F.gcd2_b; F.gcd2 ]
+      if measure then begin
+        let t0 = Trace.now () in
+        let _, stats = Runtime.run_with_stats c ~inputs in
+        let infer_ms = 1000.0 *. (Trace.now () -. t0) in
+        Fmt.pr "%-8s %10.2f %8.1f %10.1f %5d %5d %12d@." config.Compiler.name ms
+          (1000.0 /. ms) infer_ms stats.Runtime.vm_nodes stats.Runtime.host_nodes
+          stats.Runtime.vm_cycles
+      end
+      else
+        Fmt.pr "%-8s %10.2f %8.1f %10s %5s %5s %12s@." config.Compiler.name ms
+          (1000.0 /. ms) "-" "-" "-" "-")
+    [ F.tflite; F.snpe; F.gcd2_b; F.gcd2 ];
+  if not measure then
+    Fmt.pr "(%.1f GMACs > %.1f: simulated inference skipped; pass --infer to run it)@."
+      gmacs compare_infer_budget_gmacs
+
+let infer_arg =
+  let doc =
+    "Measure simulated inference wall time even on models above the default GMAC budget."
+  in
+  Arg.(value & flag & info [ "infer" ] ~doc)
 
 let compare_cmd =
   let doc = "Compare TFLite / SNPE / GCD_b / GCD2 on one model." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare_run $ model_arg)
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare_run $ model_arg $ infer_arg)
 
 (* ---------------- kernel ---------------- *)
 

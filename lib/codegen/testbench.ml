@@ -29,7 +29,7 @@ let run ?(tables = []) ?per_channel (spec : Matmul.spec) ~a ~w =
   in
   let q_base = align (c_base + out_bytes) in
   let mem_bytes = align (q_base + Array.length packed_q) + 256 in
-  let m = Machine.create ~mem_bytes:(max mem_bytes 4096) () in
+  let m = Machine.scratch ~mem_bytes:(max mem_bytes 4096) () in
   Machine.write_i8_array m ~addr:a_base packed_a;
   Machine.write_i8_array m ~addr:w_base packed_w;
   if Array.length packed_q > 0 then Machine.write_i8_array m ~addr:q_base packed_q;

@@ -75,7 +75,7 @@ let stage_eltwise ~stats ~tables ~spec op layout ~rows ~cols a_data b_data =
   let a_base = 0 in
   let b_base = align bytes in
   let out_base = 2 * align bytes in
-  let m = Machine.create ~mem_bytes:(max 4096 ((3 * align bytes) + 256)) () in
+  let m = Machine.scratch ~mem_bytes:(max 4096 ((3 * align bytes) + 256)) () in
   Machine.write_i8_array m ~addr:a_base packed_a;
   (match b_data with
   | Some b -> Machine.write_i8_array m ~addr:b_base (Pack.pack layout ~rows ~cols b).Pack.bytes
@@ -227,6 +227,11 @@ let run_with_stats (c : Compiler.compiled) ~inputs =
       (function Some t -> t | None -> invalid_arg "Runtime: unevaluated node")
       vals
   in
+  if Gcd2_util.Trace.enabled () then begin
+    Gcd2_util.Trace.count "vm-nodes" stats.vm_nodes;
+    Gcd2_util.Trace.count "host-nodes" stats.host_nodes;
+    Gcd2_util.Trace.count "vm-cycles" stats.vm_cycles
+  end;
   (outputs, stats)
 
 let run c ~inputs = fst (run_with_stats c ~inputs)

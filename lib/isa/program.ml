@@ -23,6 +23,16 @@ type t = {
 
 let make ?(tables = []) name nodes = { name; nodes; tables }
 
+(* Identity for decode caches (the VM's translation cache).  Programs are
+   marshaled into compile artifacts and compared structurally by tests, so
+   identity must NOT be a stamped id field: a counter would make two
+   compiles of the same model produce unequal programs and would collide
+   across [Marshal] round-trips.  Instead identity is physical equality —
+   the only notion that survives both — bucketed by a cheap bounded
+   structural hash. *)
+let identity_hash (t : t) = Hashtbl.hash t
+let same (a : t) (b : t) = a == b
+
 (* Trip-count-weighted sum of a per-packet integer measure. *)
 let sum_packets measure t =
   let rec go nodes =

@@ -19,6 +19,16 @@ type t = {
 
 val make : ?tables:(int * int array) list -> string -> node list -> t
 
+(** Identity for decode caches (e.g. {!Gcd2_vm.Machine}'s translation
+    cache).  [same] is physical equality — programs are marshaled into
+    compile artifacts and compared structurally by tests, so a stamped
+    id field is off the table; physical identity is the only notion that
+    survives both.  [identity_hash] is a cheap bounded structural hash,
+    usable only to bucket candidates that [same] then confirms. *)
+val identity_hash : t -> int
+
+val same : t -> t -> bool
+
 (** Total execution cycles. *)
 val static_cycles : t -> int
 

@@ -154,3 +154,40 @@ let find name =
   | None -> invalid_arg (Fmt.str "Zoo.find: unknown model %S" name)
 
 let names = List.map (fun e -> e.name) all
+
+(* Zoo graphs carry shapes only; functional execution (Runtime / Interp)
+   needs parameter values.  Deterministic in [seed], so two calls produce
+   structurally equal graphs — anything keyed on graph content (the
+   compile cache, fingerprints) still works. *)
+let with_random_weights ?(seed = 7) (g : Gcd2_graph.Graph.t) =
+  let module Graph = Gcd2_graph.Graph in
+  let module Op = Gcd2_graph.Op in
+  let module T = Gcd2_tensor.Tensor in
+  let rng = Gcd2_util.Rng.create seed in
+  let weight_q = Gcd2_tensor.Quant.make (1.0 /. 64.0) in
+  let cin (n : Graph.node) =
+    let src = Graph.node g (List.hd n.Graph.inputs) in
+    let s = src.Graph.out_shape in
+    s.(Array.length s - 1)
+  in
+  let nodes =
+    Array.map
+      (fun (n : Graph.node) ->
+        if n.Graph.weight <> None then n
+        else
+          let dims =
+            match n.Graph.op with
+            | Op.Constant { shape } -> Some (Array.copy shape)
+            | Op.Conv2d { kh; kw; cout; _ } -> Some [| kh; kw; cin n; cout |]
+            | Op.Transposed_conv2d { kh; kw; cout; _ } -> Some [| kh; kw; cin n; cout |]
+            | Op.Depthwise_conv2d { kh; kw; _ } -> Some [| kh; kw; cin n |]
+            | Op.Matmul { cout; _ } -> Some [| cin n; cout |]
+            | _ -> None
+          in
+          match dims with
+          | None -> n
+          | Some dims ->
+            { n with Graph.weight = Some (T.random ~quant:weight_q rng dims) })
+      g.Graph.nodes
+  in
+  { Graph.nodes }

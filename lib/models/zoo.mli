@@ -31,3 +31,11 @@ val all : entry list
 val find : string -> entry
 
 val names : string list
+
+(** [with_random_weights ~seed g] — a copy of [g] in which every
+    weight-bearing operator (conv / depthwise / transposed conv / matmul /
+    constant) without parameter values gets a deterministic random int8
+    weight tensor of the inferred shape.  Zoo graphs carry shapes only;
+    this is what makes them runnable through {!Gcd2.Runtime} and
+    {!Gcd2_kernels.Interp}. *)
+val with_random_weights : ?seed:int -> Gcd2_graph.Graph.t -> Gcd2_graph.Graph.t

@@ -10,7 +10,26 @@
     (max member latency + soft-dependency stalls); packets do not overlap
     (paper footnote 5).  The cycle counter therefore always equals
     {!Gcd2_isa.Program.static_cycles} of the executed program — a property
-    the test suite checks. *)
+    the test suite checks.
+
+    Two engines compute these semantics:
+
+    - the {e reference} interpreter ({!exec_reference}/{!run_reference}):
+      one dispatch per executed instruction, per-byte polymorphic register
+      access — simple, obviously faithful, slow;
+    - the {e translated} engine (the default {!run}): every instruction of
+      a program is decoded {e once} into a closure specialized over the
+      concrete [Bytes] windows of its operands (register numbers resolved,
+      lane loops specialized per width with word-wide reads/writes, memory
+      ops bounds-checked once per execution, [Vlut] tables resolved at
+      decode time) and the closure is replayed on every execution — loop
+      bodies are translated once and run [trip] times, and repeated
+      {!run}s of the same program reuse the cached translation.
+
+    Both engines produce bit-identical registers, memory and counters (a
+    qcheck differential property in the suite); any instruction shape the
+    translator does not recognize falls back to a closure around the
+    reference interpreter, so the fast path can never change semantics. *)
 
 open Gcd2_isa
 module Sat = Gcd2_util.Saturate
@@ -24,12 +43,22 @@ type counters = {
   mutable stored_bytes : int;
 }
 
+type exec_fn = unit -> unit
+
 type t = {
   sregs : int array;  (** 32 scalar registers, signed 32-bit values *)
   vregs : Bytes.t array;  (** 32 vector registers of 128 bytes *)
-  mem : Bytes.t;
+  mutable mem : Bytes.t;  (** physical backing store, may exceed mem_limit *)
+  mutable mem_limit : int;
+      (** logical memory size: all bounds checks use this, so a reused
+          scratch machine behaves exactly like a fresh machine of this
+          size even when the backing store is larger *)
   mutable tables : (int * int array) list;
   counters : counters;
+  translations : (int, (Program.t * exec_fn) list) Hashtbl.t;
+      (** decode cache: {!Gcd2_isa.Program.identity_hash} buckets,
+          confirmed by {!Gcd2_isa.Program.same} *)
+  mutable cached_translations : int;
 }
 
 let create ?(mem_bytes = 1 lsl 22) () =
@@ -37,13 +66,16 @@ let create ?(mem_bytes = 1 lsl 22) () =
     sregs = Array.make Reg.scalar_count 0;
     vregs = Array.init Reg.vector_count (fun _ -> Bytes.make Reg.vector_bytes '\000');
     mem = Bytes.make mem_bytes '\000';
+    mem_limit = mem_bytes;
     tables = [];
     counters =
       { cycles = 0; packets = 0; instrs = 0; macs = 0; loaded_bytes = 0; stored_bytes = 0 };
+    translations = Hashtbl.create 16;
+    cached_translations = 0;
   }
 
 let counters t = t.counters
-let memory_size t = Bytes.length t.mem
+let memory_size t = t.mem_limit
 
 (* ------------------------------------------------------------------ *)
 (* Register access                                                     *)
@@ -105,16 +137,8 @@ let lane_count r width = operand_bytes r / lane_bytes width
 let effective_address t (a : Instr.addr) = get_sreg t a.base + a.offset
 
 let check_bounds t addr size =
-  if addr < 0 || addr + size > Bytes.length t.mem then
+  if addr < 0 || addr + size > t.mem_limit then
     invalid_arg (Fmt.str "memory access out of bounds: [%d, %d)" addr (addr + size))
-
-let mem_read8 t addr =
-  check_bounds t addr 1;
-  Char.code (Bytes.get t.mem addr)
-
-let mem_write8 t addr v =
-  check_bounds t addr 1;
-  Bytes.set t.mem addr (Char.chr (v land 0xff))
 
 let mem_read32 t addr =
   check_bounds t addr 4;
@@ -144,7 +168,7 @@ let write_i32_array t ~addr data =
 let read_i32_array t ~addr ~len = Array.init len (fun i -> mem_read32 t (addr + (4 * i)))
 
 (* ------------------------------------------------------------------ *)
-(* Instruction semantics                                               *)
+(* Instruction semantics (reference interpreter)                       *)
 
 let scalar_byte v m = Sat.sign_extend ~bits:8 ((v asr (8 * m)) land 0xff)
 
@@ -176,7 +200,7 @@ let exec_valu op width a b =
   | Instr.Vor -> a lor b
   | Instr.Vxor -> a lxor b
 
-let exec t instr =
+let exec_reference t instr =
   let c = t.counters in
   c.instrs <- c.instrs + 1;
   c.macs <- c.macs + Instr.macs instr;
@@ -193,16 +217,17 @@ let exec t instr =
   | Instr.Vload (vd, a) ->
     c.loaded_bytes <- c.loaded_bytes + Reg.vector_bytes;
     let addr = effective_address t a in
+    (* bounds checked once for the whole transfer, then direct byte access *)
     check_bounds t addr Reg.vector_bytes;
     for i = 0 to Reg.vector_bytes - 1 do
-      set_byte t vd i (mem_read8 t (addr + i))
+      set_byte t vd i (Char.code (Bytes.get t.mem (addr + i)))
     done
   | Instr.Vstore (a, vs) ->
     c.stored_bytes <- c.stored_bytes + Reg.vector_bytes;
     let addr = effective_address t a in
     check_bounds t addr Reg.vector_bytes;
     for i = 0 to Reg.vector_bytes - 1 do
-      mem_write8 t (addr + i) (get_byte t vs i)
+      Bytes.set t.mem (addr + i) (Char.chr (get_byte t vs i land 0xff))
     done
   | Instr.Vmovi (vd, v) ->
     for i = 0 to operand_bytes vd - 1 do
@@ -306,8 +331,7 @@ let exec t instr =
       let mult = get_lane t vm ~width:Instr.W32 l in
       set_lane t vd ~width:Instr.W32 l
         (Sat.apply_multiplier (get_lane t vs ~width:Instr.W32 l) (mult, shift))
-    done;
-    ()
+    done
   | Instr.Vpack (vd, ps, w) ->
     (match w with
     | Instr.W32 ->
@@ -343,13 +367,16 @@ let exec t instr =
       set_byte t vd i v
     done
 
+(* Single-instruction stepping is inherently the reference path. *)
+let exec = exec_reference
+
 (* ------------------------------------------------------------------ *)
-(* Program execution                                                   *)
+(* Reference program execution                                         *)
 
 let exec_packet t (p : Packet.t) =
   t.counters.packets <- t.counters.packets + 1;
   t.counters.cycles <- t.counters.cycles + Packet.cycles p;
-  List.iter (exec t) p
+  List.iter (exec_reference t) p
 
 let rec exec_node t = function
   | Program.Block packets -> List.iter (exec_packet t) packets
@@ -358,7 +385,552 @@ let rec exec_node t = function
       List.iter (exec_node t) body
     done
 
+let run_reference t (prog : Program.t) =
+  t.tables <- prog.Program.tables;
+  List.iter (exec_node t) prog.Program.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Translated execution engine                                         *)
+
+(* Word-wide little-endian lane primitives over a concrete 128-byte
+   register window.  Reads are sign-extended exactly like [get_lane];
+   writes truncate exactly like [set_lane].  The 32-bit forms compose two
+   16-bit accesses because the [Bytes] 32-bit primitives traffic in boxed
+   [int32]s, which would allocate on every lane. *)
+let sx8 v = (v lxor 0x80) - 0x80
+let clamp8 v = if v < -128 then -128 else if v > 127 then 127 else v
+let clamp16 v = if v < -32768 then -32768 else if v > 32767 then 32767 else v
+let g8 b i = Char.code (Bytes.unsafe_get b i)
+let s8 b i = sx8 (Char.code (Bytes.unsafe_get b i))
+let put8 b i v = Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xff))
+let g16 = Bytes.get_int16_le
+let p16 = Bytes.set_int16_le
+let g32 b o = Bytes.get_uint16_le b o lor (Bytes.get_int16_le b (o + 2) lsl 16)
+
+let p32 b o v =
+  Bytes.set_int16_le b o v;
+  Bytes.set_int16_le b (o + 2) (v asr 16)
+
+(* Decode-time specialization of the ALU lane function: the reference's
+   [exec_valu] matches on op and width (and builds the saturator) on
+   every lane; here the closure is built once per decoded instruction. *)
+let valu_fn op width : int -> int -> int =
+  let sat =
+    match width with
+    | Instr.W8 -> clamp8
+    | Instr.W16 -> clamp16
+    | Instr.W32 -> Sat.sat32
+  in
+  match op with
+  | Instr.Vadd -> fun a b -> sat (a + b)
+  | Instr.Vsub -> fun a b -> sat (a - b)
+  | Instr.Vmax -> fun a b -> if a > b then a else b
+  | Instr.Vmin -> fun a b -> if a < b then a else b
+  | Instr.Vavg -> fun a b -> (a + b + 1) asr 1
+  | Instr.Vand -> ( land )
+  | Instr.Vor -> ( lor )
+  | Instr.Vxor -> ( lxor )
+
+(* Same move for the scalar ALU: the binary function is resolved once at
+   decode; [Sat.wrap32] stays at the write like [set_sreg] does. *)
+let salu_fn op : int -> int -> int =
+  match op with
+  | Instr.Add -> ( + )
+  | Instr.Sub -> ( - )
+  | Instr.And -> ( land )
+  | Instr.Or -> ( lor )
+  | Instr.Xor -> ( lxor )
+  | Instr.Shl -> fun a b -> a lsl (b land 31)
+  | Instr.Shr -> fun a b -> a asr (b land 31)
+  | Instr.Min -> fun a b -> if a < b then a else b
+  | Instr.Max -> fun a b -> if a > b then a else b
+
+(* Decode-time operand resolution.  [None] means the operand does not
+   have the shape the specialized closure expects (wrong register kind or
+   an out-of-range index); the instruction then falls back to the
+   reference interpreter, which raises or misbehaves in exactly the
+   documented way — at execution time, not decode time. *)
+let sreg_index = function
+  | Reg.R n when n >= 0 && n < Reg.scalar_count -> Some n
+  | _ -> None
+
+(* First-128-bytes window: whole V register, or the low half of a pair
+   (all byte-lane reads/writes below 128 land there). *)
+let low_window t = function
+  | Reg.V n when n >= 0 && n < Reg.vector_count -> Some t.vregs.(n)
+  | Reg.P k when k >= 0 && (2 * k) + 1 < Reg.vector_count -> Some t.vregs.(2 * k)
+  | _ -> None
+
+let pair_windows t = function
+  | Reg.P k when k >= 0 && (2 * k) + 1 < Reg.vector_count ->
+    Some (t.vregs.(2 * k), t.vregs.((2 * k) + 1))
+  | _ -> None
+
+(* Every 128-byte segment of the operand, in ascending lane order. *)
+let all_segments t = function
+  | Reg.V n when n >= 0 && n < Reg.vector_count -> Some [| t.vregs.(n) |]
+  | Reg.P k when k >= 0 && (2 * k) + 1 < Reg.vector_count ->
+    Some [| t.vregs.(2 * k); t.vregs.((2 * k) + 1) |]
+  | _ -> None
+
+(* Translate one instruction into a specialized closure.  Counter updates
+   are baked in per instruction (not per packet) so that even a program
+   aborted mid-packet by a bounds fault leaves counters bit-identical to
+   the reference interpreter.  Lane loops preserve the reference's exact
+   read/write order, which is what makes aliased operands (e.g. a source
+   vector inside the destination pair) behave identically. *)
+let translate_instr t ~tables (instr : Instr.t) : exec_fn =
+  let c = t.counters in
+  let s = t.sregs in
+  let vb = Reg.vector_bytes in
+  let fallback = fun () -> exec_reference t instr in
+  match instr with
+  | Instr.Smovi (rd, imm) -> (
+    match sreg_index rd with
+    | Some d ->
+      let v = Sat.wrap32 imm in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        Array.unsafe_set s d v
+    | None -> fallback)
+  | Instr.Salu (op, rd, rs, o) -> (
+    match (sreg_index rd, sreg_index rs, o) with
+    | Some d, Some r, Instr.Imm i ->
+      let f = salu_fn op in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        Array.unsafe_set s d (Sat.wrap32 (f (Array.unsafe_get s r) i))
+    | Some d, Some r, Instr.Reg ro -> (
+      match sreg_index ro with
+      | Some oi ->
+        let f = salu_fn op in
+        fun () ->
+          c.instrs <- c.instrs + 1;
+          Array.unsafe_set s d (Sat.wrap32 (f (Array.unsafe_get s r) (Array.unsafe_get s oi)))
+      | None -> fallback)
+    | _ -> fallback)
+  | Instr.Smul (rd, rs, o) -> (
+    match (sreg_index rd, sreg_index rs, o) with
+    | Some d, Some r, Instr.Imm i ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        Array.unsafe_set s d (Sat.wrap32 (Array.unsafe_get s r * i))
+    | Some d, Some r, Instr.Reg ro -> (
+      match sreg_index ro with
+      | Some oi ->
+        fun () ->
+          c.instrs <- c.instrs + 1;
+          Array.unsafe_set s d (Sat.wrap32 (Array.unsafe_get s r * Array.unsafe_get s oi))
+      | None -> fallback)
+    | _ -> fallback)
+  | Instr.Sload (rd, a) -> (
+    match (sreg_index rd, sreg_index a.Instr.base) with
+    | Some d, Some b ->
+      let off = a.Instr.offset in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        c.loaded_bytes <- c.loaded_bytes + 4;
+        let addr = Array.unsafe_get s b + off in
+        check_bounds t addr 4;
+        Array.unsafe_set s d (g32 t.mem addr)
+    | _ -> fallback)
+  | Instr.Sstore (a, rs) -> (
+    match (sreg_index a.Instr.base, sreg_index rs) with
+    | Some b, Some r ->
+      let off = a.Instr.offset in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        c.stored_bytes <- c.stored_bytes + 4;
+        let addr = Array.unsafe_get s b + off in
+        check_bounds t addr 4;
+        p32 t.mem addr (Array.unsafe_get s r)
+    | _ -> fallback)
+  | Instr.Vload (vd, a) -> (
+    match (low_window t vd, sreg_index a.Instr.base) with
+    | Some dst, Some b ->
+      let off = a.Instr.offset in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        c.loaded_bytes <- c.loaded_bytes + vb;
+        let addr = Array.unsafe_get s b + off in
+        check_bounds t addr vb;
+        Bytes.blit t.mem addr dst 0 vb
+    | _ -> fallback)
+  | Instr.Vstore (a, vs) -> (
+    match (low_window t vs, sreg_index a.Instr.base) with
+    | Some src, Some b ->
+      let off = a.Instr.offset in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        c.stored_bytes <- c.stored_bytes + vb;
+        let addr = Array.unsafe_get s b + off in
+        check_bounds t addr vb;
+        Bytes.blit src 0 t.mem addr vb
+    | _ -> fallback)
+  | Instr.Vmovi (vd, v) -> (
+    match all_segments t vd with
+    | Some segs ->
+      let ch = Char.chr (v land 0xff) in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        Array.iter (fun b -> Bytes.fill b 0 vb ch) segs
+    | None -> fallback)
+  | Instr.Valu (op, width, vd, va, vb') -> (
+    match (all_segments t vd, all_segments t va, all_segments t vb') with
+    | Some d, Some a, Some b
+      when Array.length d = Array.length a && Array.length d = Array.length b -> (
+      let nseg = Array.length d in
+      let f = valu_fn op width in
+      match width with
+      | Instr.W8 ->
+        fun () ->
+          c.instrs <- c.instrs + 1;
+          for sg = 0 to nseg - 1 do
+            let db = Array.unsafe_get d sg
+            and ab = Array.unsafe_get a sg
+            and bb = Array.unsafe_get b sg in
+            for i = 0 to vb - 1 do
+              put8 db i (f (s8 ab i) (s8 bb i))
+            done
+          done
+      | Instr.W16 ->
+        fun () ->
+          c.instrs <- c.instrs + 1;
+          for sg = 0 to nseg - 1 do
+            let db = Array.unsafe_get d sg
+            and ab = Array.unsafe_get a sg
+            and bb = Array.unsafe_get b sg in
+            for i = 0 to (vb / 2) - 1 do
+              p16 db (2 * i) (f (g16 ab (2 * i)) (g16 bb (2 * i)))
+            done
+          done
+      | Instr.W32 ->
+        fun () ->
+          c.instrs <- c.instrs + 1;
+          for sg = 0 to nseg - 1 do
+            let db = Array.unsafe_get d sg
+            and ab = Array.unsafe_get a sg
+            and bb = Array.unsafe_get b sg in
+            for i = 0 to (vb / 4) - 1 do
+              p32 db (4 * i) (f (g32 ab (4 * i)) (g32 bb (4 * i)))
+            done
+          done)
+    | _ -> fallback)
+  | Instr.Vaddw (pd, vs) -> (
+    match (pair_windows t pd, low_window t vs) with
+    | Some (lo, hi), Some src ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        for l = 0 to 31 do
+          p32 lo (4 * l) (Sat.wrap32 (g32 lo (4 * l) + g16 src (2 * l)))
+        done;
+        for l = 32 to 63 do
+          p32 hi ((4 * l) - vb) (Sat.wrap32 (g32 hi ((4 * l) - vb) + g16 src (2 * l)))
+        done
+    | _ -> fallback)
+  | Instr.Vmpy (pd, vs, rt) -> (
+    match (pair_windows t pd, low_window t vs, sreg_index rt) with
+    | Some (lo, hi), Some src, Some rti ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        c.macs <- c.macs + 128;
+        let rv = Array.unsafe_get s rti in
+        let b0 = sx8 (rv land 0xff)
+        and b1 = sx8 ((rv asr 8) land 0xff)
+        and b2 = sx8 ((rv asr 16) land 0xff)
+        and b3 = sx8 ((rv asr 24) land 0xff) in
+        for j = 0 to 63 do
+          let i = 2 * j in
+          let o = 2 * j in
+          let we, wo = if i land 3 = 0 then (b0, b1) else (b2, b3) in
+          p16 lo o (clamp16 (g16 lo o + (s8 src i * we)));
+          p16 hi o (clamp16 (g16 hi o + (s8 src (i + 1) * wo)))
+        done
+    | _ -> fallback)
+  | Instr.Vmpyb (pd, vs, rt, sel) -> (
+    match (pair_windows t pd, low_window t vs, sreg_index rt) with
+    | Some (lo, hi), Some src, Some rti when sel >= 0 && sel <= 3 ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        c.macs <- c.macs + 128;
+        let w = sx8 ((Array.unsafe_get s rti asr (8 * sel)) land 0xff) in
+        for j = 0 to 63 do
+          let i = 2 * j in
+          let o = 2 * j in
+          p16 lo o (clamp16 (g16 lo o + (s8 src i * w)));
+          p16 hi o (clamp16 (g16 hi o + (s8 src (i + 1) * w)))
+        done
+    | _ -> fallback)
+  | Instr.Vmul (pd, va, vbr) -> (
+    match (pair_windows t pd, low_window t va, low_window t vbr) with
+    | Some (lo, hi), Some ab, Some bb ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        c.macs <- c.macs + 128;
+        for j = 0 to 63 do
+          let i = 2 * j in
+          let o = 2 * j in
+          p16 lo o (clamp16 (g16 lo o + (s8 ab i * s8 bb i)));
+          p16 hi o (clamp16 (g16 hi o + (s8 ab (i + 1) * s8 bb (i + 1))))
+        done
+    | _ -> fallback)
+  | Instr.Vmpa (pd, ps, rt) -> (
+    match (pair_windows t pd, pair_windows t ps, sreg_index rt) with
+    | Some (lo, hi), Some (q0, q1), Some rti ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        c.macs <- c.macs + 256;
+        let rv = Array.unsafe_get s rti in
+        let b0 = sx8 (rv land 0xff)
+        and b1 = sx8 ((rv asr 8) land 0xff)
+        and b2 = sx8 ((rv asr 16) land 0xff)
+        and b3 = sx8 ((rv asr 24) land 0xff) in
+        for j = 0 to 63 do
+          let o = 2 * j in
+          p16 lo o (clamp16 (g16 lo o + (s8 q0 (2 * j) * b0) + (s8 q1 (2 * j) * b1)));
+          p16 hi o
+            (clamp16 (g16 hi o + (s8 q0 ((2 * j) + 1) * b2) + (s8 q1 ((2 * j) + 1) * b3)))
+        done
+    | _ -> fallback)
+  | Instr.Vrmpy (vd, vs, rt) -> (
+    match (low_window t vd, low_window t vs, sreg_index rt) with
+    | Some dst, Some src, Some rti ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        c.macs <- c.macs + 128;
+        let rv = Array.unsafe_get s rti in
+        let b0 = sx8 (rv land 0xff)
+        and b1 = sx8 ((rv asr 8) land 0xff)
+        and b2 = sx8 ((rv asr 16) land 0xff)
+        and b3 = sx8 ((rv asr 24) land 0xff) in
+        for l = 0 to 31 do
+          let i = 4 * l in
+          let acc =
+            g32 dst i + (s8 src i * b0)
+            + (s8 src (i + 1) * b1)
+            + (s8 src (i + 2) * b2)
+            + (s8 src (i + 3) * b3)
+          in
+          p32 dst i (Sat.wrap32 acc)
+        done
+    | _ -> fallback)
+  | Instr.Vscale (vd, vs, mult, shift) -> (
+    match (low_window t vd, low_window t vs) with
+    | Some dst, Some src when shift >= 0 ->
+      (* [Sat.rounding_shift_right x 0 = x], which the general formula with
+         [half = 0] also yields, so one decode-time [half] covers all
+         non-negative shifts. *)
+      let half = if shift = 0 then 0 else 1 lsl (shift - 1) in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        for l = 0 to 31 do
+          let x = g32 src (4 * l) * mult in
+          let y = if x >= 0 then (x + half) asr shift else -((-x + half) asr shift) in
+          p32 dst (4 * l) (Sat.sat32 y)
+        done
+    | _ -> fallback)
+  | Instr.Vscalev (vd, vs, vm, shift) -> (
+    match (low_window t vd, low_window t vs, low_window t vm) with
+    | Some dst, Some src, Some mb when shift >= 0 ->
+      let half = if shift = 0 then 0 else 1 lsl (shift - 1) in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        for l = 0 to 31 do
+          let x = g32 src (4 * l) * g32 mb (4 * l) in
+          let y = if x >= 0 then (x + half) asr shift else -((-x + half) asr shift) in
+          p32 dst (4 * l) (Sat.sat32 y)
+        done
+    | _ -> fallback)
+  | Instr.Vpack (vd, ps, w) -> (
+    match (low_window t vd, pair_windows t ps, w) with
+    | Some dst, Some (plo, phi), Instr.W32 ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        for l = 0 to 31 do
+          p16 dst (2 * l) (clamp16 (g32 plo (4 * l)))
+        done;
+        for l = 32 to 63 do
+          p16 dst (2 * l) (clamp16 (g32 phi ((4 * l) - vb)))
+        done
+    | Some dst, Some (plo, phi), Instr.W16 ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        for l = 0 to 63 do
+          put8 dst l (clamp8 (g16 plo (2 * l)))
+        done;
+        for l = 64 to 127 do
+          put8 dst l (clamp8 (g16 phi ((2 * l) - vb)))
+        done
+    | _, _, _ -> fallback)
+  | Instr.Vshuff (pd, ps, width) -> (
+    match (pair_windows t pd, pair_windows t ps) with
+    | Some (dlo, dhi), Some (slo, shi) ->
+      let bl = lane_bytes width in
+      let half = vb / bl in
+      let get, put =
+        match width with
+        | Instr.W8 -> ((g8 : Bytes.t -> int -> int), put8)
+        | Instr.W16 -> (Bytes.get_uint16_le, (p16 : Bytes.t -> int -> int -> unit))
+        | Instr.W32 -> (g32, p32)
+      in
+      let tmp = Array.make (2 * half) 0 in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        (* snapshot first so pd = ps is well-defined, like the reference *)
+        for l = 0 to half - 1 do
+          tmp.(l) <- get slo (l * bl);
+          tmp.(half + l) <- get shi (l * bl)
+        done;
+        let wr j v =
+          let base = j * bl in
+          if base < vb then put dlo base v else put dhi (base - vb) v
+        in
+        for i = 0 to half - 1 do
+          wr (2 * i) tmp.(i);
+          wr ((2 * i) + 1) tmp.(half + i)
+        done
+    | _ -> fallback)
+  | Instr.Vlut (vd, vs, id) -> (
+    match (low_window t vd, low_window t vs, List.assoc_opt id tables) with
+    | Some dst, Some src, Some table when Array.length table >= 256 ->
+      (* The reference snapshots all 128 source bytes before writing; only
+         an aliased destination can observe the difference, so the copy is
+         paid only in that case. *)
+      let tmp = if dst == src then Some (Bytes.create vb) else None in
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        let sb =
+          match tmp with
+          | Some b ->
+            Bytes.blit src 0 b 0 vb;
+            b
+          | None -> src
+        in
+        for i = 0 to vb - 1 do
+          put8 dst i (Array.unsafe_get table (g8 sb i))
+        done
+    | _ -> fallback)
+  | Instr.Vdup (vd, rs) -> (
+    match (all_segments t vd, sreg_index rs) with
+    | Some segs, Some ri ->
+      fun () ->
+        c.instrs <- c.instrs + 1;
+        let ch = Char.unsafe_chr (Array.unsafe_get s ri land 0xff) in
+        Array.iter (fun b -> Bytes.fill b 0 vb ch) segs
+    | _ -> fallback)
+
+(* Packet/node translation: packet-level counters (packets, cycles) are
+   static, so each packet contributes one prologue closure with the
+   precomputed cycle cost, followed by its member instructions. *)
+let translate_packet t ~tables (p : Packet.t) : exec_fn list =
+  let c = t.counters in
+  let cyc = Packet.cycles p in
+  let prologue () =
+    c.packets <- c.packets + 1;
+    c.cycles <- c.cycles + cyc
+  in
+  prologue :: List.map (translate_instr t ~tables) p
+
+let rec translate_node t ~tables = function
+  | Program.Block packets ->
+    let fns = Array.of_list (List.concat_map (translate_packet t ~tables) packets) in
+    let n = Array.length fns in
+    fun () ->
+      for i = 0 to n - 1 do
+        (Array.unsafe_get fns i) ()
+      done
+  | Program.Loop { trip; body } ->
+    let fns = Array.of_list (List.map (translate_node t ~tables) body) in
+    let n = Array.length fns in
+    fun () ->
+      for _ = 1 to trip do
+        for i = 0 to n - 1 do
+          (Array.unsafe_get fns i) ()
+        done
+      done
+
+let translate t (prog : Program.t) : exec_fn =
+  let tables = prog.Program.tables in
+  let fns = Array.of_list (List.map (translate_node t ~tables) prog.Program.nodes) in
+  let n = Array.length fns in
+  fun () ->
+    for i = 0 to n - 1 do
+      (Array.unsafe_get fns i) ()
+    done
+
+(* Decode cache: translations are per-machine (closures capture this
+   machine's registers) and keyed by program identity.  The cap only
+   bounds memory on pathological workloads; one compiled model's kernels
+   fit comfortably. *)
+let max_cached_translations = 512
+
+let translation t prog =
+  let key = Program.identity_hash prog in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.translations key) in
+  match List.find_opt (fun (p, _) -> Program.same p prog) bucket with
+  | Some (_, fn) -> fn
+  | None ->
+    let fn = translate t prog in
+    if t.cached_translations >= max_cached_translations then begin
+      Hashtbl.reset t.translations;
+      t.cached_translations <- 0
+    end;
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt t.translations key) in
+    Hashtbl.replace t.translations key ((prog, fn) :: bucket);
+    t.cached_translations <- t.cached_translations + 1;
+    fn
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection and program execution                              *)
+
+type engine = Translated | Reference
+
+(* Global so the benchmark harness (and CI smoke) can reproduce the
+   pre-translation baseline — reference dispatch AND a fresh machine per
+   [scratch] request — without threading a flag through every layer. *)
+let engine_state = ref Translated
+let set_engine e = engine_state := e
+let engine () = !engine_state
+
 (** Run a whole program; registers and memory persist across calls. *)
 let run t (prog : Program.t) =
   t.tables <- prog.Program.tables;
-  List.iter (exec_node t) prog.Program.nodes
+  match !engine_state with
+  | Reference -> List.iter (exec_node t) prog.Program.nodes
+  | Translated -> (translation t prog) ()
+
+(* ------------------------------------------------------------------ *)
+(* Scratch machines                                                    *)
+
+let reset ?(mem_bytes = 1 lsl 22) t =
+  if Bytes.length t.mem < mem_bytes then begin
+    (* next power of two, so repeated growth is amortized; a freshly
+       allocated Bytes is already zeroed *)
+    let cap = ref (max 1 (Bytes.length t.mem)) in
+    while !cap < mem_bytes do
+      cap := !cap * 2
+    done;
+    t.mem <- Bytes.make !cap '\000'
+  end
+  else Bytes.fill t.mem 0 mem_bytes '\000';
+  t.mem_limit <- mem_bytes;
+  Array.fill t.sregs 0 (Array.length t.sregs) 0;
+  Array.iter (fun v -> Bytes.fill v 0 (Bytes.length v) '\000') t.vregs;
+  t.tables <- [];
+  let c = t.counters in
+  c.cycles <- 0;
+  c.packets <- 0;
+  c.instrs <- 0;
+  c.macs <- 0;
+  c.loaded_bytes <- 0;
+  c.stored_bytes <- 0
+
+let scratch_key = Domain.DLS.new_key (fun () -> create ~mem_bytes:4096 ())
+
+let scratch ?(mem_bytes = 1 lsl 22) () =
+  match !engine_state with
+  | Reference -> create ~mem_bytes ()
+  | Translated ->
+    let m = Domain.DLS.get scratch_key in
+    reset ~mem_bytes m;
+    m

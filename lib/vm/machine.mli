@@ -5,7 +5,14 @@
     packers permit (hard-dependent instructions are never co-packed).
     Executed packets accumulate {!Gcd2_isa.Packet.cycles}, so the dynamic
     cycle counter always equals {!Gcd2_isa.Program.static_cycles} of the
-    program — a property the test suite checks. *)
+    program — a property the test suite checks.
+
+    Two engines compute these semantics: the {e reference} interpreter
+    (one dispatch per executed instruction) and the {e translated} engine
+    (each instruction decoded once into a closure over the concrete
+    operand [Bytes] windows, cached per program).  They produce
+    bit-identical registers, memory and counters; {!run} dispatches on the
+    global {!engine} selection, default {!Translated}. *)
 
 open Gcd2_isa
 
@@ -43,8 +50,48 @@ val read_i8_array : t -> addr:int -> len:int -> int array
 val write_i32_array : t -> addr:int -> int array -> unit
 val read_i32_array : t -> addr:int -> len:int -> int array
 
-(** Execute one instruction (updates counters). *)
+(** Execute one instruction (updates counters).  Single-instruction
+    stepping always uses the reference interpreter. *)
 val exec : t -> Instr.t -> unit
 
-(** Run a whole program; registers and memory persist across calls. *)
+(** The reference interpreter for one instruction — the semantic ground
+    truth the translated engine is differentially tested against. *)
+val exec_reference : t -> Instr.t -> unit
+
+(** Run a whole program through the reference interpreter, regardless of
+    the selected {!engine}. *)
+val run_reference : t -> Program.t -> unit
+
+(** Run a whole program; registers and memory persist across calls.
+    Under the default {!Translated} engine the program is decoded once
+    into specialized closures (cached on the machine, keyed by
+    {!Gcd2_isa.Program.same} identity) and replayed on every call. *)
 val run : t -> Program.t -> unit
+
+(** {2 Engine selection}
+
+    Global switch so benchmarks and CI smokes can reproduce the
+    pre-translation baseline.  [Reference] also makes {!scratch} return
+    fresh machines, matching the historical allocate-per-node behaviour
+    for honest A/B timing. *)
+
+type engine = Translated | Reference
+
+val set_engine : engine -> unit
+val engine : unit -> engine
+
+(** {2 Scratch machines} *)
+
+(** [reset ~mem_bytes t] restores [t] to the state of
+    [create ~mem_bytes ()]: zeroed registers, counters, tables and the
+    first [mem_bytes] of memory, growing the backing store on demand.
+    Bounds checks apply to the logical [mem_bytes] size, so a reused
+    machine faults exactly like a fresh one.  The translation cache is
+    kept. *)
+val reset : ?mem_bytes:int -> t -> unit
+
+(** [scratch ~mem_bytes ()] — a domain-local machine, {!reset} and
+    ready: per-node runners reuse it instead of allocating a fresh
+    multi-MiB machine per node.  Under the [Reference] engine this
+    returns a fresh {!create} instead. *)
+val scratch : ?mem_bytes:int -> unit -> t

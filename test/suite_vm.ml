@@ -539,3 +539,172 @@ let tests =
       Alcotest.test_case "vmul elementwise" `Quick test_vmul_elementwise;
       Alcotest.test_case "scalar logic and shifts" `Quick test_scalar_logic_and_shift_ops;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Translated engine: differential testing against the reference       *)
+
+module Rng = Gcd2_util.Rng
+
+let mem_bytes = 2048
+
+(* Random instruction over a small register window, biased toward valid
+   in-bounds programs but deliberately including faulting shapes: OOB
+   addresses (random ALU results as bases), an unknown Vlut table id, an
+   out-of-range Vmpyb selector and W8 Vpack — the two engines must agree
+   on those too (same exception, same counters at the fault). *)
+let gen_instr rng =
+  let sr () = r (Rng.int rng 8) in
+  let vv () = v (Rng.int rng 32) in
+  let pr () = p (Rng.int rng 16) in
+  let w () =
+    match Rng.int rng 3 with 0 -> Instr.W8 | 1 -> Instr.W16 | _ -> Instr.W32
+  in
+  let salu_op () =
+    [| Instr.Add; Instr.Sub; Instr.And; Instr.Or; Instr.Xor; Instr.Shl; Instr.Shr;
+       Instr.Min; Instr.Max |].(Rng.int rng 9)
+  in
+  let valu_op () =
+    [| Instr.Vadd; Instr.Vsub; Instr.Vmax; Instr.Vmin; Instr.Vavg; Instr.Vand;
+       Instr.Vor; Instr.Vxor |].(Rng.int rng 8)
+  in
+  let operand () =
+    if Rng.int rng 2 = 0 then Instr.Reg (sr ()) else Instr.Imm (Rng.int rng 256 - 128)
+  in
+  let adr () = addr (sr ()) (Rng.int rng (mem_bytes - 128)) in
+  match Rng.int rng 21 with
+  | 0 -> Instr.Smovi (sr (), Rng.int rng 1024)
+  | 1 -> Instr.Salu (salu_op (), sr (), sr (), operand ())
+  | 2 -> Instr.Smul (sr (), sr (), operand ())
+  | 3 -> Instr.Sload (sr (), adr ())
+  | 4 -> Instr.Sstore (adr (), sr ())
+  | 5 -> Instr.Vload (vv (), adr ())
+  | 6 -> Instr.Vstore (adr (), vv ())
+  | 7 -> Instr.Vmovi ((if Rng.int rng 2 = 0 then vv () else pr ()), Rng.int rng 256 - 128)
+  | 8 ->
+    let dst = if Rng.int rng 2 = 0 then vv () else pr () in
+    let src () = match dst with Reg.P _ -> pr () | _ -> vv () in
+    Instr.Valu (valu_op (), w (), dst, src (), src ())
+  | 9 -> Instr.Vaddw (pr (), vv ())
+  | 10 -> Instr.Vmpy (pr (), vv (), sr ())
+  | 11 -> Instr.Vmpyb (pr (), vv (), sr (), Rng.int rng 5 (* 4 = invalid *))
+  | 12 -> Instr.Vmul (pr (), vv (), vv ())
+  | 13 -> Instr.Vmpa (pr (), pr (), sr ())
+  | 14 -> Instr.Vrmpy (vv (), vv (), sr ())
+  | 15 -> Instr.Vscale (vv (), vv (), Rng.int rng (1 lsl 24), Rng.int rng 24)
+  | 16 -> Instr.Vscalev (vv (), vv (), vv (), Rng.int rng 24)
+  | 17 -> Instr.Vpack (vv (), pr (), w () (* W8 = invalid *))
+  | 18 -> Instr.Vshuff (pr (), pr (), w ())
+  | 19 -> Instr.Vlut (vv (), vv (), Rng.int rng 3 (* table 2 = unknown *))
+  | _ -> Instr.Vdup (vv (), sr ())
+
+let gen_block rng =
+  let packets =
+    List.init
+      (1 + Rng.int rng 4)
+      (fun _ -> List.init (1 + Rng.int rng 2) (fun _ -> gen_instr rng))
+  in
+  Program.Block packets
+
+let gen_program seed =
+  let rng = Rng.create seed in
+  let node _ =
+    if Rng.int rng 3 = 0 then
+      (* trips include 0: the loop body is decoded but never executed *)
+      Program.Loop
+        { trip = Rng.int rng 4; body = List.init (1 + Rng.int rng 2) (fun _ -> gen_block rng) }
+    else gen_block rng
+  in
+  let tables =
+    [ (0, Array.init 256 (fun i -> i)); (1, Array.init 256 (fun i -> (i * 31) land 0xff)) ]
+  in
+  Program.make ~tables "qcheck" (List.init (2 + Rng.int rng 3) node)
+
+(* Run [prog] on a fresh, deterministically initialized machine under
+   [engine]; capture the full observable state. *)
+let run_under engine seed prog =
+  let saved = Machine.engine () in
+  Machine.set_engine engine;
+  let m = Machine.create ~mem_bytes () in
+  let init = Rng.create (seed * 31) in
+  let data = Array.init mem_bytes (fun _ -> Rng.int8 init) in
+  Machine.write_i8_array m ~addr:0 data;
+  let outcome = try (Machine.run m prog; "ok") with e -> Printexc.to_string e in
+  Machine.set_engine saved;
+  let sregs = Array.init 32 (fun i -> Machine.get_sreg m (r i)) in
+  let vbytes =
+    Array.init 32 (fun n ->
+        Array.init 128 (fun i -> Machine.get_lane m (v n) ~width:Instr.W8 i))
+  in
+  let mem = Machine.read_i8_array m ~addr:0 ~len:mem_bytes in
+  let c = Machine.counters m in
+  let counters =
+    (c.Machine.cycles, c.Machine.packets, c.Machine.instrs, c.Machine.macs,
+     c.Machine.loaded_bytes, c.Machine.stored_bytes)
+  in
+  (outcome, sregs, vbytes, mem, counters)
+
+let qcheck_translated_equals_reference =
+  QCheck.Test.make ~name:"translated engine = reference on random programs" ~count:300
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let prog = gen_program seed in
+      let o_f, s_f, v_f, m_f, c_f = run_under Machine.Translated seed prog in
+      let o_r, s_r, v_r, m_r, c_r = run_under Machine.Reference seed prog in
+      if o_f <> o_r then QCheck.Test.fail_reportf "outcome: %s vs %s" o_f o_r;
+      if c_f <> c_r then QCheck.Test.fail_reportf "counters differ (outcome %s)" o_f;
+      s_f = s_r && v_f = v_r && m_f = m_r)
+
+let qcheck_fast_cycles_match_static =
+  QCheck.Test.make ~name:"fast path: counters.cycles = static_cycles" ~count:100
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let prog = gen_program seed in
+      let o, _, _, _, (cycles, packets, instrs, _, _, _) =
+        run_under Machine.Translated seed prog
+      in
+      (* only completed runs execute every packet *)
+      QCheck.assume (o = "ok");
+      cycles = Program.static_cycles prog
+      && packets = Program.packet_count prog
+      && instrs = Program.instr_count prog)
+
+(* The same physical program re-run on one machine reuses its cached
+   translation; counters advance by exactly one program's worth. *)
+let test_decode_cache_reuse () =
+  let prog = gen_program 7 in
+  let m = Machine.create ~mem_bytes () in
+  (try Machine.run m prog with _ -> ());
+  let c = Machine.counters m in
+  let after_one = (c.Machine.cycles, c.Machine.instrs) in
+  (try Machine.run m prog with _ -> ());
+  Alcotest.(check bool)
+    "second run advances counters by the same amount" true
+    (c.Machine.cycles = 2 * fst after_one && c.Machine.instrs = 2 * snd after_one)
+
+(* Scratch machines: logical size governs bounds faults and observable
+   memory even when the backing store stays larger from a previous use. *)
+let test_scratch_reuse () =
+  let m1 = Machine.scratch ~mem_bytes:8192 () in
+  Machine.write_i8_array m1 ~addr:5000 [| 42 |];
+  Machine.set_sreg m1 (r 3) 77;
+  let m2 = Machine.scratch ~mem_bytes:256 () in
+  Alcotest.(check int) "logical size" 256 (Machine.memory_size m2);
+  Alcotest.(check int) "registers cleared" 0 (Machine.get_sreg m2 (r 3));
+  Alcotest.(check int) "counters cleared" 0 (Machine.counters m2).Machine.instrs;
+  Alcotest.check_raises "faults at the logical size, not the backing size"
+    (Invalid_argument "memory access out of bounds: [200, 328)") (fun () ->
+      Machine.run m2
+        (Program.make "t" (seq [ Instr.Smovi (r 0, 200); Instr.Vload (v 0, addr (r 0) 0) ])));
+  let m3 = Machine.scratch ~mem_bytes:8192 () in
+  Alcotest.(check (array int))
+    "grown-again scratch memory is zeroed" (Array.make 1 0)
+    (Machine.read_i8_array m3 ~addr:5000 ~len:1)
+
+let tests =
+  tests
+  @ [
+      QCheck_alcotest.to_alcotest qcheck_translated_equals_reference;
+      QCheck_alcotest.to_alcotest qcheck_fast_cycles_match_static;
+      Alcotest.test_case "decode cache reuse" `Quick test_decode_cache_reuse;
+      Alcotest.test_case "scratch machine reuse" `Quick test_scratch_reuse;
+    ]
