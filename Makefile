@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all build test test-parallel vm-smoke check fmt-check fmt clean
+.PHONY: all build test test-parallel chaos vm-smoke check fmt-check fmt clean
 
 all: build
 
@@ -34,13 +34,23 @@ fmt:
 		echo "ocamlformat not installed; cannot format"; \
 	fi
 
+# Chaos gate: the fault-injection suite under a fixed GCD2_FAULTS spec
+# (fixed seed, so every CI failure replays locally with this exact
+# command).  The suite also runs fault-free as part of `test`; this
+# pass re-runs it with every injection point firing at a meaningful
+# rate, asserting the service never crashes, never serves wrong bits,
+# and always converges back to fault-free behaviour.
+chaos: build
+	GCD2_FAULTS="seed=20260807,cache-read=0.3,cache-write=0.3,artifact-decode=0.5,memo-lookup=0.3,pool-worker=0.2" \
+		./_build/default/test/test_main.exe test chaos
+
 # Tiny vm benchmark: exercises both the translated engine and the
 # reference interpreter on every opcode plus a small whole model, and
 # fails if their outputs or statistics ever diverge.
 vm-smoke: build
 	./_build/default/bench/main.exe vm-smoke
 
-check: build test test-parallel vm-smoke fmt-check
+check: build test test-parallel chaos vm-smoke fmt-check
 
 clean:
 	dune clean

@@ -24,6 +24,9 @@ module Packer = Gcd2_sched.Packer
 module Cache = Gcd2_store.Cache
 module Stats = Gcd2_util.Stats
 module Trace = Gcd2_util.Trace
+module Fault = Gcd2_util.Fault
+module Diag = Gcd2.Diag
+module Serve = Gcd2_serve.Serve
 
 (* ---------------- list ---------------- *)
 
@@ -101,35 +104,47 @@ let resolve_cache_dir ~cache_dir ~cache =
   | Some _ -> cache_dir
   | None -> if cache then Some (Cache.default_dir ()) else None
 
+(* A malformed GCD2_FAULTS must fail loudly at startup, not silently
+   run the process fault-free (or blow up mid-compile). *)
+let check_fault_env () =
+  match Fault.env_error () with
+  | Some e ->
+    Fmt.epr "gcd2: %s@." e;
+    exit 2
+  | None -> ()
+
 let config_of ~framework ~selection =
-  let base =
-    match String.lowercase_ascii framework with
-    | "gcd2" -> F.gcd2
-    | "gcd2_b" | "gcdb" -> F.gcd2_b
-    | "tflite" -> F.tflite
-    | "snpe" -> F.snpe
-    | "no_opt" | "noopt" -> F.no_opt
-    | other -> invalid_arg (Fmt.str "unknown framework %S" other)
-  in
-  let selection =
-    match String.lowercase_ascii selection with
-    | "local" -> Compiler.Local
-    | "optimal" -> Compiler.Optimal_dp
-    | k -> (
-      match int_of_string_opt k with
-      | Some k when k > 0 -> Compiler.Partitioned k
-      | _ -> invalid_arg (Fmt.str "bad selection %S" k))
-  in
-  { base with Compiler.selection }
+  match Serve.config_of ~framework ~selection with
+  | Ok config -> config
+  | Error d ->
+    Fmt.epr "gcd2: %a@." Diag.pp d;
+    exit 1
+
+(* An unknown model name is an invalid request, not a crash ([Zoo.find]
+   raises Invalid_argument, which cmdliner would report as an internal
+   error). *)
+let find_model model =
+  match Zoo.find model with
+  | entry -> entry
+  | exception Invalid_argument msg ->
+    Fmt.epr "gcd2: %a@." Diag.pp (Diag.make ~model Diag.Invalid_request msg);
+    exit 1
 
 let compile_run model framework selection verbose trace dump_after cache_dir cache jobs =
-  let entry = Zoo.find model in
+  check_fault_env ();
+  let entry = find_model model in
   let config = config_of ~framework ~selection in
   let c =
-    Compiler.compile ~config ~dump_after ~dump_ppf:Fmt.stdout
-      ?cache_dir:(resolve_cache_dir ~cache_dir ~cache)
-      ?jobs
-      (entry.Zoo.build ())
+    match
+      Compiler.compile_result ~config ~dump_after ~dump_ppf:Fmt.stdout
+        ?cache_dir:(resolve_cache_dir ~cache_dir ~cache)
+        ?jobs
+        (entry.Zoo.build ())
+    with
+    | Ok c -> c
+    | Error d ->
+      Fmt.epr "gcd2: compile failed: %a@." Diag.pp d;
+      exit 1
   in
   Fmt.pr "%a@." Compiler.pp_summary c;
   Fmt.pr "selection: %a in %.3f s@." Compiler.pp_selection config.Compiler.selection
@@ -157,17 +172,6 @@ let compile_cmd =
 
 (* ---------------- serve ---------------- *)
 
-(* One request per line: `MODEL [FRAMEWORK [SELECTION]]`, blank lines and
-   `#` comments ignored.  Missing fields fall back to the command-line
-   defaults. *)
-let parse_request ~framework ~selection line =
-  match String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") with
-  | [] -> None
-  | _ when String.length (String.trim line) > 0 && (String.trim line).[0] = '#' -> None
-  | [ model ] -> Some (model, framework, selection)
-  | [ model; fw ] -> Some (model, fw, selection)
-  | model :: fw :: sel :: _ -> Some (model, fw, sel)
-
 let read_request_lines ic =
   let rec go acc =
     match In_channel.input_line ic with
@@ -176,104 +180,114 @@ let read_request_lines ic =
   in
   go []
 
-(* [cold]: the first compile of this request in the process.  Later
-   repeats are warm even on a disk-cache miss — the kernel-cost memo
-   tables already hold their costings, so their latency is not
-   representative of a cold compile; the serving report keeps the two
-   populations separate. *)
-type served = { ok : bool; hit : bool; cold : bool; ms : float }
+(* One structured outcome line per request: model/framework/selection,
+   the outcome (ok/retried/degraded/timeout/error), cache and cold/warm
+   status, wall time, and — on failure — the typed diagnostic. *)
+let print_served (r : Serve.served) =
+  let req = r.Serve.request in
+  Fmt.pr "%-16s %-8s %-10s %-8s %5s %-4s %10.1f ms" req.Serve.model req.Serve.framework
+    req.Serve.selection
+    (Serve.outcome_name r.Serve.outcome)
+    (match r.Serve.diag with
+    | Some _ -> "-"
+    | None -> if r.Serve.hit then "hit" else "miss")
+    (if r.Serve.cold then "cold" else "warm")
+    r.Serve.ms;
+  (match r.Serve.compiled with
+  | Some c -> Fmt.pr "   model %8.2f ms" (Compiler.latency_ms c)
+  | None -> ());
+  if r.Serve.attempts > 1 then Fmt.pr "   attempts=%d" r.Serve.attempts;
+  if r.Serve.quarantined > 0 then Fmt.pr "   quarantined=%d" r.Serve.quarantined;
+  if r.Serve.uncached then Fmt.pr "   uncached";
+  (match r.Serve.diag with
+  | Some d ->
+    Fmt.pr "   code=%s" (Diag.code_name d.Diag.code);
+    (match req.Serve.line with 0 -> () | n -> Fmt.pr " line=%d" n);
+    Fmt.pr "   %s" d.Diag.message
+  | None -> ());
+  Fmt.pr "@."
 
-let serve_one ~cache_dir ~cold request =
-  let model, framework, selection = request in
-  let t0 = Trace.now () in
-  match
-    let entry = Zoo.find model in
-    let config = config_of ~framework ~selection in
-    Compiler.compile ~config ?cache_dir (entry.Zoo.build ())
-  with
-  | c ->
-    let ms = 1000.0 *. (Trace.now () -. t0) in
-    let hit = Compiler.from_cache c in
-    Fmt.pr "%-16s %-8s %-10s %5s %-4s %10.1f ms   model %8.2f ms@." model framework
-      selection
-      (if hit then "hit" else "miss")
-      (if cold then "cold" else "warm")
-      ms (Compiler.latency_ms c);
-    { ok = true; hit; cold; ms }
-  | exception (Invalid_argument msg | Failure msg) ->
-    let ms = 1000.0 *. (Trace.now () -. t0) in
-    Fmt.pr "%-16s %-8s %-10s error %s@." model framework selection msg;
-    { ok = false; hit = false; cold; ms }
-  | exception exn ->
-    let ms = 1000.0 *. (Trace.now () -. t0) in
-    Fmt.pr "%-16s %-8s %-10s error %s@." model framework selection (Printexc.to_string exn);
-    { ok = false; hit = false; cold; ms }
-
-let serve_run models requests_file framework selection repeat cache_dir no_cache =
+let serve_run models requests_file framework selection repeat cache_dir no_cache
+    deadline_ms retries backoff_ms =
+  check_fault_env ();
   let cache_dir =
     if no_cache then None
     else Some (match cache_dir with Some d -> d | None -> Cache.default_dir ())
   in
-  let of_lines lines =
-    List.filter_map (parse_request ~framework ~selection) lines
+  let from_file =
+    match requests_file with
+    | Some path ->
+      In_channel.with_open_text path (fun ic ->
+          Serve.parse_lines ~framework ~selection (read_request_lines ic))
+    | None -> ([], [])
   in
-  let requests =
-    List.map (fun m -> (m, framework, selection)) models
-    @ (match requests_file with
-      | Some path -> In_channel.with_open_text path (fun ic -> of_lines (read_request_lines ic))
-      | None -> [])
-  in
-  let requests =
-    if requests <> [] then requests
-    else begin
+  let (file_requests, parse_errors), from_stdin =
+    if models = [] && requests_file = None then begin
       (* no positional models and no request file: serve stdin as the
          request stream, one request per line until EOF *)
       Fmt.epr "reading requests from stdin (MODEL [FRAMEWORK [SELECTION]] per line)...@.";
-      of_lines (read_request_lines In_channel.stdin)
+      ( Serve.parse_lines ~framework ~selection (read_request_lines In_channel.stdin),
+        true )
     end
+    else (from_file, false)
+  in
+  ignore from_stdin;
+  let requests =
+    List.map (fun m -> Serve.request ~framework ~selection m) models @ file_requests
   in
   let requests = List.concat (List.init (max 1 repeat) (fun _ -> requests)) in
+  (* malformed request lines are errors with their line number, not
+     silently dropped requests *)
+  List.iter
+    (fun (e : Serve.parse_error) ->
+      Fmt.pr "%-16s %-8s %-10s %-8s   code=%s line=%d   %s: %S@." "-" "-" "-" "error"
+        (Diag.code_name Diag.Invalid_request)
+        e.Serve.line e.Serve.reason e.Serve.text)
+    parse_errors;
+  let policy =
+    { Serve.cache_dir; deadline_ms; retries; backoff_ms; jobs = None }
+  in
   (match cache_dir with
   | Some d -> Fmt.pr "serving %d requests (cache: %s)@." (List.length requests) d
   | None -> Fmt.pr "serving %d requests (cache disabled)@." (List.length requests));
-  let seen = Hashtbl.create 16 in
-  let results =
-    List.map
-      (fun request ->
-        let cold = not (Hashtbl.mem seen request) in
-        Hashtbl.replace seen request ();
-        serve_one ~cache_dir ~cold request)
-      requests
-  in
-  let n = List.length results in
-  let hits = List.length (List.filter (fun r -> r.hit) results) in
-  let errors = List.length (List.filter (fun r -> not r.ok) results) in
+  (match deadline_ms with
+  | Some ms -> Fmt.pr "deadline  %.0f ms per request, %d retries@." ms retries
+  | None -> ());
+  if Fault.active () then Fmt.pr "fault injection active (GCD2_FAULTS)@.";
+  let _, report = Serve.run_batch ~on_result:print_served policy requests in
+  let parse_errors_n = List.length parse_errors in
   Fmt.pr "@.-- serving report --@.";
-  Fmt.pr "requests  %d  (errors %d)@." n errors;
-  if n > errors then begin
-    Fmt.pr "cache     %d hits / %d misses  (%.1f%% hit rate)@." hits
-      (n - errors - hits)
-      (100.0 *. float_of_int hits /. float_of_int (n - errors));
+  Fmt.pr "requests  %d  (ok %d, retried %d, degraded %d, timeouts %d, errors %d)@."
+    (report.Serve.requests + parse_errors_n)
+    report.Serve.ok report.Serve.retried report.Serve.degraded report.Serve.timeouts
+    (report.Serve.errors + parse_errors_n);
+  if report.Serve.ok > 0 then begin
+    Fmt.pr "cache     %d hits / %d misses  (%.1f%% hit rate)@." report.Serve.hits
+      report.Serve.misses
+      (100.0 *. float_of_int report.Serve.hits /. float_of_int report.Serve.ok);
     (* cold and warm compiles are different populations (first-compile
-       kernel costing vs memo/cache reuse): mixing them would make the
-       percentiles depend on the request mix, not the service *)
-    let bucket label keep =
-      let lat = List.filter_map (fun r -> if r.ok && keep r then Some r.ms else None) results in
+       kernel costing vs memo/cache reuse), and failed requests are
+       excluded from both by construction: their wall time measures the
+       failure path, not the service *)
+    let bucket label lat =
       if lat <> [] then
         Fmt.pr
           "%s  %4d reqs  p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms, mean %.1f ms@."
           label (List.length lat) (Stats.p50 lat) (Stats.p95 lat) (Stats.p99 lat)
           (Stats.maxf lat) (Stats.mean lat)
     in
-    bucket "cold     " (fun r -> r.cold);
-    bucket "warm     " (fun r -> not r.cold)
+    bucket "cold     " report.Serve.cold_ms;
+    bucket "warm     " report.Serve.warm_ms
   end;
-  if errors > 0 then exit 1
+  if report.Serve.errors + report.Serve.timeouts + parse_errors_n > 0 then exit 1
 
 let serve_cmd =
   let doc =
     "Serve a batch of compile requests through the content-addressed artifact cache \
-     and report hit rate and request-latency percentiles."
+     and report hit rate and request-latency percentiles.  Requests are isolated: \
+     transient failures are retried with backoff, an unusable cache degrades to \
+     uncached compiles, corrupt entries are quarantined and recompiled, and the \
+     exit status is nonzero when any request ultimately fails."
   in
   let models_arg =
     let doc = "Models to serve (repeatable; see `gcd2 list`)." in
@@ -282,7 +296,8 @@ let serve_cmd =
   let requests_arg =
     let doc =
       "Read requests from $(docv), one `MODEL [FRAMEWORK [SELECTION]]` per line \
-       (`#` comments and blank lines ignored).  Without models and without this \
+       (whole-line `#` comments and blank lines ignored; lines with trailing \
+       garbage or inline `#` tokens are errors).  Without models and without this \
        option, requests are read from standard input."
     in
     Arg.(value & opt (some file) None & info [ "requests" ] ~docv:"FILE" ~doc)
@@ -295,10 +310,26 @@ let serve_cmd =
     let doc = "Disable the cache (every request cold-compiles; for comparison)." in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
+  let deadline_arg =
+    let doc =
+      "Per-request wall-clock deadline in milliseconds; an expired request is \
+       cancelled at the next pipeline checkpoint and reported as a timeout."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let retries_arg =
+    let doc = "Retries (beyond the first attempt) for retryable failures." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Base retry backoff in milliseconds, doubled per retry." in
+    Arg.(value & opt float 25.0 & info [ "retry-backoff-ms" ] ~docv:"MS" ~doc)
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ models_arg $ requests_arg $ framework_arg $ selection_arg
-      $ repeat_arg $ cache_dir_arg $ no_cache_arg)
+      $ repeat_arg $ cache_dir_arg $ no_cache_arg $ deadline_arg $ retries_arg
+      $ backoff_arg)
 
 (* ---------------- compare ---------------- *)
 
@@ -308,7 +339,7 @@ let serve_cmd =
 let compare_infer_budget_gmacs = 2.0
 
 let compare_run model force_infer =
-  let entry = Zoo.find model in
+  let entry = find_model model in
   let g = Zoo.with_random_weights (entry.Zoo.build ()) in
   let gmacs = float_of_int (Gcd2_graph.Flops.total_macs g) /. 1e9 in
   let measure = force_infer || gmacs <= compare_infer_budget_gmacs in

@@ -281,8 +281,8 @@ let passes ?cache_dir ?(disable = []) ?(jobs = 1) config =
 (** Pass names of a configuration, in execution order. *)
 let pass_names ?cache_dir config = Pipeline.names (passes ?cache_dir config)
 
-let compile ?(config = default) ?(sink = Trace.Silent) ?(disable = []) ?(dump_after = [])
-    ?dump_ppf ?cache_dir ?jobs (g : Graph.t) =
+let compile_exn ?(config = default) ?(sink = Trace.Silent) ?(disable = []) ?(dump_after = [])
+    ?dump_ppf ?cache_dir ?jobs ?deadline_ms (g : Graph.t) =
   let jobs = match jobs with Some j -> j | None -> Gcd2_util.Pool.default_jobs () in
   let trace = Trace.create ~sink "compile" in
   let disable = List.sort_uniq String.compare disable in
@@ -291,12 +291,18 @@ let compile ?(config = default) ?(sink = Trace.Silent) ?(disable = []) ?(dump_af
       (fun p -> not (List.mem p.Pipeline.name disable))
       (passes ?cache_dir ~disable ~jobs config)
   in
-  let art =
+  let deadline = Option.map (fun ms -> Trace.now () +. (ms /. 1000.0)) deadline_ms in
+  let run_passes () =
     Trace.with_ambient trace @@ fun () ->
     Trace.run_root trace @@ fun () ->
     Pipeline.run ~trace
       ~dump_after:(fun n -> List.mem n dump_after)
       ?dump_ppf passes config (empty_artifact g)
+  in
+  let art =
+    match deadline with
+    | Some _ -> Gcd2_util.Deadline.with_deadline deadline run_passes
+    | None -> run_passes ()
   in
   let cost = require "build-costs" art.art_cost in
   let solved = require "select" art.art_solved in
@@ -313,6 +319,22 @@ let compile ?(config = default) ?(sink = Trace.Silent) ?(disable = []) ?(dump_af
       | None -> Trace.span_seconds trace (select_pass_name config));
     trace;
   }
+
+(** Result-typed compile: every failure — malformed request, cache I/O,
+    injected fault, expired deadline, plain bug — comes back as a typed
+    {!Diag.t} instead of an exception. *)
+let compile_result ?config ?sink ?disable ?dump_after ?dump_ppf ?cache_dir ?jobs
+    ?deadline_ms (g : Graph.t) =
+  match compile_exn ?config ?sink ?disable ?dump_after ?dump_ppf ?cache_dir ?jobs ?deadline_ms g with
+  | c -> Ok c
+  | exception Diag.Error d -> Error d
+  | exception exn -> Error (Diag.of_exn exn)
+
+(** The raising face of {!compile_result}: raises {!Diag.Error}. *)
+let compile ?config ?sink ?disable ?dump_after ?dump_ppf ?cache_dir ?jobs ?deadline_ms g =
+  match compile_result ?config ?sink ?disable ?dump_after ?dump_ppf ?cache_dir ?jobs ?deadline_ms g with
+  | Ok c -> c
+  | Error d -> raise (Diag.Error d)
 
 (** Was this compile answered from the on-disk cache? *)
 let from_cache c = Trace.counter c.trace "cache-hits" > 0

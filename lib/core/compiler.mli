@@ -70,13 +70,13 @@ val pass_names : ?cache_dir:string -> config -> string list
     compile never shares an entry with a full one. *)
 val fingerprint : ?disable:string list -> config -> Graph.t -> string
 
-(** [compile ?config ?sink ?disable ?dump_after ?dump_ppf ?cache_dir
-    ?jobs g] runs the pass pipeline over [g].
+(** [compile_result ?config ?sink ?disable ?dump_after ?dump_ppf
+    ?cache_dir ?jobs ?deadline_ms g] runs the pass pipeline over [g].
 
     - [sink] streams every closed trace span (default {!Trace.Silent});
     - [disable] skips the named passes (only the optional graph
-      optimizations may be disabled safely — disabling a structural pass
-      raises [Invalid_argument]);
+      optimizations may be disabled safely — disabling a structural
+      pass yields an [Invalid_request] diagnostic);
     - [dump_after] prints the artifact after each named pass to
       [dump_ppf] (default stderr);
     - [cache_dir] enables the content-addressed compile cache rooted at
@@ -85,7 +85,29 @@ val fingerprint : ?disable:string list -> config -> Graph.t -> string
       plan enumeration ({!Gcd2_util.Pool}).  Semantically inert: the
       compiled result is identical for every value, and [jobs] is
       deliberately excluded from {!fingerprint}, so compiles at
-      different worker counts share cache entries. *)
+      different worker counts share cache entries;
+    - [deadline_ms] bounds the compile's wall clock: an ambient
+      {!Gcd2_util.Deadline} is installed and checked before every pass
+      and every plan-enumeration task, and an expired deadline comes
+      back as a [Deadline_exceeded] diagnostic.
+
+    Every failure is a typed [Error] ({!Diag.t}) carrying the error
+    code, the failing pass, a message and whether a retry can help —
+    the pipeline never lets a raw exception cross this boundary. *)
+val compile_result :
+  ?config:config ->
+  ?sink:Trace.sink ->
+  ?disable:string list ->
+  ?dump_after:string list ->
+  ?dump_ppf:Format.formatter ->
+  ?cache_dir:string ->
+  ?jobs:int ->
+  ?deadline_ms:float ->
+  Graph.t ->
+  (compiled, Diag.t) result
+
+(** The raising face of {!compile_result}: identical behaviour, but a
+    failure raises {!Diag.Error} instead of returning [Error]. *)
 val compile :
   ?config:config ->
   ?sink:Trace.sink ->
@@ -94,6 +116,7 @@ val compile :
   ?dump_ppf:Format.formatter ->
   ?cache_dir:string ->
   ?jobs:int ->
+  ?deadline_ms:float ->
   Graph.t ->
   compiled
 

@@ -1,0 +1,97 @@
+(** Typed compile diagnostics (see the interface for the taxonomy). *)
+
+module Fault = Gcd2_util.Fault
+module Deadline = Gcd2_util.Deadline
+
+type code =
+  | Invalid_request
+  | Cache_io
+  | Artifact_corrupt
+  | Worker_failed
+  | Vm_fault
+  | Deadline_exceeded
+  | Pass_failed
+  | Internal
+
+let all_codes =
+  [
+    Invalid_request;
+    Cache_io;
+    Artifact_corrupt;
+    Worker_failed;
+    Vm_fault;
+    Deadline_exceeded;
+    Pass_failed;
+    Internal;
+  ]
+
+let code_name = function
+  | Invalid_request -> "invalid-request"
+  | Cache_io -> "cache-io"
+  | Artifact_corrupt -> "artifact-corrupt"
+  | Worker_failed -> "worker-failed"
+  | Vm_fault -> "vm-fault"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Pass_failed -> "pass-failed"
+  | Internal -> "internal"
+
+(* Transient conditions a fresh attempt may not hit again; everything
+   else fails identically on retry and must not be retried. *)
+let default_retryable = function
+  | Cache_io | Artifact_corrupt | Worker_failed -> true
+  | Invalid_request | Vm_fault | Deadline_exceeded | Pass_failed | Internal -> false
+
+type t = {
+  code : code;
+  phase : string option;
+  model : string option;
+  message : string;
+  retryable : bool;
+}
+
+exception Error of t
+
+let make ?phase ?model ?retryable code message =
+  let retryable = match retryable with Some r -> r | None -> default_retryable code in
+  { code; phase; model; message; retryable }
+
+let with_phase phase t = match t.phase with Some _ -> t | None -> { t with phase = Some phase }
+let with_model model t = match t.model with Some _ -> t | None -> { t with model = Some model }
+
+let code_of_fault_point = function
+  | "cache-read" | "cache-write" -> Cache_io
+  | "artifact-decode" -> Artifact_corrupt
+  | "vm-run" -> Vm_fault
+  | "pool-worker" -> Worker_failed
+  | _ -> Internal
+
+let cache_phase = function Some ("cache-lookup" | "cache-store") -> true | _ -> false
+
+let of_exn ?phase exn =
+  match exn with
+  | Error t -> (match phase with Some p -> with_phase p t | None -> t)
+  | Fault.Injected { point; nth } ->
+    let code = code_of_fault_point point in
+    (* injected faults model transient conditions, so even the points
+       whose code is otherwise deterministic (vm-run) retry *)
+    make ?phase ~retryable:true code
+      (Fmt.str "injected fault at %s (injection #%d)" point nth)
+  | Deadline.Expired { deadline; now } ->
+    make ?phase Deadline_exceeded
+      (Fmt.str "deadline exceeded by %.1f ms" (1000.0 *. (now -. deadline)))
+  | Sys_error msg when cache_phase phase -> make ?phase Cache_io msg
+  | Sys_error msg -> make ?phase Internal ("system error: " ^ msg)
+  | Invalid_argument msg -> make ?phase Invalid_request msg
+  | Failure msg -> make ?phase Pass_failed msg
+  | exn -> make ?phase Internal (Printexc.to_string exn)
+
+let pp ppf t =
+  Fmt.pf ppf "[%s]" (code_name t.code);
+  (match t.phase with Some p -> Fmt.pf ppf " phase=%s" p | None -> ());
+  (match t.model with Some m -> Fmt.pf ppf " model=%s" m | None -> ());
+  Fmt.pf ppf ": %s (%s)" t.message (if t.retryable then "retryable" else "permanent")
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some (Fmt.str "Gcd2.Diag.Error(%a)" pp t)
+    | _ -> None)

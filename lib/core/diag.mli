@@ -1,0 +1,66 @@
+(** Typed compile diagnostics: the error taxonomy of the service
+    boundary.
+
+    Every failure the compiler can produce is classified into an error
+    {!code} carrying the pipeline phase it arose in, the model (when a
+    front end knows it), a human-readable message, and — the field the
+    serving loop acts on — whether the failure is {e retryable}: a
+    transient condition (cache I/O, a crashed worker) that a fresh
+    attempt may not hit again, as opposed to a deterministic one (an
+    invalid request, an expired deadline) that will fail identically
+    every time.
+
+    {!of_exn} is the single classification point from the raw exception
+    world: injected faults ({!Gcd2_util.Fault.Injected}) map to the code
+    of their injection point, {!Gcd2_util.Deadline.Expired} to
+    [Deadline_exceeded], [Sys_error] inside a cache pass to [Cache_io],
+    [Invalid_argument] to [Invalid_request], [Failure] to [Pass_failed],
+    anything else to [Internal].  {!Pipeline.run} applies it to every
+    pass exception, so by the time a failure crosses
+    {!Compiler.compile_result} it is always an {!Error} of this type. *)
+
+type code =
+  | Invalid_request  (** malformed model/config/graph; will never succeed *)
+  | Cache_io  (** transient artifact-cache read/write failure *)
+  | Artifact_corrupt  (** a stored artifact failed its integrity checks *)
+  | Worker_failed  (** a worker domain of a parallel phase died *)
+  | Vm_fault  (** the simulated DSP faulted while executing a program *)
+  | Deadline_exceeded  (** the request's wall-clock deadline expired *)
+  | Pass_failed  (** a pipeline pass failed deterministically *)
+  | Internal  (** unclassified; a bug until proven otherwise *)
+
+(** Every code, in declaration order. *)
+val all_codes : code list
+
+(** Stable kebab-case name, e.g. ["cache-io"] (what outcome lines and
+    logs print). *)
+val code_name : code -> string
+
+type t = {
+  code : code;
+  phase : string option;  (** pipeline pass (trace span) that failed *)
+  model : string option;  (** request model, when the front end knows it *)
+  message : string;
+  retryable : bool;
+}
+
+exception Error of t
+
+(** [make ?phase ?model ?retryable code message].  [retryable] defaults
+    to the code's nature: [Cache_io], [Artifact_corrupt] and
+    [Worker_failed] are transient, everything else deterministic. *)
+val make : ?phase:string -> ?model:string -> ?retryable:bool -> code -> string -> t
+
+(** Fill [phase] if not already set (how the pipeline stamps the failing
+    pass onto a diagnostic raised deeper down). *)
+val with_phase : string -> t -> t
+
+(** Fill [model] if not already set. *)
+val with_model : string -> t -> t
+
+(** Classify an exception (see the module description).  [phase] is
+    attached to diagnostics that do not already carry one. *)
+val of_exn : ?phase:string -> exn -> t
+
+(** One line: [[code] phase=... model=...: message (retryable)]. *)
+val pp : Format.formatter -> t -> unit

@@ -13,6 +13,16 @@ let pass ?dump ?skip name run = { name; run; dump; skip }
 
 let names passes = List.map (fun p -> p.name) passes
 
+(* Every failure escaping a pass — an injected fault, an expired
+   deadline, a plain bug — leaves as a typed [Diag.Error] stamped with
+   the pass name, so callers at the service boundary never see a raw
+   exception.  A diagnostic raised deeper down keeps its own phase. *)
+let diagnose name f =
+  try f ()
+  with exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    Printexc.raise_with_backtrace (Diag.Error (Diag.of_exn ~phase:name exn)) bt
+
 let run ~trace ?(dump_after = fun _ -> false) ?(dump_ppf = Format.err_formatter) passes env
     artifact =
   List.fold_left
@@ -20,7 +30,13 @@ let run ~trace ?(dump_after = fun _ -> false) ?(dump_ppf = Format.err_formatter)
       match p.skip with
       | Some skip when skip artifact -> artifact
       | _ ->
-        let artifact = Trace.with_span trace p.name (fun () -> p.run env artifact) in
+        let artifact =
+          diagnose p.name (fun () ->
+              (* the cancellation point of a request deadline: checked
+                 before every pass (and, finer, before every pool task) *)
+              Gcd2_util.Deadline.check ();
+              Trace.with_span trace p.name (fun () -> p.run env artifact))
+        in
         (match p.dump with
         | Some dump when dump_after p.name ->
           Format.fprintf dump_ppf "== after %s ==@\n%a@." p.name dump artifact

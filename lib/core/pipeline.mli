@@ -34,7 +34,14 @@ val names : ('env, 'a) pass list -> string list
 (** [run ~trace ?dump_after ?dump_ppf passes env artifact] — execute the
     passes in order, each inside a trace span of its name.  After a pass
     whose name satisfies [dump_after] (default: none), its [dump] — when
-    present — prints the artifact to [dump_ppf] (default: stderr). *)
+    present — prints the artifact to [dump_ppf] (default: stderr).
+
+    Failures are typed at the pass boundary: any exception escaping a
+    pass is classified by {!Diag.of_exn} and re-raised as
+    {!Diag.Error} carrying the pass name as its phase.  Before each
+    pass the ambient {!Gcd2_util.Deadline} is checked, so a request
+    deadline cancels the pipeline between passes (and, through the
+    worker pool, between plan-enumeration tasks). *)
 val run :
   trace:Trace.t ->
   ?dump_after:(string -> bool) ->

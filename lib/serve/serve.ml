@@ -1,0 +1,311 @@
+(** The hardened batch-serving loop (see the interface for the policy
+    model: deadline, bounded retry, graceful degradation, verification). *)
+
+module Compiler = Gcd2.Compiler
+module Diag = Gcd2.Diag
+module Zoo = Gcd2_models.Zoo
+module F = Gcd2_frameworks.Framework
+module Cache = Gcd2_store.Cache
+module Artifact = Gcd2_store.Artifact
+module Graphcost = Gcd2_cost.Graphcost
+module Trace = Gcd2_util.Trace
+module Fault = Gcd2_util.Fault
+
+type request = { model : string; framework : string; selection : string; line : int }
+
+let request ?(framework = "gcd2") ?(selection = "13") ?(line = 0) model =
+  { model; framework; selection; line }
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+
+type parse_error = { line : int; text : string; reason : string }
+
+let parse_line ~framework ~selection ~line text =
+  let trimmed = String.trim text in
+  if trimmed = "" || trimmed.[0] = '#' then Ok None
+  else
+    let tokens =
+      String.split_on_char ' ' trimmed
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun t -> t <> "")
+    in
+    (* `model #comment` must be an error, not framework="#comment": an
+       inline comment was almost certainly meant, and guessing silently
+       mis-parses the request *)
+    match List.find_opt (fun t -> t.[0] = '#') tokens with
+    | Some tok ->
+      Error
+        {
+          line;
+          text = trimmed;
+          reason =
+            Fmt.str "inline comment %S not allowed (comments must start the line)" tok;
+        }
+    | None -> (
+      match tokens with
+      | [] -> Ok None
+      | [ model ] -> Ok (Some { model; framework; selection; line })
+      | [ model; framework ] -> Ok (Some { model; framework; selection; line })
+      | [ model; framework; selection ] -> Ok (Some { model; framework; selection; line })
+      | _ :: _ :: _ :: garbage ->
+        Error
+          {
+            line;
+            text = trimmed;
+            reason =
+              Fmt.str "trailing garbage after SELECTION: %S" (String.concat " " garbage);
+          })
+
+let parse_lines ~framework ~selection ?(first_line = 1) lines =
+  let requests, errors =
+    List.fold_left
+      (fun ((requests, errors), line) text ->
+        ( (match parse_line ~framework ~selection ~line text with
+          | Ok None -> (requests, errors)
+          | Ok (Some r) -> (r :: requests, errors)
+          | Error e -> (requests, e :: errors)),
+          line + 1 ))
+      ((([], []) : request list * parse_error list), first_line)
+      lines
+    |> fst
+  in
+  (List.rev requests, List.rev errors)
+
+(* ------------------------------------------------------------------ *)
+(* Request -> compiler configuration                                   *)
+
+let config_of ~framework ~selection =
+  let invalid msg = Error (Diag.make Diag.Invalid_request msg) in
+  match
+    match String.lowercase_ascii framework with
+    | "gcd2" -> Some F.gcd2
+    | "gcd2_b" | "gcdb" -> Some F.gcd2_b
+    | "tflite" -> Some F.tflite
+    | "snpe" -> Some F.snpe
+    | "no_opt" | "noopt" -> Some F.no_opt
+    | _ -> None
+  with
+  | None -> invalid (Fmt.str "unknown framework %S" framework)
+  | Some base -> (
+    match String.lowercase_ascii selection with
+    | "local" -> Ok { base with Compiler.selection = Compiler.Local }
+    | "optimal" -> Ok { base with Compiler.selection = Compiler.Optimal_dp }
+    | k -> (
+      match int_of_string_opt k with
+      | Some k when k > 0 -> Ok { base with Compiler.selection = Compiler.Partitioned k }
+      | _ -> invalid (Fmt.str "bad selection %S" selection)))
+
+(* ------------------------------------------------------------------ *)
+(* Policy and outcomes                                                 *)
+
+type policy = {
+  cache_dir : string option;
+  deadline_ms : float option;
+  retries : int;
+  backoff_ms : float;
+  jobs : int option;
+}
+
+let default_policy =
+  { cache_dir = None; deadline_ms = None; retries = 2; backoff_ms = 25.0; jobs = None }
+
+type outcome = Ok_ | Retried | Degraded | Timed_out | Failed
+
+let outcome_name = function
+  | Ok_ -> "ok"
+  | Retried -> "retried"
+  | Degraded -> "degraded"
+  | Timed_out -> "timeout"
+  | Failed -> "error"
+
+type served = {
+  request : request;
+  outcome : outcome;
+  diag : Diag.t option;
+  compiled : Compiler.compiled option;
+  hit : bool;
+  cold : bool;
+  ms : float;
+  attempts : int;
+  quarantined : int;
+  uncached : bool;
+  verified : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Serving one request                                                 *)
+
+let default_resolve model = (Zoo.find model).Zoo.build ()
+
+(* The uncached-fallback degradation is logged once per batch (reset by
+   [run_batch]), not once per poisoned request: a dead cache directory
+   would otherwise log on every request of the batch. *)
+let degradation_logged = ref false
+
+let log_degradation d =
+  if not !degradation_logged then begin
+    degradation_logged := true;
+    Fmt.epr "serve: cache unusable (%a); continuing uncached@." Diag.pp d
+  end
+
+(* After a degraded or retried path, re-read the stored artifact with
+   fault injection disabled and check it against the compile actually
+   served: a damaged cache may cost retries and recompiles, never wrong
+   bits. *)
+let verify_against_store ~dir config graph (c : Compiler.compiled) =
+  Fault.with_disabled @@ fun () ->
+  let digest = Compiler.fingerprint config graph in
+  match Artifact.load ~expect_digest:digest ~path:(Cache.entry_path dir digest) () with
+  | Ok (art, _) ->
+    art.Artifact.assignment = c.Compiler.assignment
+    && art.Artifact.report.Graphcost.ms = c.Compiler.report.Graphcost.ms
+    && art.Artifact.report.Graphcost.cycles = c.Compiler.report.Graphcost.cycles
+  | Error _ -> false
+
+let serve_one ?(resolve = default_resolve) policy ~cold (request : request) =
+  let t0 = Trace.now () in
+  let elapsed_ms () = 1000.0 *. (Trace.now () -. t0) in
+  let fail ?(attempts = 1) d =
+    let d = Diag.with_model request.model d in
+    {
+      request;
+      outcome = (if d.Diag.code = Diag.Deadline_exceeded then Timed_out else Failed);
+      diag = Some d;
+      compiled = None;
+      hit = false;
+      cold;
+      ms = elapsed_ms ();
+      attempts;
+      quarantined = 0;
+      uncached = false;
+      verified = false;
+    }
+  in
+  match
+    match config_of ~framework:request.framework ~selection:request.selection with
+    | Error d -> Error d
+    | Ok config -> (
+      match resolve request.model with
+      | g -> Ok (config, g)
+      | exception Invalid_argument msg -> Error (Diag.make Diag.Invalid_request msg)
+      | exception exn -> Error (Diag.of_exn exn))
+  with
+  | Error d -> fail d
+  | Ok (config, graph) ->
+    let deadline = Option.map (fun ms -> t0 +. (ms /. 1000.0)) policy.deadline_ms in
+    let remaining_ms () =
+      Option.map (fun d -> 1000.0 *. (d -. Trace.now ())) deadline
+    in
+    let backoff k =
+      let ms = policy.backoff_ms *. (2.0 ** float_of_int k) in
+      let ms =
+        match remaining_ms () with
+        | Some r -> Float.min ms (Float.max 0.0 r)
+        | None -> ms
+      in
+      if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+    in
+    let attempts = ref 0 in
+    let rec attempt ~cache_dir k =
+      incr attempts;
+      match remaining_ms () with
+      | Some r when r <= 0.0 ->
+        Error (Diag.make Diag.Deadline_exceeded "deadline expired before the attempt")
+      | rem -> (
+        match
+          Compiler.compile_result ~config ?cache_dir ?jobs:policy.jobs ?deadline_ms:rem
+            graph
+        with
+        | Ok c -> Ok (c, cache_dir)
+        | Error d when d.Diag.retryable && k < policy.retries ->
+          backoff k;
+          attempt ~cache_dir (k + 1)
+        | Error d when d.Diag.code = Diag.Cache_io && cache_dir <> None ->
+          (* retries exhausted on a cache failure: the cache is unusable
+             for this request, so degrade to an uncached compile rather
+             than failing it *)
+          log_degradation d;
+          attempt ~cache_dir:None 0
+        | Error d -> Error d)
+    in
+    (match attempt ~cache_dir:policy.cache_dir 0 with
+    | Error d -> fail ~attempts:!attempts d
+    | Ok (c, used_cache_dir) ->
+      let quarantined = Trace.counter c.Compiler.trace "cache-quarantined" in
+      let uncached = used_cache_dir = None && policy.cache_dir <> None in
+      let retried = !attempts > 1 in
+      let degraded = uncached || quarantined > 0 in
+      let verified =
+        match used_cache_dir with
+        | Some dir when degraded || retried -> verify_against_store ~dir config graph c
+        | _ -> true  (* nothing stored out-of-band to check against *)
+      in
+      if not verified then
+        fail ~attempts:!attempts
+          (Diag.make Diag.Internal "stored artifact does not match the served compile")
+      else
+        {
+          request;
+          outcome = (if degraded then Degraded else if retried then Retried else Ok_);
+          diag = None;
+          compiled = Some c;
+          hit = Compiler.from_cache c;
+          cold;
+          ms = elapsed_ms ();
+          attempts = !attempts;
+          quarantined;
+          uncached;
+          verified;
+        })
+
+(* ------------------------------------------------------------------ *)
+(* Batches                                                             *)
+
+type report = {
+  requests : int;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  retried : int;
+  degraded : int;
+  hits : int;
+  misses : int;
+  cold_ms : float list;
+  warm_ms : float list;
+}
+
+let report_of results =
+  let count f = List.length (List.filter f results) in
+  let ok r = r.diag = None in
+  {
+    requests = List.length results;
+    ok = count ok;
+    errors = count (fun r -> r.outcome = Failed);
+    timeouts = count (fun r -> r.outcome = Timed_out);
+    retried = count (fun r -> r.outcome = Retried);
+    degraded = count (fun r -> r.outcome = Degraded);
+    hits = count (fun r -> ok r && r.hit);
+    misses = count (fun r -> ok r && not r.hit);
+    (* only served requests enter the latency populations: a failed
+       request's wall time measures the failure path, not the service *)
+    cold_ms = List.filter_map (fun r -> if ok r && r.cold then Some r.ms else None) results;
+    warm_ms =
+      List.filter_map (fun r -> if ok r && not r.cold then Some r.ms else None) results;
+  }
+
+let run_batch ?resolve ?(on_result = fun _ -> ()) policy requests =
+  degradation_logged := false;
+  let seen = Hashtbl.create 16 in
+  let results =
+    List.map
+      (fun (r : request) ->
+        let key = (r.model, r.framework, r.selection) in
+        let cold = not (Hashtbl.mem seen key) in
+        Hashtbl.replace seen key ();
+        let served = serve_one ?resolve policy ~cold r in
+        on_result served;
+        served)
+      requests
+  in
+  (results, report_of results)

@@ -1,0 +1,129 @@
+(** The hardened batch-serving loop behind [gcd2 serve].
+
+    A request is one line — [MODEL [FRAMEWORK [SELECTION]]] — and a
+    batch is served request by request with per-request isolation: no
+    outcome of one request (a fault, a poisoned cache entry, an expired
+    deadline) can crash the loop or corrupt another request's answer.
+    Each request runs under a {e policy}:
+
+    - a wall-clock deadline ([deadline_ms]), enforced by the pipeline's
+      cancellation checks and reported as a [deadline-exceeded]
+      diagnostic;
+    - bounded retries with exponential backoff for {e retryable}
+      diagnostics (transient cache I/O, a crashed worker domain);
+    - graceful degradation: when the artifact cache stays unusable
+      after the retries ([cache-io]), the request is recompiled
+      {e uncached} (logged once per batch) rather than failed — and a
+      corrupt cache entry is quarantined by {!Gcd2_store.Cache} and
+      recompiled transparently;
+    - verification: any request served through a degraded or retried
+      path re-reads the stored artifact with fault injection disabled
+      and checks it against the served compile, so a damaged cache can
+      cost time but never serve wrong bits.
+
+    Every request produces a {!served} outcome — [ok] / [retried] /
+    [degraded] / [timeout] / [error] — with the typed {!Gcd2.Diag}
+    diagnostic on failure; failed requests are excluded from the latency
+    populations of the {!report}. *)
+
+module Compiler = Gcd2.Compiler
+module Diag = Gcd2.Diag
+
+type request = {
+  model : string;
+  framework : string;
+  selection : string;
+  line : int;  (** 1-based source line of the request file; 0 when synthetic *)
+}
+
+(** [request ?framework ?selection ?line model] — a request with the
+    default framework/selection (["gcd2"] / ["13"]). *)
+val request : ?framework:string -> ?selection:string -> ?line:int -> string -> request
+
+type parse_error = { line : int; text : string; reason : string }
+
+(** Parse one request line.  [Ok None] for blank lines and whole-line
+    [#] comments; [Error _] for a line with more than three tokens
+    (trailing garbage) or with an inline [#] token ([model #comment] is
+    an error, not a request for framework ["#comment"]) — malformed
+    requests are reported with their line number, never silently
+    dropped. *)
+val parse_line :
+  framework:string -> selection:string -> line:int -> string ->
+  (request option, parse_error) result
+
+(** Parse a request file's lines (numbered from [first_line], default 1),
+    returning the well-formed requests and every malformed line. *)
+val parse_lines :
+  framework:string -> selection:string -> ?first_line:int -> string list ->
+  request list * parse_error list
+
+(** Resolve framework/selection names to a compiler configuration;
+    unknown names are an [Invalid_request] diagnostic. *)
+val config_of : framework:string -> selection:string -> (Compiler.config, Diag.t) result
+
+type policy = {
+  cache_dir : string option;  (** artifact cache; [None] serves uncached *)
+  deadline_ms : float option;  (** per-request wall-clock budget *)
+  retries : int;  (** max retries (beyond the first attempt) of retryable failures *)
+  backoff_ms : float;  (** base backoff, doubled per retry, clipped to the deadline *)
+  jobs : int option;  (** worker domains per compile (default: compiler default) *)
+}
+
+(** No cache, no deadline, 2 retries, 25 ms base backoff. *)
+val default_policy : policy
+
+type outcome =
+  | Ok_  (** served, first attempt, no degradation *)
+  | Retried  (** served after retrying a transient failure *)
+  | Degraded  (** served via a degraded path (uncached fallback or quarantined entry) *)
+  | Timed_out  (** the request's deadline expired *)
+  | Failed  (** a typed, permanent failure *)
+
+(** ["ok"] / ["retried"] / ["degraded"] / ["timeout"] / ["error"]. *)
+val outcome_name : outcome -> string
+
+type served = {
+  request : request;
+  outcome : outcome;
+  diag : Diag.t option;  (** the final diagnostic of a failed/timed-out request *)
+  compiled : Compiler.compiled option;  (** the served compile on success *)
+  hit : bool;  (** answered from the artifact cache *)
+  cold : bool;  (** first compile of this request in the process *)
+  ms : float;  (** request wall time, including retries and backoff *)
+  attempts : int;
+  quarantined : int;  (** corrupt cache entries quarantined while serving it *)
+  uncached : bool;  (** served by the uncached-fallback degradation *)
+  verified : bool;  (** stored artifact re-checked after a degraded/retried path *)
+}
+
+(** Serve one request under [policy].  [resolve] maps the model name to
+    its graph (default: the {!Gcd2_models.Zoo}); [cold] marks the first
+    compile of this request in the process (latency bookkeeping only).
+    Never raises: every failure is a {!served} with a diagnostic. *)
+val serve_one :
+  ?resolve:(string -> Gcd2_graph.Graph.t) -> policy -> cold:bool -> request -> served
+
+type report = {
+  requests : int;
+  ok : int;  (** served, including retried/degraded *)
+  errors : int;
+  timeouts : int;
+  retried : int;
+  degraded : int;
+  hits : int;
+  misses : int;  (** cache misses among served requests *)
+  cold_ms : float list;  (** latencies of served cold requests only *)
+  warm_ms : float list;  (** latencies of served warm requests only *)
+}
+
+(** Serve a batch in order, tracking cold/warm per distinct request and
+    calling [on_result] after each.  The latency populations of the
+    report contain {e only} successfully served requests — failures are
+    excluded by construction, not by accident. *)
+val run_batch :
+  ?resolve:(string -> Gcd2_graph.Graph.t) ->
+  ?on_result:(served -> unit) ->
+  policy ->
+  request list ->
+  served list * report

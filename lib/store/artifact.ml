@@ -153,16 +153,26 @@ let of_bytes ?expect_digest b =
 (* Files                                                               *)
 
 (** Write atomically (temp file + rename) so that a concurrent reader
-    never observes a torn entry.  Returns the bytes written. *)
+    never observes a torn entry.  Returns the bytes written.  On any
+    failure — including an injected [cache-write] fault between the
+    write and the rename — the temp file is removed before the
+    exception propagates, so a failing store never litters the cache
+    directory with [.tmp] debris. *)
 let save ~path t =
   let b = to_bytes t in
   let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "gcd2art" ".tmp" in
-  let oc = Out_channel.open_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> Out_channel.close oc)
-    (fun () -> Out_channel.output_bytes oc b);
-  Sys.rename tmp path;
-  Bytes.length b
+  match
+    let oc = Out_channel.open_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> Out_channel.close oc)
+      (fun () -> Out_channel.output_bytes oc b);
+    Gcd2_util.Fault.fire "cache-write";
+    Sys.rename tmp path
+  with
+  | () -> Bytes.length b
+  | exception exn ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise exn
 
 (** Read and verify an artifact file.  [Ok (artifact, bytes_read)] on
     success; {e any} failure to open, read or decode — the path is a
@@ -179,5 +189,10 @@ let load ?expect_digest ~path () =
   | exception Sys_error e -> Error e
   | exception exn -> Error (Printexc.to_string exn)
   | b ->
-    let* t = of_bytes ?expect_digest (Bytes.unsafe_of_string b) in
+    (* [artifact-decode] fault: one flipped bit in the bytes just read,
+       as silent media corruption would leave them.  The structural
+       checks of [of_bytes] must turn it into an [Error] — never a
+       wrong artifact — and the cache then quarantines the entry. *)
+    let bytes = Gcd2_util.Fault.corrupt "artifact-decode" (Bytes.unsafe_of_string b) in
+    let* t = of_bytes ?expect_digest bytes in
     Ok (t, String.length b)

@@ -12,6 +12,9 @@
     [$HOME/.cache/gcd2], else a [gcd2] directory under the system temp
     directory for HOME-less environments. *)
 
+module Trace = Gcd2_util.Trace
+module Fault = Gcd2_util.Fault
+
 let default_dir () =
   match Sys.getenv_opt "GCD2_CACHE_DIR" with
   | Some d when d <> "" -> d
@@ -33,15 +36,32 @@ let rec ensure_dir d =
 (** Path of the entry holding [digest]'s artifact. *)
 let entry_path dir digest = Filename.concat dir (digest ^ ".gcd2art")
 
+(** Where {!lookup} quarantines an entry it could not decode. *)
+let quarantine_path path = path ^ ".bad"
+
+(* An undecodable entry is moved aside — never deleted — so a future
+   lookup recompiles instead of re-failing on the same bytes, while the
+   poisoned file stays on disk for post-mortem.  A rename failure (say,
+   a read-only cache directory) leaves the entry in place: still a
+   miss, never an error. *)
+let quarantine path =
+  (try Sys.rename path (quarantine_path path) with Sys_error _ -> ());
+  Trace.count "cache-quarantined" 1
+
 (** Look up an artifact; [Some (artifact, bytes_read)] on a verified hit,
-    [None] on a miss for any reason. *)
+    [None] on a miss for any reason.  An entry that exists but does not
+    decode is quarantined to [<entry>.bad] (counter [cache-quarantined])
+    so the recompile's fresh store self-heals the cache. *)
 let lookup ~dir digest =
+  Fault.fire "cache-read";
   let path = entry_path dir digest in
   if not (Sys.file_exists path) then None
   else
     match Artifact.load ~expect_digest:digest ~path () with
     | Ok (art, bytes) -> Some (art, bytes)
-    | Error _ -> None
+    | Error _ ->
+      quarantine path;
+      None
 
 (** Store an artifact under its digest; returns the bytes written.
     Creates the cache directory (and parents) as needed. *)

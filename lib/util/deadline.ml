@@ -1,0 +1,29 @@
+(** Ambient wall-clock deadlines (see the interface). *)
+
+exception Expired of { deadline : float; now : float }
+
+let () =
+  Printexc.register_printer (function
+    | Expired { deadline; now } ->
+      Some
+        (Printf.sprintf "Gcd2_util.Deadline.Expired(%.1f ms past the deadline)"
+           (1000.0 *. (now -. deadline)))
+    | _ -> None)
+
+(* Domain-local, like the ambient trace: a freshly spawned domain has no
+   deadline until its pool re-installs the parent's. *)
+let ambient : float option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let get () = Domain.DLS.get ambient
+
+let with_deadline d f =
+  let saved = get () in
+  Domain.DLS.set ambient d;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
+
+let check () =
+  match get () with
+  | Some deadline ->
+    let now = Trace.now () in
+    if now > deadline then raise (Expired { deadline; now })
+  | None -> ()

@@ -1,0 +1,23 @@
+(** Ambient wall-clock deadlines for cooperative cancellation.
+
+    A deadline is an absolute {!Trace.now} timestamp installed for the
+    dynamic extent of a computation; long-running phases poll {!check}
+    at their natural boundaries (the pipeline before each pass, the
+    worker pool before each task) and abandon the work by raising
+    {!Expired}.  Like the ambient {!Trace}, the installed deadline is
+    domain-local — {!Pool} captures the parent's deadline and
+    re-installs it in every worker domain. *)
+
+exception Expired of { deadline : float; now : float }
+
+(** [with_deadline d f] — run [f] under absolute deadline [d] ([None]
+    removes any inherited deadline); the previous deadline is restored
+    afterwards, also on raise. *)
+val with_deadline : float option -> (unit -> 'a) -> 'a
+
+(** The deadline currently in force in this domain, if any. *)
+val get : unit -> float option
+
+(** Raise {!Expired} when the current deadline has passed; otherwise
+    (or without a deadline) return unit. *)
+val check : unit -> unit

@@ -1,0 +1,194 @@
+(** Deterministic fault-injection registry (see the interface for the
+    model and the point catalog). *)
+
+exception Injected of { point : string; nth : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { point; nth } ->
+      Some (Printf.sprintf "Gcd2_util.Fault.Injected(%s, #%d)" point nth)
+    | _ -> None)
+
+let points =
+  [ "cache-read"; "cache-write"; "artifact-decode"; "vm-run"; "memo-lookup"; "pool-worker" ]
+
+let check_point p =
+  if not (List.mem p points) then
+    invalid_arg (Printf.sprintf "Fault: unknown injection point %S" p)
+
+(* ------------------------------------------------------------------ *)
+(* Specs                                                               *)
+
+type spec = {
+  seed : int;
+  rules : (string * float) list;  (** point -> failure probability, spec order *)
+}
+
+let none = { seed = 0; rules = [] }
+
+let parse s =
+  let tokens =
+    String.split_on_char ',' s
+    |> List.concat_map (String.split_on_char ';')
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok { acc with rules = List.rev acc.rules }
+    | tok :: rest -> (
+      match String.index_opt tok '=' with
+      | None -> Error (Printf.sprintf "expected KEY=VALUE, got %S" tok)
+      | Some i -> (
+        let key = String.sub tok 0 i in
+        let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match key with
+        | "seed" -> (
+          match int_of_string_opt value with
+          | Some seed -> go { acc with seed } rest
+          | None -> Error (Printf.sprintf "bad seed %S" value))
+        | p when List.mem p points -> (
+          match float_of_string_opt value with
+          | Some prob when prob >= 0.0 && prob <= 1.0 ->
+            go { acc with rules = (p, prob) :: acc.rules } rest
+          | _ -> Error (Printf.sprintf "bad probability %S for point %s" value p))
+        | p ->
+          Error
+            (Printf.sprintf "unknown injection point %S (points: %s)" p
+               (String.concat ", " points))))
+  in
+  go none tokens
+
+let parse_exn s =
+  match parse s with Ok spec -> spec | Error e -> invalid_arg ("Fault.parse: " ^ e)
+
+let to_string spec =
+  String.concat ","
+    (Printf.sprintf "seed=%d" spec.seed
+    :: List.map (fun (p, prob) -> Printf.sprintf "%s=%g" p prob) spec.rules)
+
+(* ------------------------------------------------------------------ *)
+(* Installed state                                                     *)
+
+(* One independent deterministic stream per point, so the injections a
+   point sees depend only on the seed and on how many times that point
+   was consulted — never on what the other points (or other domains'
+   call interleavings against other points) did. *)
+type stream = {
+  prob : float;
+  rng : Rng.t;
+  mutable calls : int;
+  mutable injected : int;
+}
+
+type installed = { spec : spec; streams : (string * stream) list }
+
+let lock = Mutex.create ()
+let current : installed option ref = ref None
+let is_active = ref false
+let disabled = ref 0
+let env_err : string option ref = ref None
+
+let install spec =
+  let streams =
+    List.map
+      (fun (p, prob) ->
+        (p, { prob; rng = Rng.create (Hashtbl.hash (spec.seed, p)); calls = 0; injected = 0 }))
+      spec.rules
+  in
+  Mutex.lock lock;
+  current := (if spec.rules = [] then None else Some { spec; streams });
+  is_active := spec.rules <> [];
+  Mutex.unlock lock
+
+let configure spec = install spec
+let clear () = install none
+
+let with_spec spec f =
+  Mutex.lock lock;
+  let saved = !current and saved_active = !is_active in
+  Mutex.unlock lock;
+  install spec;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock lock;
+      current := saved;
+      is_active := saved_active;
+      Mutex.unlock lock)
+    f
+
+let with_disabled f =
+  incr disabled;
+  Fun.protect ~finally:(fun () -> decr disabled) f
+
+let env_error () = !env_err
+
+(* The environment spec is read once, at program start.  A malformed
+   value must not silently run the process fault-free: [is_active] is
+   forced on so the first injection check raises the parse error. *)
+let () =
+  match Sys.getenv_opt "GCD2_FAULTS" with
+  | None | Some "" -> ()
+  | Some s -> (
+    match parse s with
+    | Ok spec -> install spec
+    | Error e ->
+      env_err := Some (Printf.sprintf "GCD2_FAULTS: %s" e);
+      is_active := true)
+
+let active () = !is_active
+
+(* [f stream] runs under the lock against [p]'s stream; [None] when
+   injection is off (inactive, disabled, or no rule for [p]). *)
+let with_stream p f =
+  check_point p;
+  if not !is_active then None
+  else
+    match !env_err with
+    | Some e -> invalid_arg e
+    | None ->
+      if !disabled > 0 then None
+      else begin
+        Mutex.lock lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock lock)
+          (fun () ->
+            match !current with
+            | None -> None
+            | Some inst -> (
+              match List.assoc_opt p inst.streams with
+              | None -> None
+              | Some s -> Some (f s)))
+      end
+
+let draw s =
+  s.calls <- s.calls + 1;
+  if Rng.float s.rng < s.prob then begin
+    s.injected <- s.injected + 1;
+    true
+  end
+  else false
+
+let hit p = match with_stream p draw with Some true -> true | _ -> false
+
+let fire p =
+  match with_stream p (fun s -> if draw s then Some s.injected else None) with
+  | Some (Some nth) -> raise (Injected { point = p; nth })
+  | _ -> ()
+
+let corrupt p b =
+  let bitpos =
+    with_stream p (fun s ->
+        if draw s && Bytes.length b > 0 then Some (Rng.int s.rng (8 * Bytes.length b))
+        else None)
+  in
+  match bitpos with
+  | Some (Some bit) ->
+    let b = Bytes.copy b in
+    let i = bit / 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+    b
+  | _ -> b
+
+let calls p = match with_stream p (fun s -> s.calls) with Some n -> n | None -> 0
+let injections p = match with_stream p (fun s -> s.injected) with Some n -> n | None -> 0

@@ -1,0 +1,100 @@
+(** Deterministic fault injection for robustness testing.
+
+    The reliability layer of the stack (cache quarantine, serve retries,
+    graceful degradation) is only trustworthy if its failure paths are
+    exercised — so every I/O or isolation boundary of the system declares
+    a named {e injection point} and asks this registry whether to fail.
+    In production the registry is empty and every check is a single
+    boolean load; under a {e fault spec} (normally from the
+    [GCD2_FAULTS] environment variable) each point fails with its
+    configured probability, drawn from a per-point stream seeded by the
+    spec — the same spec over the same call sequence injects exactly the
+    same faults, so every chaos-test failure replays.
+
+    The injection points, and what an injection means at each:
+
+    - [cache-read] — {!Gcd2_store.Cache.lookup} raises {!Injected}
+      before touching the entry (a transient read error);
+    - [cache-write] — [Artifact.save] raises between writing the temp
+      file and the atomic rename (a transient write error; the temp file
+      must not leak);
+    - [artifact-decode] — the bytes read by [Artifact.load] get one bit
+      flipped before decoding (silent media corruption; the checksum
+      must catch it and the cache must quarantine the entry);
+    - [vm-run] — [Machine.run] raises on entry (a simulated execution
+      fault);
+    - [memo-lookup] — [Memo.find_or_add] pretends the entry is absent
+      and recomputes (a lost memo entry; results must not change);
+    - [pool-worker] — a [Pool] worker domain raises at startup (a
+      crashed worker).
+
+    Spec syntax (comma/semicolon/space separated):
+    ["seed=42,cache-read=0.5,artifact-decode=1"] — [seed] (default 0)
+    seeds the per-point streams; every other key is an injection point
+    mapped to its failure probability in [[0, 1]]. *)
+
+(** Raised by a firing injection point.  [point] is the point name,
+    [nth] counts this point's injections so far (1-based). *)
+exception Injected of { point : string; nth : int }
+
+(** The catalog of injection points.  {!hit}/{!fire}/{!corrupt} reject
+    names outside it, so a typo at a call site or in a spec cannot
+    silently disable a fault. *)
+val points : string list
+
+type spec
+
+(** The empty spec: no point ever fails. *)
+val none : spec
+
+val parse : string -> (spec, string) result
+
+(** [parse] or [Invalid_argument]. *)
+val parse_exn : string -> spec
+
+val to_string : spec -> string
+
+(** Install [spec] process-wide (all domains), resetting every
+    per-point stream and counter. *)
+val configure : spec -> unit
+
+(** Remove any installed spec ([configure none]). *)
+val clear : unit -> unit
+
+(** [with_spec spec f] — run [f] under [spec], restoring the previously
+    installed spec (and its stream positions) afterwards, also on raise. *)
+val with_spec : spec -> (unit -> 'a) -> 'a
+
+(** [with_disabled f] — run [f] with injection suppressed (streams do
+    not advance).  Used by out-of-band verification (e.g. the serve
+    loop re-checking a degraded artifact) that must observe the real
+    system, not the chaos. *)
+val with_disabled : (unit -> 'a) -> 'a
+
+(** The parse error of the [GCD2_FAULTS] environment variable, if it
+    was set but unparseable.  A malformed spec must fail loudly, not
+    silently disable the chaos: every {!hit}/{!fire}/{!corrupt} raises
+    [Invalid_argument] until it is fixed, and front ends check this at
+    startup to report it nicely. *)
+val env_error : unit -> string option
+
+(** Is any fault spec installed?  One boolean load — hot paths guard
+    their injection checks with it. *)
+val active : unit -> bool
+
+(** [hit point] — should this call site fail now?  Advances [point]'s
+    stream; false when inactive, disabled, or the point has no rule. *)
+val hit : string -> bool
+
+(** [fire point] — raise {!Injected} when {!hit}. *)
+val fire : string -> unit
+
+(** [corrupt point b] — when {!hit}, a copy of [b] with one
+    deterministically chosen bit flipped; [b] itself otherwise. *)
+val corrupt : string -> bytes -> bytes
+
+(** Times [point] was consulted / actually injected under the current
+    spec. *)
+val calls : string -> int
+
+val injections : string -> int

@@ -28,7 +28,15 @@ let clear t = locked t.lock (fun () -> Hashtbl.reset t.tbl)
 let clear_all () = List.iter (fun f -> f ()) (locked registry_lock (fun () -> !registry))
 
 let find_or_add t key f =
-  match locked t.lock (fun () -> Hashtbl.find_opt t.tbl key) with
+  (* [memo-lookup] fault: pretend the entry is absent (a lost/evicted
+     memo) and recompute.  Values are deterministic in their keys, so a
+     forced miss may only cost time, never change a result — which is
+     exactly what the chaos suite asserts. *)
+  let forced_miss = Fault.active () && Fault.hit "memo-lookup" in
+  if forced_miss then Trace.count "memo-faults" 1;
+  match
+    if forced_miss then None else locked t.lock (fun () -> Hashtbl.find_opt t.tbl key)
+  with
   | Some v ->
     Trace.count "memo-hits" 1;
     v

@@ -9,7 +9,12 @@ let default_jobs () =
 
 let map_array ?(jobs = 1) f arr =
   let n = Array.length arr in
-  if jobs <= 1 || n <= 1 then Array.map f arr
+  if jobs <= 1 || n <= 1 then
+    Array.map
+      (fun x ->
+        Deadline.check ();
+        f x)
+      arr
   else begin
     let w = min jobs n in
     let results = Array.make n None in
@@ -23,14 +28,22 @@ let map_array ?(jobs = 1) f arr =
        ... — deterministic ownership (no work-stealing), so each worker's
        task set, and therefore the by-index merge below, never depends on
        scheduling. *)
+    (* Worker domains inherit neither the ambient trace nor the ambient
+       deadline; the parent's deadline is captured here and re-installed
+       in every worker so a cancellation fires mid-enumeration, not only
+       at the next pass boundary. *)
+    let deadline = Deadline.get () in
     let run_worker wi =
       let body () =
+        Fault.fire "pool-worker";
         let i = ref wi in
         while !i < n do
+          Deadline.check ();
           results.(!i) <- Some (f arr.(!i));
           i := !i + w
         done
       in
+      let body () = Deadline.with_deadline deadline body in
       try
         match worker_traces.(wi) with
         | Some t -> Trace.with_ambient t body

@@ -894,6 +894,7 @@ let engine () = !engine_state
 
 (** Run a whole program; registers and memory persist across calls. *)
 let run t (prog : Program.t) =
+  Gcd2_util.Fault.fire "vm-run";
   t.tables <- prog.Program.tables;
   match !engine_state with
   | Reference -> List.iter (exec_node t) prog.Program.nodes

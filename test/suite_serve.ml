@@ -1,0 +1,217 @@
+(* Tests for the hardened serving loop: request parsing (malformed
+   lines are errors with line numbers, never silently dropped),
+   config resolution, per-request isolation, deadlines, and the report
+   excluding failed requests from its latency populations. *)
+
+module T = Gcd2_tensor.Tensor
+module Q = Gcd2_tensor.Quant
+module Rng = Gcd2_util.Rng
+module Compiler = Gcd2.Compiler
+module Diag = Gcd2.Diag
+module Serve = Gcd2_serve.Serve
+open Gcd2_graph
+module B = Graph.Builder
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let temp_dir () =
+  let f = Filename.temp_file "gcd2-serve-test" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let weight_q = Q.make (1.0 /. 64.0)
+
+(* A deliberately small model: serving tests measure the loop, not the
+   compiler, so the compile under test must be cheap. *)
+let tiny_cnn seed =
+  let rng = Rng.create seed in
+  let b = B.create () in
+  let x = B.input b [| 1; 4; 4; 4 |] in
+  let w1 = T.random ~quant:weight_q rng [| 3; 3; 4; 4 |] in
+  let c1 = B.conv2d ~weight:w1 b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:4 in
+  let _ = B.add b Op.Relu [ c1 ] in
+  B.finish b
+
+let resolve_tiny = function
+  | "tiny" -> tiny_cnn 1
+  | "tiny2" -> tiny_cnn 2
+  | m -> invalid_arg ("unknown test model " ^ m)
+
+let policy ?cache_dir ?deadline_ms ?(retries = 2) () =
+  { Serve.cache_dir; deadline_ms; retries; backoff_ms = 0.0; jobs = None }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let parse ?(framework = "gcd2") ?(selection = "13") ?(line = 1) text =
+  Serve.parse_line ~framework ~selection ~line text
+
+let test_parse_ok () =
+  (match parse "WDSR-b" with
+  | Ok (Some r) ->
+    Alcotest.(check string) "model" "WDSR-b" r.Serve.model;
+    Alcotest.(check string) "default framework" "gcd2" r.Serve.framework;
+    Alcotest.(check string) "default selection" "13" r.Serve.selection
+  | _ -> Alcotest.fail "single token did not parse");
+  (match parse "  m \t tflite\tlocal  " with
+  | Ok (Some r) ->
+    Alcotest.(check string) "framework" "tflite" r.Serve.framework;
+    Alcotest.(check string) "selection" "local" r.Serve.selection
+  | _ -> Alcotest.fail "tab-separated line did not parse");
+  check_bool "blank line skipped" true (parse "   " = Ok None);
+  check_bool "whole-line comment skipped" true (parse "# a comment" = Ok None);
+  check_bool "indented comment skipped" true (parse "   # indented" = Ok None)
+
+let reason = function
+  | Error (e : Serve.parse_error) -> e.Serve.reason
+  | Ok _ -> Alcotest.fail "malformed line parsed"
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* `model #comment` must be an error, not framework="#comment" (the
+   old loop served the mis-parse); likewise anything after SELECTION. *)
+let test_parse_rejects () =
+  check_bool "inline comment rejected" true
+    (contains (reason (parse "WDSR-b #inline")) "inline comment");
+  check_bool "trailing garbage rejected" true
+    (contains (reason (parse "m fw sel junk")) "trailing garbage");
+  check_bool "garbage tail named" true
+    (contains (reason (parse "m fw sel junk more")) "junk more")
+
+let test_parse_lines_numbers () =
+  let requests, errors =
+    Serve.parse_lines ~framework:"gcd2" ~selection:"13"
+      [ "tiny"; "bad #x"; ""; "# comment"; "a b c d"; "tiny2 tflite" ]
+  in
+  check_int "two requests" 2 (List.length requests);
+  check_int "two malformed lines" 2 (List.length errors);
+  (match requests with
+  | [ a; b ] ->
+    check_int "first request line" 1 a.Serve.line;
+    check_int "second request line" 6 b.Serve.line
+  | _ -> Alcotest.fail "unexpected request list");
+  (match errors with
+  | [ e1; e2 ] ->
+    check_int "first error line" 2 e1.Serve.line;
+    check_int "second error line" 5 e2.Serve.line
+  | _ -> Alcotest.fail "unexpected error list");
+  let _, shifted =
+    Serve.parse_lines ~framework:"gcd2" ~selection:"13" ~first_line:10 [ "x y z w" ]
+  in
+  check_int "first_line offsets the numbering" 10
+    (match shifted with [ e ] -> e.Serve.line | _ -> -1)
+
+(* ------------------------------------------------------------------ *)
+(* Config resolution *)
+
+let test_config_of () =
+  (match Serve.config_of ~framework:"tflite" ~selection:"local" with
+  | Ok c -> check_bool "local selection" true (c.Compiler.selection = Compiler.Local)
+  | Error d -> Alcotest.failf "tflite/local rejected: %a" Diag.pp d);
+  (match Serve.config_of ~framework:"gcd2" ~selection:"4" with
+  | Ok c ->
+    check_bool "partitioned selection" true
+      (c.Compiler.selection = Compiler.Partitioned 4)
+  | Error d -> Alcotest.failf "gcd2/4 rejected: %a" Diag.pp d);
+  let rejected ~framework ~selection =
+    match Serve.config_of ~framework ~selection with
+    | Error d -> check_bool "invalid-request" true (d.Diag.code = Diag.Invalid_request)
+    | Ok _ -> Alcotest.failf "%s/%s accepted" framework selection
+  in
+  rejected ~framework:"caffe" ~selection:"13";
+  rejected ~framework:"gcd2" ~selection:"0";
+  rejected ~framework:"gcd2" ~selection:"-3";
+  rejected ~framework:"gcd2" ~selection:"banana"
+
+(* ------------------------------------------------------------------ *)
+(* Serving *)
+
+(* Any per-request failure must come back as a typed outcome, never an
+   exception out of the loop. *)
+let test_unknown_model_is_failed_outcome () =
+  let r =
+    Serve.serve_one ~resolve:resolve_tiny (policy ()) ~cold:true
+      (Serve.request "no-such-model")
+  in
+  check_bool "outcome is error" true (r.Serve.outcome = Serve.Failed);
+  (match r.Serve.diag with
+  | Some d ->
+    check_bool "invalid-request" true (d.Diag.code = Diag.Invalid_request);
+    Alcotest.(check (option string)) "model stamped" (Some "no-such-model") d.Diag.model
+  | None -> Alcotest.fail "failed outcome has no diagnostic");
+  check_bool "no compile attached" true (r.Serve.compiled = None)
+
+let test_batch_cold_warm_and_cache () =
+  let dir = temp_dir () in
+  let reqs = [ Serve.request "tiny"; Serve.request "tiny"; Serve.request "tiny2" ] in
+  let results, report =
+    Serve.run_batch ~resolve:resolve_tiny (policy ~cache_dir:dir ()) reqs
+  in
+  (match results with
+  | [ a; b; c ] ->
+    check_bool "first tiny is cold" true a.Serve.cold;
+    check_bool "repeat tiny is warm" false b.Serve.cold;
+    check_bool "repeat tiny hits the cache" true b.Serve.hit;
+    check_bool "tiny2 is cold" true c.Serve.cold;
+    (match (a.Serve.compiled, b.Serve.compiled) with
+    | Some ca, Some cb ->
+      Alcotest.(check (array int))
+        "hit serves the stored assignment" ca.Compiler.assignment
+        cb.Compiler.assignment;
+      Alcotest.(check (float 0.0))
+        "hit serves the stored latency" (Compiler.latency_ms ca)
+        (Compiler.latency_ms cb)
+    | _ -> Alcotest.fail "served request lost its compile")
+  | _ -> Alcotest.fail "unexpected result list");
+  check_int "all ok" 3 report.Serve.ok;
+  check_int "no errors" 0 report.Serve.errors;
+  check_int "one hit" 1 report.Serve.hits;
+  check_int "two cold latencies" 2 (List.length report.Serve.cold_ms);
+  check_int "one warm latency" 1 (List.length report.Serve.warm_ms)
+
+(* An already-expired deadline is a [timeout] outcome: permanent, not
+   retried, and excluded from the latency populations. *)
+let test_deadline_timeout () =
+  let r =
+    Serve.serve_one ~resolve:resolve_tiny
+      (policy ~deadline_ms:0.0 ~retries:5 ())
+      ~cold:true (Serve.request "tiny")
+  in
+  check_bool "outcome is timeout" true (r.Serve.outcome = Serve.Timed_out);
+  check_int "deadline failures are not retried" 1 r.Serve.attempts;
+  match r.Serve.diag with
+  | Some d -> check_bool "deadline-exceeded" true (d.Diag.code = Diag.Deadline_exceeded)
+  | None -> Alcotest.fail "timeout without diagnostic"
+
+let test_report_excludes_failures () =
+  let reqs =
+    [ Serve.request "tiny"; Serve.request "absent"; Serve.request "tiny" ]
+  in
+  let _, report = Serve.run_batch ~resolve:resolve_tiny (policy ()) reqs in
+  check_int "three requests" 3 report.Serve.requests;
+  check_int "two served" 2 report.Serve.ok;
+  check_int "one error" 1 report.Serve.errors;
+  check_int "failed request not in the cold population" 1
+    (List.length report.Serve.cold_ms);
+  check_int "failed request not in the warm population" 1
+    (List.length report.Serve.warm_ms)
+
+let tests =
+  [
+    Alcotest.test_case "parse: well-formed lines" `Quick test_parse_ok;
+    Alcotest.test_case "parse: malformed lines are errors" `Quick test_parse_rejects;
+    Alcotest.test_case "parse: errors carry line numbers" `Quick test_parse_lines_numbers;
+    Alcotest.test_case "config resolution" `Quick test_config_of;
+    Alcotest.test_case "unknown model is a typed outcome" `Quick
+      test_unknown_model_is_failed_outcome;
+    Alcotest.test_case "batch: cold/warm and cache hits" `Quick
+      test_batch_cold_warm_and_cache;
+    Alcotest.test_case "expired deadline is a timeout" `Quick test_deadline_timeout;
+    Alcotest.test_case "report excludes failed requests" `Quick
+      test_report_excludes_failures;
+  ]

@@ -284,6 +284,56 @@ let test_corrupt_entries_are_misses () =
       write_file path (Bytes.to_string b));
   with_mangled_entry "garbage file" (fun path _ -> write_file path "not an artifact")
 
+(* A damaged entry is quarantined — renamed aside, never deleted — so
+   the poisoned bytes survive for post-mortem while the recompile's
+   fresh store self-heals the cache. *)
+let test_quarantine_self_heals () =
+  let dir = temp_dir () in
+  let c1 = Compiler.compile ~cache_dir:dir (weighted_cnn 13) in
+  let path = only_entry dir in
+  write_file path "not an artifact";
+  let c2 = Compiler.compile ~cache_dir:dir (weighted_cnn 13) in
+  Alcotest.(check bool) "recompile is a miss" false (Compiler.from_cache c2);
+  check_int "quarantine counted" 1 (Trace.counter c2.Compiler.trace "cache-quarantined");
+  Alcotest.(check string) "poisoned bytes preserved under .bad" "not an artifact"
+    (read_file (path ^ ".bad"));
+  (match Artifact.load ~path () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "entry not self-healed: %s" e);
+  let c3 = Compiler.compile ~cache_dir:dir (weighted_cnn 13) in
+  Alcotest.(check bool) "healed entry hits" true (Compiler.from_cache c3);
+  check_int "clean lookups do not quarantine" 0
+    (Trace.counter c3.Compiler.trace "cache-quarantined");
+  Alcotest.(check (float 0.0)) "healed entry serves the original bits"
+    (Compiler.latency_ms c1) (Compiler.latency_ms c3)
+
+(* [Artifact.save] promises that a failing store never litters the
+   cache directory: an injected cache-write fault between the temp-file
+   write and the atomic rename must remove the temp file on the way
+   out. *)
+let test_save_fault_leaves_no_debris () =
+  let module Fault = Gcd2_util.Fault in
+  let primer = temp_dir () in
+  let dir = temp_dir () in
+  let _ = Compiler.compile ~cache_dir:primer (weighted_cnn 15) in
+  let art =
+    match Artifact.load ~path:(only_entry primer) () with
+    | Ok (art, _) -> art
+    | Error e -> Alcotest.failf "primer artifact unreadable: %s" e
+  in
+  let path = Filename.concat dir (art.Artifact.digest ^ ".gcd2art") in
+  Fault.with_spec (Fault.parse_exn "seed=1,cache-write=1") (fun () ->
+      match Artifact.save ~path art with
+      | _ -> Alcotest.fail "save under a certain cache-write fault succeeded"
+      | exception Fault.Injected { point = "cache-write"; _ } -> ());
+  Alcotest.(check (array string)) "failed save left the directory empty" [||]
+    (Sys.readdir dir);
+  (* the same save succeeds once the fault is gone, bit-identically *)
+  let _ = Artifact.save ~path art in
+  match Artifact.load ~expect_digest:art.Artifact.digest ~path () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-fault save does not round-trip: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* Every zoo model round-trips bit-identically and re-serves from cache *)
 
@@ -330,5 +380,9 @@ let tests =
     Alcotest.test_case "of_bytes rejects garbage" `Quick test_of_bytes_rejects_garbage;
     Alcotest.test_case "cache hit equals cold compile" `Quick test_cache_hit_equivalence;
     Alcotest.test_case "corrupt entries are misses" `Quick test_corrupt_entries_are_misses;
+    Alcotest.test_case "quarantine preserves and self-heals" `Quick
+      test_quarantine_self_heals;
+    Alcotest.test_case "failing saves leave no temp debris" `Quick
+      test_save_fault_leaves_no_debris;
     Alcotest.test_case "zoo artifacts round-trip" `Slow test_zoo_roundtrip;
   ]

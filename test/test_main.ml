@@ -20,4 +20,6 @@ let () =
       ("models", Suite_models.tests);
       ("frameworks", Suite_frameworks.tests);
       ("devices", Suite_devices.tests);
+      ("serve", Suite_serve.tests);
+      ("chaos", Suite_chaos.tests);
     ]
