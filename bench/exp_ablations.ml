@@ -18,7 +18,8 @@ module Q = Gcd2_tensor.Quant
 let spec ?(addressing = Matmul.Bump) ?(strategy = Packer.sda) simd ~m ~k ~n =
   let u = Unroll.adaptive simd ~m ~k ~n in
   {
-    Matmul.simd;
+    Matmul.device = Gcd2_devices.Desc.hexagon698;
+      simd;
     m;
     k;
     n;

@@ -1,0 +1,103 @@
+(* Cross-device benchmark ("devices"): modeled latency of the gcd2
+   configuration for every zoo model on every built-in machine
+   description.  The first device (hexagon698) is the speedup baseline.
+   Writes BENCH_devices.json so per-device trajectories can be tracked
+   across revisions like compile and vm.  "devices-smoke" runs the same
+   measurement on a three-model subset for CI. *)
+
+module Zoo = Gcd2_models.Zoo
+module Compiler = Gcd2.Compiler
+module Graphcost = Gcd2_cost.Graphcost
+module Desc = Gcd2_devices.Desc
+
+type cell = { device : string; ms : float; cycles : float; utilization : float }
+type row = { name : string; cells : cell list }
+
+let measure devices (e : Zoo.entry) =
+  let g = e.Zoo.build () in
+  {
+    name = e.Zoo.name;
+    cells =
+      List.map
+        (fun (d : Desc.t) ->
+          let c = Compiler.compile ~config:(Compiler.with_device d Compiler.default) g in
+          {
+            device = d.Desc.name;
+            ms = Compiler.latency_ms c;
+            cycles = c.Compiler.report.Graphcost.cycles;
+            utilization = c.Compiler.report.Graphcost.utilization;
+          })
+        devices;
+  }
+
+let json_of devices rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"experiment\": \"devices\",\n  \"devices\": [";
+  List.iteri
+    (fun i (d : Desc.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "%S%s" d.Desc.name
+           (if i = List.length devices - 1 then "" else ", ")))
+    devices;
+  Buffer.add_string b "],\n  \"models\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b (Printf.sprintf "    {\"name\": %S, \"results\": [" r.name);
+      List.iteri
+        (fun j c ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"device\": %S, \"ms\": %.6f, \"cycles\": %.0f, \"utilization\": %.4f}%s"
+               c.device c.ms c.cycles c.utilization
+               (if j = List.length r.cells - 1 then "" else ", ")))
+        r.cells;
+      Buffer.add_string b
+        (Printf.sprintf "]}%s\n" (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run_on entries =
+  let devices = Desc.builtins in
+  Report.header "devices: modeled latency per machine description (gcd2 config)";
+  Printf.printf "   %-18s" "model";
+  List.iter (fun (d : Desc.t) -> Printf.printf " %14s" d.Desc.name) devices;
+  Printf.printf " %9s\n" "speedup";
+  let rows = List.map (measure devices) entries in
+  let wins = Array.make (List.length devices) 0 in
+  List.iter
+    (fun r ->
+      let base = (List.hd r.cells).ms in
+      Printf.printf "   %-18s" r.name;
+      List.iteri
+        (fun i c ->
+          if i > 0 && c.ms < base then wins.(i) <- wins.(i) + 1;
+          Printf.printf " %11.2f ms" c.ms)
+        r.cells;
+      let last = List.nth r.cells (List.length r.cells - 1) in
+      Printf.printf " %8.2fx\n" (base /. last.ms))
+    rows;
+  let baseline = (List.hd devices).Desc.name in
+  List.iteri
+    (fun i (d : Desc.t) ->
+      if i > 0 then
+        Printf.printf "\n   %s: modeled latency below %s on %d/%d models\n" d.Desc.name
+          baseline wins.(i) (List.length rows))
+    devices;
+  let path = "BENCH_devices.json" in
+  let oc = open_out path in
+  output_string oc (json_of devices rows);
+  close_out oc;
+  Printf.printf "\n   wrote %s (%d models x %d devices)\n" path (List.length rows)
+    (List.length devices)
+
+let run () = run_on Zoo.all
+
+(* CI variant: the three cheapest-to-compile models keep the smoke under
+   a few seconds while still exercising every built-in descriptor. *)
+let smoke () =
+  run_on
+    (List.filter
+       (fun (e : Zoo.entry) ->
+         List.mem e.Zoo.name [ "MobileNet-V3"; "EfficientNet-b0"; "TinyBERT" ])
+       Zoo.all)

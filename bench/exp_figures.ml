@@ -5,7 +5,7 @@
 module Zoo = Gcd2_models.Zoo
 module F = Gcd2_frameworks.Framework
 module K = Gcd2_frameworks.Kernel_compilers
-module D = Gcd2_devices.Device
+module D = Gcd2_devices.Device.Context
 module Compiler = Gcd2.Compiler
 module Graphcost = Gcd2_cost.Graphcost
 module Graph = Gcd2_graph.Graph
@@ -241,7 +241,8 @@ let unroll_kernels =
 let matmul_cycles simd ~m ~k ~n (u : Unroll.setting) =
   Matmul.cycles
     {
-      Matmul.simd;
+      Matmul.device = Gcd2_devices.Desc.hexagon698;
+      simd;
       m;
       k;
       n;
@@ -282,7 +283,8 @@ let fig12 () =
       let speed u = float_of_int base /. float_of_int (matmul_cycles simd ~m ~k ~n u) in
       let spec =
         {
-          Matmul.simd;
+          Matmul.device = Gcd2_devices.Desc.hexagon698;
+      simd;
           m;
           k;
           n;

@@ -19,7 +19,8 @@ let kernel_block =
   lazy
     (let spec =
        {
-         Matmul.simd = Simd.I_vmpy;
+         Matmul.device = Gcd2_devices.Desc.hexagon698;
+         simd = Simd.I_vmpy;
          m = 128;
          k = 64;
          n = 8;
@@ -69,7 +70,8 @@ let test_codegen =
          ignore
            (Matmul.cycles
               {
-                Matmul.simd = Simd.I_vrmpy;
+                Matmul.device = Gcd2_devices.Desc.hexagon698;
+                simd = Simd.I_vrmpy;
                 m = 128;
                 k = 64;
                 n = 8;
@@ -103,7 +105,8 @@ let test_vm_matmul =
          ignore
            (Gcd2_codegen.Testbench.run
               {
-                Matmul.simd = Simd.I_vrmpy;
+                Matmul.device = Gcd2_devices.Desc.hexagon698;
+                simd = Simd.I_vrmpy;
                 m = 32;
                 k = 32;
                 n = 8;

@@ -6,7 +6,7 @@
 module Zoo = Gcd2_models.Zoo
 module F = Gcd2_frameworks.Framework
 module K = Gcd2_frameworks.Kernel_compilers
-module D = Gcd2_devices.Device
+module D = Gcd2_devices.Device.Context
 module Compiler = Gcd2.Compiler
 module Simd = Gcd2_codegen.Simd
 module Matmul = Gcd2_codegen.Matmul
@@ -74,7 +74,8 @@ let table2 () =
         float_of_int
           (Matmul.cycles
              {
-               Matmul.simd;
+               Matmul.device = Gcd2_devices.Desc.hexagon698;
+      simd;
                m = d;
                k = d;
                n = d;

@@ -27,6 +27,8 @@ let experiments =
     ("cache", Exp_cache.run);
     ("vm", Exp_vm.run);
     ("vm-smoke", Exp_vm.smoke);
+    ("devices", Exp_devices.run);
+    ("devices-smoke", Exp_devices.smoke);
   ]
 
 let usage () =

@@ -27,6 +27,8 @@ module Trace = Gcd2_util.Trace
 module Fault = Gcd2_util.Fault
 module Diag = Gcd2.Diag
 module Serve = Gcd2_serve.Serve
+module Desc = Gcd2_devices.Desc
+module Place = Gcd2.Place
 
 (* ---------------- list ---------------- *)
 
@@ -61,6 +63,31 @@ let selection_arg =
      partitioning heuristic (e.g. 13 or 17)."
   in
   Arg.(value & opt string "13" & info [ "s"; "selection" ] ~docv:"MODE" ~doc)
+
+let device_arg =
+  let doc =
+    "Target machine description: hexagon698, hexagon-g2 (default \\$GCD2_DEVICE, \
+     else hexagon698)."
+  in
+  Arg.(value & opt (some string) None & info [ "device" ] ~docv:"NAME" ~doc)
+
+(* An unknown device name is an invalid request; a malformed GCD2_DEVICE
+   must fail loudly at startup like GCD2_FAULTS does. *)
+let resolve_device = function
+  | Some name -> (
+    match Desc.find name with
+    | Some d -> d
+    | None ->
+      Fmt.epr "gcd2: %a@." Diag.pp
+        (Diag.make Diag.Invalid_request
+           (Fmt.str "unknown device %S (known: %s)" name (String.concat ", " Desc.names)));
+      exit 1)
+  | None -> (
+    match Desc.default () with
+    | d -> d
+    | exception Invalid_argument msg ->
+      Fmt.epr "gcd2: %s@." msg;
+      exit 2)
 
 let verbose_arg =
   let doc = "Print the chosen execution plan of every operator." in
@@ -114,7 +141,7 @@ let check_fault_env () =
   | None -> ()
 
 let config_of ~framework ~selection =
-  match Serve.config_of ~framework ~selection with
+  match Serve.config_of ~framework ~selection () with
   | Ok config -> config
   | Error d ->
     Fmt.epr "gcd2: %a@." Diag.pp d;
@@ -130,10 +157,11 @@ let find_model model =
     Fmt.epr "gcd2: %a@." Diag.pp (Diag.make ~model Diag.Invalid_request msg);
     exit 1
 
-let compile_run model framework selection verbose trace dump_after cache_dir cache jobs =
+let compile_run model framework selection device verbose trace dump_after cache_dir cache
+    jobs =
   check_fault_env ();
   let entry = find_model model in
-  let config = config_of ~framework ~selection in
+  let config = Compiler.with_device (resolve_device device) (config_of ~framework ~selection) in
   let c =
     match
       Compiler.compile_result ~config ~dump_after ~dump_ppf:Fmt.stdout
@@ -167,8 +195,8 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc)
     Term.(
-      const compile_run $ model_arg $ framework_arg $ selection_arg $ verbose_arg
-      $ trace_arg $ dump_after_arg $ cache_dir_arg $ cache_arg $ jobs_arg)
+      const compile_run $ model_arg $ framework_arg $ selection_arg $ device_arg
+      $ verbose_arg $ trace_arg $ dump_after_arg $ cache_dir_arg $ cache_arg $ jobs_arg)
 
 (* ---------------- serve ---------------- *)
 
@@ -196,6 +224,7 @@ let print_served (r : Serve.served) =
   (match r.Serve.compiled with
   | Some c -> Fmt.pr "   model %8.2f ms" (Compiler.latency_ms c)
   | None -> ());
+  if req.Serve.device <> "hexagon698" then Fmt.pr "   device=%s" req.Serve.device;
   if r.Serve.attempts > 1 then Fmt.pr "   attempts=%d" r.Serve.attempts;
   if r.Serve.quarantined > 0 then Fmt.pr "   quarantined=%d" r.Serve.quarantined;
   if r.Serve.uncached then Fmt.pr "   uncached";
@@ -207,9 +236,10 @@ let print_served (r : Serve.served) =
   | None -> ());
   Fmt.pr "@."
 
-let serve_run models requests_file framework selection repeat cache_dir no_cache
+let serve_run models requests_file framework selection device repeat cache_dir no_cache
     deadline_ms retries backoff_ms =
   check_fault_env ();
+  let device = (resolve_device device).Desc.name in
   let cache_dir =
     if no_cache then None
     else Some (match cache_dir with Some d -> d | None -> Cache.default_dir ())
@@ -218,22 +248,26 @@ let serve_run models requests_file framework selection repeat cache_dir no_cache
     match requests_file with
     | Some path ->
       In_channel.with_open_text path (fun ic ->
-          Serve.parse_lines ~framework ~selection (read_request_lines ic))
+          Serve.parse_lines ~framework ~selection ~device (read_request_lines ic))
     | None -> ([], [])
   in
   let (file_requests, parse_errors), from_stdin =
     if models = [] && requests_file = None then begin
       (* no positional models and no request file: serve stdin as the
          request stream, one request per line until EOF *)
-      Fmt.epr "reading requests from stdin (MODEL [FRAMEWORK [SELECTION]] per line)...@.";
-      ( Serve.parse_lines ~framework ~selection (read_request_lines In_channel.stdin),
+      Fmt.epr
+        "reading requests from stdin (MODEL [FRAMEWORK [SELECTION]] [device=NAME] per \
+         line)...@.";
+      ( Serve.parse_lines ~framework ~selection ~device
+          (read_request_lines In_channel.stdin),
         true )
     end
     else (from_file, false)
   in
   ignore from_stdin;
   let requests =
-    List.map (fun m -> Serve.request ~framework ~selection m) models @ file_requests
+    List.map (fun m -> Serve.request ~framework ~selection ~device m) models
+    @ file_requests
   in
   let requests = List.concat (List.init (max 1 repeat) (fun _ -> requests)) in
   (* malformed request lines are errors with their line number, not
@@ -295,10 +329,12 @@ let serve_cmd =
   in
   let requests_arg =
     let doc =
-      "Read requests from $(docv), one `MODEL [FRAMEWORK [SELECTION]]` per line \
-       (whole-line `#` comments and blank lines ignored; lines with trailing \
-       garbage or inline `#` tokens are errors).  Without models and without this \
-       option, requests are read from standard input."
+      "Read requests from $(docv), one `MODEL [FRAMEWORK [SELECTION]]` per line, \
+       plus an optional `device=NAME` field anywhere on the line (whole-line `#` \
+       comments and blank lines ignored; lines with trailing garbage, inline `#` \
+       tokens, duplicate `device=` fields or unknown device names are errors).  \
+       Without models and without this option, requests are read from standard \
+       input."
     in
     Arg.(value & opt (some file) None & info [ "requests" ] ~docv:"FILE" ~doc)
   in
@@ -328,8 +364,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ models_arg $ requests_arg $ framework_arg $ selection_arg
-      $ repeat_arg $ cache_dir_arg $ no_cache_arg $ deadline_arg $ retries_arg
-      $ backoff_arg)
+      $ device_arg $ repeat_arg $ cache_dir_arg $ no_cache_arg $ deadline_arg
+      $ retries_arg $ backoff_arg)
 
 (* ---------------- compare ---------------- *)
 
@@ -338,7 +374,76 @@ let serve_cmd =
    models below it; `--infer` forces the measurement. *)
 let compare_infer_budget_gmacs = 2.0
 
-let compare_run model force_infer =
+(* Device comparison: modeled latency of the gcd2 configuration on every
+   requested device, over one model or the whole zoo, then — for a single
+   model — the cross-device placement the joint selection problem picks. *)
+let compare_devices_run names model =
+  let devices =
+    String.split_on_char ',' names
+    |> List.map String.trim
+    |> List.filter (fun n -> n <> "")
+    |> List.map (fun n -> resolve_device (Some n))
+  in
+  if devices = [] then begin
+    Fmt.epr "gcd2: --devices needs at least one device name@.";
+    exit 1
+  end;
+  let entries =
+    match model with Some m -> [ find_model m ] | None -> Zoo.all
+  in
+  Fmt.pr "%-16s" "model";
+  List.iter (fun (d : Desc.t) -> Fmt.pr " %14s" d.Desc.name) devices;
+  if List.length devices > 1 then Fmt.pr " %9s" "speedup";
+  Fmt.pr "@.";
+  let baseline = List.hd devices in
+  let wins = Array.make (List.length devices) 0 in
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let g = e.Zoo.build () in
+      let mss =
+        List.map
+          (fun d ->
+            Compiler.latency_ms (Compiler.compile ~config:(Compiler.with_device d F.gcd2) g))
+          devices
+      in
+      let base_ms = List.hd mss in
+      Fmt.pr "%-16s" e.Zoo.name;
+      List.iteri
+        (fun i ms ->
+          if i > 0 && ms < base_ms then wins.(i) <- wins.(i) + 1;
+          Fmt.pr " %11.2f ms" ms)
+        mss;
+      if List.length mss > 1 then
+        Fmt.pr " %8.2fx" (base_ms /. List.nth mss (List.length mss - 1));
+      Fmt.pr "@.")
+    entries;
+  let n = List.length entries in
+  List.iteri
+    (fun i (d : Desc.t) ->
+      if i > 0 then
+        Fmt.pr "%s: modeled latency below %s on %d/%d models@." d.Desc.name
+          baseline.Desc.name wins.(i) n)
+    devices;
+  (* for a single model the per-device tables are small enough to also
+     solve the joint placement problem and show the split *)
+  match (model, devices) with
+  | Some _, _ :: _ :: _ ->
+    let g = (List.hd entries).Zoo.build () in
+    let p = Place.place ~devices g in
+    Fmt.pr "@.%a@." Place.pp p
+  | _ -> ()
+
+let compare_run model devices force_infer =
+  match devices with
+  | Some names -> compare_devices_run names model
+  | None ->
+  let model =
+    match model with
+    | Some m -> m
+    | None ->
+      Fmt.epr "gcd2: MODEL is required unless --devices is given@.";
+      exit 1
+  in
   let entry = find_model model in
   let g = Zoo.with_random_weights (entry.Zoo.build ()) in
   let gmacs = float_of_int (Gcd2_graph.Flops.total_macs g) /. 1e9 in
@@ -386,8 +491,23 @@ let infer_arg =
   Arg.(value & flag & info [ "infer" ] ~doc)
 
 let compare_cmd =
-  let doc = "Compare TFLite / SNPE / GCD_b / GCD2 on one model." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare_run $ model_arg $ infer_arg)
+  let doc =
+    "Compare TFLite / SNPE / GCD_b / GCD2 on one model, or — with --devices — \
+     compare machine descriptions on one model or the whole zoo."
+  in
+  let model_opt_arg =
+    let doc = "Model name from the zoo (optional with --devices: defaults to every model)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+  in
+  let devices_arg =
+    let doc =
+      "Compare machine descriptions instead of frameworks: comma-separated device \
+       names (e.g. hexagon698,hexagon-g2); the first is the speedup baseline."
+    in
+    Arg.(value & opt (some string) None & info [ "devices" ] ~docv:"A,B" ~doc)
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const compare_run $ model_opt_arg $ devices_arg $ infer_arg)
 
 (* ---------------- kernel ---------------- *)
 
@@ -401,7 +521,8 @@ let kernel_run m k n =
       let u = Unroll.adaptive simd ~m ~k ~n in
       let spec =
         {
-          Matmul.simd;
+          Matmul.device = Desc.hexagon698;
+          simd;
           m;
           k;
           n;

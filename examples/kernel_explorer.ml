@@ -40,7 +40,8 @@ let () =
   let spec_of simd =
     let u = Unroll.adaptive simd ~m ~k ~n in
     {
-      Matmul.simd;
+      Matmul.device = Gcd2_devices.Desc.hexagon698;
+      simd;
       m;
       k;
       n;

@@ -14,11 +14,13 @@
 
 open Gcd2_isa
 module Packer = Gcd2_sched.Packer
+module Desc = Gcd2_devices.Desc
 
 type binary = Badd | Bsub | Bmul
 
 type spec = {
-  vectors : int;  (** 128-byte vectors to process (padded buffer size / 128) *)
+  device : Desc.t;  (** target device (vector width, slots, latencies) *)
+  vectors : int;  (** vectors to process (padded buffer size / vector bytes) *)
   uv : int;  (** vector unroll *)
   strategy : Packer.strategy;
   rescale_a : int option;  (** table id rescaling operand A into the output scale *)
@@ -35,12 +37,13 @@ let validate s =
   if s.uv <= 0 || s.uv > 4 then invalid_arg "Eltwise: bad unroll"
 
 (* Emit the body for [count] vectors starting at pointer offset 0;
-   pointers advance by [count * 128] at the end. *)
+   pointers advance by [count] vectors' worth of bytes at the end. *)
 let binary_body op s ~ra ~rb ~ro ~regs count =
   let e = Emit.create () in
+  let vbytes = s.device.Desc.vector_bytes in
   let va, vb, tmp, acc_e, acc_o, pk, outv = regs in
   for d = 0 to count - 1 do
-    let off = d * 128 in
+    let off = d * vbytes in
     Emit.vload e va ra off;
     Emit.vload e vb rb off;
     (match s.rescale_a with Some id -> Emit.vlut e va va id | None -> ());
@@ -75,16 +78,16 @@ let binary_body op s ~ra ~rb ~ro ~regs count =
       (match s.act_table with Some id -> Emit.vlut e outv outv id | None -> ());
       Emit.vstore e ro off outv)
   done;
-  Emit.bump e ra (count * 128);
-  Emit.bump e rb (count * 128);
-  Emit.bump e ro (count * 128);
-  Emit.block ~strategy:s.strategy e
+  Emit.bump e ra (count * vbytes);
+  Emit.bump e rb (count * vbytes);
+  Emit.bump e ro (count * vbytes);
+  Emit.block ~desc:s.device ~strategy:s.strategy e
 
 (** Generate a binary elementwise kernel. *)
 let binary ?(tables = []) op s (b : buffers) =
   Gcd2_util.Trace.in_span "eltwise-emit" @@ fun () ->
   validate s;
-  let pool = Regs.create () in
+  let pool = Regs.create ~desc:s.device () in
   let ra = Regs.scalar pool and rb = Regs.scalar pool and ro = Regs.scalar pool in
   let va = Regs.vector pool and vb = Regs.vector pool in
   let tmp = Regs.pair pool and acc_e = Regs.pair pool and acc_o = Regs.pair pool in
@@ -96,7 +99,7 @@ let binary ?(tables = []) op s (b : buffers) =
     Emit.movi e ra b.a_base;
     Emit.movi e rb b.b_base;
     Emit.movi e ro b.out_base;
-    Emit.block ~strategy:s.strategy e
+    Emit.block ~desc:s.device ~strategy:s.strategy e
   in
   let full = s.vectors / s.uv and rest = s.vectors mod s.uv in
   let nodes =
@@ -116,25 +119,26 @@ let binary ?(tables = []) op s (b : buffers) =
 let unary ?(tables = []) ~table s ~in_base ~out_base =
   Gcd2_util.Trace.in_span "eltwise-emit" @@ fun () ->
   validate s;
-  let pool = Regs.create () in
+  let vbytes = s.device.Desc.vector_bytes in
+  let pool = Regs.create ~desc:s.device () in
   let ra = Regs.scalar pool and ro = Regs.scalar pool in
   let va = Regs.vector pool in
   let body count =
     let e = Emit.create () in
     for d = 0 to count - 1 do
-      Emit.vload e va ra (d * 128);
+      Emit.vload e va ra (d * vbytes);
       Emit.vlut e va va table;
-      Emit.vstore e ro (d * 128) va
+      Emit.vstore e ro (d * vbytes) va
     done;
-    Emit.bump e ra (count * 128);
-    Emit.bump e ro (count * 128);
-    Emit.block ~strategy:s.strategy e
+    Emit.bump e ra (count * vbytes);
+    Emit.bump e ro (count * vbytes);
+    Emit.block ~desc:s.device ~strategy:s.strategy e
   in
   let init =
     let e = Emit.create () in
     Emit.movi e ra in_base;
     Emit.movi e ro out_base;
-    Emit.block ~strategy:s.strategy e
+    Emit.block ~desc:s.device ~strategy:s.strategy e
   in
   let full = s.vectors / s.uv and rest = s.vectors mod s.uv in
   let nodes =
@@ -144,8 +148,9 @@ let unary ?(tables = []) ~table s ~in_base ~out_base =
   in
   Program.make ~tables "eltwise_unary" nodes
 
-let default_spec ?(strategy = Packer.sda) ~vectors () =
+let default_spec ?(strategy = Packer.sda) ?(device = Desc.hexagon698) ~vectors () =
   {
+    device;
     vectors;
     uv = 2;
     strategy;

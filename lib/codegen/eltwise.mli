@@ -9,7 +9,10 @@ module Packer = Gcd2_sched.Packer
 type binary = Badd | Bsub | Bmul
 
 type spec = {
-  vectors : int;  (** 128-byte vectors to process *)
+  device : Gcd2_devices.Desc.t;
+      (** target device (vector width, slots, latencies) — part of every
+          memo key built from this spec *)
+  vectors : int;  (** vectors to process (padded buffer size / vector bytes) *)
   uv : int;  (** vector unroll *)
   strategy : Packer.strategy;
   rescale_a : int option;  (** table id rescaling operand A into the output scale *)
@@ -27,4 +30,5 @@ val unary :
   ?tables:(int * int array) list -> table:int -> spec -> in_base:int -> out_base:int ->
   Program.t
 
-val default_spec : ?strategy:Packer.strategy -> vectors:int -> unit -> spec
+val default_spec :
+  ?strategy:Packer.strategy -> ?device:Gcd2_devices.Desc.t -> vectors:int -> unit -> spec

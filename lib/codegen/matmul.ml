@@ -21,6 +21,7 @@
 open Gcd2_isa
 module Packer = Gcd2_sched.Packer
 module Stats = Gcd2_util.Stats
+module Desc = Gcd2_devices.Desc
 
 type addressing =
   | Bump  (** pointer increments folded into immediates (GCD2's codegen) *)
@@ -34,6 +35,7 @@ type addressing =
    field that changes generation enters the key automatically *because*
    the whole record is the key; never memoize on a projection of it. *)
 type spec = {
+  device : Desc.t;  (** target device (vector width, slots, latencies) *)
   simd : Simd.t;
   m : int;
   k : int;
@@ -72,10 +74,16 @@ type kernel_shape = {
   group_bytes : int;  (** activation bytes consumed per k-group *)
 }
 
-let shape_of = function
-  | Simd.I_vmpy -> { panel = 128; k_per_group = 4; group_bytes = 512 }
-  | Simd.I_vmpa -> { panel = 64; k_per_group = 4; group_bytes = 256 }
-  | Simd.I_vrmpy -> { panel = 32; k_per_group = 4; group_bytes = 128 }
+(* Panel height is one vector load's worth of rows; a k-group always
+   spans 4 reduction columns, so its activation footprint is the panel
+   times 4 columns — [vector_bytes]-proportional throughout (the default
+   128-byte device gives the paper's 512/256/128). *)
+let shape_of (d : Desc.t) simd =
+  let vb = d.Desc.vector_bytes in
+  match simd with
+  | Simd.I_vmpy -> { panel = vb; k_per_group = 4; group_bytes = 4 * vb }
+  | Simd.I_vmpa -> { panel = vb / 2; k_per_group = 4; group_bytes = 2 * vb }
+  | Simd.I_vrmpy -> { panel = vb / 4; k_per_group = 4; group_bytes = vb }
 
 (* Address scratch registers for the Recompute mode (round-robin pair so
    consecutive loads keep some ILP). *)
@@ -129,7 +137,7 @@ let emit_load ctx e kind dst base offset =
 
 let make_ctx s =
   validate_spec s;
-  let ks = shape_of s.simd in
+  let ks = shape_of s.device s.simd in
   let kp, np = Weights.padded_kn s.simd ~k:s.k ~n:s.n in
   let mp = Stats.round_up s.m ks.panel in
   {
@@ -190,7 +198,8 @@ let emit_scale_column e ctx ~j halves =
     let sc = (ctx.s.mult, ctx.s.shift) in
     List.iter (fun h -> Emit.vscale e h h sc) halves
   | Some pc ->
-    Emit.vload e pc.vq pc.r_q (j * 128);
+    let vb = ctx.s.device.Desc.vector_bytes in
+    Emit.vload e pc.vq pc.r_q (j * vb);
     List.iter (fun h -> Emit.emit e (Instr.Vscalev (h, h, pc.vq, pc.q_shift))) halves
 
 let emit_requant_store_wide e ctx ~j ~pk ~outv ~accs ~store_offset =
@@ -209,7 +218,9 @@ let emit_requant_store_wide e ctx ~j ~pk ~outv ~accs ~store_offset =
 
 let generate_vmpy ?per_channel ?q_base ctx (b : buffers) =
   let s = ctx.s in
-  let pool = Regs.create () in
+  let desc = s.device in
+  let vb = desc.Desc.vector_bytes in
+  let pool = Regs.create ~desc () in
   let ra = Regs.scalar pool and r_out = Regs.scalar pool in
   let rw = Array.init s.un (fun _ -> Regs.scalar pool) in
   let rwv = Array.init s.un (fun _ -> [| Regs.scalar pool; Regs.scalar pool |]) in
@@ -235,7 +246,7 @@ let generate_vmpy ?per_channel ?q_base ctx (b : buffers) =
       for d = 0 to 1 do
         let sel = (2 * half) + d in
         let step = (4 * g_idx) + sel in
-        emit_load ctx e `Vector va.(step mod 2) ctx.ra (step * 128);
+        emit_load ctx e `Vector va.(step mod 2) ctx.ra (step * vb);
         for j = 0 to s.un - 1 do
           Emit.emit e
             (Instr.Vmpyb (accs.(j).tmp, va.(step mod 2), ctx.rwv.(j).(g_idx mod 2), sel))
@@ -254,9 +265,9 @@ let generate_vmpy ?per_channel ?q_base ctx (b : buffers) =
     for g = 0 to n_groups - 1 do
       emit_group e g
     done;
-    Emit.bump e ctx.ra (n_groups * 512);
+    Emit.bump e ctx.ra (n_groups * ctx.ks.group_bytes);
     Array.iter (fun r -> Emit.bump e r (n_groups * 4)) ctx.rw;
-    Emit.block ~strategy e
+    Emit.block ~desc ~strategy e
   in
   let zero_block width =
     let e = Emit.create () in
@@ -265,17 +276,17 @@ let generate_vmpy ?per_channel ?q_base ctx (b : buffers) =
       Emit.vzero e accs.(j).acc_e;
       Emit.vzero e accs.(j).acc_o
     done;
-    Emit.block ~strategy e
+    Emit.block ~desc ~strategy e
   in
   let epilogue_block width =
     let e = Emit.create () in
     for j = 0 to width - 1 do
-      emit_requant_store_wide e ctx ~j ~pk ~outv ~accs:accs.(j) ~store_offset:(j * 128)
+      emit_requant_store_wide e ctx ~j ~pk ~outv ~accs:accs.(j) ~store_offset:(j * vb)
     done;
     (* next panel: weights restart, output advances one panel row-stride *)
     Array.iter (fun r -> Emit.bump e r (- (4 * ctx.groups))) ctx.rw;
-    Emit.bump e ctx.r_out (128 * ctx.np);
-    Emit.block ~strategy e
+    Emit.bump e ctx.r_out (ctx.ks.panel * ctx.np);
+    Emit.block ~desc ~strategy e
   in
   let panel_loop width =
     let full = ctx.groups / s.ug and rest = ctx.groups mod s.ug in
@@ -289,11 +300,11 @@ let generate_vmpy ?per_channel ?q_base ctx (b : buffers) =
   in
   let tile_bumps width =
     let e = Emit.create () in
-    Emit.bump e ctx.ra (-128 * ctx.kp * ctx.panels);
+    Emit.bump e ctx.ra (-ctx.ks.panel * ctx.kp * ctx.panels);
     Array.iter (fun r -> Emit.bump e r (width * ctx.w_stride)) ctx.rw;
-    Emit.bump e ctx.r_out ((width * 128) - (128 * ctx.np * ctx.panels));
-    (match ctx.pc with Some pc -> Emit.bump e pc.r_q (width * 128) | None -> ());
-    Emit.block ~strategy e
+    Emit.bump e ctx.r_out ((width * vb) - (ctx.ks.panel * ctx.np * ctx.panels));
+    (match ctx.pc with Some pc -> Emit.bump e pc.r_q (width * vb) | None -> ());
+    Emit.block ~desc ~strategy e
   in
   let init =
     let e = Emit.create () in
@@ -301,7 +312,7 @@ let generate_vmpy ?per_channel ?q_base ctx (b : buffers) =
     Emit.movi e ctx.r_out b.c_base;
     Array.iteri (fun j r -> Emit.movi e r (b.w_base + (j * ctx.w_stride))) ctx.rw;
     (match ctx.pc with Some pc -> Emit.movi e pc.r_q ctx.q_base | None -> ());
-    Emit.block ~strategy e
+    Emit.block ~desc ~strategy e
   in
   let full_tiles = ctx.np / s.un and rem = ctx.np mod s.un in
   let segments =
@@ -317,7 +328,9 @@ let generate_vmpy ?per_channel ?q_base ctx (b : buffers) =
 
 let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
   let s = ctx.s in
-  let pool = Regs.create () in
+  let desc = s.device in
+  let vb = desc.Desc.vector_bytes in
+  let pool = Regs.create ~desc () in
   let ra = Regs.scalar pool and r_out = Regs.scalar pool in
   let rw = Array.init s.un (fun _ -> Regs.scalar pool) in
   let rwv = Array.init s.un (fun _ -> [| Regs.scalar pool; Regs.scalar pool |]) in
@@ -334,8 +347,8 @@ let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
   let emit_group e g =
     let vp = va.(g mod 2) in
     let v_lo, v_hi = Regs.halves vp in
-    emit_load ctx e `Vector v_lo ctx.ra (g * 256);
-    emit_load ctx e `Vector v_hi ctx.ra ((g * 256) + 128);
+    emit_load ctx e `Vector v_lo ctx.ra (g * ctx.ks.group_bytes);
+    emit_load ctx e `Vector v_hi ctx.ra ((g * ctx.ks.group_bytes) + vb);
     for j = 0 to s.un - 1 do
       emit_load ctx e `Scalar ctx.rwv.(j).(g mod 2) ctx.rw.(j) (g * 4);
       Emit.vmpa e accs.(j).tmp vp ctx.rwv.(j).(g mod 2);
@@ -350,9 +363,9 @@ let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
     for g = 0 to n_groups - 1 do
       emit_group e g
     done;
-    Emit.bump e ctx.ra (n_groups * 256);
+    Emit.bump e ctx.ra (n_groups * ctx.ks.group_bytes);
     Array.iter (fun r -> Emit.bump e r (n_groups * 4)) ctx.rw;
-    Emit.block ~strategy e
+    Emit.block ~desc ~strategy e
   in
   let zero_block width =
     let e = Emit.create () in
@@ -361,7 +374,7 @@ let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
       Emit.vzero e accs.(j).acc_e;
       Emit.vzero e accs.(j).acc_o
     done;
-    Emit.block ~strategy e
+    Emit.block ~desc ~strategy e
   in
   let epilogue_block width =
     let e = Emit.create () in
@@ -379,11 +392,11 @@ let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
       Emit.vshuff e a0.tmp pk Instr.W16;
       Emit.vpack e outv a0.tmp Instr.W16;
       (match s.act_table with Some id -> Emit.vlut e outv outv id | None -> ());
-      Emit.vstore e ctx.r_out (jp * 128) outv
+      Emit.vstore e ctx.r_out (jp * vb) outv
     done;
     Array.iter (fun r -> Emit.bump e r (- (4 * ctx.groups))) ctx.rw;
-    Emit.bump e ctx.r_out (64 * ctx.np);
-    Emit.block ~strategy e
+    Emit.bump e ctx.r_out (ctx.ks.panel * ctx.np);
+    Emit.block ~desc ~strategy e
   in
   let panel_loop width =
     let full = ctx.groups / s.ug and rest = ctx.groups mod s.ug in
@@ -397,11 +410,11 @@ let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
   in
   let tile_bumps width =
     let e = Emit.create () in
-    Emit.bump e ctx.ra (-64 * ctx.kp * ctx.panels);
+    Emit.bump e ctx.ra (-ctx.ks.panel * ctx.kp * ctx.panels);
     Array.iter (fun r -> Emit.bump e r (width * ctx.w_stride)) ctx.rw;
-    Emit.bump e ctx.r_out ((width / 2 * 128) - (64 * ctx.np * ctx.panels));
-    (match ctx.pc with Some pc -> Emit.bump e pc.r_q (width * 128) | None -> ());
-    Emit.block ~strategy e
+    Emit.bump e ctx.r_out ((width / 2 * vb) - (ctx.ks.panel * ctx.np * ctx.panels));
+    (match ctx.pc with Some pc -> Emit.bump e pc.r_q (width * vb) | None -> ());
+    Emit.block ~desc ~strategy e
   in
   let init =
     let e = Emit.create () in
@@ -409,7 +422,7 @@ let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
     Emit.movi e ctx.r_out b.c_base;
     Array.iteri (fun j r -> Emit.movi e r (b.w_base + (j * ctx.w_stride))) ctx.rw;
     (match ctx.pc with Some pc -> Emit.movi e pc.r_q ctx.q_base | None -> ());
-    Emit.block ~strategy e
+    Emit.block ~desc ~strategy e
   in
   let full_tiles = ctx.np / s.un and rem = ctx.np mod s.un in
   let segments =
@@ -425,7 +438,9 @@ let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
 
 let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
   let s = ctx.s in
-  let pool = Regs.create () in
+  let desc = s.device in
+  let vb = desc.Desc.vector_bytes in
+  let pool = Regs.create ~desc () in
   let ra = Regs.scalar pool and r_out = Regs.scalar pool in
   let rw = Array.init s.un (fun _ -> Regs.scalar pool) in
   let rwv = Array.init s.un (fun _ -> [| Regs.scalar pool; Regs.scalar pool |]) in
@@ -442,7 +457,7 @@ let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
   alloc_pc_vectors ctx pool;
   let strategy = s.strategy in
   let emit_group e g =
-    emit_load ctx e `Vector va.(g mod 2) ctx.ra (g * 128);
+    emit_load ctx e `Vector va.(g mod 2) ctx.ra (g * ctx.ks.group_bytes);
     for j = 0 to s.un - 1 do
       emit_load ctx e `Scalar ctx.rwv.(j).(g mod 2) ctx.rw.(j) (g * 4);
       Emit.vrmpy e (acc j) va.(g mod 2) ctx.rwv.(j).(g mod 2)
@@ -453,16 +468,16 @@ let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
     for g = 0 to n_groups - 1 do
       emit_group e g
     done;
-    Emit.bump e ctx.ra (n_groups * 128);
+    Emit.bump e ctx.ra (n_groups * ctx.ks.group_bytes);
     Array.iter (fun r -> Emit.bump e r (n_groups * 4)) ctx.rw;
-    Emit.block ~strategy e
+    Emit.block ~desc ~strategy e
   in
   let zero_block width =
     let e = Emit.create () in
     for j = 0 to width - 1 do
       Emit.vzero e (acc j)
     done;
-    Emit.block ~strategy e
+    Emit.block ~desc ~strategy e
   in
   let epilogue_block width =
     let e = Emit.create () in
@@ -483,8 +498,8 @@ let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
            column pairs; the prepacked buffer interleaves the multipliers
            the same way (two vectors per 4-column group) *)
         let vq2 = Option.get pc.vq2 in
-        Emit.vload e pc.vq pc.r_q (q * 256);
-        Emit.vload e vq2 pc.r_q ((q * 256) + 128);
+        Emit.vload e pc.vq pc.r_q (q * 2 * vb);
+        Emit.vload e vq2 pc.r_q ((q * 2 * vb) + vb);
         Emit.emit e (Instr.Vscalev (a_lo, a_lo, pc.vq, pc.q_shift));
         Emit.emit e (Instr.Vscalev (a_hi, a_hi, pc.vq, pc.q_shift));
         Emit.emit e (Instr.Vscalev (b_lo, b_lo, vq2, pc.q_shift));
@@ -495,11 +510,11 @@ let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
       Emit.vshuff e pc pc Instr.W32;
       Emit.vpack e outv pc Instr.W16;
       (match s.act_table with Some id -> Emit.vlut e outv outv id | None -> ());
-      Emit.vstore e ctx.r_out (q * 128) outv
+      Emit.vstore e ctx.r_out (q * vb) outv
     done;
     Array.iter (fun r -> Emit.bump e r (- (4 * ctx.groups))) ctx.rw;
-    Emit.bump e ctx.r_out (32 * ctx.np);
-    Emit.block ~strategy e
+    Emit.bump e ctx.r_out (ctx.ks.panel * ctx.np);
+    Emit.block ~desc ~strategy e
   in
   let panel_loop width =
     let full = ctx.groups / s.ug and rest = ctx.groups mod s.ug in
@@ -513,11 +528,11 @@ let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
   in
   let tile_bumps width =
     let e = Emit.create () in
-    Emit.bump e ctx.ra (-32 * ctx.kp * ctx.panels);
+    Emit.bump e ctx.ra (-ctx.ks.panel * ctx.kp * ctx.panels);
     Array.iter (fun r -> Emit.bump e r (width * ctx.w_stride)) ctx.rw;
-    Emit.bump e ctx.r_out ((width / 4 * 128) - (32 * ctx.np * ctx.panels));
-    (match ctx.pc with Some pc -> Emit.bump e pc.r_q (width / 4 * 256) | None -> ());
-    Emit.block ~strategy e
+    Emit.bump e ctx.r_out ((width / 4 * vb) - (ctx.ks.panel * ctx.np * ctx.panels));
+    (match ctx.pc with Some pc -> Emit.bump e pc.r_q (width / 4 * 2 * vb) | None -> ());
+    Emit.block ~desc ~strategy e
   in
   let init =
     let e = Emit.create () in
@@ -525,7 +540,7 @@ let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
     Emit.movi e ctx.r_out b.c_base;
     Array.iteri (fun j r -> Emit.movi e r (b.w_base + (j * ctx.w_stride))) ctx.rw;
     (match ctx.pc with Some pc -> Emit.movi e pc.r_q ctx.q_base | None -> ());
-    Emit.block ~strategy e
+    Emit.block ~desc ~strategy e
   in
   let full_tiles = ctx.np / s.un and rem = ctx.np mod s.un in
   let segments =
@@ -566,4 +581,5 @@ let cycles_memo : (spec, int) Gcd2_util.Memo.t = Gcd2_util.Memo.create "matmul-c
     first costing of a spec answers every later one. *)
 let cycles spec =
   Gcd2_util.Memo.find_or_add cycles_memo spec (fun () ->
-      Program.static_cycles (generate spec { a_base = 0; w_base = 0; c_base = 0 }))
+      Program.static_cycles ~desc:spec.device
+        (generate spec { a_base = 0; w_base = 0; c_base = 0 }))

@@ -14,6 +14,9 @@ type addressing =
           through the scalar unit (models the stock compilers) *)
 
 type spec = {
+  device : Gcd2_devices.Desc.t;
+      (** target device (vector width, slots, latencies) — part of the
+          memo key of {!cycles}, so two devices never share a costing *)
   simd : Simd.t;
   m : int;
   k : int;

@@ -5,26 +5,37 @@
     register file — paper Section IV-C, "Impact of Unrolling"). *)
 
 module Reg = Gcd2_isa.Reg
+module Desc = Gcd2_devices.Desc
 
 exception Out_of_registers of string
 
 type t = {
   mutable next_scalar : int;
   mutable next_vector : int;
+  scalar_limit : int;
+  vector_limit : int;
 }
 
 (* r0/r1 are reserved as always-zero / scratch conventions are not needed;
-   allocate everything from 0. *)
-let create () = { next_scalar = 0; next_vector = 0 }
+   allocate everything from 0.  The register-file sizes come from the
+   device descriptor (the default matches {!Reg.scalar_count} /
+   {!Reg.vector_count}). *)
+let create ?(desc = Desc.hexagon698) () =
+  {
+    next_scalar = 0;
+    next_vector = 0;
+    scalar_limit = desc.Desc.scalar_count;
+    vector_limit = desc.Desc.vector_count;
+  }
 
 let scalar t =
-  if t.next_scalar >= Reg.scalar_count then raise (Out_of_registers "scalar");
+  if t.next_scalar >= t.scalar_limit then raise (Out_of_registers "scalar");
   let r = Reg.R t.next_scalar in
   t.next_scalar <- t.next_scalar + 1;
   r
 
 let vector t =
-  if t.next_vector >= Reg.vector_count then raise (Out_of_registers "vector");
+  if t.next_vector >= t.vector_limit then raise (Out_of_registers "vector");
   let v = Reg.V t.next_vector in
   t.next_vector <- t.next_vector + 1;
   v
@@ -32,7 +43,7 @@ let vector t =
 (** Allocate an aligned even/odd pair; returns the pair register. *)
 let pair t =
   if t.next_vector mod 2 = 1 then t.next_vector <- t.next_vector + 1;
-  if t.next_vector + 2 > Reg.vector_count then raise (Out_of_registers "vector pair");
+  if t.next_vector + 2 > t.vector_limit then raise (Out_of_registers "vector pair");
   let p = Reg.P (t.next_vector / 2) in
   t.next_vector <- t.next_vector + 2;
   p
@@ -43,5 +54,5 @@ let halves = function
   | r -> invalid_arg (Fmt.str "Regs.halves: %a is not a pair" Reg.pp r)
 
 (** Remaining capacity, used by the unroll limiter. *)
-let free_vectors t = Reg.vector_count - t.next_vector
-let free_scalars t = Reg.scalar_count - t.next_scalar
+let free_vectors t = t.vector_limit - t.next_vector
+let free_scalars t = t.scalar_limit - t.next_scalar

@@ -87,12 +87,13 @@ let pack_activations simd ~m ~k a =
   in
   (Pack.pack (Simd.layout simd) ~rows:m ~cols:kp padded).Pack.bytes
 
-let activation_bytes simd ~m ~k =
+let activation_bytes ?desc simd ~m ~k =
   let kp, _ = padded_kn simd ~k ~n:1 in
-  Layout.padded_bytes (Simd.layout simd) ~rows:m ~cols:kp
+  Layout.padded_bytes ?desc (Simd.layout simd) ~rows:m ~cols:kp
 
 (** Output buffer size (int8, layout-padded M x N). *)
-let output_bytes simd ~m ~n = Layout.padded_bytes (Simd.layout simd) ~rows:m ~cols:n
+let output_bytes ?desc simd ~m ~n =
+  Layout.padded_bytes ?desc (Simd.layout simd) ~rows:m ~cols:n
 
 (** Recover the logical row-major M x N matrix from the kernel's output
     buffer. *)

@@ -18,10 +18,10 @@ val column_stride : Simd.t -> k:int -> int
 (** Pack an M x K activation matrix (kernel layout, K padded). *)
 val pack_activations : Simd.t -> m:int -> k:int -> int array -> int array
 
-val activation_bytes : Simd.t -> m:int -> k:int -> int
+val activation_bytes : ?desc:Gcd2_devices.Desc.t -> Simd.t -> m:int -> k:int -> int
 
 (** Output buffer size (int8, layout-padded M x N). *)
-val output_bytes : Simd.t -> m:int -> n:int -> int
+val output_bytes : ?desc:Gcd2_devices.Desc.t -> Simd.t -> m:int -> n:int -> int
 
 (** Recover the logical row-major M x N matrix from the output buffer. *)
 val unpack_output : Simd.t -> m:int -> n:int -> int array -> int array

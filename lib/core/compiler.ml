@@ -55,6 +55,15 @@ type config = {
 let default =
   { name = "gcd2"; opcost = Opcost.gcd2; selection = Partitioned 13; optimize_graph = true }
 
+(** Retarget a configuration to another device: plan enumeration, the
+    roofline, layout-transform pricing and the request fingerprint all
+    follow the descriptor. *)
+let with_device device config =
+  { config with opcost = { config.opcost with Opcost.device } }
+
+(** The device a configuration targets. *)
+let device config = config.opcost.Opcost.device
+
 type compiled = {
   config : config;
   graph : Graph.t;  (** graph after optimization passes *)
@@ -365,5 +374,6 @@ let pp_summary ppf c =
     c.config.name (Graph.size c.graph) r.Graphcost.ms r.Graphcost.cycles
     (100.0 *. r.Graphcost.utilization)
     r.Graphcost.bandwidth_gbs
-    (Gcd2_cost.Config.tops ~macs:r.Graphcost.macs ~cycles:r.Graphcost.cycles)
+    (Gcd2_cost.Config.tops_on (device c.config) ~macs:r.Graphcost.macs
+       ~cycles:r.Graphcost.cycles)
     pp_phases c pp_cache c

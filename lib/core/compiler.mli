@@ -42,8 +42,17 @@ type config = {
 }
 
 (** The full GCD2 configuration: GCD2(13) selection, SDA packing, adaptive
-    unrolling, division lookup. *)
+    unrolling, division lookup, targeting
+    {!Gcd2_devices.Desc.hexagon698}. *)
 val default : config
+
+(** Retarget a configuration to another device: plan enumeration, the
+    roofline, layout-transform pricing and the request fingerprint all
+    follow the descriptor. *)
+val with_device : Gcd2_devices.Desc.t -> config -> config
+
+(** The device a configuration targets. *)
+val device : config -> Gcd2_devices.Desc.t
 
 type compiled = {
   config : config;

@@ -1,0 +1,192 @@
+(** Cross-device placement (ROADMAP item 5): given a list of machine
+    descriptions, cost every node's execution plans on every device and
+    pick a (device, plan) pair per node with the existing global
+    selection machinery.
+
+    The construction flattens the per-device plan tables into one
+    selection problem: node [v]'s option set is the concatenation of its
+    plan tables on each device, so the solved index simultaneously
+    chooses the device and the plan.  Edges inside a device pay the usual
+    layout-transformation cost [TC]; edges crossing devices ship the
+    producer's (unpadded) output through shared memory at the slower of
+    the two DDR rates, then pay the consumer-side layout conversion.
+    The paper's host-vs-DSP split is the degenerate two-device case of
+    this pass. *)
+
+module Desc = Gcd2_devices.Desc
+module Opcost = Gcd2_cost.Opcost
+module Graphcost = Gcd2_cost.Graphcost
+module Plan = Gcd2_cost.Plan
+module Solver = Gcd2_layout.Solver
+module Problem = Gcd2_layout.Problem
+module Graph = Gcd2_graph.Graph
+module Trace = Gcd2_util.Trace
+
+(** One node's placement: the chosen device, the plan index within that
+    device's table, and the node's modeled cycles there. *)
+type choice = { device : Desc.t; plan : int; cycles : float }
+
+type placement = {
+  devices : Desc.t array;
+  costs : Graphcost.t array;  (** per-device single-device costings, same order *)
+  choices : choice array;  (** per node *)
+  objective : float;  (** solved Equation-1 objective over the joint problem *)
+  per_device : (string * int) list;  (** nodes assigned to each device *)
+}
+
+let transfer_cycles (a : Desc.t) (b : Desc.t) ~bytes =
+  float_of_int bytes /. Float.min a.Desc.ddr_bytes_per_cycle b.Desc.ddr_bytes_per_cycle
+
+(* Flattened option index -> (device index, local plan index). *)
+let decode offsets v j =
+  let d = ref 0 in
+  while !d + 1 < Array.length offsets.(v) && j >= offsets.(v).(!d + 1) do incr d done;
+  (!d, j - offsets.(v).(!d))
+
+let joint_problem (devices : Desc.t array) (costs : Graphcost.t array) (g : Graph.t) =
+  let n = Graph.size g in
+  let nd = Array.length devices in
+  let plans_of d = costs.(d).Graphcost.plans in
+  (* offsets.(v).(d) = first flattened option index of device d's table *)
+  let offsets =
+    Array.init n (fun v ->
+        let o = Array.make nd 0 in
+        for d = 1 to nd - 1 do
+          o.(d) <- o.(d - 1) + Array.length (plans_of (d - 1)).(v)
+        done;
+        o)
+  in
+  let options =
+    Array.init n (fun v -> offsets.(v).(nd - 1) + Array.length (plans_of (nd - 1)).(v))
+  in
+  let node_cost v j =
+    let d, p = decode offsets v j in
+    Plan.cycles ~desc:devices.(d) (plans_of d).(v).(p)
+  in
+  let out_bytes u = Array.fold_left ( * ) 1 (Graph.node g u).Graph.out_shape in
+  let edge_cost u ju v jv =
+    let du, pu = decode offsets u ju and dv, pv = decode offsets v jv in
+    if du = dv then Graphcost.edge_tc devices.(du) g (plans_of du) u pu v pv
+    else begin
+      let src = (plans_of du).(u).(pu).Plan.layout
+      and dst = (plans_of dv).(v).(pv).Plan.layout in
+      let ship = transfer_cycles devices.(du) devices.(dv) ~bytes:(out_bytes u) in
+      let convert =
+        if src = dst then 0.0
+        else begin
+          let rows, cols = Opcost.mat_dims (Graph.node g u).Graph.out_shape in
+          float_of_int
+            (Gcd2_tensor.Layout.transform_cycles_on devices.(dv) ~src ~dst ~rows ~cols)
+        end
+      in
+      ship +. convert
+    end
+  in
+  (* device choice does not change which edges are desirable partition
+     points — reuse the first device's structural predicate *)
+  let desirable_edge = costs.(0).Graphcost.problem.Problem.desirable_edge in
+  let preds = Array.init n (fun v -> (Graph.node g v).Graph.inputs) in
+  let problem = { Problem.n; preds; options; node_cost; edge_cost; desirable_edge } in
+  Problem.validate problem;
+  (problem, offsets)
+
+(* ------------------------------------------------------------------ *)
+(* The pass pipeline                                                   *)
+
+type artifact = {
+  art_graph : Graph.t;
+  art_costs : Graphcost.t option array;  (** one slot per device *)
+  art_placed : placement option;
+}
+
+let passes devices ~max_size ~jobs =
+  let cost_pass i (d : Desc.t) =
+    Pipeline.pass (Fmt.str "build-costs:%s" d.Desc.name) (fun options a ->
+        let retargeted = { options with Opcost.device = d } in
+        a.art_costs.(i) <- Some (Graphcost.build ~jobs retargeted a.art_graph);
+        a)
+  in
+  [ Pipeline.pass "validate" (fun _ a ->
+        Graph.validate a.art_graph;
+        a) ]
+  @ List.of_seq (Seq.mapi cost_pass (Array.to_seq devices))
+  @ [
+      Pipeline.pass "place" (fun _ a ->
+          let g = a.art_graph in
+          let costs =
+            Array.map
+              (function
+                | Some c -> c
+                | None -> invalid_arg "Place: a build-costs pass did not run")
+              a.art_costs
+          in
+          let problem, offsets = joint_problem devices costs g in
+          let solved = Solver.partitioned ~max_size problem in
+          let choices =
+            Array.init (Graph.size g) (fun v ->
+                let d, p = decode offsets v solved.Solver.plans.(v) in
+                {
+                  device = devices.(d);
+                  plan = p;
+                  cycles =
+                    Plan.cycles ~desc:devices.(d) costs.(d).Graphcost.plans.(v).(p);
+                })
+          in
+          let per_device =
+            Array.to_list
+              (Array.map
+                 (fun (dev : Desc.t) ->
+                   ( dev.Desc.name,
+                     Array.fold_left
+                       (fun acc c ->
+                         if c.device.Desc.name = dev.Desc.name then acc + 1 else acc)
+                       0 choices ))
+                 devices)
+          in
+          Trace.count "placed-nodes" (Array.length choices);
+          {
+            a with
+            art_placed =
+              Some
+                {
+                  devices;
+                  costs;
+                  choices;
+                  objective = solved.Solver.cost;
+                  per_device;
+                };
+          });
+    ]
+
+(** [place ?max_size ?jobs ?sink ~devices g] — run the placement
+    pipeline: per-device plan enumeration (one [build-costs:<name>] pass
+    per device) followed by the joint [place] selection.  [max_size]
+    (default 13) bounds the GCD2(k) partition size; [devices] must be
+    non-empty. *)
+let place ?(max_size = 13) ?jobs ?(sink = Trace.Silent) ~devices (g : Graph.t) =
+  if devices = [] then invalid_arg "Place.place: empty device list";
+  let devices = Array.of_list devices in
+  let jobs = match jobs with Some j -> j | None -> Gcd2_util.Pool.default_jobs () in
+  let trace = Trace.create ~sink "place" in
+  let artifact =
+    {
+      art_graph = g;
+      art_costs = Array.make (Array.length devices) None;
+      art_placed = None;
+    }
+  in
+  let art =
+    Trace.with_ambient trace @@ fun () ->
+    Trace.run_root trace @@ fun () ->
+    Pipeline.run ~trace (passes devices ~max_size ~jobs) Opcost.gcd2 artifact
+  in
+  match art.art_placed with
+  | Some p -> p
+  | None -> invalid_arg "Place.place: the place pass did not run"
+
+let pp ppf (p : placement) =
+  Fmt.pf ppf "placement over %a: objective %.0f cycles@\n"
+    Fmt.(list ~sep:(any ", ") string)
+    (Array.to_list (Array.map (fun (d : Desc.t) -> d.Desc.name) p.devices))
+    p.objective;
+  List.iter (fun (name, count) -> Fmt.pf ppf "  %-12s %d nodes@\n" name count) p.per_device

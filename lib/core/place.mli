@@ -1,0 +1,38 @@
+(** Cross-device placement: cost every node's execution plans on every
+    device in a list and pick a (device, plan) pair per node with the
+    existing global selection machinery (the per-device plan tables are
+    flattened into one Equation-1 problem).  Intra-device edges pay the
+    usual layout-transformation cost; cross-device edges ship the
+    producer's output through shared memory at the slower DDR rate plus
+    the consumer-side layout conversion.  The paper's host-vs-DSP split
+    is the degenerate two-device case. *)
+
+module Desc = Gcd2_devices.Desc
+module Graphcost = Gcd2_cost.Graphcost
+module Graph = Gcd2_graph.Graph
+
+(** One node's placement: chosen device, plan index within that device's
+    table, and the node's modeled cycles there. *)
+type choice = { device : Desc.t; plan : int; cycles : float }
+
+type placement = {
+  devices : Desc.t array;
+  costs : Graphcost.t array;  (** per-device single-device costings, same order *)
+  choices : choice array;  (** per node *)
+  objective : float;  (** solved objective over the joint problem *)
+  per_device : (string * int) list;  (** nodes assigned to each device *)
+}
+
+(** [place ?max_size ?jobs ?sink ~devices g] — run the placement
+    pipeline: one [build-costs:<name>] pass per device, then the joint
+    [place] selection pass ([Solver.partitioned], part size [max_size],
+    default 13).  Raises [Invalid_argument] on an empty device list. *)
+val place :
+  ?max_size:int ->
+  ?jobs:int ->
+  ?sink:Gcd2_util.Trace.sink ->
+  devices:Desc.t list ->
+  Graph.t ->
+  placement
+
+val pp : Format.formatter -> placement -> unit

@@ -46,9 +46,13 @@ let run_matmul ~stats ~options ~plan ~act (x : T.t) (w : T.t) ~m ~k ~n ~out_dims
   in
   let simd = Option.get plan.Plan.simd in
   let u = Option.get plan.Plan.unroll in
+  (* the simulated DSP executes the hexagon698 ISA (128-byte vectors)
+     whatever device the compile was costed for; wider targets are
+     modeled analytically, not run *)
   let spec =
     {
-      Matmul.simd;
+      Matmul.device = Gcd2_devices.Desc.hexagon698;
+      simd;
       m;
       k;
       n;

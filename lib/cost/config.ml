@@ -39,3 +39,13 @@ let cycles_of_ms ms = ms *. model_cycles_per_sec /. 1e3
 let tops ~macs ~cycles =
   if cycles <= 0.0 then 0.0
   else 2.0 *. float_of_int macs /. (cycles /. model_cycles_per_sec) /. 1e12
+
+(** Device-calibrated variant of {!tops} ([Gcd2_devices.Desc] carries the
+    per-device clock; the module-level functions above remain the
+    hexagon698 calibration the historical constants encoded). *)
+let tops_on (d : Gcd2_devices.Desc.t) ~macs ~cycles =
+  if cycles <= 0.0 then 0.0
+  else
+    2.0 *. float_of_int macs
+    /. (cycles /. d.Gcd2_devices.Desc.model_cycles_per_sec)
+    /. 1e12

@@ -22,3 +22,6 @@ val cycles_of_us : float -> float
 
 (** Wall-clock-referred effective tera-ops (2 ops per MAC). *)
 val tops : macs:int -> cycles:float -> float
+
+(** {!tops} calibrated by a device descriptor's clock. *)
+val tops_on : Gcd2_devices.Desc.t -> macs:int -> cycles:float -> float

@@ -5,6 +5,7 @@
 module Layout = Gcd2_tensor.Layout
 module Problem = Gcd2_layout.Problem
 module Graph = Gcd2_graph.Graph
+module Desc = Gcd2_devices.Desc
 open Gcd2_graph
 
 type t = {
@@ -18,13 +19,14 @@ let mat_dims = Opcost.mat_dims
 
 (** Transformation cost [TC] along an edge: converting the producer's
     output from the layout of its plan to the layout the consumer's plan
-    expects, sized by the producer's output tensor. *)
-let edge_tc (g : Graph.t) plans u pu v pv =
+    expects, sized by the producer's output tensor and priced at the
+    device's DDR bandwidth. *)
+let edge_tc (device : Desc.t) (g : Graph.t) plans u pu v pv =
   let src = plans.(u).(pu).Plan.layout and dst = plans.(v).(pv).Plan.layout in
   if src = dst then 0.0
   else begin
     let rows, cols = mat_dims (Graph.node g u).Graph.out_shape in
-    float_of_int (Layout.transform_cycles ~src ~dst ~rows ~cols)
+    float_of_int (Layout.transform_cycles_on device ~src ~dst ~rows ~cols)
   end
 
 (** Assemble the selection problem from already-enumerated plan tables —
@@ -34,10 +36,11 @@ let edge_tc (g : Graph.t) plans u pu v pv =
 let of_plans options (g : Graph.t) plans =
   let n = Graph.size g in
   if Array.length plans <> n then invalid_arg "Graphcost.of_plans: plan table size mismatch";
+  let device = options.Opcost.device in
   let preds = Array.init n (fun v -> (Graph.node g v).Graph.inputs) in
-  let node_cost v p = Plan.cycles plans.(v).(p) in
-  let edge_cost u pu v pv = edge_tc g plans u pu v pv in
-  let plan_costs v = Array.map Plan.cycles plans.(v) in
+  let node_cost v p = Plan.cycles ~desc:device plans.(v).(p) in
+  let edge_cost u pu v pv = edge_tc device g plans u pu v pv in
+  let plan_costs v = Array.map (Plan.cycles ~desc:device) plans.(v) in
   let desirable_edge u v =
     let node = Graph.node g v in
     List.length node.Graph.inputs = 1
@@ -54,7 +57,7 @@ let of_plans options (g : Graph.t) plans =
          costs;
        let rows, cols = mat_dims (Graph.node g u).Graph.out_shape in
        let tc =
-         Layout.transform_cycles ~src:plans.(v).(!cx).Plan.layout
+         Layout.transform_cycles_on device ~src:plans.(v).(!cx).Plan.layout
            ~dst:plans.(v).(!ci).Plan.layout ~rows ~cols
        in
        costs.(!cx) -. costs.(!ci) > float_of_int tc)
@@ -111,16 +114,18 @@ type report = {
 (** Evaluate a full plan assignment. *)
 let report t assignment =
   let g = t.graph in
+  let device = t.options.Opcost.device in
   let per_node =
     Array.mapi
       (fun v node ->
         let plan = t.plans.(v).(assignment.(v)) in
         let transform_in =
           List.fold_left
-            (fun acc u -> acc +. edge_tc g t.plans u assignment.(u) v assignment.(v))
+            (fun acc u ->
+              acc +. edge_tc device g t.plans u assignment.(u) v assignment.(v))
             0.0 node.Graph.inputs
         in
-        { node; plan; transform_in; cycles = Plan.cycles plan +. transform_in })
+        { node; plan; transform_in; cycles = Plan.cycles ~desc:device plan +. transform_in })
       g.Graph.nodes
   in
   let total = Array.fold_left (fun a (n : node_report) -> a +. n.cycles) 0.0 per_node in
@@ -137,11 +142,11 @@ let report t assignment =
     Array.fold_left
       (fun a (n : node_report) ->
         (* layout conversions are pure memory traffic at the DDR rate *)
-        a +. n.plan.Plan.mem_bytes +. (n.transform_in *. Config.ddr_bytes_per_cycle))
+        a +. n.plan.Plan.mem_bytes +. (n.transform_in *. device.Desc.ddr_bytes_per_cycle))
       0.0 per_node
   in
   let macs = Array.fold_left (fun a (n : node_report) -> a + n.plan.Plan.macs) 0 per_node in
-  let seconds = Config.ms_of_cycles total /. 1e3 in
+  let seconds = Desc.ms_of_cycles device total /. 1e3 in
   {
     per_node;
     cycles = total;
@@ -149,7 +154,7 @@ let report t assignment =
     staging_cycles = staging;
     mem_bytes = bytes;
     macs;
-    ms = Config.ms_of_cycles total;
+    ms = Desc.ms_of_cycles device total;
     utilization = (if total > 0.0 then compute /. total else 0.0);
     bandwidth_gbs = (if total > 0.0 then bytes /. 1e9 /. seconds else 0.0);
   }

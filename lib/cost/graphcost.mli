@@ -13,8 +13,10 @@ type t = {
 }
 
 (** Transformation cost [TC] along an edge, sized by the producer's output
-    tensor. *)
-val edge_tc : Graph.t -> Plan.t array array -> int -> int -> int -> int -> float
+    tensor and priced at the device's DDR bandwidth. *)
+val edge_tc :
+  Gcd2_devices.Desc.t ->
+  Graph.t -> Plan.t array array -> int -> int -> int -> int -> float
 
 (** [build ?jobs options g] — enumerate every node's plan table and
     assemble the selection problem.  [jobs] (default 1) sets the worker

@@ -19,11 +19,16 @@ module Packer = Gcd2_sched.Packer
 module Stats = Gcd2_util.Stats
 module Graph = Gcd2_graph.Graph
 module Op = Gcd2_graph.Op
+module Desc = Gcd2_devices.Desc
 open Gcd2_graph
 
 type unroll_mode = [ `None | `Out of int | `Mid of int | `Adaptive | `Exhaustive ]
 
 type options = {
+  device : Desc.t;
+      (** target machine description: vector width and padding, slot
+          masks/latencies (through the kernels it generates), DDR and
+          gather bandwidth, dispatch clock *)
   strategy : Packer.strategy;  (** VLIW packing used inside kernels *)
   unroll_mode : unroll_mode;
   layouts : Layout.t list;  (** candidate layouts for layout-flexible ops *)
@@ -44,9 +49,11 @@ type options = {
           keeps transformers off TFLite/SNPE's DSP path, Table IV) *)
 }
 
-(** Full GCD2 configuration. *)
+(** Full GCD2 configuration (on the paper's hexagon698; retarget with
+    [{ gcd2 with device }]). *)
 let gcd2 =
   {
+    device = Desc.hexagon698;
     strategy = Packer.sda;
     unroll_mode = `Adaptive;
     layouts = [ Layout.Row_major; Layout.Col1; Layout.Col2; Layout.Col4 ];
@@ -65,13 +72,15 @@ let mat_dims dims =
   | 1 -> (1, dims.(0))
   | r -> (Array.fold_left ( * ) 1 (Array.sub dims 0 (r - 1)), dims.(r - 1))
 
-let vectors_of layout dims =
+let vectors_of (device : Desc.t) layout dims =
   let rows, cols = mat_dims dims in
-  Stats.ceil_div (Layout.padded_bytes layout ~rows ~cols) 128
+  Stats.ceil_div
+    (Layout.padded_bytes ~desc:device layout ~rows ~cols)
+    device.Desc.vector_bytes
 
-let padded_bytes_of layout dims =
+let padded_bytes_of device layout dims =
   let rows, cols = mat_dims dims in
-  Layout.padded_bytes layout ~rows ~cols
+  Layout.padded_bytes ~desc:device layout ~rows ~cols
 
 let numel = Array.fold_left ( * ) 1
 
@@ -91,12 +100,14 @@ let unroll_for options base_spec ~m ~k ~n =
     matmul of [m] x [k] x [n], with optional fused activation, extra
     host staging cycles and extra memory traffic. *)
 let matmul_plans options ~m ~k ~n ~act ~batch ~staging ~extra_bytes ~extra_macs =
+  let device = options.device in
   List.map
     (fun simd ->
       let group = Layout.column_group (Simd.layout simd) in
       let base =
         {
-          Matmul.simd;
+          Matmul.device;
+          simd;
           m;
           k;
           n;
@@ -115,9 +126,9 @@ let matmul_plans options ~m ~k ~n ~act ~batch ~staging ~extra_bytes ~extra_macs 
       let bytes =
         float_of_int
           (batch
-           *(Weights.activation_bytes simd ~m ~k
+           *(Weights.activation_bytes ~desc:device simd ~m ~k
              + Weights.prepacked_bytes simd ~k ~n
-             + Weights.output_bytes simd ~m ~n))
+             + Weights.output_bytes ~desc:device simd ~m ~n))
         +. extra_bytes
       in
       {
@@ -136,9 +147,11 @@ let matmul_plans options ~m ~k ~n ~act ~batch ~staging ~extra_bytes ~extra_macs 
 (* Layout-flexible plans                                               *)
 
 let flexible_plans options dims_in dims_out ~cycles_of ~bytes_mult ~macs =
+  let device = options.device in
   List.map
     (fun layout ->
-      let vin = vectors_of layout dims_in and vout = vectors_of layout dims_out in
+      let vin = vectors_of device layout dims_in
+      and vout = vectors_of device layout dims_out in
       {
         Plan.layout;
         simd = None;
@@ -147,7 +160,9 @@ let flexible_plans options dims_in dims_out ~cycles_of ~bytes_mult ~macs =
         staging_cycles = 0.0;
         mem_bytes =
           bytes_mult
-          *. float_of_int (padded_bytes_of layout dims_in + padded_bytes_of layout dims_out);
+          *. float_of_int
+               (padded_bytes_of device layout dims_in
+               + padded_bytes_of device layout dims_out);
         macs;
       })
     options.layouts
@@ -174,11 +189,10 @@ let source_plan =
    terms. *)
 let fallback_plan options dims_in dims_out =
   let bytes = float_of_int (numel dims_in + numel dims_out) in
-  let transfer = bytes /. Gcd2_tensor.Layout.ddr_bytes_per_cycle in
+  let transfer = bytes /. options.device.Desc.ddr_bytes_per_cycle in
   let cpu_bytes_per_cycle = 0.4 in
   let cpu = bytes /. cpu_bytes_per_cycle in
-  let round_trip = Config.cycles_of_us 120.0 in
-  ignore options;
+  let round_trip = Desc.cycles_of_us options.device 120.0 in
   [|
     {
       Plan.layout = Layout.Row_major;
@@ -195,13 +209,13 @@ let fallback_plan options dims_in dims_out =
 
 (** Enumerate the execution plans of one node. *)
 let plans options (g : Graph.t) (node : Graph.node) =
-  let strategy = options.strategy in
+  let strategy = options.strategy and device = options.device in
   let pad_channels c = Stats.round_up c options.channel_pad in
   let with_dispatch plans =
     match node.Graph.op with
     | Op.Input _ | Op.Constant _ -> plans
     | _ ->
-      let d = Config.cycles_of_us options.dispatch_us in
+      let d = Desc.cycles_of_us device options.dispatch_us in
       Array.map (fun p -> { p with Plan.staging_cycles = p.Plan.staging_cycles +. d }) plans
   in
   let fallback_or plans =
@@ -233,7 +247,7 @@ let plans options (g : Graph.t) (node : Graph.node) =
     let n = pad_channels cout in
     let windowed = kh > 1 || kw > 1 || stride > 1 in
     let staging =
-      if windowed then float_of_int (m * k) /. Config.gather_bytes_per_cycle else 0.0
+      if windowed then float_of_int (m * k) /. device.Desc.gather_bytes_per_cycle else 0.0
     in
     matmul_plans options ~m ~k ~n ~act:(act <> None) ~batch:1 ~staging ~extra_bytes:0.0
       ~extra_macs:0
@@ -244,7 +258,7 @@ let plans options (g : Graph.t) (node : Graph.node) =
     let ratio = float_of_int (pad_channels c) /. float_of_int c in
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        Streams.dwconv_cycles ~strategy
+        Streams.dwconv_cycles ~device ~strategy
           ~vectors:(int_of_float (Float.ceil (float_of_int vout *. ratio)))
           ~taps)
       ~bytes_mult:ratio ~macs
@@ -255,7 +269,7 @@ let plans options (g : Graph.t) (node : Graph.node) =
     let k = cin and n = cout * kh * kw in
     (* scatter-add of the kh*kw shifted partial outputs happens host-side *)
     let staging =
-      float_of_int (numel out_dims * kh * kw) /. Config.gather_bytes_per_cycle
+      float_of_int (numel out_dims * kh * kw) /. device.Desc.gather_bytes_per_cycle
     in
     matmul_plans options ~m ~k ~n ~act:(act <> None) ~batch:1 ~staging ~extra_bytes:0.0
       ~extra_macs:0
@@ -271,25 +285,25 @@ let plans options (g : Graph.t) (node : Graph.node) =
     let m = din.(r - 2) and k = din.(r - 1) in
     let n = out_dims.(r - 1) in
     (* the dynamic right operand must be prepacked at run time *)
-    let staging = float_of_int (batch * k * n) /. Config.gather_bytes_per_cycle in
+    let staging = float_of_int (batch * k * n) /. device.Desc.gather_bytes_per_cycle in
     matmul_plans options ~m ~k ~n ~act:false ~batch ~staging ~extra_bytes:0.0 ~extra_macs:0
   | Op.Add | Op.Sub ->
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        Streams.binary_cycles ~strategy ~op:Eltwise.Badd ~vectors:vout)
+        Streams.binary_cycles ~device ~strategy ~op:Eltwise.Badd ~vectors:vout)
       ~bytes_mult:1.5 ~macs:0
   | Op.Mul ->
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        Streams.binary_cycles ~strategy ~op:Eltwise.Bmul ~vectors:vout)
+        Streams.binary_cycles ~device ~strategy ~op:Eltwise.Bmul ~vectors:vout)
       ~bytes_mult:1.5 ~macs:(numel out_dims)
   | Op.Div ->
     if options.lut_division then
       (* reciprocal lookup + multiply, the paper's "other optimization" *)
       flexible_plans options (in_dims ()) out_dims
         ~cycles_of:(fun ~vin:_ ~vout ->
-          Streams.unary_cycles ~strategy ~vectors:vout
-          +. Streams.binary_cycles ~strategy ~op:Eltwise.Bmul ~vectors:vout)
+          Streams.unary_cycles ~device ~strategy ~vectors:vout
+          +. Streams.binary_cycles ~device ~strategy ~op:Eltwise.Bmul ~vectors:vout)
         ~bytes_mult:1.5 ~macs:(numel out_dims)
     else
       (* element-by-element scalar division *)
@@ -298,31 +312,31 @@ let plans options (g : Graph.t) (node : Graph.node) =
         ~bytes_mult:1.5 ~macs:0
   | Op.Pow _ | Op.Relu | Op.Relu6 | Op.Hard_swish | Op.Sigmoid | Op.Tanh | Op.Gelu ->
     flexible_plans options (in_dims ()) out_dims
-      ~cycles_of:(fun ~vin:_ ~vout -> Streams.unary_cycles ~strategy ~vectors:vout)
+      ~cycles_of:(fun ~vin:_ ~vout -> Streams.unary_cycles ~device ~strategy ~vectors:vout)
       ~bytes_mult:1.0 ~macs:0
   | Op.Softmax ->
     let rows, _ = mat_dims out_dims in
     let per_row = if options.lut_division then 3.0 else 16.0 in
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        (4.0 *. Streams.unary_cycles ~strategy ~vectors:vout)
+        (4.0 *. Streams.unary_cycles ~device ~strategy ~vectors:vout)
         +. (per_row *. float_of_int rows))
       ~bytes_mult:2.0 ~macs:0
   | Op.Layer_norm ->
     let rows, _ = mat_dims out_dims in
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        (4.0 *. Streams.unary_cycles ~strategy ~vectors:vout)
+        (4.0 *. Streams.unary_cycles ~device ~strategy ~vectors:vout)
         +. (8.0 *. float_of_int rows))
       ~bytes_mult:2.0 ~macs:0
   | Op.Max_pool { kernel; _ } | Op.Avg_pool { kernel; _ } ->
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        Streams.pool_cycles ~strategy ~vectors:vout ~window:(kernel * kernel))
+        Streams.pool_cycles ~device ~strategy ~vectors:vout ~window:(kernel * kernel))
       ~bytes_mult:1.0 ~macs:0
   | Op.Global_avg_pool ->
     flexible_plans options (in_dims ()) out_dims
-      ~cycles_of:(fun ~vin ~vout:_ -> Streams.unary_cycles ~strategy ~vectors:vin)
+      ~cycles_of:(fun ~vin ~vout:_ -> Streams.unary_cycles ~device ~strategy ~vectors:vin)
       ~bytes_mult:1.0 ~macs:0
   | Op.Reshape _ ->
     (* pure view in the interchange layout; physical repack in blocked
@@ -331,7 +345,9 @@ let plans options (g : Graph.t) (node : Graph.node) =
       (fun layout ->
         let c =
           if layout = Layout.Row_major then 0.0
-          else Streams.copy_cycles ~vectors:(vectors_of layout (in_dims ()) + vectors_of layout out_dims)
+          else
+            Streams.copy_cycles
+              ~vectors:(vectors_of device layout (in_dims ()) + vectors_of device layout out_dims)
         in
         {
           Plan.layout;
@@ -391,7 +407,8 @@ let plan_spec options (g : Graph.t) (node : Graph.node) (plan : Plan.t) =
           | _ -> false
         in
         {
-          Matmul.simd;
+          Matmul.device = options.device;
+          simd;
           m;
           k;
           n;

@@ -14,6 +14,10 @@ module Op = Gcd2_graph.Op
 type unroll_mode = [ `None | `Out of int | `Mid of int | `Adaptive | `Exhaustive ]
 
 type options = {
+  device : Gcd2_devices.Desc.t;
+      (** target machine description: vector width and padding, slot
+          masks/latencies (through the generated kernels), DDR and gather
+          bandwidth, dispatch clock *)
   strategy : Packer.strategy;  (** VLIW packing inside kernels *)
   unroll_mode : unroll_mode;
   layouts : Layout.t list;  (** candidates for layout-flexible operators *)
@@ -28,7 +32,8 @@ type options = {
           CPU with a round trip through shared memory *)
 }
 
-(** The full GCD2 configuration. *)
+(** The full GCD2 configuration on the paper's hexagon698; retarget with
+    [{ gcd2 with device }]. *)
 val gcd2 : options
 
 (** Matrix view of a shape: rows = leading dims product, cols = last. *)

@@ -23,9 +23,13 @@ type t = {
 
 (** Roofline node cost: the DSP overlaps compute with DDR traffic, so a
     node takes the max of its compute and memory time, plus any serial
-    staging. *)
-let cycles t =
-  Float.max t.compute_cycles (t.mem_bytes /. Config.ddr_bytes_per_cycle) +. t.staging_cycles
+    staging.  The memory arm uses the target device's sustained DDR
+    bandwidth; the default is the hexagon698 calibration
+    ({!Config.ddr_bytes_per_cycle}). *)
+let cycles ?(desc = Gcd2_devices.Desc.hexagon698) t =
+  Float.max t.compute_cycles
+    (t.mem_bytes /. desc.Gcd2_devices.Desc.ddr_bytes_per_cycle)
+  +. t.staging_cycles
 
 let pp ppf t =
   Fmt.pf ppf "%a%a: %.0f cyc, %.0f B"

@@ -19,7 +19,8 @@ type t = {
   macs : int;
 }
 
-(** Roofline node time: max(compute, memory) plus serial staging. *)
-val cycles : t -> float
+(** Roofline node time: max(compute, memory) plus serial staging; the
+    memory arm uses [desc]'s DDR bandwidth (default hexagon698). *)
+val cycles : ?desc:Gcd2_devices.Desc.t -> t -> float
 
 val pp : Format.formatter -> t -> unit

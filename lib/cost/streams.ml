@@ -9,53 +9,60 @@ module Packer = Gcd2_sched.Packer
 module Emit = Gcd2_codegen.Emit
 module Eltwise = Gcd2_codegen.Eltwise
 module Regs = Gcd2_codegen.Regs
+module Desc = Gcd2_devices.Desc
 
 (* Each costing below is memoized (Gcd2_util.Memo) on the complete set of
    parameters that reach the emitter — the memo key IS the argument
    tuple.  A new parameter to any [*_cycles] must be added to that
-   table's key tuple, or distinct streams will alias one cached count. *)
-let unary_memo : (Packer.strategy * int, float) Gcd2_util.Memo.t =
+   table's key tuple, or distinct streams will alias one cached count.
+   The device descriptor leads every key: two devices must never share a
+   cached count (vector width and latencies both flow into it). *)
+let unary_memo : (Desc.t * Packer.strategy * int, float) Gcd2_util.Memo.t =
   Gcd2_util.Memo.create "stream-unary"
 
-let binary_memo : (Packer.strategy * Eltwise.binary * int, float) Gcd2_util.Memo.t =
+let binary_memo : (Desc.t * Packer.strategy * Eltwise.binary * int, float) Gcd2_util.Memo.t
+    =
   Gcd2_util.Memo.create "stream-binary"
 
-let dwconv_memo : (Packer.strategy * int * int, float) Gcd2_util.Memo.t =
+let dwconv_memo : (Desc.t * Packer.strategy * int * int, float) Gcd2_util.Memo.t =
   Gcd2_util.Memo.create "stream-dwconv"
 
-let pool_memo : (Packer.strategy * int * int, float) Gcd2_util.Memo.t =
+let pool_memo : (Desc.t * Packer.strategy * int * int, float) Gcd2_util.Memo.t =
   Gcd2_util.Memo.create "stream-pool"
 
 (** Cycles of a unary pass (load, table lookup, store) over [vectors]
-    128-byte vectors. *)
-let unary_cycles ~strategy ~vectors =
+    device-width vectors. *)
+let unary_cycles ~device ~strategy ~vectors =
   if vectors <= 0 then 0.0
   else
-    Gcd2_util.Memo.find_or_add unary_memo (strategy, vectors) (fun () ->
-        let s = { (Eltwise.default_spec ~strategy ~vectors ()) with Eltwise.uv = 2 } in
+    Gcd2_util.Memo.find_or_add unary_memo (device, strategy, vectors) (fun () ->
+        let s =
+          { (Eltwise.default_spec ~strategy ~device ~vectors ()) with Eltwise.uv = 2 }
+        in
         let prog = Eltwise.unary ~table:0 s ~in_base:0 ~out_base:0 in
-        float_of_int (Program.static_cycles prog))
+        float_of_int (Program.static_cycles ~desc:device prog))
 
 (** Cycles of a binary elementwise pass. *)
-let binary_cycles ~strategy ~op ~vectors =
+let binary_cycles ~device ~strategy ~op ~vectors =
   if vectors <= 0 then 0.0
   else
-    Gcd2_util.Memo.find_or_add binary_memo (strategy, op, vectors) (fun () ->
-        let s = Eltwise.default_spec ~strategy ~vectors () in
+    Gcd2_util.Memo.find_or_add binary_memo (device, strategy, op, vectors) (fun () ->
+        let s = Eltwise.default_spec ~strategy ~device ~vectors () in
         let prog =
           Eltwise.binary op s { Eltwise.a_base = 0; b_base = 4096; out_base = 8192 }
         in
-        float_of_int (Program.static_cycles prog))
+        float_of_int (Program.static_cycles ~desc:device prog))
 
 (** Depthwise convolution stream: per output vector, one shifted load and
     one cyclic multiply per tap, a 16->32 drain every other tap, and the
     requantize/store epilogue.  Weight words are loaded once per tap per
     panel, amortized across the pixel dimension. *)
-let dwconv_cycles ~strategy ~vectors ~taps =
+let dwconv_cycles ~device ~strategy ~vectors ~taps =
   if vectors <= 0 then 0.0
   else
-    Gcd2_util.Memo.find_or_add dwconv_memo (strategy, vectors, taps) @@ fun () ->
-    let pool = Regs.create () in
+    Gcd2_util.Memo.find_or_add dwconv_memo (device, strategy, vectors, taps) @@ fun () ->
+    let vb = device.Desc.vector_bytes in
+    let pool = Regs.create ~desc:device () in
     let ra = Regs.scalar pool and ro = Regs.scalar pool and rw = Regs.scalar pool in
     let rwv = [| Regs.scalar pool; Regs.scalar pool |] in
     let va = [| Regs.vector pool; Regs.vector pool |] in
@@ -68,7 +75,7 @@ let dwconv_cycles ~strategy ~vectors ~taps =
     Emit.vzero e acc_o;
     for t = 0 to taps - 1 do
       Emit.sload e rwv.(t mod 2) rw (t * 4);
-      Emit.vload e va.(t mod 2) ra (t * 128);
+      Emit.vload e va.(t mod 2) ra (t * vb);
       Emit.vmpy e tmp va.(t mod 2) rwv.(t mod 2);
       if t mod 2 = 1 || t = taps - 1 then begin
         let t_lo, t_hi = Regs.halves tmp in
@@ -89,34 +96,35 @@ let dwconv_cycles ~strategy ~vectors ~taps =
     Emit.vshuff e tmp pk Instr.W16;
     Emit.vpack e outv tmp Instr.W16;
     Emit.vstore e ro 0 outv;
-    Emit.bump e ra 128;
-    Emit.bump e ro 128;
-    let body = Emit.block ~strategy e in
+    Emit.bump e ra vb;
+    Emit.bump e ro vb;
+    let body = Emit.block ~desc:device ~strategy e in
     let prog = Program.make "dwconv_stream" [ Emit.loop ~trip:vectors [ body ] ] in
-    float_of_int (Program.static_cycles prog)
+    float_of_int (Program.static_cycles ~desc:device prog)
 
 (** Pooling stream: per output vector, one load and one lane-wise
     max/average per window position. *)
-let pool_cycles ~strategy ~vectors ~window =
+let pool_cycles ~device ~strategy ~vectors ~window =
   if vectors <= 0 then 0.0
   else
-    Gcd2_util.Memo.find_or_add pool_memo (strategy, vectors, window) @@ fun () ->
-    let pool = Regs.create () in
+    Gcd2_util.Memo.find_or_add pool_memo (device, strategy, vectors, window) @@ fun () ->
+    let vb = device.Desc.vector_bytes in
+    let pool = Regs.create ~desc:device () in
     let ra = Regs.scalar pool and ro = Regs.scalar pool in
     let acc = Regs.vector pool in
     let va = [| Regs.vector pool; Regs.vector pool |] in
     let e = Emit.create () in
     Emit.vload e acc ra 0;
     for t = 1 to window - 1 do
-      Emit.vload e va.(t mod 2) ra (t * 128);
+      Emit.vload e va.(t mod 2) ra (t * vb);
       Emit.emit e (Instr.Valu (Instr.Vmax, Instr.W8, acc, acc, va.(t mod 2)))
     done;
     Emit.vstore e ro 0 acc;
-    Emit.bump e ra 128;
-    Emit.bump e ro 128;
-    let body = Emit.block ~strategy e in
+    Emit.bump e ra vb;
+    Emit.bump e ro vb;
+    let body = Emit.block ~desc:device ~strategy e in
     let prog = Program.make "pool_stream" [ Emit.loop ~trip:vectors [ body ] ] in
-    float_of_int (Program.static_cycles prog)
+    float_of_int (Program.static_cycles ~desc:device prog)
 
 (** Pure data-movement cost in cycles (layout repacking, transpose,
     concat, padding): one load, one permute and one store per vector,

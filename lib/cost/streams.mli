@@ -1,22 +1,39 @@
 (** Cost streams: representative generated-and-packed instruction
     sequences for host-staged operators; only cycle counts are consumed,
     but the class mix is real so the packer and latency model price them
-    faithfully. *)
+    faithfully.  Every costing takes the target device and folds it into
+    its memo key, so two devices never share a cached count. *)
 
 module Packer = Gcd2_sched.Packer
 module Eltwise = Gcd2_codegen.Eltwise
 
 (** One unary pass (load, lookup, store) over [vectors] vectors. *)
-val unary_cycles : strategy:Packer.strategy -> vectors:int -> float
+val unary_cycles :
+  device:Gcd2_devices.Desc.t -> strategy:Packer.strategy -> vectors:int -> float
 
-val binary_cycles : strategy:Packer.strategy -> op:Eltwise.binary -> vectors:int -> float
+val binary_cycles :
+  device:Gcd2_devices.Desc.t ->
+  strategy:Packer.strategy ->
+  op:Eltwise.binary ->
+  vectors:int ->
+  float
 
 (** Depthwise convolution: a shifted load + cyclic multiply per tap, with
     drains and the requantize/store epilogue. *)
-val dwconv_cycles : strategy:Packer.strategy -> vectors:int -> taps:int -> float
+val dwconv_cycles :
+  device:Gcd2_devices.Desc.t ->
+  strategy:Packer.strategy ->
+  vectors:int ->
+  taps:int ->
+  float
 
 (** Pooling: one load and lane-wise max/avg per window position. *)
-val pool_cycles : strategy:Packer.strategy -> vectors:int -> window:int -> float
+val pool_cycles :
+  device:Gcd2_devices.Desc.t ->
+  strategy:Packer.strategy ->
+  vectors:int ->
+  window:int ->
+  float
 
 (** Pure data movement (repack/transpose/concat/pad). *)
 val copy_cycles : vectors:int -> float

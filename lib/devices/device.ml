@@ -8,74 +8,79 @@
     fitted to the paper's own Table I measurements, and an idle + busy
     power model.  DESIGN.md documents this substitution. *)
 
-(* ------------------------------------------------------------------ *)
-(* Mobile CPU / GPU latency (Table I's comparison points)              *)
+(** The analytic paper-context models, segregated so {!Desc} owns the
+    device namespace. *)
+module Context = struct
 
-type xpu = {
-  name : string;
-  effective_gops : float;  (** sustained int8/fp16 ops per second, large kernels *)
-  dispatch_ms : float;  (** per-operator framework overhead *)
-  efficiency : float -> float;
-      (** model-size-dependent derating (small models underutilize wide
-          engines) *)
-}
+  (* ------------------------------------------------------------------ *)
+  (* Mobile CPU / GPU latency (Table I's comparison points)              *)
 
-let cpu =
-  {
-    name = "CPU (int8)";
-    effective_gops = 95.0;
-    dispatch_ms = 0.10;
-    (* small graphs cannot keep 8 asymmetric cores busy *)
-    efficiency = (fun gmacs -> Float.min 1.0 (0.25 +. (0.18 *. Float.max 0.0 (log10 (gmacs *. 10.0)))));
+  type xpu = {
+    name : string;
+    effective_gops : float;  (** sustained int8/fp16 ops per second, large kernels *)
+    dispatch_ms : float;  (** per-operator framework overhead *)
+    efficiency : float -> float;
+        (** model-size-dependent derating (small models underutilize wide
+            engines) *)
   }
 
-let gpu =
-  {
-    name = "GPU (fp16)";
-    effective_gops = 420.0;
-    dispatch_ms = 0.035;
-    efficiency = (fun gmacs -> Float.min 1.0 (0.35 +. (0.16 *. Float.max 0.0 (log10 (gmacs *. 10.0)))));
-  }
+  let cpu =
+    {
+      name = "CPU (int8)";
+      effective_gops = 95.0;
+      dispatch_ms = 0.10;
+      (* small graphs cannot keep 8 asymmetric cores busy *)
+      efficiency = (fun gmacs -> Float.min 1.0 (0.25 +. (0.18 *. Float.max 0.0 (log10 (gmacs *. 10.0)))));
+    }
 
-(** Latency of a model on a CPU/GPU-style device. *)
-let xpu_latency_ms d ~gmacs ~ops =
-  let throughput = d.effective_gops *. 1e9 *. d.efficiency gmacs in
-  (2.0 *. gmacs *. 1e9 /. throughput *. 1e3) +. (d.dispatch_ms *. float_of_int ops)
+  let gpu =
+    {
+      name = "GPU (fp16)";
+      effective_gops = 420.0;
+      dispatch_ms = 0.035;
+      efficiency = (fun gmacs -> Float.min 1.0 (0.35 +. (0.16 *. Float.max 0.0 (log10 (gmacs *. 10.0)))));
+    }
 
-(* ------------------------------------------------------------------ *)
-(* Power models (Figure 13, Tables I and V)                            *)
+  (** Latency of a model on a CPU/GPU-style device. *)
+  let xpu_latency_ms d ~gmacs ~ops =
+    let throughput = d.effective_gops *. 1e9 *. d.efficiency gmacs in
+    (2.0 *. gmacs *. 1e9 /. throughput *. 1e3) +. (d.dispatch_ms *. float_of_int ops)
 
-(** DSP package power: idle rail plus utilization-scaled dynamic power.
-    Better-utilized implementations draw slightly more power but finish
-    far sooner, which is why GCD2 wins on energy (frames/Watt) while
-    drawing ~7% more than TFLite/SNPE (paper Section V-D). *)
-let dsp_power_w ~utilization = 1.1 +. (2.2 *. utilization)
+  (* ------------------------------------------------------------------ *)
+  (* Power models (Figure 13, Tables I and V)                            *)
 
-(** Mobile GPU power grows with sustained occupancy (bigger models keep
-    the ALUs lit): the paper reports 2.1 W (EfficientNet) to 3.8 W
-    (CycleGAN). *)
-let gpu_power_w ~gmacs = 2.9 +. (0.9 *. Float.min 1.0 (gmacs /. 186.0))
+  (** DSP package power: idle rail plus utilization-scaled dynamic power.
+      Better-utilized implementations draw slightly more power but finish
+      far sooner, which is why GCD2 wins on energy (frames/Watt) while
+      drawing ~7% more than TFLite/SNPE (paper Section V-D). *)
+  let dsp_power_w ~utilization = 1.1 +. (2.2 *. utilization)
 
-(* whole-cluster burn of saturated big cores; small models spin the
-   cores hardest relative to useful work *)
-let cpu_power_w ~gmacs = 12.0 +. (10.0 *. exp (-.gmacs /. 0.6))
+  (** Mobile GPU power grows with sustained occupancy (bigger models keep
+      the ALUs lit): the paper reports 2.1 W (EfficientNet) to 3.8 W
+      (CycleGAN). *)
+  let gpu_power_w ~gmacs = 2.9 +. (0.9 *. Float.min 1.0 (gmacs /. 186.0))
 
-(* ------------------------------------------------------------------ *)
-(* Embedded accelerators (Table V): published operating points          *)
+  (* whole-cluster burn of saturated big cores; small models spin the
+     cores hardest relative to useful work *)
+  let cpu_power_w ~gmacs = 12.0 +. (10.0 *. exp (-.gmacs /. 0.6))
 
-type accelerator = { name : string; dtype : string; fps : float; power_w : float }
+  (* ------------------------------------------------------------------ *)
+  (* Embedded accelerators (Table V): published operating points          *)
 
-let edgetpu = { name = "EdgeTPU"; dtype = "int8"; fps = 17.8; power_w = 2.0 }
-let jetson_fp16 = { name = "Jetson Xavier"; dtype = "fp16"; fps = 291.0; power_w = 30.0 }
-let jetson_int8 = { name = "Jetson Xavier"; dtype = "int8"; fps = 1100.0; power_w = 30.0 }
+  type accelerator = { name : string; dtype : string; fps : float; power_w : float }
 
-let fpw a = a.fps /. a.power_w
+  let edgetpu = { name = "EdgeTPU"; dtype = "int8"; fps = 17.8; power_w = 2.0 }
+  let jetson_fp16 = { name = "Jetson Xavier"; dtype = "fp16"; fps = 291.0; power_w = 30.0 }
+  let jetson_int8 = { name = "Jetson Xavier"; dtype = "int8"; fps = 1100.0; power_w = 30.0 }
 
-(** Frames per second and frames per Watt of a DSP solution. *)
-let dsp_fps ~latency_ms = 1000.0 /. latency_ms
+  let fpw a = a.fps /. a.power_w
 
-let dsp_fpw ~latency_ms ~utilization =
-  dsp_fps ~latency_ms /. dsp_power_w ~utilization
+  (** Frames per second and frames per Watt of a DSP solution. *)
+  let dsp_fps ~latency_ms = 1000.0 /. latency_ms
 
-(** Energy per inference in millijoules. *)
-let energy_mj ~latency_ms ~power_w = latency_ms *. power_w
+  let dsp_fpw ~latency_ms ~utilization =
+    dsp_fps ~latency_ms /. dsp_power_w ~utilization
+
+  (** Energy per inference in millijoules. *)
+  let energy_mj ~latency_ms ~power_w = latency_ms *. power_w
+end

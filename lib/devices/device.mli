@@ -3,31 +3,34 @@
     paper's own measurements, and idle + busy power models.  Not part of
     the contribution; see DESIGN.md. *)
 
-type xpu = {
-  name : string;
-  effective_gops : float;
-  dispatch_ms : float;  (** per-operator framework overhead *)
-  efficiency : float -> float;  (** model-size derating *)
-}
+module Context : sig
 
-val cpu : xpu
-val gpu : xpu
+  type xpu = {
+    name : string;
+    effective_gops : float;
+    dispatch_ms : float;  (** per-operator framework overhead *)
+    efficiency : float -> float;  (** model-size derating *)
+  }
 
-val xpu_latency_ms : xpu -> gmacs:float -> ops:int -> float
+  val cpu : xpu
+  val gpu : xpu
 
-(** DSP package power: idle rail + utilization-scaled dynamic power. *)
-val dsp_power_w : utilization:float -> float
+  val xpu_latency_ms : xpu -> gmacs:float -> ops:int -> float
 
-val gpu_power_w : gmacs:float -> float
-val cpu_power_w : gmacs:float -> float
+  (** DSP package power: idle rail + utilization-scaled dynamic power. *)
+  val dsp_power_w : utilization:float -> float
 
-type accelerator = { name : string; dtype : string; fps : float; power_w : float }
+  val gpu_power_w : gmacs:float -> float
+  val cpu_power_w : gmacs:float -> float
 
-val edgetpu : accelerator
-val jetson_fp16 : accelerator
-val jetson_int8 : accelerator
-val fpw : accelerator -> float
+  type accelerator = { name : string; dtype : string; fps : float; power_w : float }
 
-val dsp_fps : latency_ms:float -> float
-val dsp_fpw : latency_ms:float -> utilization:float -> float
-val energy_mj : latency_ms:float -> power_w:float -> float
+  val edgetpu : accelerator
+  val jetson_fp16 : accelerator
+  val jetson_int8 : accelerator
+  val fpw : accelerator -> float
+
+  val dsp_fps : latency_ms:float -> float
+  val dsp_fpw : latency_ms:float -> utilization:float -> float
+  val energy_mj : latency_ms:float -> power_w:float -> float
+end

@@ -28,7 +28,8 @@ module Graph = Gcd2_graph.Graph
 
 let uniform_kernel_opcost =
   {
-    Opcost.strategy = Packer.In_order;
+    Opcost.device = Gcd2_devices.Desc.hexagon698;
+    strategy = Packer.In_order;
     unroll_mode = `Out 2;
     layouts = [ Layout.Col4 ];
     simds = [ Simd.I_vrmpy ];

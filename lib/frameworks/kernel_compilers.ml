@@ -54,7 +54,8 @@ let conv_mkn ~n ~h ~w ~c ~kh ~kw ~stride ~pad ~cout =
 
 let base_spec ?(addressing = Matmul.Bump) simd strategy ~m ~k ~n =
   {
-    Matmul.simd;
+    Matmul.device = Gcd2_devices.Desc.hexagon698;
+    simd;
     m;
     k;
     n;

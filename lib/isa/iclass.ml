@@ -31,6 +31,21 @@ type t =
 
 let all = [ Salu; Smul; Ld; St; Valu; Vmpy; Vmpy_deep; Vshift; Vperm ]
 
+module Desc = Gcd2_devices.Desc
+
+(** Index of the class in a {!Gcd2_devices.Desc} per-class array (the
+    descriptor's documented fixed order). *)
+let index = function
+  | Salu -> 0
+  | Smul -> 1
+  | Ld -> 2
+  | St -> 3
+  | Valu -> 4
+  | Vmpy -> 5
+  | Vmpy_deep -> 6
+  | Vshift -> 7
+  | Vperm -> 8
+
 let name = function
   | Salu -> "salu"
   | Smul -> "smul"
@@ -42,31 +57,27 @@ let name = function
   | Vshift -> "vshift"
   | Vperm -> "vperm"
 
-(** Slots (0..3) in which an instruction of this class may issue. *)
-let slots = function
-  | St -> [ 0 ]
-  | Ld -> [ 0; 1 ]
-  | Salu -> [ 0; 1; 2; 3 ]
-  | Smul -> [ 2; 3 ]
-  | Valu -> [ 1; 2; 3 ]
-  | Vmpy | Vmpy_deep -> [ 2; 3 ]
-  | Vshift -> [ 2 ]
-  | Vperm -> [ 3 ]
+(** {!slots} as a bitmask (bit [s] set iff slot [s] is allowed) on a
+    given device — the form the packer's feasibility check consumes. *)
+let slot_mask_on (d : Desc.t) c = d.Desc.slot_masks.(index c)
 
-(** {!slots} as a bitmask (bit [s] set iff slot [s] is allowed) — the
-    form the packer's feasibility check consumes. *)
-let slot_mask c = List.fold_left (fun m s -> m lor (1 lsl s)) 0 (slots c)
+(** Slots in which an instruction of this class may issue on device [d]. *)
+let slots_on d c =
+  let m = slot_mask_on d c in
+  List.filter (fun s -> m land (1 lsl s) <> 0) (List.init 16 Fun.id)
 
-(** Cycles from issue to result write-back (see module doc). *)
-let latency = function
-  | Salu -> 3
-  | Smul -> 4
-  | Ld -> 4
-  | St -> 3
-  | Valu -> 3
-  | Vmpy -> 4
-  | Vmpy_deep -> 6
-  | Vshift -> 3
-  | Vperm -> 3
+(** Cycles from issue to result write-back on device [d]. *)
+let latency_on (d : Desc.t) c = d.Desc.latencies.(index c)
+
+(** Slots (0..3) in which the class may issue on the default
+    {!Desc.hexagon698} (the slot map of the module documentation). *)
+let slots c = slots_on Desc.hexagon698 c
+
+(** {!slots} as a bitmask on the default {!Desc.hexagon698}. *)
+let slot_mask c = slot_mask_on Desc.hexagon698 c
+
+(** Cycles from issue to result write-back on the default
+    {!Desc.hexagon698} (see module doc). *)
+let latency c = latency_on Desc.hexagon698 c
 
 let pp ppf c = Fmt.string ppf (name c)

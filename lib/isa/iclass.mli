@@ -18,14 +18,29 @@ type t =
 val all : t list
 val name : t -> string
 
-(** Slots (0..3) in which the class may issue. *)
+(** Index of the class in a {!Gcd2_devices.Desc} per-class array
+    ([slot_masks] / [latencies]). *)
+val index : t -> int
+
+(** Slots in which the class may issue on a device. *)
+val slots_on : Gcd2_devices.Desc.t -> t -> int list
+
+(** {!slots_on} as a bitmask: bit [s] set iff slot [s] is allowed. *)
+val slot_mask_on : Gcd2_devices.Desc.t -> t -> int
+
+(** Issue-to-writeback cycles on a device. *)
+val latency_on : Gcd2_devices.Desc.t -> t -> int
+
+(** Slots (0..3) in which the class may issue on the default
+    {!Gcd2_devices.Desc.hexagon698}. *)
 val slots : t -> int list
 
 (** {!slots} as a bitmask: bit [s] set iff slot [s] is allowed. *)
 val slot_mask : t -> int
 
-(** Issue-to-writeback cycles (three-stage pipeline of the paper's Fig. 4,
-    plus extra execute stages for loads/multiplies). *)
+(** Issue-to-writeback cycles on the default device (three-stage pipeline
+    of the paper's Fig. 4, plus extra execute stages for
+    loads/multiplies). *)
 val latency : t -> int
 
 val pp : Format.formatter -> t -> unit

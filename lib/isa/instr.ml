@@ -120,6 +120,9 @@ let iclass = function
 
 let latency i = Iclass.latency (iclass i)
 
+(** Per-device {!latency}. *)
+let latency_on d i = Iclass.latency_on d (iclass i)
+
 (** Number of 8-bit multiply-accumulate operations performed (for the
     utilization counters). *)
 let macs = function

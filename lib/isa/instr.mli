@@ -68,6 +68,9 @@ val iclass : t -> Iclass.t
 
 val latency : t -> int
 
+(** Per-device {!latency}. *)
+val latency_on : Gcd2_devices.Desc.t -> t -> int
+
 (** 8-bit multiply-accumulates performed (utilization counters). *)
 val macs : t -> int
 

@@ -13,14 +13,20 @@
 
 type t = Instr.t list
 
+module Desc = Gcd2_devices.Desc
+
 let max_size = 4
 
-(* Exact slot-assignment check over {!Iclass.slot_mask} bitmasks: does an
-   injective map of instructions to slots 0..3 exist?  Backtracking over
-   at most 4 masks; existence is order-independent, so callers may pass
-   masks in any order.  This is the packer's hot legality primitive — no
-   lists, no [Instr.t] in sight. *)
-let masks_feasible masks =
+(** Packet capacity of a device (instructions issued per cycle). *)
+let capacity (d : Desc.t) = d.Desc.slot_count
+
+(* Exact slot-assignment check over {!Iclass.slot_mask_on} bitmasks: does
+   an injective map of instructions to the device's slots exist?
+   Backtracking over at most [slot_count] masks; existence is
+   order-independent, so callers may pass masks in any order.  This is
+   the packer's hot legality primitive — no lists, no [Instr.t] in
+   sight. *)
+let masks_feasible ?(desc = Desc.hexagon698) masks =
   let rec assign used = function
     | [] -> true
     | m :: rest ->
@@ -32,11 +38,11 @@ let masks_feasible masks =
       done;
       !ok
   in
-  List.length masks <= max_size && assign 0 masks
+  List.length masks <= capacity desc && assign 0 masks
 
 (** Does a slot assignment exist for these instructions? *)
-let slots_feasible instrs =
-  masks_feasible (List.map (fun i -> Iclass.slot_mask (Instr.iclass i)) instrs)
+let slots_feasible ?(desc = Desc.hexagon698) instrs =
+  masks_feasible ~desc (List.map (fun i -> Iclass.slot_mask_on desc (Instr.iclass i)) instrs)
 
 (* Hard dependencies forbid co-packing. *)
 let rec no_hard_pairs = function
@@ -47,7 +53,7 @@ let rec no_hard_pairs = function
 
 (** A packet is legal iff it fits the slots and contains no hard
     dependency. *)
-let legal instrs = slots_feasible instrs && no_hard_pairs instrs
+let legal ?desc instrs = slots_feasible ?desc instrs && no_hard_pairs instrs
 
 (** [stall p] — extra cycles caused by intra-packet soft-dependency chains:
     the longest penalty-weighted soft path inside the packet. *)
@@ -66,10 +72,10 @@ let stall (p : t) =
 
 (** Issue-to-completion cycles of the packet: max latency + soft stalls.
     The empty packet costs nothing. *)
-let cycles (p : t) =
+let cycles ?(desc = Desc.hexagon698) (p : t) =
   match p with
   | [] -> 0
-  | _ -> List.fold_left (fun m i -> max m (Instr.latency i)) 0 p + stall p
+  | _ -> List.fold_left (fun m i -> max m (Instr.latency_on desc i)) 0 p + stall p
 
 let pp ppf (p : t) =
   Fmt.pf ppf "{ %a }" Fmt.(list ~sep:(any "; ") Instr.pp) p

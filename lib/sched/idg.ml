@@ -35,7 +35,7 @@ let decode = function
   | 1 -> Some Dep.Hard
   | c -> Some (Dep.Soft (c - 2))
 
-let build instrs =
+let build ?(desc = Gcd2_devices.Desc.hexagon698) instrs =
   let n = Array.length instrs in
   let infos = Array.map Dep.info instrs in
   let succ = Array.make n [] and pred = Array.make n [] in
@@ -74,8 +74,8 @@ let build instrs =
     done;
     ancestors.(j) <- !count
   done;
-  let lat = Array.map Instr.latency instrs in
-  let slot_mask = Array.map (fun i -> Iclass.slot_mask (Instr.iclass i)) instrs in
+  let lat = Array.map (Instr.latency_on desc) instrs in
+  let slot_mask = Array.map (fun i -> Iclass.slot_mask_on desc (Instr.iclass i)) instrs in
   { instrs; succ; pred; order; ancestors; lat; slot_mask; kinds }
 
 let size t = Array.length t.instrs

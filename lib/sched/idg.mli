@@ -14,12 +14,14 @@ type t = {
   pred : (int * Dep.kind) list array;  (** incoming edges *)
   order : int array;  (** longest hop distance from an entry (paper's [i.order]) *)
   ancestors : int array;  (** transitive predecessor count (paper's [i.pred]) *)
-  lat : int array;  (** [Instr.latency], by instruction index *)
-  slot_mask : int array;  (** [Iclass.slot_mask] of the class, by index *)
+  lat : int array;  (** [Instr.latency_on], by instruction index *)
+  slot_mask : int array;  (** [Iclass.slot_mask_on] of the class, by index *)
   kinds : Bytes.t;  (** n×n dependence-kind matrix; query via {!edge} *)
 }
 
-val build : Instr.t array -> t
+(** Build the IDG, baking the device's latencies and slot masks into
+    [lat]/[slot_mask] (default {!Gcd2_devices.Desc.hexagon698}). *)
+val build : ?desc:Gcd2_devices.Desc.t -> Instr.t array -> t
 val size : t -> int
 
 (** [edge t i j] — the dependency from [i] to [j] ([i < j] in program

@@ -29,6 +29,7 @@
     tests in the test suite pin across random blocks and every strategy. *)
 
 open Gcd2_isa
+module Desc = Gcd2_devices.Desc
 
 type strategy =
   | Sda of { w : float; p : float }
@@ -106,10 +107,11 @@ let edge_between idg i j = if i < j then Idg.edge idg i j else Idg.edge idg j i
 
 (* Candidate legality against the open packet: no hard pair with a member
    (members are pairwise legal by construction) and a slot assignment
-   exists for the member masks plus the candidate's. *)
-let legal_with idg members i =
+   exists for the member masks plus the candidate's.  The masks in the IDG
+   are already the device's; [desc] only bounds the packet capacity. *)
+let legal_with ~desc idg members i =
   List.for_all (fun m -> not (hard_between idg m i)) members
-  && Packet.masks_feasible
+  && Packet.masks_feasible ~desc
        (idg.Idg.slot_mask.(i) :: List.map (fun m -> idg.Idg.slot_mask.(m)) members)
 
 (* ------------------------------------------------------------------ *)
@@ -122,7 +124,7 @@ let legal_with idg members i =
    Joining the packet unpins soft predecessors (unless as_hard);
    retiring at the end of the round unpins the rest, so every edge is
    decremented exactly once over the lifetime of its successor. *)
-let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate idg =
+let pack_bottom_up ~desc ~w ~pscale ~as_hard ~penalize ~gate idg =
   let n = Idg.size idg in
   let alive = Array.make n true in
   let member = Array.make n false in
@@ -155,13 +157,13 @@ let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate idg =
     in
     join seed;
     let full = ref false in
-    while (not !full) && !mcount < Packet.max_size do
+    while (not !full) && !mcount < Packet.capacity desc do
       (* select_instruction of Algorithm 1: same ascending scan and same
          replace-on-ties rule as the reference, so the chosen index is
          identical — only the per-candidate work is cheaper. *)
       let best = ref None in
       for i = 0 to n - 1 do
-        if alive.(i) && (not member.(i)) && blockers.(i) = 0 && legal_with idg !members i
+        if alive.(i) && (not member.(i)) && blockers.(i) = 0 && legal_with ~desc idg !members i
         then begin
           let lat = idg.Idg.lat.(i) in
           let score =
@@ -217,7 +219,7 @@ let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate idg =
 
 (* Conventional top-down list scheduling, all dependencies treated as hard
    (the behaviour the paper ascribes to the Halide/TVM/RAKE backends). *)
-let pack_list_topdown idg =
+let pack_list_topdown ~desc idg =
   let n = Idg.size idg in
   (* Priority: heaviest latency path to the exit. *)
   let weight = Array.make n 0 in
@@ -234,7 +236,7 @@ let pack_list_topdown idg =
   while !done_count < n do
     let members = ref [] in
     let progress = ref true in
-    while !progress && List.length !members < Packet.max_size do
+    while !progress && List.length !members < Packet.capacity desc do
       progress := false;
       let best = ref None in
       for i = 0 to n - 1 do
@@ -244,7 +246,7 @@ let pack_list_topdown idg =
           && unpreds.(i) = 0
           && (* all dependencies hard: no co-packing with any dependence *)
           List.for_all (fun j -> edge_between idg i j = None) !members
-          && Packet.masks_feasible
+          && Packet.masks_feasible ~desc
                (idg.Idg.slot_mask.(i)
                :: List.map (fun m -> idg.Idg.slot_mask.(m)) !members)
         then
@@ -276,13 +278,13 @@ let pack_list_topdown idg =
 (* The in-order packetizer: no reordering; a packet closes as soon as the
    next instruction cannot join it (any dependency with a member counts,
    soft included). *)
-let pack_in_order idg =
+let pack_in_order ~desc idg =
   let n = Idg.size idg in
   let packets = ref [] and cur = ref [] in
   for i = 0 to n - 1 do
     let ok =
       List.for_all (fun j -> edge_between idg i j = None) !cur
-      && Packet.masks_feasible
+      && Packet.masks_feasible ~desc
            (idg.Idg.slot_mask.(i) :: List.map (fun m -> idg.Idg.slot_mask.(m)) !cur)
     in
     if ok then cur := insert_sorted i !cur
@@ -297,8 +299,9 @@ let pack_in_order idg =
 module Trace = Gcd2_util.Trace
 
 (* Strategy dispatch over a prebuilt IDG (built once per block — the Sda
-   dual-policy run shares it). *)
-let pack_indices_idg strategy idg =
+   dual-policy run shares it).  The IDG must have been built with the same
+   [desc]. *)
+let pack_indices_idg ?(desc = Desc.hexagon698) strategy idg =
   match strategy with
   | Sda { w; p } ->
     (* The stall penalty pays off in slot-saturated code (avoid stalls,
@@ -307,30 +310,36 @@ let pack_indices_idg strategy idg =
        The penalty is "empirically decided" (the paper); we decide it
        per block by packing under both policies and keeping the cheaper
        schedule. *)
-    let with_gate = pack_bottom_up ~w ~pscale:p ~as_hard:false ~penalize:true ~gate:true idg in
-    let without = pack_bottom_up ~w ~pscale:0.0 ~as_hard:false ~penalize:true ~gate:false idg in
+    let with_gate =
+      pack_bottom_up ~desc ~w ~pscale:p ~as_hard:false ~penalize:true ~gate:true idg
+    in
+    let without =
+      pack_bottom_up ~desc ~w ~pscale:0.0 ~as_hard:false ~penalize:true ~gate:false idg
+    in
     let cost packets =
       List.fold_left (fun acc members -> acc + members_cycles idg members) 0 packets
     in
     if cost with_gate <= cost without then with_gate else without
   | Soft_to_hard ->
-    pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:true ~penalize:false ~gate:false idg
+    pack_bottom_up ~desc ~w:default_w ~pscale:0.0 ~as_hard:true ~penalize:false
+      ~gate:false idg
   | Soft_to_none ->
-    pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:false ~penalize:false ~gate:false idg
-  | List_topdown -> pack_list_topdown idg
-  | In_order -> pack_in_order idg
+    pack_bottom_up ~desc ~w:default_w ~pscale:0.0 ~as_hard:false ~penalize:false
+      ~gate:false idg
+  | List_topdown -> pack_list_topdown ~desc idg
+  | In_order -> pack_in_order ~desc idg
 
 (** [pack_indices strategy instrs] packs one basic block (given in program
     order) and returns packets as ascending instruction-index lists. *)
-let pack_indices strategy instrs =
+let pack_indices ?desc strategy instrs =
   if Array.length instrs = 0 then []
   else begin
     let idg = ref None in
     let packets =
       Trace.in_span "pack" @@ fun () ->
-      let g = Idg.build instrs in
+      let g = Idg.build ?desc instrs in
       idg := Some g;
-      pack_indices_idg strategy g
+      pack_indices_idg ?desc strategy g
     in
     (* Observability: how many packets this schedule issues and how many
        stall cycles its soft co-packings pay (ambient trace only — the
@@ -346,12 +355,13 @@ let pack_indices strategy instrs =
 
 (** [pack strategy instrs] packs one basic block (given in program order)
     into a legal packet sequence. *)
-let pack strategy instrs =
+let pack ?desc strategy instrs =
   List.map (fun members -> List.map (fun i -> instrs.(i)) members)
-    (pack_indices strategy instrs)
+    (pack_indices ?desc strategy instrs)
 
 (** Total cycles of a packed block (no overlap between packets). *)
-let block_cycles packets = List.fold_left (fun a p -> a + Packet.cycles p) 0 packets
+let block_cycles ?desc packets =
+  List.fold_left (fun a p -> a + Packet.cycles ?desc p) 0 packets
 
 (* ------------------------------------------------------------------ *)
 (* Reference implementation                                            *)
@@ -394,17 +404,19 @@ module Reference = struct
     max 0 (after - before)
 
   (* select_instruction of Algorithm 1. *)
-  let select_instruction ~w ~pscale ~penalize ~gate idg alive ~as_hard members =
+  let select_instruction ~desc ~w ~pscale ~penalize ~gate idg alive ~as_hard members =
     let n = Idg.size idg in
     let hi_lat =
-      List.fold_left (fun m j -> max m (Instr.latency idg.Idg.instrs.(j))) 0 members
+      List.fold_left
+        (fun m j -> max m (Instr.latency_on desc idg.Idg.instrs.(j)))
+        0 members
     in
     let best = ref None in
     for i = 0 to n - 1 do
       if free ~as_hard idg alive members i then begin
         let cand = insert_sorted i members in
-        if Packet.legal (to_packet idg cand) then begin
-          let lat = Instr.latency idg.Idg.instrs.(i) in
+        if Packet.legal ~desc (to_packet idg cand) then begin
+          let lat = Instr.latency_on desc idg.Idg.instrs.(i) in
           let score =
             (float_of_int (idg.Idg.order.(i) + idg.Idg.ancestors.(i)) *. w)
             -. (float_of_int (abs (hi_lat - lat)) *. (1.0 -. w))
@@ -425,8 +437,8 @@ module Reference = struct
     done;
     Option.map fst !best
 
-  let pack_bottom_up ~w ~pscale ~as_hard ~penalize ~gate instrs =
-    let idg = Idg.build instrs in
+  let pack_bottom_up ~desc ~w ~pscale ~as_hard ~penalize ~gate instrs =
+    let idg = Idg.build ~desc instrs in
     let n = Idg.size idg in
     let alive = Array.make n true in
     let remaining = ref n in
@@ -440,9 +452,10 @@ module Reference = struct
       in
       let members = ref [ seed ] in
       let full = ref false in
-      while (not !full) && List.length !members < Packet.max_size do
+      while (not !full) && List.length !members < Packet.capacity desc do
         match
-          select_instruction ~w ~pscale ~penalize ~gate idg alive ~as_hard !members
+          select_instruction ~desc ~w ~pscale ~penalize ~gate idg alive ~as_hard
+            !members
         with
         | Some i -> members := insert_sorted i !members
         | None -> full := true
@@ -456,15 +469,15 @@ module Reference = struct
     done;
     !packets
 
-  let pack_list_topdown instrs =
-    let idg = Idg.build instrs in
+  let pack_list_topdown ~desc instrs =
+    let idg = Idg.build ~desc instrs in
     let n = Idg.size idg in
     let weight = Array.make n 0 in
     for i = n - 1 downto 0 do
-      weight.(i) <- Instr.latency instrs.(i);
+      weight.(i) <- Instr.latency_on desc instrs.(i);
       List.iter
         (fun (j, _) ->
-          weight.(i) <- max weight.(i) (Instr.latency instrs.(i) + weight.(j)))
+          weight.(i) <- max weight.(i) (Instr.latency_on desc instrs.(i) + weight.(j)))
         idg.Idg.succ.(i)
     done;
     let scheduled = Array.make n false in
@@ -474,7 +487,7 @@ module Reference = struct
     while !done_count < n do
       let members = ref [] in
       let progress = ref true in
-      while !progress && List.length !members < Packet.max_size do
+      while !progress && List.length !members < Packet.capacity desc do
         progress := false;
         let best = ref None in
         for i = 0 to n - 1 do
@@ -487,7 +500,7 @@ module Reference = struct
                    (not (List.mem_assoc j idg.Idg.succ.(i)))
                    && not (List.mem_assoc i idg.Idg.succ.(j)))
                  !members
-            && Packet.legal (to_packet idg (insert_sorted i !members))
+            && Packet.legal ~desc (to_packet idg (insert_sorted i !members))
           then
             match !best with
             | Some (_, bw) when weight.(i) <= bw -> ()
@@ -512,8 +525,8 @@ module Reference = struct
     done;
     List.rev !packets
 
-  let pack_in_order instrs =
-    let idg = Idg.build instrs in
+  let pack_in_order ~desc instrs =
+    let idg = Idg.build ~desc instrs in
     let n = Idg.size idg in
     let packets = ref [] and cur = ref [] in
     let depends i j =
@@ -522,7 +535,7 @@ module Reference = struct
     for i = 0 to n - 1 do
       let ok =
         List.for_all (fun j -> not (depends i j)) !cur
-        && Packet.legal (to_packet idg (insert_sorted i !cur))
+        && Packet.legal ~desc (to_packet idg (insert_sorted i !cur))
       in
       if ok then cur := insert_sorted i !cur
       else begin
@@ -537,36 +550,36 @@ end
 (** The pre-optimization packer (the executable specification): returns
     the same packet-index lists as {!pack_indices}, recomputed the
     original O(n)-rescan way.  For tests and benchmarks. *)
-let pack_indices_reference strategy instrs =
+let pack_indices_reference ?(desc = Desc.hexagon698) strategy instrs =
   if Array.length instrs = 0 then []
   else
     match strategy with
     | Sda { w; p } ->
       let with_gate =
-        Reference.pack_bottom_up ~w ~pscale:p ~as_hard:false ~penalize:true ~gate:true
-          instrs
+        Reference.pack_bottom_up ~desc ~w ~pscale:p ~as_hard:false ~penalize:true
+          ~gate:true instrs
       in
       let without =
-        Reference.pack_bottom_up ~w ~pscale:0.0 ~as_hard:false ~penalize:true
+        Reference.pack_bottom_up ~desc ~w ~pscale:0.0 ~as_hard:false ~penalize:true
           ~gate:false instrs
       in
       let cost packets =
         List.fold_left
           (fun acc members ->
-            acc + Packet.cycles (List.map (fun i -> instrs.(i)) members))
+            acc + Packet.cycles ~desc (List.map (fun i -> instrs.(i)) members))
           0 packets
       in
       if cost with_gate <= cost without then with_gate else without
     | Soft_to_hard ->
-      Reference.pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:true ~penalize:false
-        ~gate:false instrs
+      Reference.pack_bottom_up ~desc ~w:default_w ~pscale:0.0 ~as_hard:true
+        ~penalize:false ~gate:false instrs
     | Soft_to_none ->
-      Reference.pack_bottom_up ~w:default_w ~pscale:0.0 ~as_hard:false ~penalize:false
-        ~gate:false instrs
-    | List_topdown -> Reference.pack_list_topdown instrs
-    | In_order -> Reference.pack_in_order instrs
+      Reference.pack_bottom_up ~desc ~w:default_w ~pscale:0.0 ~as_hard:false
+        ~penalize:false ~gate:false instrs
+    | List_topdown -> Reference.pack_list_topdown ~desc instrs
+    | In_order -> Reference.pack_in_order ~desc instrs
 
 (** Reference {!pack}. *)
-let pack_reference strategy instrs =
+let pack_reference ?desc strategy instrs =
   List.map (fun members -> List.map (fun i -> instrs.(i)) members)
-    (pack_indices_reference strategy instrs)
+    (pack_indices_reference ?desc strategy instrs)

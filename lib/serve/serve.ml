@@ -10,19 +10,28 @@ module Artifact = Gcd2_store.Artifact
 module Graphcost = Gcd2_cost.Graphcost
 module Trace = Gcd2_util.Trace
 module Fault = Gcd2_util.Fault
+module Desc = Gcd2_devices.Desc
 
-type request = { model : string; framework : string; selection : string; line : int }
+type request = {
+  model : string;
+  framework : string;
+  selection : string;
+  device : string;
+  line : int;
+}
 
-let request ?(framework = "gcd2") ?(selection = "13") ?(line = 0) model =
-  { model; framework; selection; line }
+let request ?(framework = "gcd2") ?(selection = "13") ?(device = "hexagon698") ?(line = 0)
+    model =
+  { model; framework; selection; device; line }
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)
 
 type parse_error = { line : int; text : string; reason : string }
 
-let parse_line ~framework ~selection ~line text =
+let parse_line ~framework ~selection ~device ~line text =
   let trimmed = String.trim text in
+  let error reason = Error { line; text = trimmed; reason } in
   if trimmed = "" || trimmed.[0] = '#' then Ok None
   else
     let tokens =
@@ -35,33 +44,47 @@ let parse_line ~framework ~selection ~line text =
        mis-parses the request *)
     match List.find_opt (fun t -> t.[0] = '#') tokens with
     | Some tok ->
-      Error
-        {
-          line;
-          text = trimmed;
-          reason =
-            Fmt.str "inline comment %S not allowed (comments must start the line)" tok;
-        }
+      error (Fmt.str "inline comment %S not allowed (comments must start the line)" tok)
     | None -> (
-      match tokens with
-      | [] -> Ok None
-      | [ model ] -> Ok (Some { model; framework; selection; line })
-      | [ model; framework ] -> Ok (Some { model; framework; selection; line })
-      | [ model; framework; selection ] -> Ok (Some { model; framework; selection; line })
-      | _ :: _ :: _ :: garbage ->
-        Error
-          {
-            line;
-            text = trimmed;
-            reason =
-              Fmt.str "trailing garbage after SELECTION: %S" (String.concat " " garbage);
-          })
+      (* the [device=NAME] field is positionless — pull it out before the
+         positional MODEL [FRAMEWORK [SELECTION]] match *)
+      let device_tokens, tokens =
+        List.partition (String.starts_with ~prefix:"device=") tokens
+      in
+      match device_tokens with
+      | _ :: _ :: _ ->
+        error
+          (Fmt.str "duplicate device= field: %S" (String.concat " " device_tokens))
+      | ([] | [ _ ]) as dev -> (
+        let named =
+          match dev with
+          | [ tok ] -> Some (String.sub tok 7 (String.length tok - 7))
+          | _ -> None
+        in
+        (* an unknown device is a per-line error, not a served failure:
+           the request never names a valid target, so reject it here with
+           its line number *)
+        match named with
+        | Some name when Desc.find name = None ->
+          error
+            (Fmt.str "unknown device %S (known: %s)" name (String.concat ", " Desc.names))
+        | _ -> (
+          let device = Option.value named ~default:device in
+          match tokens with
+          | [] -> Ok None
+          | [ model ] -> Ok (Some { model; framework; selection; device; line })
+          | [ model; framework ] -> Ok (Some { model; framework; selection; device; line })
+          | [ model; framework; selection ] ->
+            Ok (Some { model; framework; selection; device; line })
+          | _ :: _ :: _ :: garbage ->
+            error
+              (Fmt.str "trailing garbage after SELECTION: %S" (String.concat " " garbage)))))
 
-let parse_lines ~framework ~selection ?(first_line = 1) lines =
+let parse_lines ~framework ~selection ?(device = "hexagon698") ?(first_line = 1) lines =
   let requests, errors =
     List.fold_left
       (fun ((requests, errors), line) text ->
-        ( (match parse_line ~framework ~selection ~line text with
+        ( (match parse_line ~framework ~selection ~device ~line text with
           | Ok None -> (requests, errors)
           | Ok (Some r) -> (r :: requests, errors)
           | Error e -> (requests, e :: errors)),
@@ -75,7 +98,7 @@ let parse_lines ~framework ~selection ?(first_line = 1) lines =
 (* ------------------------------------------------------------------ *)
 (* Request -> compiler configuration                                   *)
 
-let config_of ~framework ~selection =
+let config_of ?(device = "hexagon698") ~framework ~selection () =
   let invalid msg = Error (Diag.make Diag.Invalid_request msg) in
   match
     match String.lowercase_ascii framework with
@@ -88,13 +111,18 @@ let config_of ~framework ~selection =
   with
   | None -> invalid (Fmt.str "unknown framework %S" framework)
   | Some base -> (
-    match String.lowercase_ascii selection with
-    | "local" -> Ok { base with Compiler.selection = Compiler.Local }
-    | "optimal" -> Ok { base with Compiler.selection = Compiler.Optimal_dp }
-    | k -> (
-      match int_of_string_opt k with
-      | Some k when k > 0 -> Ok { base with Compiler.selection = Compiler.Partitioned k }
-      | _ -> invalid (Fmt.str "bad selection %S" selection)))
+    match Desc.find device with
+    | None ->
+      invalid (Fmt.str "unknown device %S (known: %s)" device (String.concat ", " Desc.names))
+    | Some desc -> (
+      let base = Compiler.with_device desc base in
+      match String.lowercase_ascii selection with
+      | "local" -> Ok { base with Compiler.selection = Compiler.Local }
+      | "optimal" -> Ok { base with Compiler.selection = Compiler.Optimal_dp }
+      | k -> (
+        match int_of_string_opt k with
+        | Some k when k > 0 -> Ok { base with Compiler.selection = Compiler.Partitioned k }
+        | _ -> invalid (Fmt.str "bad selection %S" selection))))
 
 (* ------------------------------------------------------------------ *)
 (* Policy and outcomes                                                 *)
@@ -183,7 +211,10 @@ let serve_one ?(resolve = default_resolve) policy ~cold (request : request) =
     }
   in
   match
-    match config_of ~framework:request.framework ~selection:request.selection with
+    match
+      config_of ~device:request.device ~framework:request.framework
+        ~selection:request.selection ()
+    with
     | Error d -> Error d
     | Ok config -> (
       match resolve request.model with
@@ -300,7 +331,7 @@ let run_batch ?resolve ?(on_result = fun _ -> ()) policy requests =
   let results =
     List.map
       (fun (r : request) ->
-        let key = (r.model, r.framework, r.selection) in
+        let key = (r.model, r.framework, r.selection, r.device) in
         let cold = not (Hashtbl.mem seen key) in
         Hashtbl.replace seen key ();
         let served = serve_one ?resolve policy ~cold r in

@@ -1,7 +1,9 @@
 (** The hardened batch-serving loop behind [gcd2 serve].
 
-    A request is one line — [MODEL [FRAMEWORK [SELECTION]]] — and a
-    batch is served request by request with per-request isolation: no
+    A request is one line — [MODEL [FRAMEWORK [SELECTION]]], plus an
+    optional positionless [device=NAME] field naming the target machine
+    description — and a batch is served request by request with
+    per-request isolation: no
     outcome of one request (a fault, a poisoned cache entry, an expired
     deadline) can crash the loop or corrupt another request's answer.
     Each request runs under a {e policy}:
@@ -33,34 +35,45 @@ type request = {
   model : string;
   framework : string;
   selection : string;
+  device : string;  (** machine-description name ({!Gcd2_devices.Desc}) *)
   line : int;  (** 1-based source line of the request file; 0 when synthetic *)
 }
 
-(** [request ?framework ?selection ?line model] — a request with the
-    default framework/selection (["gcd2"] / ["13"]). *)
-val request : ?framework:string -> ?selection:string -> ?line:int -> string -> request
+(** [request ?framework ?selection ?device ?line model] — a request with
+    the default framework/selection/device
+    (["gcd2"] / ["13"] / ["hexagon698"]). *)
+val request :
+  ?framework:string -> ?selection:string -> ?device:string -> ?line:int -> string ->
+  request
 
 type parse_error = { line : int; text : string; reason : string }
 
 (** Parse one request line.  [Ok None] for blank lines and whole-line
-    [#] comments; [Error _] for a line with more than three tokens
-    (trailing garbage) or with an inline [#] token ([model #comment] is
-    an error, not a request for framework ["#comment"]) — malformed
-    requests are reported with their line number, never silently
-    dropped. *)
+    [#] comments; [Error _] for a line with more than three positional
+    tokens (trailing garbage), an inline [#] token ([model #comment] is
+    an error, not a request for framework ["#comment"]), a duplicated
+    [device=] field, or a [device=NAME] naming an unknown device —
+    malformed requests are reported with their line number, never
+    silently dropped.  A single [device=NAME] token may appear anywhere
+    on the line and overrides [device]. *)
 val parse_line :
-  framework:string -> selection:string -> line:int -> string ->
+  framework:string -> selection:string -> device:string -> line:int -> string ->
   (request option, parse_error) result
 
 (** Parse a request file's lines (numbered from [first_line], default 1),
-    returning the well-formed requests and every malformed line. *)
+    returning the well-formed requests and every malformed line.
+    [device] (default ["hexagon698"]) is the device of lines without a
+    [device=] field. *)
 val parse_lines :
-  framework:string -> selection:string -> ?first_line:int -> string list ->
-  request list * parse_error list
+  framework:string -> selection:string -> ?device:string -> ?first_line:int ->
+  string list -> request list * parse_error list
 
-(** Resolve framework/selection names to a compiler configuration;
+(** Resolve framework/selection/device names to a compiler
+    configuration (the device via {!Gcd2.Compiler.with_device});
     unknown names are an [Invalid_request] diagnostic. *)
-val config_of : framework:string -> selection:string -> (Compiler.config, Diag.t) result
+val config_of :
+  ?device:string -> framework:string -> selection:string -> unit ->
+  (Compiler.config, Diag.t) result
 
 type policy = {
   cache_dir : string option;  (** artifact cache; [None] serves uncached *)

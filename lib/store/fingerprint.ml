@@ -142,7 +142,11 @@ let add_unroll_mode buf (m : Opcost.unroll_mode) =
   | `Exhaustive -> add buf "exhaustive"
 
 let add_options buf (g : Graph.t) (o : Opcost.options) =
-  add buf "strategy=";
+  (* the full device descriptor, not just its name: a retuned descriptor
+     under the same name must never resurrect a stale artifact *)
+  add buf "device=";
+  add buf (Gcd2_devices.Desc.canonical o.Opcost.device);
+  add buf ";strategy=";
   add buf (Fmt.str "%a" Packer.pp_strategy o.Opcost.strategy);
   add buf ";unroll=";
   add_unroll_mode buf o.Opcost.unroll_mode;
@@ -174,7 +178,9 @@ let add_options buf (g : Graph.t) (o : Opcost.options) =
     left enabled. *)
 let canonical ~selection ~optimize_graph ~disable ~options (g : Graph.t) =
   let buf = Buffer.create 4096 in
-  add buf "gcd2-request-v2\n";
+  (* v3: the request gained the device descriptor (cross-target cache
+     entries must never collide) *)
+  add buf "gcd2-request-v3\n";
   add buf "selection=";
   add buf selection;
   add buf (Printf.sprintf ";optimize_graph=%b" optimize_graph);

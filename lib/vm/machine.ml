@@ -33,6 +33,7 @@
 
 open Gcd2_isa
 module Sat = Gcd2_util.Saturate
+module Desc = Gcd2_devices.Desc
 
 type counters = {
   mutable cycles : int;
@@ -61,7 +62,26 @@ type t = {
   mutable cached_translations : int;
 }
 
-let create ?(mem_bytes = 1 lsl 22) () =
+(** Can this device's programs execute on the simulator?  The ISA
+    semantics (lane counts, packet shapes, the translated engine's
+    specialized loops) are fixed to the hexagon698 register file; wider
+    descriptors are costed analytically, never run. *)
+let executable (d : Desc.t) =
+  d.Desc.vector_bytes = Reg.vector_bytes
+  && d.Desc.scalar_count = Reg.scalar_count
+  && d.Desc.vector_count = Reg.vector_count
+
+let check_executable d =
+  if not (executable d) then
+    invalid_arg
+      (Fmt.str
+         "Machine: device %s (%dB vectors, %d/%d regs) is not executable — the \
+          simulator runs the %dB hexagon698 ISA only"
+         d.Desc.name d.Desc.vector_bytes d.Desc.scalar_count d.Desc.vector_count
+         Reg.vector_bytes)
+
+let create ?(desc = Desc.hexagon698) ?(mem_bytes = 1 lsl 22) () =
+  check_executable desc;
   {
     sregs = Array.make Reg.scalar_count 0;
     vregs = Array.init Reg.vector_count (fun _ -> Bytes.make Reg.vector_bytes '\000');
@@ -926,12 +946,25 @@ let reset ?(mem_bytes = 1 lsl 22) t =
   c.loaded_bytes <- 0;
   c.stored_bytes <- 0
 
-let scratch_key = Domain.DLS.new_key (fun () -> create ~mem_bytes:4096 ())
+(* One scratch machine per (domain, device): the table is domain-local,
+   keyed by the descriptor's name, so two devices never share registers,
+   memory or translation caches. *)
+let scratch_key : (string, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
-let scratch ?(mem_bytes = 1 lsl 22) () =
+let scratch ?(desc = Desc.hexagon698) ?(mem_bytes = 1 lsl 22) () =
+  check_executable desc;
   match !engine_state with
-  | Reference -> create ~mem_bytes ()
+  | Reference -> create ~desc ~mem_bytes ()
   | Translated ->
-    let m = Domain.DLS.get scratch_key in
+    let table = Domain.DLS.get scratch_key in
+    let m =
+      match Hashtbl.find_opt table desc.Desc.name with
+      | Some m -> m
+      | None ->
+        let m = create ~desc ~mem_bytes:4096 () in
+        Hashtbl.replace table desc.Desc.name m;
+        m
+    in
     reset ~mem_bytes m;
     m

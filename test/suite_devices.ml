@@ -1,6 +1,6 @@
 (* Tests for the analytic device models (Tables I and V, Figure 13). *)
 
-module D = Gcd2_devices.Device
+module D = Gcd2_devices.Device.Context
 
 let test_power_monotone_in_utilization () =
   let p1 = D.dsp_power_w ~utilization:0.5 in

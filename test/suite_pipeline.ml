@@ -139,7 +139,8 @@ let test_golden_behaviour_preserved () =
   let u = Option.get plan.Gcd2_cost.Plan.unroll in
   let spec =
     {
-      Matmul.simd;
+      Matmul.device = Gcd2_devices.Desc.hexagon698;
+      simd;
       m = 64;
       k = 8;
       n = 10;

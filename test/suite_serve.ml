@@ -45,8 +45,9 @@ let policy ?cache_dir ?deadline_ms ?(retries = 2) () =
 (* ------------------------------------------------------------------ *)
 (* Parsing *)
 
-let parse ?(framework = "gcd2") ?(selection = "13") ?(line = 1) text =
-  Serve.parse_line ~framework ~selection ~line text
+let parse ?(framework = "gcd2") ?(selection = "13") ?(device = "hexagon698") ?(line = 1)
+    text =
+  Serve.parse_line ~framework ~selection ~device ~line text
 
 let test_parse_ok () =
   (match parse "WDSR-b" with
@@ -83,6 +84,31 @@ let test_parse_rejects () =
   check_bool "garbage tail named" true
     (contains (reason (parse "m fw sel junk more")) "junk more")
 
+(* The positionless device= field: parsed anywhere on the line, rejected
+   with the offending line when unknown or duplicated. *)
+let test_parse_device_field () =
+  (match parse "WDSR-b device=hexagon-g2" with
+  | Ok (Some r) -> Alcotest.(check string) "device parsed" "hexagon-g2" r.Serve.device
+  | _ -> Alcotest.fail "device= line did not parse");
+  (match parse "WDSR-b device=hexagon-g2 tflite local" with
+  | Ok (Some r) ->
+    Alcotest.(check string) "device is positionless" "hexagon-g2" r.Serve.device;
+    Alcotest.(check string) "framework still positional" "tflite" r.Serve.framework;
+    Alcotest.(check string) "selection still positional" "local" r.Serve.selection
+  | _ -> Alcotest.fail "mid-line device= did not parse");
+  (match parse "WDSR-b" with
+  | Ok (Some r) -> Alcotest.(check string) "default device" "hexagon698" r.Serve.device
+  | _ -> Alcotest.fail "defaulted line did not parse");
+  check_bool "unknown device rejected" true
+    (contains (reason (parse "m device=hexagon9000")) "unknown device");
+  check_bool "known names listed" true
+    (contains (reason (parse "m device=hexagon9000")) "hexagon698");
+  check_bool "duplicate device rejected" true
+    (contains (reason (parse "m device=hexagon698 device=hexagon-g2")) "duplicate");
+  (match parse ~line:7 "m device=nope" with
+  | Error e -> check_int "error carries the line" 7 e.Serve.line
+  | Ok _ -> Alcotest.fail "unknown device parsed")
+
 let test_parse_lines_numbers () =
   let requests, errors =
     Serve.parse_lines ~framework:"gcd2" ~selection:"13"
@@ -110,23 +136,30 @@ let test_parse_lines_numbers () =
 (* Config resolution *)
 
 let test_config_of () =
-  (match Serve.config_of ~framework:"tflite" ~selection:"local" with
+  (match Serve.config_of ~framework:"tflite" ~selection:"local" () with
   | Ok c -> check_bool "local selection" true (c.Compiler.selection = Compiler.Local)
   | Error d -> Alcotest.failf "tflite/local rejected: %a" Diag.pp d);
-  (match Serve.config_of ~framework:"gcd2" ~selection:"4" with
+  (match Serve.config_of ~framework:"gcd2" ~selection:"4" () with
   | Ok c ->
     check_bool "partitioned selection" true
       (c.Compiler.selection = Compiler.Partitioned 4)
   | Error d -> Alcotest.failf "gcd2/4 rejected: %a" Diag.pp d);
-  let rejected ~framework ~selection =
-    match Serve.config_of ~framework ~selection with
+  (match Serve.config_of ~device:"hexagon-g2" ~framework:"gcd2" ~selection:"13" () with
+  | Ok c ->
+    Alcotest.(check string)
+      "device applied to the configuration" "hexagon-g2"
+      (Compiler.device c).Gcd2_devices.Desc.name
+  | Error d -> Alcotest.failf "gcd2 on hexagon-g2 rejected: %a" Diag.pp d);
+  let rejected ?device ~framework ~selection () =
+    match Serve.config_of ?device ~framework ~selection () with
     | Error d -> check_bool "invalid-request" true (d.Diag.code = Diag.Invalid_request)
     | Ok _ -> Alcotest.failf "%s/%s accepted" framework selection
   in
-  rejected ~framework:"caffe" ~selection:"13";
-  rejected ~framework:"gcd2" ~selection:"0";
-  rejected ~framework:"gcd2" ~selection:"-3";
-  rejected ~framework:"gcd2" ~selection:"banana"
+  rejected ~framework:"caffe" ~selection:"13" ();
+  rejected ~framework:"gcd2" ~selection:"0" ();
+  rejected ~framework:"gcd2" ~selection:"-3" ();
+  rejected ~framework:"gcd2" ~selection:"banana" ();
+  rejected ~device:"hexagon9000" ~framework:"gcd2" ~selection:"13" ()
 
 (* ------------------------------------------------------------------ *)
 (* Serving *)
@@ -205,6 +238,7 @@ let tests =
   [
     Alcotest.test_case "parse: well-formed lines" `Quick test_parse_ok;
     Alcotest.test_case "parse: malformed lines are errors" `Quick test_parse_rejects;
+    Alcotest.test_case "parse: device= field" `Quick test_parse_device_field;
     Alcotest.test_case "parse: errors carry line numbers" `Quick test_parse_lines_numbers;
     Alcotest.test_case "config resolution" `Quick test_config_of;
     Alcotest.test_case "unknown model is a typed outcome" `Quick

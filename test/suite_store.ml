@@ -79,6 +79,46 @@ let test_fingerprint () =
   let renamed = { default with Compiler.name = "renamed" } in
   Alcotest.(check string) "cosmetic name is excluded" digest (d renamed (weighted_cnn 1))
 
+(* Two devices must never answer each other's requests: the full
+   descriptor is folded into the fingerprint, so per-device configs get
+   distinct digests and distinct cache entries. *)
+let test_fingerprint_separates_devices () =
+  let with_dev d = Compiler.with_device d Compiler.default in
+  let g = weighted_cnn 1 in
+  let d698 = Compiler.fingerprint (with_dev Gcd2_devices.Desc.hexagon698) g in
+  let dg2 = Compiler.fingerprint (with_dev Gcd2_devices.Desc.hexagon_g2) g in
+  Alcotest.(check bool) "per-device digests differ" false (d698 = dg2);
+  (* a retuned descriptor under the same name is still a different
+     request: the rendering covers every field, not just the name *)
+  let tuned =
+    { Gcd2_devices.Desc.hexagon698 with Gcd2_devices.Desc.ddr_bytes_per_cycle = 2.0 }
+  in
+  Alcotest.(check bool) "same-name retuned descriptor differs" false
+    (d698 = Compiler.fingerprint (with_dev tuned) g);
+  (* end to end: compiling the same graph for both devices through one
+     cache directory must store two entries, and each warm compile must
+     hit its own device's entry *)
+  let dir = temp_dir () in
+  let c698 = Compiler.compile ~cache_dir:dir ~config:(with_dev Gcd2_devices.Desc.hexagon698) g in
+  let cg2 = Compiler.compile ~cache_dir:dir ~config:(with_dev Gcd2_devices.Desc.hexagon_g2) g in
+  check_int "two cache entries" 2
+    (Array.length
+       (Array.of_list
+          (List.filter
+             (fun f -> Filename.check_suffix f ".gcd2art")
+             (Array.to_list (Sys.readdir dir)))));
+  let w698 = Compiler.compile ~cache_dir:dir ~config:(with_dev Gcd2_devices.Desc.hexagon698) g in
+  let wg2 = Compiler.compile ~cache_dir:dir ~config:(with_dev Gcd2_devices.Desc.hexagon_g2) g in
+  Alcotest.(check bool) "warm 698 compile is a hit" true (Compiler.from_cache w698);
+  Alcotest.(check bool) "warm g2 compile is a hit" true (Compiler.from_cache wg2);
+  Alcotest.(check (array int))
+    "warm 698 assignment unchanged" c698.Compiler.assignment w698.Compiler.assignment;
+  Alcotest.(check (array int))
+    "warm g2 assignment unchanged" cg2.Compiler.assignment wg2.Compiler.assignment;
+  Alcotest.(check bool) "the two devices compiled differently" false
+    (c698.Compiler.report.Gcd2_cost.Graphcost.cycles
+    = cg2.Compiler.report.Gcd2_cost.Graphcost.cycles)
+
 (* The digest must separate everything that changes the compile: the
    disabled-pass list, and `supported` predicates that only differ on ops
    the optimizer derives (the bitmap is rendered over the optimized
@@ -369,6 +409,8 @@ let test_zoo_roundtrip () =
 let tests =
   [
     Alcotest.test_case "request fingerprint" `Quick test_fingerprint;
+    Alcotest.test_case "devices never share cache entries" `Quick
+      test_fingerprint_separates_devices;
     Alcotest.test_case "fingerprint: disable list and derived ops" `Quick
       test_fingerprint_disable_and_derived_ops;
     Alcotest.test_case "job counts share cache entries" `Quick

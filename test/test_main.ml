@@ -20,6 +20,7 @@ let () =
       ("models", Suite_models.tests);
       ("frameworks", Suite_frameworks.tests);
       ("devices", Suite_devices.tests);
+      ("desc", Suite_desc.tests);
       ("serve", Suite_serve.tests);
       ("chaos", Suite_chaos.tests);
     ]
