@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all build test test-parallel test-devices chaos vm-smoke devices-smoke check fmt-check fmt clean
+.PHONY: all build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke check fmt-check fmt clean
 
 all: build
 
@@ -65,7 +65,17 @@ chaos: build
 vm-smoke: build
 	./_build/default/bench/main.exe vm-smoke
 
-check: build test test-parallel test-devices chaos vm-smoke devices-smoke fmt-check
+# Daemon load smoke: the serve-load generator against a live daemon,
+# first with two workers under a fixed fault spec (faulted workers must
+# absorb every injection without dropping a session), then fault-free
+# across the worker sweep, writing BENCH_serve.json.
+daemon-smoke: build
+	GCD2_SERVE_LOAD_WORKERS=2 GCD2_SERVE_LOAD_MS=800 \
+	GCD2_FAULTS="seed=20260808,cache-read=0.2,artifact-decode=0.2,memo-lookup=0.2" \
+		./_build/default/bench/main.exe serve-load-smoke
+	./_build/default/bench/main.exe serve-load-smoke
+
+check: build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke fmt-check
 
 clean:
 	dune clean

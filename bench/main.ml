@@ -29,6 +29,8 @@ let experiments =
     ("vm-smoke", Exp_vm.smoke);
     ("devices", Exp_devices.run);
     ("devices-smoke", Exp_devices.smoke);
+    ("serve-load", Exp_serve.run);
+    ("serve-load-smoke", Exp_serve.smoke);
   ]
 
 let usage () =

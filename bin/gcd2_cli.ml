@@ -208,33 +208,11 @@ let read_request_lines ic =
   in
   go []
 
-(* One structured outcome line per request: model/framework/selection,
-   the outcome (ok/retried/degraded/timeout/error), cache and cold/warm
-   status, wall time, and — on failure — the typed diagnostic. *)
+(* One structured outcome line per request, shared with the daemon
+   (Serve.outcome_line) and emitted through the process-wide serialized
+   writer so concurrent emitters can never tear a line. *)
 let print_served (r : Serve.served) =
-  let req = r.Serve.request in
-  Fmt.pr "%-16s %-8s %-10s %-8s %5s %-4s %10.1f ms" req.Serve.model req.Serve.framework
-    req.Serve.selection
-    (Serve.outcome_name r.Serve.outcome)
-    (match r.Serve.diag with
-    | Some _ -> "-"
-    | None -> if r.Serve.hit then "hit" else "miss")
-    (if r.Serve.cold then "cold" else "warm")
-    r.Serve.ms;
-  (match r.Serve.compiled with
-  | Some c -> Fmt.pr "   model %8.2f ms" (Compiler.latency_ms c)
-  | None -> ());
-  if req.Serve.device <> "hexagon698" then Fmt.pr "   device=%s" req.Serve.device;
-  if r.Serve.attempts > 1 then Fmt.pr "   attempts=%d" r.Serve.attempts;
-  if r.Serve.quarantined > 0 then Fmt.pr "   quarantined=%d" r.Serve.quarantined;
-  if r.Serve.uncached then Fmt.pr "   uncached";
-  (match r.Serve.diag with
-  | Some d ->
-    Fmt.pr "   code=%s" (Diag.code_name d.Diag.code);
-    (match req.Serve.line with 0 -> () | n -> Fmt.pr " line=%d" n);
-    Fmt.pr "   %s" d.Diag.message
-  | None -> ());
-  Fmt.pr "@."
+  Gcd2_util.Logsink.emit (Serve.outcome_line r)
 
 let serve_run models requests_file framework selection device repeat cache_dir no_cache
     deadline_ms retries backoff_ms =
@@ -366,6 +344,169 @@ let serve_cmd =
       const serve_run $ models_arg $ requests_arg $ framework_arg $ selection_arg
       $ device_arg $ repeat_arg $ cache_dir_arg $ no_cache_arg $ deadline_arg
       $ retries_arg $ backoff_arg)
+
+(* ---------------- daemon / client ---------------- *)
+
+module Daemon = Gcd2_daemon.Daemon
+module Dclient = Gcd2_daemon.Client
+module Protocol = Gcd2_daemon.Protocol
+module Logsink = Gcd2_util.Logsink
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "gcd2d.sock"
+
+let socket_arg =
+  let doc = "Unix socket path the daemon listens on (default also for `client`)." in
+  Arg.(value & opt string default_socket & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "Listen on (or connect to) TCP $(docv) instead of the Unix socket; \
+     PORT 0 lets the daemon pick a free port (printed at startup)."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let parse_address ~socket ~tcp =
+  match tcp with
+  | None -> Daemon.Unix_sock socket
+  | Some spec -> (
+    match String.rindex_opt spec ':' with
+    | None ->
+      Fmt.epr "gcd2: --tcp expects HOST:PORT, got %S@." spec;
+      exit 1
+    | Some i -> (
+      let host = String.sub spec 0 i in
+      match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+      | Some port -> Daemon.Tcp ((if host = "" then "127.0.0.1" else host), port)
+      | None ->
+        Fmt.epr "gcd2: --tcp expects a numeric port, got %S@." spec;
+        exit 1))
+
+let daemon_run socket tcp workers queue_depth framework selection device cache_dir cache
+    no_cache deadline_ms retries backoff_ms jobs stats_every quiet =
+  check_fault_env ();
+  let device = (resolve_device device).Desc.name in
+  let cache_dir =
+    if no_cache then None
+    else
+      Some
+        (match resolve_cache_dir ~cache_dir ~cache with
+        | Some d -> d
+        | None -> Cache.default_dir ())
+  in
+  let cfg =
+    {
+      Daemon.address = parse_address ~socket ~tcp;
+      workers;
+      queue_depth;
+      policy = { Serve.cache_dir; deadline_ms; retries; backoff_ms; jobs };
+      framework;
+      selection;
+      device;
+      resolve = None;
+      stats_every;
+      log_outcomes = not quiet;
+    }
+  in
+  let d = Daemon.start cfg in
+  Logsink.emit
+    (Fmt.str "daemon: listening on %a  (workers=%d queue-depth=%d cache=%s%s)"
+       Daemon.pp_address (Daemon.address d) workers queue_depth
+       (match cache_dir with Some dir -> dir | None -> "disabled")
+       (if Fault.active () then " faults=on" else ""));
+  let stop = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler;
+  while not (Atomic.get stop) do
+    Unix.sleepf 0.2
+  done;
+  let st = Daemon.stop d in
+  Logsink.emit (Daemon.stats_line d st)
+
+let daemon_cmd =
+  let doc =
+    "Run the concurrent serve daemon: a multi-domain server that answers serve \
+     request lines over a Unix or TCP socket, with a bounded admission queue \
+     (overload is answered with a retryable `rejected` response), single-flight \
+     deduplication of identical in-flight compiles, and the full per-request \
+     policy of `gcd2 serve` (deadline, retries, degradation, verification).  \
+     Stop with SIGINT/SIGTERM: the queue drains before the daemon exits."
+  in
+  let workers_arg =
+    let doc = "Worker domains serving connections concurrently." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_depth_arg =
+    let doc = "Admission-queue capacity; a full queue rejects new connections." in
+    Arg.(value & opt int 16 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request wall-clock deadline in milliseconds." in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let retries_arg =
+    let doc = "Retries (beyond the first attempt) for retryable failures." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Base retry backoff in milliseconds, doubled per retry." in
+    Arg.(value & opt float 25.0 & info [ "retry-backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the artifact cache (every request compiles)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let stats_every_arg =
+    let doc = "Emit a merged `daemon:` stats line every $(docv) responses (0 = never)." in
+    Arg.(value & opt int 100 & info [ "stats-every" ] ~docv:"N" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Do not log one outcome line per served request." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  Cmd.v (Cmd.info "daemon" ~doc)
+    Term.(
+      const daemon_run $ socket_arg $ tcp_arg $ workers_arg $ queue_depth_arg
+      $ framework_arg $ selection_arg $ device_arg $ cache_dir_arg $ cache_arg
+      $ no_cache_arg $ deadline_arg $ retries_arg $ backoff_arg $ jobs_arg
+      $ stats_every_arg $ quiet_arg)
+
+let client_run socket tcp models =
+  let address = parse_address ~socket ~tcp in
+  let lines = if models = [] then read_request_lines In_channel.stdin else models in
+  match Dclient.batch address lines with
+  | exception Unix.Unix_error (e, _, _) ->
+    Fmt.epr "gcd2: cannot reach daemon at %a: %s@." Daemon.pp_address address
+      (Unix.error_message e);
+    exit 1
+  | responses ->
+    let failed = ref 0 in
+    List.iter
+      (fun resp ->
+        match resp with
+        | Ok (r : Protocol.response) ->
+          Logsink.emit (Protocol.render r);
+          (match r.Protocol.outcome with
+          | "ok" | "retried" | "degraded" -> ()
+          | _ -> incr failed)
+        | Error e ->
+          Logsink.emit_err ("gcd2: bad response: " ^ e);
+          incr failed)
+      responses;
+    if !failed > 0 then exit 1
+
+let client_cmd =
+  let doc =
+    "Send request lines to a running `gcd2 daemon` and print one framed response \
+     line per request (models as arguments, or request lines on standard input).  \
+     Exits nonzero if any request fails or is rejected."
+  in
+  let models_arg =
+    let doc = "Models to request (default: read request lines from stdin)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"MODEL" ~doc)
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const client_run $ socket_arg $ tcp_arg $ models_arg)
 
 (* ---------------- compare ---------------- *)
 
@@ -558,4 +699,8 @@ let kernel_cmd =
 let () =
   let doc = "GCD2: a globally optimizing DNN compiler for a simulated mobile DSP" in
   let info = Cmd.info "gcd2" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; serve_cmd; compare_cmd; kernel_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; compile_cmd; serve_cmd; daemon_cmd; client_cmd; compare_cmd;
+            kernel_cmd ]))

@@ -10,6 +10,7 @@ type code =
   | Worker_failed
   | Vm_fault
   | Deadline_exceeded
+  | Overloaded
   | Pass_failed
   | Internal
 
@@ -21,6 +22,7 @@ let all_codes =
     Worker_failed;
     Vm_fault;
     Deadline_exceeded;
+    Overloaded;
     Pass_failed;
     Internal;
   ]
@@ -32,13 +34,15 @@ let code_name = function
   | Worker_failed -> "worker-failed"
   | Vm_fault -> "vm-fault"
   | Deadline_exceeded -> "deadline-exceeded"
+  | Overloaded -> "overloaded"
   | Pass_failed -> "pass-failed"
   | Internal -> "internal"
 
 (* Transient conditions a fresh attempt may not hit again; everything
-   else fails identically on retry and must not be retried. *)
+   else fails identically on retry and must not be retried.  Overload is
+   transient by definition: the request was fine, the server was full. *)
 let default_retryable = function
-  | Cache_io | Artifact_corrupt | Worker_failed -> true
+  | Cache_io | Artifact_corrupt | Worker_failed | Overloaded -> true
   | Invalid_request | Vm_fault | Deadline_exceeded | Pass_failed | Internal -> false
 
 type t = {

@@ -26,6 +26,8 @@ type code =
   | Worker_failed  (** a worker domain of a parallel phase died *)
   | Vm_fault  (** the simulated DSP faulted while executing a program *)
   | Deadline_exceeded  (** the request's wall-clock deadline expired *)
+  | Overloaded
+      (** the serve daemon's admission queue was full; retry after backoff *)
   | Pass_failed  (** a pipeline pass failed deterministically *)
   | Internal  (** unclassified; a bug until proven otherwise *)
 

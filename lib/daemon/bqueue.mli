@@ -1,0 +1,34 @@
+(** Bounded multi-producer/multi-consumer queue: the daemon's admission
+    queue.
+
+    A mutex/condvar queue with a hard capacity.  Producers never block —
+    {!try_push} reports [false] when the queue is full (the accept loop
+    turns that into a retryable rejection, which is the backpressure
+    contract: under overload the server sheds load immediately instead
+    of queueing unboundedly).  Consumers block in {!pop} until an item
+    or {!close}; a closed queue still drains — items admitted before
+    the close are handed out before [pop] returns [None] — which is
+    what makes shutdown graceful. *)
+
+type 'a t
+
+(** [create ~capacity] — an empty queue holding at most [capacity]
+    items.  [Invalid_argument] if [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** Enqueue without blocking: [false] when the queue is full or closed
+    (the item is not enqueued). *)
+val try_push : 'a t -> 'a -> bool
+
+(** Dequeue, blocking while the queue is empty and open.  [None] once
+    the queue is closed {e and} drained. *)
+val pop : 'a t -> 'a option
+
+(** Close the queue: further pushes fail, blocked and future [pop]s
+    return [None] after the remaining items drain.  Idempotent. *)
+val close : 'a t -> unit
+
+(** Items currently queued. *)
+val length : 'a t -> int
+
+val closed : 'a t -> bool

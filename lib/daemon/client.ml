@@ -1,0 +1,54 @@
+(** A minimal daemon client (see the interface). *)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let open_conn addr =
+  let fd = Daemon.connect addr in
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+(* both channels wrap [fd]: flush and close the descriptor exactly once
+   (closing each channel would double-close the fd number — a reuse race
+   under concurrent connects) *)
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+(* A daemon shedding a connection closes it with the request line still
+   unread on its side, which surfaces here as ECONNRESET rather than a
+   clean EOF — but only after every response line already written
+   (e.g. the rejection) has been read.  Treat it as end-of-session. *)
+let recv t =
+  match input_line t.ic with
+  | exception End_of_file -> Error "connection closed by daemon"
+  | exception Sys_error e -> Error ("connection lost: " ^ e)
+  | line -> Protocol.parse line
+
+let request t line =
+  send t line;
+  recv t
+
+let batch addr lines =
+  let t = open_conn addr in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      (* a daemon shedding this connection closes it as soon as the
+         rejection is written — possibly before every request line went
+         out (EPIPE here); the rejection is still waiting to be read *)
+      (try List.iter (send t) lines with Sys_error _ -> ());
+      (* half-close: the daemon sees EOF after the last request and
+         closes the connection once every response is written *)
+      (try Unix.shutdown t.fd Unix.SHUTDOWN_SEND
+       with Unix.Unix_error _ -> ());
+      let rec drain acc =
+        match input_line t.ic with
+        | exception End_of_file -> List.rev acc
+        | exception Sys_error _ -> List.rev acc
+        | line -> drain (Protocol.parse line :: acc)
+      in
+      drain [])

@@ -1,0 +1,22 @@
+(** A minimal daemon client: one connection, request lines out,
+    {!Protocol} responses back.
+
+    Request lines are {!Gcd2_serve.Serve} request lines; blank lines and
+    [#] comments produce no response, so {!request} on one would block —
+    send real requests through {!request}, or use {!batch}, which
+    half-closes the connection and reads responses to EOF (response
+    count then matches the number of {e effective} requests sent). *)
+
+type conn
+
+val open_conn : Daemon.address -> conn
+
+(** Send one request line (newline appended) and read one response. *)
+val request : conn -> string -> (Protocol.response, string) result
+
+(** One-shot session: connect, send every line, shutdown the send side,
+    read all responses to EOF, close. *)
+val batch :
+  Daemon.address -> string list -> (Protocol.response, string) result list
+
+val close : conn -> unit

@@ -1,0 +1,465 @@
+(** The concurrent serve daemon (see the interface). *)
+
+module Serve = Gcd2_serve.Serve
+module Compiler = Gcd2.Compiler
+module Diag = Gcd2.Diag
+module Hist = Gcd2_util.Stats.Hist
+module Logsink = Gcd2_util.Logsink
+
+type address = Unix_sock of string | Tcp of string * int
+
+let pp_address ppf = function
+  | Unix_sock p -> Format.fprintf ppf "unix:%s" p
+  | Tcp (h, p) -> Format.fprintf ppf "tcp:%s:%d" h p
+
+type config = {
+  address : address;
+  workers : int;
+  queue_depth : int;
+  policy : Serve.policy;
+  framework : string;
+  selection : string;
+  device : string;
+  resolve : (string -> Gcd2_graph.Graph.t) option;
+  stats_every : int;
+  log_outcomes : bool;
+}
+
+let default_config address =
+  {
+    address;
+    workers = 1;
+    queue_depth = 16;
+    policy = Serve.default_policy;
+    framework = "gcd2";
+    selection = "13";
+    device = "hexagon698";
+    resolve = None;
+    stats_every = 0;
+    log_outcomes = false;
+  }
+
+type stats = {
+  accepted : int;
+  rejected : int;
+  served : int;
+  failed : int;
+  hits : int;
+  compiles : int;
+  coalesced : int;
+  retried : int;
+  degraded : int;
+  cache_misses : int;
+  cache_bytes : int;
+  cold : Hist.t;
+  warm : Hist.t;
+}
+
+(* per-worker accumulators: touched only under [stats_mu], so a reader
+   merging them never sees a half-recorded request *)
+type wstats = {
+  mutable w_served : int;
+  mutable w_failed : int;
+  mutable w_hits : int;
+  mutable w_coalesced : int;
+  mutable w_retried : int;
+  mutable w_degraded : int;
+  mutable w_cache_misses : int;
+  mutable w_cache_bytes : int;
+  w_cold : Hist.t;
+  w_warm : Hist.t;
+}
+
+let wstats_create () =
+  {
+    w_served = 0;
+    w_failed = 0;
+    w_hits = 0;
+    w_coalesced = 0;
+    w_retried = 0;
+    w_degraded = 0;
+    w_cache_misses = 0;
+    w_cache_bytes = 0;
+    w_cold = Hist.create ();
+    w_warm = Hist.create ();
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  resolved : address;
+  queue : Unix.file_descr Bqueue.t;
+  flight : (Compiler.compiled, Diag.t) result Flight.t;
+  accepted : int Atomic.t;
+  rejected : int Atomic.t;
+  compiles : int Atomic.t;
+  responses : int Atomic.t;
+  stopping : bool Atomic.t;
+  seen_mu : Mutex.t;
+  seen : (string, unit) Hashtbl.t;
+  (* request text -> fingerprint digest: resolving the model and
+     fingerprinting the graph cost low milliseconds of CPU, and the
+     mapping is deterministic — computing it once per distinct request
+     keeps the warm path cheap under load *)
+  digests : (string, string option) Hashtbl.t;
+  stats_mu : Mutex.t;
+  wstats : wstats array;
+  mutable accept_d : unit Domain.t option;
+  mutable worker_ds : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let address t = t.resolved
+
+(* ---------- stats ---------- *)
+
+let snapshot t =
+  Mutex.protect t.stats_mu (fun () ->
+      let cold = Hist.create () and warm = Hist.create () in
+      let served = ref 0
+      and failed = ref 0
+      and hits = ref 0
+      and coalesced = ref 0
+      and retried = ref 0
+      and degraded = ref 0
+      and cache_misses = ref 0
+      and cache_bytes = ref 0 in
+      Array.iter
+        (fun w ->
+          served := !served + w.w_served;
+          failed := !failed + w.w_failed;
+          hits := !hits + w.w_hits;
+          coalesced := !coalesced + w.w_coalesced;
+          retried := !retried + w.w_retried;
+          degraded := !degraded + w.w_degraded;
+          cache_misses := !cache_misses + w.w_cache_misses;
+          cache_bytes := !cache_bytes + w.w_cache_bytes;
+          Hist.merge_into ~into:cold w.w_cold;
+          Hist.merge_into ~into:warm w.w_warm)
+        t.wstats;
+      {
+        accepted = Atomic.get t.accepted;
+        rejected = Atomic.get t.rejected;
+        compiles = Atomic.get t.compiles;
+        served = !served;
+        failed = !failed;
+        hits = !hits;
+        coalesced = !coalesced;
+        retried = !retried;
+        degraded = !degraded;
+        cache_misses = !cache_misses;
+        cache_bytes = !cache_bytes;
+        cold;
+        warm;
+      })
+
+let stats = snapshot
+
+let stats_line t (s : stats) =
+  Printf.sprintf
+    "daemon: workers=%d queue=%d served=%d failed=%d hits=%d compiles=%d \
+     coalesced=%d rejected=%d retried=%d degraded=%d cache_misses=%d \
+     cache_bytes=%d warm_p50=%.2fms warm_p95=%.2fms warm_p99=%.2fms \
+     cold_p50=%.1fms cold_p95=%.1fms"
+    t.cfg.workers (Bqueue.length t.queue) s.served s.failed s.hits s.compiles
+    s.coalesced s.rejected s.retried s.degraded s.cache_misses s.cache_bytes
+    (Hist.p50 s.warm) (Hist.p95 s.warm) (Hist.p99 s.warm) (Hist.p50 s.cold)
+    (Hist.p95 s.cold)
+
+let emit_stats t = Logsink.emit_err (stats_line t (snapshot t))
+
+(* ---------- request path ---------- *)
+
+let default_resolve model = (Gcd2_models.Zoo.find model).Gcd2_models.Zoo.build ()
+
+let request_key (req : Serve.request) =
+  String.concat "\x00" [ req.model; req.framework; req.selection; req.device ]
+
+(* The request's fingerprint digest, memoized per distinct request text;
+   [None] when the request cannot even be resolved (it will fail in
+   [Serve.serve_one] with a proper diagnostic). *)
+let digest_of t (req : Serve.request) =
+  let key = request_key req in
+  match Mutex.protect t.seen_mu (fun () -> Hashtbl.find_opt t.digests key) with
+  | Some d -> d
+  | None ->
+    let d =
+      match
+        Serve.config_of ~device:req.device ~framework:req.framework
+          ~selection:req.selection ()
+      with
+      | Error _ -> None
+      | Ok config -> (
+        let resolve = Option.value t.cfg.resolve ~default:default_resolve in
+        match resolve req.model with
+        | exception _ -> None
+        | graph -> Some (Compiler.fingerprint config graph))
+    in
+    (* two domains may race to compute the same digest; it is
+       deterministic, so last-write-wins is fine *)
+    Mutex.protect t.seen_mu (fun () -> Hashtbl.replace t.digests key d);
+    d
+
+(* First sight of this request in the daemon, and not already cached on
+   disk?  Then its latency belongs in the cold population. *)
+let classify_cold t digest =
+  match digest with
+  | None -> true
+  | Some digest ->
+    let seen =
+      Mutex.protect t.seen_mu (fun () ->
+          Hashtbl.mem t.seen digest
+          ||
+          (Hashtbl.add t.seen digest ();
+           false))
+    in
+    let on_disk =
+      match t.cfg.policy.cache_dir with
+      | Some dir -> Sys.file_exists (Gcd2_store.Cache.entry_path dir digest)
+      | None -> false
+    in
+    not (seen || on_disk)
+
+(* The single-flight compile hook handed to [Serve.serve_one]: warm
+   cache entries bypass the flight entirely (lookups are read-only, so
+   concurrent warm hits must not serialize), cold compiles coalesce on
+   the request fingerprint. *)
+let compile_sf t ~digest role ~config ~cache_dir ~jobs ~deadline_ms graph =
+  match cache_dir with
+  | None ->
+    (* the uncached-fallback attempt: its result never reaches the
+       cache, so there is nothing to coalesce on *)
+    Atomic.incr t.compiles;
+    Serve.default_compile ~config ~cache_dir ~jobs ~deadline_ms graph
+  | Some dir ->
+    let digest =
+      match digest with
+      | Some d -> d
+      | None -> Compiler.fingerprint config graph
+    in
+    if Sys.file_exists (Gcd2_store.Cache.entry_path dir digest) then
+      Serve.default_compile ~config ~cache_dir ~jobs ~deadline_ms graph
+    else
+      let r, who =
+        Flight.run t.flight digest (fun () ->
+            Atomic.incr t.compiles;
+            Serve.default_compile ~config ~cache_dir ~jobs ~deadline_ms graph)
+      in
+      (match who with
+      | Flight.Leader -> role := Protocol.Lead
+      | Flight.Follower -> role := Protocol.Wait);
+      r
+
+let record t widx (s : Serve.served) (role : Protocol.flight) =
+  Mutex.protect t.stats_mu (fun () ->
+      let w = t.wstats.(widx) in
+      (match s.outcome with
+      | Serve.Ok_ | Serve.Retried | Serve.Degraded ->
+        w.w_served <- w.w_served + 1;
+        if s.hit then w.w_hits <- w.w_hits + 1;
+        (match s.outcome with
+        | Serve.Retried -> w.w_retried <- w.w_retried + 1
+        | Serve.Degraded -> w.w_degraded <- w.w_degraded + 1
+        | _ -> ());
+        Hist.add (if s.cold then w.w_cold else w.w_warm) s.ms
+      | Serve.Timed_out | Serve.Failed -> w.w_failed <- w.w_failed + 1);
+      (match role with
+      | Protocol.Wait -> w.w_coalesced <- w.w_coalesced + 1
+      | _ -> ());
+      (* fold this compile's trace counters into the worker's tally —
+         followers share the leader's compile, so only the leader's copy
+         counts, or one coalesced compile would be tallied K times *)
+      match (s.compiled, role) with
+      | Some c, (Protocol.Lead | Protocol.No_flight) ->
+        w.w_cache_misses <-
+          w.w_cache_misses + Gcd2_util.Trace.counter c.Compiler.trace "cache-misses";
+        w.w_cache_bytes <-
+          w.w_cache_bytes + Gcd2_util.Trace.counter c.Compiler.trace "cache-bytes"
+      | _ -> ())
+
+let respond oc resp =
+  output_string oc (Protocol.render resp);
+  output_char oc '\n';
+  flush oc
+
+let bump_responses t =
+  let n = Atomic.fetch_and_add t.responses 1 + 1 in
+  if t.cfg.stats_every > 0 && n mod t.cfg.stats_every = 0 then emit_stats t
+
+let serve_request t widx oc (req : Serve.request) =
+  let digest = digest_of t req in
+  let cold = classify_cold t digest in
+  let role = ref Protocol.No_flight in
+  let served =
+    Serve.serve_one ?resolve:t.cfg.resolve
+      ~compile:(compile_sf t ~digest role)
+      t.cfg.policy ~cold req
+  in
+  record t widx served !role;
+  if t.cfg.log_outcomes then
+    Logsink.emit
+      (Serve.outcome_line ~extra:("sf=" ^ Protocol.flight_name !role) served);
+  respond oc (Protocol.of_served ~flight:!role served);
+  bump_responses t
+
+let handle_conn t widx fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let line_no = ref 0 in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | raw ->
+         incr line_no;
+         (match
+            Serve.parse_line ~framework:t.cfg.framework
+              ~selection:t.cfg.selection ~device:t.cfg.device ~line:!line_no raw
+          with
+         | Ok None -> ()  (* blank/comment: no response *)
+         | Error pe ->
+           respond oc (Protocol.invalid ~reason:pe.reason);
+           bump_responses t
+         | Ok (Some req) -> serve_request t widx oc req);
+         loop ()
+     in
+     loop ()
+   with _ -> ());
+  (* both channels share [fd], so close it exactly once, via the raw
+     descriptor — closing each channel would close the same fd number
+     twice, and between the two closes a concurrent accept can be handed
+     that number, silently wiring two connections together *)
+  (try flush oc with Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---------- domains ---------- *)
+
+let worker t widx () =
+  let rec loop () =
+    match Bqueue.pop t.queue with
+    | None -> ()
+    | Some fd ->
+      handle_conn t widx fd;
+      loop ()
+  in
+  loop ()
+
+let reject_conn t conn =
+  Atomic.incr t.rejected;
+  (try
+     let oc = Unix.out_channel_of_descr conn in
+     output_string oc (Protocol.render (Protocol.reject ~model:"-" ~device:"-"));
+     output_char oc '\n';
+     flush oc
+   with _ -> ());
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error _ -> ()
+    | conn, _ ->
+      if Atomic.get t.stopping then (
+        try Unix.close conn with Unix.Unix_error _ -> ())
+      else begin
+        if Bqueue.try_push t.queue conn then Atomic.incr t.accepted
+        else reject_conn t conn;
+        loop ()
+      end
+  in
+  loop ()
+
+(* ---------- lifecycle ---------- *)
+
+let resolve_ip host =
+  match Unix.inet_addr_of_string host with
+  | ip -> ip
+  | exception Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+
+let connect addr =
+  match addr with
+  | Unix_sock path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    fd
+  | Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (resolve_ip host, port))
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    fd
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Daemon.start: workers must be >= 1";
+  (* a client that disconnects mid-response must cost an EPIPE in that
+     worker's write (swallowed by [handle_conn]), not a fatal SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listen_fd, resolved =
+    match cfg.address with
+    | Unix_sock path ->
+      if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Unix_sock path)
+    | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (resolve_ip host, port));
+      Unix.listen fd 64;
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (fd, Tcp (host, port))
+  in
+  Serve.reset_degradation_log ();
+  let t =
+    {
+      cfg;
+      listen_fd;
+      resolved;
+      queue = Bqueue.create ~capacity:cfg.queue_depth;
+      flight = Flight.create ();
+      accepted = Atomic.make 0;
+      rejected = Atomic.make 0;
+      compiles = Atomic.make 0;
+      responses = Atomic.make 0;
+      stopping = Atomic.make false;
+      seen_mu = Mutex.create ();
+      seen = Hashtbl.create 64;
+      digests = Hashtbl.create 64;
+      stats_mu = Mutex.create ();
+      wstats = Array.init cfg.workers (fun _ -> wstats_create ());
+      accept_d = None;
+      worker_ds = [];
+      stopped = false;
+    }
+  in
+  t.accept_d <- Some (Domain.spawn (accept_loop t));
+  t.worker_ds <- List.init cfg.workers (fun i -> Domain.spawn (worker t i));
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    (* a plain [close] does not reliably wake a blocked [accept]; a
+       throwaway connection does, and the loop then sees [stopping] *)
+    (try Unix.close (connect t.resolved) with _ -> ());
+    Option.iter Domain.join t.accept_d;
+    t.accept_d <- None;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* close-then-join drains: connections already admitted are served
+       to EOF before the workers exit *)
+    Bqueue.close t.queue;
+    List.iter Domain.join t.worker_ds;
+    t.worker_ds <- [];
+    (match t.resolved with
+    | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Tcp _ -> ());
+    if t.cfg.stats_every > 0 || t.cfg.log_outcomes then emit_stats t
+  end;
+  snapshot t

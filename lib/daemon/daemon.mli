@@ -1,0 +1,94 @@
+(** The concurrent serve daemon: a long-lived multi-domain server behind
+    a Unix or TCP socket, speaking {!Gcd2_serve.Serve} request lines and
+    {!Protocol} response lines.
+
+    Architecture — three kinds of domain around one bounded queue:
+
+    - an {e accept} domain takes connections off the listening socket
+      and offers each to the admission queue ({!Bqueue}); when the queue
+      is full the connection is answered with one [outcome=rejected
+      code=overloaded] line (a retryable {!Gcd2.Diag} — backpressure,
+      not an error) and closed;
+    - [workers] {e worker} domains pull connections off the queue and
+      serve them to EOF, one request line at a time, through
+      {!Gcd2_serve.Serve.serve_one} — so the whole PR-5 policy machinery
+      (deadline, bounded retries, degradation, verification) applies
+      per-request, per-worker, unchanged;
+    - the compile step is wrapped in single-flight deduplication
+      ({!Flight}) keyed by the request fingerprint: K identical cold
+      requests arriving concurrently perform {e one} compile, with K-1
+      waiters sharing the leader's result.  Warm cache hits bypass the
+      flight entirely, so concurrent warm traffic never serializes.
+
+    Stats are accumulated per worker (counts plus mergeable
+    {!Gcd2_util.Stats.Hist} latency histograms, split cold/warm) and
+    merged on demand; with [stats_every > 0] a merged [daemon: ...]
+    line is emitted through {!Gcd2_util.Logsink} every that many
+    responses.  {!stop} is graceful: the accept loop is retired first,
+    then the queue is closed and drained — every admitted connection is
+    served to EOF — before the workers are joined. *)
+
+type address =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port; port [0] picks a free port *)
+
+val pp_address : Format.formatter -> address -> unit
+
+type config = {
+  address : address;
+  workers : int;  (** worker domains serving connections *)
+  queue_depth : int;  (** admission-queue capacity (pending connections) *)
+  policy : Gcd2_serve.Serve.policy;  (** per-request policy (PR 5) *)
+  framework : string;  (** default for request lines that omit it *)
+  selection : string;
+  device : string;
+  resolve : (string -> Gcd2_graph.Graph.t) option;
+      (** model-name resolution; [None] uses the {!Gcd2_models.Zoo} *)
+  stats_every : int;  (** emit a stats line every N responses; 0 = never *)
+  log_outcomes : bool;  (** log one {!Gcd2_serve.Serve.outcome_line} per request *)
+}
+
+(** One worker, queue depth 16, {!Gcd2_serve.Serve.default_policy},
+    gcd2/13/hexagon698 defaults, zoo resolution, no stats, no logs. *)
+val default_config : address -> config
+
+type stats = {
+  accepted : int;  (** connections admitted to the queue *)
+  rejected : int;  (** connections shed by backpressure *)
+  served : int;  (** requests answered successfully (incl. retried/degraded) *)
+  failed : int;  (** requests answered with a failure outcome *)
+  hits : int;  (** served from the artifact cache *)
+  compiles : int;  (** compile-fn invocations after single-flight coalescing *)
+  coalesced : int;  (** requests that waited on another request's compile *)
+  retried : int;
+  degraded : int;
+  cache_misses : int;  (** [cache-misses] trace counter over non-coalesced compiles *)
+  cache_bytes : int;
+  cold : Gcd2_util.Stats.Hist.t;  (** latency of served cold requests *)
+  warm : Gcd2_util.Stats.Hist.t;
+}
+
+type t
+
+(** Bind, listen, and spawn the accept and worker domains.  Unix socket
+    paths left over from a dead daemon are removed; [Tcp (host, 0)]
+    binds an ephemeral port — read it back with {!address}. *)
+val start : config -> t
+
+(** Graceful shutdown: stop accepting, close and drain the admission
+    queue (admitted connections are served to EOF), join every domain,
+    remove the Unix socket path.  Returns the final merged stats.
+    Idempotent — a second call just returns the stats again. *)
+val stop : t -> stats
+
+(** Merged stats so far (safe to call while the daemon runs). *)
+val stats : t -> stats
+
+(** The bound address — [Tcp] with the actual port after ephemeral bind. *)
+val address : t -> address
+
+(** One merged [daemon: ...] stats line (what [stats_every] emits). *)
+val stats_line : t -> stats -> string
+
+(** Connect a client socket to [addr] (used by {!Client} and by tests). *)
+val connect : address -> Unix.file_descr

@@ -1,0 +1,58 @@
+(** Single-flight deduplication (see the interface). *)
+
+type role = Leader | Follower
+
+type 'a cell = {
+  cond : Condition.t;
+  (* written exactly once, by the leader, under the table mutex *)
+  mutable result : ('a, exn * Printexc.raw_backtrace) result option;
+}
+
+type 'a t = {
+  mu : Mutex.t;
+  inflight : (string, 'a cell) Hashtbl.t;
+}
+
+let create () = { mu = Mutex.create (); inflight = Hashtbl.create 16 }
+
+let in_flight t = Mutex.protect t.mu (fun () -> Hashtbl.length t.inflight)
+
+let run t key f =
+  Mutex.lock t.mu;
+  match Hashtbl.find_opt t.inflight key with
+  | Some cell ->
+    (* follower: the compile for [key] is already running — wait for the
+       leader's broadcast and share its result (or its exception) *)
+    let rec wait () =
+      match cell.result with
+      | Some r -> r
+      | None ->
+        Condition.wait cell.cond t.mu;
+        wait ()
+    in
+    let r = wait () in
+    Mutex.unlock t.mu;
+    (match r with
+    | Ok v -> (v, Follower)
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+  | None ->
+    (* leader: claim the key, run [f] outside the lock, publish *)
+    let cell = { cond = Condition.create (); result = None } in
+    Hashtbl.add t.inflight key cell;
+    Mutex.unlock t.mu;
+    let r =
+      match f () with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.mu;
+    (* remove before publishing: an arrival after this point starts a
+       fresh flight instead of reading a result that may already be
+       stale with respect to the cache *)
+    Hashtbl.remove t.inflight key;
+    cell.result <- Some r;
+    Condition.broadcast cell.cond;
+    Mutex.unlock t.mu;
+    (match r with
+    | Ok v -> (v, Leader)
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt)

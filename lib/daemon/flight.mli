@@ -1,0 +1,39 @@
+(** Single-flight deduplication: K concurrent calls with the same key
+    perform the work once.
+
+    The daemon keys compiles by their request fingerprint digest
+    ({!Gcd2.Compiler.fingerprint}); when K identical requests are in
+    flight at once, the first caller (the {e leader}) runs the compile
+    while the other K-1 ({e followers}) block on a condition variable
+    and then share the leader's result.  The in-flight table is a
+    mutex/condvar-guarded hashtable; entries exist only while the leader
+    runs, so a call arriving {e after} the leader published starts a
+    fresh flight — it will typically be answered by the cache entry the
+    leader just stored.
+
+    This table is also the multi-domain safety argument for
+    {!Gcd2_store.Cache} within one daemon: for any digest, at most one
+    domain is ever inside the compile-and-store path at a time, so the
+    cache's store never races itself on an entry (cross-process safety
+    is separately guaranteed by {!Gcd2_store.Artifact}'s atomic
+    temp-file-then-rename save and checksummed reads, which turn any
+    interleaving into a hit or a clean miss, never a torn read).
+
+    If the leader's function raises, the exception (with the leader's
+    backtrace) is re-raised in the leader {e and} every follower —
+    sharing a failure is as important as sharing a success, or K-1
+    callers would immediately re-run a compile that just failed. *)
+
+type role = Leader | Follower
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [run t key f] — if no call with [key] is in flight, run [f] as
+    leader and return [(f (), Leader)]; otherwise block until the
+    in-flight leader finishes and return [(its result, Follower)]. *)
+val run : 'a t -> string -> (unit -> 'a) -> 'a * role
+
+(** Keys currently in flight (diagnostics/tests). *)
+val in_flight : 'a t -> int

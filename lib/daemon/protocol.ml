@@ -1,0 +1,195 @@
+(** The daemon's framed response line (see the interface). *)
+
+module Diag = Gcd2.Diag
+
+let magic = "gcd2r1"
+
+type flight = Lead | Wait | No_flight
+
+let flight_name = function Lead -> "lead" | Wait -> "wait" | No_flight -> "none"
+
+let flight_of_name = function
+  | "lead" -> Some Lead
+  | "wait" -> Some Wait
+  | "none" -> Some No_flight
+  | _ -> None
+
+type response = {
+  outcome : string;
+  hit : bool;
+  cold : bool;
+  ms : float;
+  lat : float option;
+  flight : flight;
+  attempts : int;
+  model : string;
+  device : string;
+  code : string option;
+  msg : string option;
+}
+
+let render r =
+  let b = Buffer.create 128 in
+  Buffer.add_string b magic;
+  let kv k v =
+    Buffer.add_char b ' ';
+    Buffer.add_string b k;
+    Buffer.add_char b '=';
+    Buffer.add_string b v
+  in
+  kv "outcome" r.outcome;
+  kv "hit" (if r.hit then "1" else "0");
+  kv "cold" (if r.cold then "1" else "0");
+  kv "ms" (Printf.sprintf "%.3f" r.ms);
+  kv "lat" (match r.lat with None -> "-" | Some l -> Printf.sprintf "%.4f" l);
+  kv "sf" (flight_name r.flight);
+  kv "attempts" (string_of_int r.attempts);
+  kv "model" r.model;
+  kv "device" r.device;
+  (match r.code with None -> () | Some c -> kv "code" c);
+  (* msg is %S-quoted and must stay last: it is the only field that may
+     contain spaces, so the parser can treat everything before it as
+     whitespace-separated key=value tokens *)
+  (match r.msg with None -> () | Some m -> kv "msg" (Printf.sprintf "%S" m));
+  Buffer.contents b
+
+let parse line =
+  let fail reason = Error (Printf.sprintf "%s: %s" reason line) in
+  (* split off the quoted msg first; everything before it is plain tokens *)
+  let head, msg =
+    let marker = " msg=" in
+    let rec find i =
+      if i + String.length marker > String.length line then None
+      else if String.sub line i (String.length marker) = marker then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> (line, Ok None)
+    | Some i ->
+      let quoted = String.sub line (i + 5) (String.length line - i - 5) in
+      let msg =
+        match Scanf.sscanf quoted "%S%!" (fun s -> s) with
+        | s -> Ok (Some s)
+        | exception _ -> Error ()
+      in
+      (String.sub line 0 i, msg)
+  in
+  match msg with
+  | Error () -> fail "bad msg quoting"
+  | Ok msg -> (
+    let tokens =
+      String.split_on_char ' ' head |> List.filter (fun s -> s <> "")
+    in
+    match tokens with
+    | m :: rest when m = magic -> (
+      let tbl = Hashtbl.create 12 in
+      let ok =
+        List.for_all
+          (fun tok ->
+            match String.index_opt tok '=' with
+            | None -> false
+            | Some i ->
+              Hashtbl.replace tbl
+                (String.sub tok 0 i)
+                (String.sub tok (i + 1) (String.length tok - i - 1));
+              true)
+          rest
+      in
+      if not ok then fail "malformed field"
+      else
+        let get k = Hashtbl.find_opt tbl k in
+        let req k = match get k with Some v -> Ok v | None -> Error k in
+        let bool_of = function "1" -> Some true | "0" -> Some false | _ -> None in
+        match (req "outcome", req "hit", req "cold", req "ms", req "sf",
+               req "attempts", req "model", req "device") with
+        | Ok outcome, Ok hit, Ok cold, Ok ms, Ok sf, Ok attempts, Ok model,
+          Ok device -> (
+          match
+            ( bool_of hit,
+              bool_of cold,
+              float_of_string_opt ms,
+              flight_of_name sf,
+              int_of_string_opt attempts )
+          with
+          | Some hit, Some cold, Some ms, Some flight, Some attempts ->
+            let lat =
+              match get "lat" with
+              | None | Some "-" -> None
+              | Some l -> float_of_string_opt l
+            in
+            Ok
+              {
+                outcome;
+                hit;
+                cold;
+                ms;
+                lat;
+                flight;
+                attempts;
+                model;
+                device;
+                code = get "code";
+                msg;
+              }
+          | _ -> fail "bad field value")
+        | _ -> fail "missing field")
+    | _ -> fail "bad magic")
+
+let of_served ~flight (s : Gcd2_serve.Serve.served) =
+  let diag = s.diag in
+  {
+    outcome = Gcd2_serve.Serve.outcome_name s.outcome;
+    hit = s.hit;
+    cold = s.cold;
+    ms = s.ms;
+    lat = Option.map Gcd2.Compiler.latency_ms s.compiled;
+    flight;
+    attempts = s.attempts;
+    model = s.request.model;
+    device = s.request.device;
+    code = Option.map (fun (d : Diag.t) -> Diag.code_name d.code) diag;
+    msg = Option.map (fun (d : Diag.t) -> d.message) diag;
+  }
+
+let reject ~model ~device =
+  {
+    outcome = "rejected";
+    hit = false;
+    cold = false;
+    ms = 0.;
+    lat = None;
+    flight = No_flight;
+    attempts = 0;
+    model;
+    device;
+    code = Some (Diag.code_name Diag.Overloaded);
+    msg = Some "admission queue full; retry after backoff";
+  }
+
+let invalid ~reason =
+  {
+    outcome = "invalid";
+    hit = false;
+    cold = false;
+    ms = 0.;
+    lat = None;
+    flight = No_flight;
+    attempts = 0;
+    model = "-";
+    device = "-";
+    code = Some (Diag.code_name Diag.Invalid_request);
+    msg = Some reason;
+  }
+
+let diag_of r =
+  match r.code with
+  | None -> None
+  | Some name -> (
+    match
+      List.find_opt (fun c -> Diag.code_name c = name) Diag.all_codes
+    with
+    | None -> None
+    | Some code ->
+      Some
+        (Diag.make ~model:r.model code
+           (Option.value r.msg ~default:(Printf.sprintf "[%s]" name))))

@@ -168,14 +168,18 @@ let default_resolve model = (Zoo.find model).Zoo.build ()
 
 (* The uncached-fallback degradation is logged once per batch (reset by
    [run_batch]), not once per poisoned request: a dead cache directory
-   would otherwise log on every request of the batch. *)
-let degradation_logged = ref false
+   would otherwise log on every request of the batch.  The flag is
+   atomic and the line goes through the mutex-guarded {!Logsink}: under
+   the multi-domain daemon several workers hit a dead cache at once, and
+   their log lines must neither tear nor multiply. *)
+let degradation_logged = Atomic.make false
+
+let reset_degradation_log () = Atomic.set degradation_logged false
 
 let log_degradation d =
-  if not !degradation_logged then begin
-    degradation_logged := true;
-    Fmt.epr "serve: cache unusable (%a); continuing uncached@." Diag.pp d
-  end
+  if not (Atomic.exchange degradation_logged true) then
+    Gcd2_util.Logsink.emit_err
+      (Fmt.str "serve: cache unusable (%a); continuing uncached" Diag.pp d)
 
 (* After a degraded or retried path, re-read the stored artifact with
    fault injection disabled and check it against the compile actually
@@ -191,7 +195,23 @@ let verify_against_store ~dir config graph (c : Compiler.compiled) =
     && art.Artifact.report.Graphcost.cycles = c.Compiler.report.Graphcost.cycles
   | Error _ -> false
 
-let serve_one ?(resolve = default_resolve) policy ~cold (request : request) =
+(* The compile step is pluggable so a front end can wrap it without
+   re-implementing the policy machinery: the daemon passes a
+   single-flight wrapper here, and the deadline/retry/degradation loop
+   below applies to it unchanged. *)
+type compile_fn =
+  config:Compiler.config ->
+  cache_dir:string option ->
+  jobs:int option ->
+  deadline_ms:float option ->
+  Gcd2_graph.Graph.t ->
+  (Compiler.compiled, Diag.t) result
+
+let default_compile ~config ~cache_dir ~jobs ~deadline_ms g =
+  Compiler.compile_result ~config ?cache_dir ?jobs ?deadline_ms g
+
+let serve_one ?(resolve = default_resolve) ?(compile = default_compile) policy ~cold
+    (request : request) =
   let t0 = Trace.now () in
   let elapsed_ms () = 1000.0 *. (Trace.now () -. t0) in
   let fail ?(attempts = 1) d =
@@ -244,10 +264,7 @@ let serve_one ?(resolve = default_resolve) policy ~cold (request : request) =
       | Some r when r <= 0.0 ->
         Error (Diag.make Diag.Deadline_exceeded "deadline expired before the attempt")
       | rem -> (
-        match
-          Compiler.compile_result ~config ?cache_dir ?jobs:policy.jobs ?deadline_ms:rem
-            graph
-        with
+        match compile ~config ~cache_dir ~jobs:policy.jobs ~deadline_ms:rem graph with
         | Ok c -> Ok (c, cache_dir)
         | Error d when d.Diag.retryable && k < policy.retries ->
           backoff k;
@@ -325,8 +342,8 @@ let report_of results =
       List.filter_map (fun r -> if ok r && not r.cold then Some r.ms else None) results;
   }
 
-let run_batch ?resolve ?(on_result = fun _ -> ()) policy requests =
-  degradation_logged := false;
+let run_batch ?resolve ?compile ?(on_result = fun _ -> ()) policy requests =
+  reset_degradation_log ();
   let seen = Hashtbl.create 16 in
   let results =
     List.map
@@ -334,9 +351,40 @@ let run_batch ?resolve ?(on_result = fun _ -> ()) policy requests =
         let key = (r.model, r.framework, r.selection, r.device) in
         let cold = not (Hashtbl.mem seen key) in
         Hashtbl.replace seen key ();
-        let served = serve_one ?resolve policy ~cold r in
+        let served = serve_one ?resolve ?compile policy ~cold r in
         on_result served;
         served)
       requests
   in
   (results, report_of results)
+
+(* ------------------------------------------------------------------ *)
+(* Outcome lines                                                       *)
+
+(* One structured line per served request — the shared rendering behind
+   `gcd2 serve` and the daemon's log, emitted through the mutex-guarded
+   {!Gcd2_util.Logsink} so concurrent workers never tear it. *)
+let outcome_line ?(extra = "") (r : served) =
+  let b = Buffer.create 96 in
+  let req = r.request in
+  Buffer.add_string b
+    (Fmt.str "%-16s %-8s %-10s %-8s %5s %-4s %10.1f ms" req.model req.framework
+       req.selection (outcome_name r.outcome)
+       (match r.diag with Some _ -> "-" | None -> if r.hit then "hit" else "miss")
+       (if r.cold then "cold" else "warm")
+       r.ms);
+  (match r.compiled with
+  | Some c -> Buffer.add_string b (Fmt.str "   model %8.2f ms" (Compiler.latency_ms c))
+  | None -> ());
+  if req.device <> "hexagon698" then Buffer.add_string b ("   device=" ^ req.device);
+  if r.attempts > 1 then Buffer.add_string b (Fmt.str "   attempts=%d" r.attempts);
+  if r.quarantined > 0 then Buffer.add_string b (Fmt.str "   quarantined=%d" r.quarantined);
+  if r.uncached then Buffer.add_string b "   uncached";
+  if extra <> "" then Buffer.add_string b ("   " ^ extra);
+  (match r.diag with
+  | Some d ->
+    Buffer.add_string b (Fmt.str "   code=%s" (Diag.code_name d.Diag.code));
+    (match req.line with 0 -> () | n -> Buffer.add_string b (Fmt.str " line=%d" n));
+    Buffer.add_string b ("   " ^ d.Diag.message)
+  | None -> ());
+  Buffer.contents b

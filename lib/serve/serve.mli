@@ -110,12 +110,35 @@ type served = {
   verified : bool;  (** stored artifact re-checked after a degraded/retried path *)
 }
 
+(** The compile step of the serving loop, pluggable so a front end can
+    wrap it (the daemon's single-flight deduplication) while the
+    deadline/retry/degradation machinery applies unchanged.  The
+    function must honour the policy fields it is handed ([cache_dir] is
+    [None] on the uncached-fallback attempt) and return every failure as
+    a typed [Error] — {!default_compile} is
+    {!Gcd2.Compiler.compile_result}. *)
+type compile_fn =
+  config:Compiler.config ->
+  cache_dir:string option ->
+  jobs:int option ->
+  deadline_ms:float option ->
+  Gcd2_graph.Graph.t ->
+  (Compiler.compiled, Diag.t) result
+
+val default_compile : compile_fn
+
 (** Serve one request under [policy].  [resolve] maps the model name to
-    its graph (default: the {!Gcd2_models.Zoo}); [cold] marks the first
+    its graph (default: the {!Gcd2_models.Zoo}); [compile] is the
+    compile step (default {!default_compile}); [cold] marks the first
     compile of this request in the process (latency bookkeeping only).
     Never raises: every failure is a {!served} with a diagnostic. *)
 val serve_one :
-  ?resolve:(string -> Gcd2_graph.Graph.t) -> policy -> cold:bool -> request -> served
+  ?resolve:(string -> Gcd2_graph.Graph.t) ->
+  ?compile:compile_fn ->
+  policy ->
+  cold:bool ->
+  request ->
+  served
 
 type report = {
   requests : int;
@@ -136,7 +159,21 @@ type report = {
     excluded by construction, not by accident. *)
 val run_batch :
   ?resolve:(string -> Gcd2_graph.Graph.t) ->
+  ?compile:compile_fn ->
   ?on_result:(served -> unit) ->
   policy ->
   request list ->
   served list * report
+
+(** Re-arm the once-per-batch "cache unusable" degradation log line
+    ({!run_batch} does this itself; a long-lived daemon calls it when it
+    wants the next degradation reported again). *)
+val reset_degradation_log : unit -> unit
+
+(** One structured outcome line (no trailing newline): model, framework,
+    selection, outcome, hit/miss, cold/warm, wall time, then the
+    optional fields (model latency, device, attempts, quarantines,
+    uncached fallback, [extra], and the diagnostic of a failed request).
+    Shared by [gcd2 serve] and the daemon so both logs read the same;
+    emit it through {!Gcd2_util.Logsink} under concurrency. *)
+val outcome_line : ?extra:string -> served -> string

@@ -85,9 +85,14 @@ type installed = { spec : spec; streams : (string * stream) list }
 
 let lock = Mutex.create ()
 let current : installed option ref = ref None
-let is_active = ref false
-let disabled = ref 0
+let is_active = Atomic.make false
 let env_err : string option ref = ref None
+
+(* Suppression is domain-local: a worker domain running out-of-band
+   verification under [with_disabled] must not blind the injection
+   checks of requests being served concurrently on other domains (and a
+   plain shared counter would lose cross-domain updates anyway). *)
+let disabled_key = Domain.DLS.new_key (fun () -> 0)
 
 let install spec =
   let streams =
@@ -98,7 +103,7 @@ let install spec =
   in
   Mutex.lock lock;
   current := (if spec.rules = [] then None else Some { spec; streams });
-  is_active := spec.rules <> [];
+  Atomic.set is_active (spec.rules <> []);
   Mutex.unlock lock
 
 let configure spec = install spec
@@ -106,20 +111,25 @@ let clear () = install none
 
 let with_spec spec f =
   Mutex.lock lock;
-  let saved = !current and saved_active = !is_active in
+  let saved = !current and saved_active = Atomic.get is_active in
   Mutex.unlock lock;
   install spec;
   Fun.protect
     ~finally:(fun () ->
       Mutex.lock lock;
       current := saved;
-      is_active := saved_active;
+      Atomic.set is_active saved_active;
       Mutex.unlock lock)
     f
 
 let with_disabled f =
-  incr disabled;
-  Fun.protect ~finally:(fun () -> decr disabled) f
+  Domain.DLS.set disabled_key (Domain.DLS.get disabled_key + 1);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set disabled_key (Domain.DLS.get disabled_key - 1))
+    f
+
+let suppressed () = Domain.DLS.get disabled_key > 0
+let with_suppression s f = if s then with_disabled f else f ()
 
 let env_error () = !env_err
 
@@ -134,20 +144,20 @@ let () =
     | Ok spec -> install spec
     | Error e ->
       env_err := Some (Printf.sprintf "GCD2_FAULTS: %s" e);
-      is_active := true)
+      Atomic.set is_active true)
 
-let active () = !is_active
+let active () = Atomic.get is_active
 
 (* [f stream] runs under the lock against [p]'s stream; [None] when
    injection is off (inactive, disabled, or no rule for [p]). *)
 let with_stream p f =
   check_point p;
-  if not !is_active then None
+  if not (Atomic.get is_active) then None
   else
     match !env_err with
     | Some e -> invalid_arg e
     | None ->
-      if !disabled > 0 then None
+      if Domain.DLS.get disabled_key > 0 then None
       else begin
         Mutex.lock lock;
         Fun.protect

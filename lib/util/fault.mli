@@ -68,8 +68,20 @@ val with_spec : spec -> (unit -> 'a) -> 'a
 (** [with_disabled f] — run [f] with injection suppressed (streams do
     not advance).  Used by out-of-band verification (e.g. the serve
     loop re-checking a degraded artifact) that must observe the real
-    system, not the chaos. *)
+    system, not the chaos.  Suppression is {e domain-local}: a daemon
+    worker verifying one request never blinds the injection checks of
+    requests being served concurrently on other domains. *)
 val with_disabled : (unit -> 'a) -> 'a
+
+(** Is injection suppressed in the calling domain?  Freshly spawned
+    domains do not inherit suppression — a parallel phase captures this
+    and re-installs it in its workers with {!with_suppression}, the way
+    {!Gcd2_util.Pool} re-installs the ambient deadline. *)
+val suppressed : unit -> bool
+
+(** [with_suppression s f] — run [f] under suppression when [s];
+    plain [f ()] otherwise. *)
+val with_suppression : bool -> (unit -> 'a) -> 'a
 
 (** The parse error of the [GCD2_FAULTS] environment variable, if it
     was set but unparseable.  A malformed spec must fail loudly, not

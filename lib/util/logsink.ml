@@ -1,0 +1,45 @@
+(** Mutex-guarded whole-line log writer (see the interface). *)
+
+(* One process-wide mutex covering both channels: out and err lines from
+   concurrent domains must not interleave with each other either (a
+   stats line half-printed into an outcome line is torn whichever
+   channel each was aimed at when both end up on a terminal). *)
+let mu = Mutex.create ()
+
+type channels = { mutable out : out_channel; mutable err : out_channel }
+
+let chans = { out = stdout; err = stderr }
+
+let emit_to ch line =
+  Mutex.lock mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mu)
+    (fun () ->
+      output_string ch line;
+      output_char ch '\n';
+      flush ch)
+
+let emit line = emit_to chans.out line
+let emit_err line = emit_to chans.err line
+
+let redirect ?out ?err () =
+  Mutex.lock mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mu)
+    (fun () ->
+      (match out with Some ch -> chans.out <- ch | None -> ());
+      match err with Some ch -> chans.err <- ch | None -> ())
+
+let with_redirect ?out ?err f =
+  Mutex.lock mu;
+  let saved_out = chans.out and saved_err = chans.err in
+  (match out with Some ch -> chans.out <- ch | None -> ());
+  (match err with Some ch -> chans.err <- ch | None -> ());
+  Mutex.unlock mu;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock mu;
+      chans.out <- saved_out;
+      chans.err <- saved_err;
+      Mutex.unlock mu)
+    f

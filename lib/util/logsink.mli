@@ -1,0 +1,32 @@
+(** Mutex-guarded whole-line log writer.
+
+    Structured outcome, stats and degradation lines are the service's
+    observable surface; under a multi-domain server, two workers
+    printing through bare [Format]/[output_string] calls can interleave
+    mid-line and produce torn, unparseable records.  Every serve/daemon
+    log line therefore goes through this module: one process-wide mutex,
+    one whole line per call, flushed before the mutex is released — a
+    reader of the stream sees complete lines in some serial order,
+    always.
+
+    Two logical channels: {!emit} (outcome/stats lines, default
+    [stdout]) and {!emit_err} (diagnostics and warnings, default
+    [stderr]).  Both are guarded by the {e same} mutex, so lines cannot
+    tear even when both channels point at the same terminal or file.
+    Tests and benches retarget the channels with {!with_redirect} and
+    assert line integrity on the capture. *)
+
+(** [emit line] — write [line ^ "\n"] to the out channel, atomically
+    with respect to every other emit, and flush. *)
+val emit : string -> unit
+
+(** [emit_err line] — same, to the error channel. *)
+val emit_err : string -> unit
+
+(** Permanently retarget either channel (a daemon pointing its log at a
+    file). *)
+val redirect : ?out:out_channel -> ?err:out_channel -> unit -> unit
+
+(** [with_redirect ?out ?err f] — run [f] with the channels retargeted,
+    restoring the previous targets afterwards, also on raise. *)
+val with_redirect : ?out:out_channel -> ?err:out_channel -> (unit -> 'a) -> 'a

@@ -33,6 +33,9 @@ let map_array ?(jobs = 1) f arr =
        in every worker so a cancellation fires mid-enumeration, not only
        at the next pass boundary. *)
     let deadline = Deadline.get () in
+    (* fault suppression is domain-local like the deadline: a pool
+       spawned inside a verification pass must stay fault-free too *)
+    let suppressed = Fault.suppressed () in
     let run_worker wi =
       let body () =
         Fault.fire "pool-worker";
@@ -43,7 +46,10 @@ let map_array ?(jobs = 1) f arr =
           i := !i + w
         done
       in
-      let body () = Deadline.with_deadline deadline body in
+      let body () =
+        Fault.with_suppression suppressed (fun () ->
+            Deadline.with_deadline deadline body)
+      in
       try
         match worker_traces.(wi) with
         | Some t -> Trace.with_ambient t body

@@ -22,3 +22,66 @@ val ceil_div : int -> int -> int
 
 (** Round [a] up to the next multiple of [b]. *)
 val round_up : int -> int -> int
+
+(** Mergeable fixed-layout log-bucket latency histogram.
+
+    A histogram is a fixed array of counts over a geometric bucket
+    layout shared by every instance ({!Hist.sub_octave} buckets per
+    factor of two from {!Hist.lo_ms} to {!Hist.hi_ms}, plus underflow
+    and overflow buckets), so per-worker histograms combine with an
+    elementwise sum — associative, commutative, and O(buckets) — without
+    retaining a single sample.  Percentile queries return the lower edge
+    of the bucket holding the nearest-rank sample, i.e. an estimate
+    within one bucket ratio (2{^ 1/8} ≈ 9%) of the exact nearest-rank
+    percentile. *)
+module Hist : sig
+  type t
+
+  (** Buckets per factor of two (8: ≈9% relative resolution). *)
+  val sub_octave : int
+
+  (** Lower/upper bounds of the interior buckets, in milliseconds. *)
+  val lo_ms : float
+
+  val hi_ms : float
+
+  (** Total bucket count, including underflow and overflow. *)
+  val buckets : int
+
+  (** An empty histogram. *)
+  val create : unit -> t
+
+  (** Record one latency (milliseconds; non-positive values land in the
+      underflow bucket). *)
+  val add : t -> float -> unit
+
+  (** The bucket index a latency lands in ([0] = underflow,
+      [buckets - 1] = overflow).  Exposed for tests. *)
+  val bucket_of : float -> int
+
+  (** Lower edge (ms) of bucket [i] — the value percentile queries
+      report.  Exposed for tests. *)
+  val bucket_floor : int -> float
+
+  (** Samples recorded. *)
+  val count : t -> int
+
+  (** Pure merge: a fresh histogram holding both sample sets. *)
+  val merge : t -> t -> t
+
+  (** In-place merge of [src] into [into]. *)
+  val merge_into : into:t -> t -> unit
+
+  val copy : t -> t
+
+  (** The raw bucket counts (a copy), for tests and serialization. *)
+  val counts : t -> int array
+
+  (** Nearest-rank percentile estimate (lower bucket edge); [0.0] on an
+      empty histogram, mirroring {!Stats.percentile}. *)
+  val percentile : float -> t -> float
+
+  val p50 : t -> float
+  val p95 : t -> float
+  val p99 : t -> float
+end

@@ -340,6 +340,91 @@ let test_zoo_model_chaos () =
   check_bool "fault-free zoo serve is clean" true (r.Serve.outcome = Serve.Ok_)
 
 (* ------------------------------------------------------------------ *)
+(* The daemon under faults *)
+
+module Daemon = Gcd2_daemon.Daemon
+module Dclient = Gcd2_daemon.Client
+module Protocol = Gcd2_daemon.Protocol
+
+(* Faults injected inside daemon worker domains must surface as typed
+   per-request outcomes — never crash the server, and never leak one
+   request's artifact into another's response.  Cross-wiring is
+   detectable by the latency estimate: the two models here compile to
+   measurably different estimates, and every successful response must
+   carry exactly its own model's fault-free estimate. *)
+let test_daemon_worker_chaos () =
+  let dir = temp_dir () in
+  let resolve_d = function
+    | "tiny" -> tiny_cnn 1
+    | "wide" -> weighted_cnn 5
+    | m -> invalid_arg ("unknown test model " ^ m)
+  in
+  let base_lat model =
+    (* the wire format carries lat with 4 decimals; compare at wire
+       precision *)
+    Fault.with_disabled (fun () ->
+        float_of_string
+          (Printf.sprintf "%.4f"
+             (Compiler.latency_ms (Compiler.compile (resolve_d model)))))
+  in
+  let expect = [ ("tiny", base_lat "tiny"); ("wide", base_lat "wide") ] in
+  check_bool "models are distinguishable by latency" true
+    (List.assoc "tiny" expect <> List.assoc "wide" expect);
+  let cfg =
+    {
+      (Daemon.default_config (Daemon.Unix_sock (Filename.concat dir "d.sock"))) with
+      Daemon.workers = 2;
+      resolve = Some resolve_d;
+      policy = policy ~cache_dir:(Filename.concat dir "cache") ~jobs:1 ();
+    }
+  in
+  let d = Daemon.start cfg in
+  Fun.protect ~finally:(fun () -> ignore (Daemon.stop d)) @@ fun () ->
+  let addr = Daemon.address d in
+  let reqs = [ "tiny"; "wide"; "tiny"; "wide"; "tiny"; "wide" ] in
+  let check_responses label rs =
+    check_int (label ^ ": every request answered") (List.length reqs)
+      (List.length rs);
+    List.iter
+      (function
+        | Error e -> Alcotest.failf "%s: transport error under faults: %s" label e
+        | Ok (r : Protocol.response) -> (
+          check_bool
+            (label ^ ": outcome is typed (server alive): " ^ r.Protocol.outcome)
+            true
+            (List.mem r.Protocol.outcome
+               [ "ok"; "retried"; "degraded"; "timeout"; "error" ]);
+          match (r.Protocol.outcome, r.Protocol.lat) with
+          | ("ok" | "retried" | "degraded"), Some lat ->
+            Alcotest.(check (float 0.0))
+              (label ^ ": response carries its own model's artifact")
+              (List.assoc r.Protocol.model expect)
+              lat
+          | ("ok" | "retried" | "degraded"), None ->
+            Alcotest.fail (label ^ ": successful response lost its latency")
+          | _ -> ()))
+      rs
+  in
+  Fault.with_spec
+    (spec "seed=7,cache-read=0.4,cache-write=0.3,artifact-decode=0.4,memo-lookup=0.3")
+    (fun () ->
+      let clients =
+        Array.init 3 (fun _ -> Domain.spawn (fun () -> Dclient.batch addr reqs))
+      in
+      Array.iteri
+        (fun i c -> check_responses (Printf.sprintf "client %d" i) (Domain.join c))
+        clients);
+  (* once the faults stop, the same daemon serves clean warm hits *)
+  match Dclient.batch addr [ "tiny" ] with
+  | [ Ok r ] ->
+    Alcotest.(check string) "fault-free serve is clean" "ok" r.Protocol.outcome;
+    Alcotest.(check (float 0.0))
+      "fault-free latency matches"
+      (List.assoc "tiny" expect)
+      (match r.Protocol.lat with Some l -> l | None -> -1.0)
+  | _ -> Alcotest.fail "fault-free request after chaos did not round-trip"
+
+(* ------------------------------------------------------------------ *)
 (* Spec plumbing *)
 
 let test_spec_parsing () =
@@ -378,5 +463,7 @@ let tests =
       test_pool_worker_crash_and_recovery;
     Alcotest.test_case "GCD2_FAULTS-driven batch" `Quick test_env_spec;
     Alcotest.test_case "zoo model under combined faults" `Quick test_zoo_model_chaos;
+    Alcotest.test_case "daemon workers absorb faults" `Quick
+      test_daemon_worker_chaos;
     QCheck_alcotest.to_alcotest qcheck_chaos;
   ]

@@ -1,0 +1,429 @@
+(* Tests for the concurrent serve daemon: the bounded admission queue,
+   single-flight compile deduplication, the wire protocol, backpressure
+   rejection, graceful shutdown, and torn-line-free logging.
+
+   Concurrency tests use domains as clients; on a single CPU the
+   interesting interleavings still happen because clients block on
+   socket I/O while workers block on the flight condvar.  Each timing
+   window is anchored on a real cold compile (hundreds of ms) against
+   sleeps of tens of ms, so the orderings asserted here are robust. *)
+
+module T = Gcd2_tensor.Tensor
+module Q = Gcd2_tensor.Quant
+module Rng = Gcd2_util.Rng
+module Logsink = Gcd2_util.Logsink
+module Serve = Gcd2_serve.Serve
+module Daemon = Gcd2_daemon.Daemon
+module Client = Gcd2_daemon.Client
+module Protocol = Gcd2_daemon.Protocol
+module Flight = Gcd2_daemon.Flight
+module Bqueue = Gcd2_daemon.Bqueue
+open Gcd2_graph
+module B = Graph.Builder
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let temp_dir () =
+  let f = Filename.temp_file "gcd2-daemon-test" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let weight_q = Q.make (1.0 /. 64.0)
+
+(* Two structurally different tiny models, so their latency estimates
+   differ and a cross-wired response is detectable by its [lat]. *)
+let tiny_cnn ~channels seed =
+  let rng = Rng.create seed in
+  let b = B.create () in
+  let x = B.input b [| 1; 4; 4; channels |] in
+  let w1 = T.random ~quant:weight_q rng [| 3; 3; channels; channels |] in
+  let c1 = B.conv2d ~weight:w1 b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:channels in
+  let _ = B.add b Op.Relu [ c1 ] in
+  B.finish b
+
+let resolve_tiny = function
+  | "tinyA" -> tiny_cnn ~channels:4 1
+  | "tinyB" -> tiny_cnn ~channels:8 2
+  | m -> invalid_arg ("unknown test model " ^ m)
+
+(* A daemon config over a unix socket in [dir], with a cache in [dir]
+   and no retry backoff (tests exercise orderings, not wall time). *)
+let config ?(workers = 2) ?(queue_depth = 8) ?resolve ?(log_outcomes = false)
+    ?(stats_every = 0) dir =
+  let sock = Filename.concat dir "d.sock" in
+  {
+    (Daemon.default_config (Daemon.Unix_sock sock)) with
+    Daemon.workers;
+    queue_depth;
+    resolve;
+    log_outcomes;
+    stats_every;
+    policy =
+      {
+        Serve.default_policy with
+        Serve.cache_dir = Some (Filename.concat dir "cache");
+        jobs = Some 1;
+        backoff_ms = 0.0;
+      };
+  }
+
+let with_daemon cfg f =
+  let d = Daemon.start cfg in
+  Fun.protect ~finally:(fun () -> ignore (Daemon.stop d)) (fun () -> f d)
+
+let ok_response = function
+  | Ok (r : Protocol.response) -> r
+  | Error e -> Alcotest.failf "transport error: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue *)
+
+let test_bqueue () =
+  let q = Bqueue.create ~capacity:2 in
+  check_bool "push 1" true (Bqueue.try_push q 1);
+  check_bool "push 2" true (Bqueue.try_push q 2);
+  check_bool "push beyond capacity fails" false (Bqueue.try_push q 3);
+  check_int "length" 2 (Bqueue.length q);
+  Alcotest.(check (option int)) "fifo pop" (Some 1) (Bqueue.pop q);
+  check_bool "push after pop" true (Bqueue.try_push q 3);
+  Bqueue.close q;
+  check_bool "closed" true (Bqueue.closed q);
+  check_bool "push after close fails" false (Bqueue.try_push q 4);
+  (* a closed queue still drains before reporting exhaustion *)
+  Alcotest.(check (option int)) "drain 2" (Some 2) (Bqueue.pop q);
+  Alcotest.(check (option int)) "drain 3" (Some 3) (Bqueue.pop q);
+  Alcotest.(check (option int)) "drained" None (Bqueue.pop q);
+  (* pop blocked on an empty queue wakes up on close *)
+  let q2 = Bqueue.create ~capacity:1 in
+  let waiter = Domain.spawn (fun () -> Bqueue.pop q2) in
+  Unix.sleepf 0.02;
+  Bqueue.close q2;
+  Alcotest.(check (option int)) "blocked pop wakes on close" None
+    (Domain.join waiter)
+
+(* ------------------------------------------------------------------ *)
+(* Single-flight primitive *)
+
+let test_flight_coalesces () =
+  let fl = Flight.create () in
+  let runs = Atomic.make 0 in
+  let work () =
+    Atomic.incr runs;
+    Unix.sleepf 0.15;
+    42
+  in
+  let callers =
+    Array.init 4 (fun _ -> Domain.spawn (fun () -> Flight.run fl "k" work))
+  in
+  let results = Array.map Domain.join callers in
+  check_int "work ran exactly once" 1 (Atomic.get runs);
+  Array.iter (fun (v, _) -> check_int "shared result" 42 v) results;
+  let leaders =
+    Array.to_list results
+    |> List.filter (fun (_, role) -> role = Flight.Leader)
+    |> List.length
+  in
+  check_int "exactly one leader" 1 leaders;
+  check_int "table empties" 0 (Flight.in_flight fl);
+  (* a call arriving after the flight finished starts a fresh one *)
+  let v, role = Flight.run fl "k" work in
+  check_int "fresh flight reruns" 2 (Atomic.get runs);
+  check_int "fresh result" 42 v;
+  check_bool "fresh caller leads" true (role = Flight.Leader)
+
+exception Boom
+
+let test_flight_shares_failure () =
+  let fl = Flight.create () in
+  let runs = Atomic.make 0 in
+  let work () =
+    Atomic.incr runs;
+    Unix.sleepf 0.1;
+    raise Boom
+  in
+  let callers =
+    Array.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            match Flight.run fl "k" work with
+            | _ -> `No_raise
+            | exception Boom -> `Boom))
+  in
+  let outcomes = Array.map Domain.join callers in
+  check_int "failing work ran once" 1 (Atomic.get runs);
+  Array.iter
+    (fun o -> check_bool "every caller sees the leader's exception" true (o = `Boom))
+    outcomes;
+  check_int "table empties after failure" 0 (Flight.in_flight fl)
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol *)
+
+let test_protocol_roundtrip () =
+  let roundtrip (r : Protocol.response) =
+    match Protocol.parse (Protocol.render r) with
+    | Ok r' -> Alcotest.(check string) "roundtrip" (Protocol.render r) (Protocol.render r')
+    | Error e -> Alcotest.failf "parse failed: %s (%s)" e (Protocol.render r)
+  in
+  roundtrip
+    {
+      Protocol.outcome = "ok";
+      hit = true;
+      cold = false;
+      ms = 1.532;
+      lat = Some 2.1766;
+      flight = Protocol.No_flight;
+      attempts = 1;
+      model = "tinyA";
+      device = "hexagon698";
+      code = None;
+      msg = None;
+    };
+  (* msg may contain spaces, quotes and '=': it is %S-quoted and last *)
+  roundtrip
+    {
+      Protocol.outcome = "error";
+      hit = false;
+      cold = true;
+      ms = 12.004;
+      lat = None;
+      flight = Protocol.Lead;
+      attempts = 3;
+      model = "x";
+      device = "hexagon-g2";
+      code = Some "cache-io";
+      msg = Some "read failed: \"/tmp/x y\" key=v";
+    };
+  (match Protocol.parse "gcd2r0 outcome=ok" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic accepted");
+  (match Protocol.parse "gcd2r1 outcome=ok" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing fields accepted");
+  (* a rejected response reconstructs a retryable Overloaded diag *)
+  let rej = Protocol.reject ~model:"m" ~device:"d" in
+  Alcotest.(check string) "reject outcome" "rejected" rej.Protocol.outcome;
+  (match Protocol.diag_of rej with
+  | Some d ->
+    check_bool "overloaded" true (d.Gcd2.Diag.code = Gcd2.Diag.Overloaded);
+    check_bool "retryable" true d.Gcd2.Diag.retryable
+  | None -> Alcotest.fail "reject carries no diag")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a unix socket *)
+
+let test_daemon_serves () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_daemon (config ~resolve:resolve_tiny dir) @@ fun d ->
+  let addr = Daemon.address d in
+  (* cold, then warm, then a malformed request *)
+  (match Client.batch addr [ "tinyA"; "tinyA"; "# comment"; "" ] with
+  | [ Ok a; Ok b ] ->
+    Alcotest.(check string) "cold outcome" "ok" a.Protocol.outcome;
+    check_bool "first is cold" true a.Protocol.cold;
+    check_bool "first is a miss" true (not a.Protocol.hit);
+    Alcotest.(check string) "warm outcome" "ok" b.Protocol.outcome;
+    check_bool "second hits" true b.Protocol.hit;
+    check_bool "warm bypasses the flight" true (b.Protocol.flight = Protocol.No_flight);
+    Alcotest.(check string) "model echoed" "tinyA" a.Protocol.model
+  | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs));
+  (match Client.batch addr [ "nosuchmodel" ] with
+  | [ Ok r ] ->
+    Alcotest.(check string) "unknown model is typed" "error" r.Protocol.outcome;
+    check_bool "has code" true (r.Protocol.code <> None)
+  | _ -> Alcotest.fail "unknown model: expected one error response");
+  let s = Daemon.stats d in
+  check_int "served" 2 s.Daemon.served;
+  check_int "failed" 1 s.Daemon.failed;
+  check_int "hits" 1 s.Daemon.hits;
+  check_int "one compile" 1 s.Daemon.compiles
+
+(* The acceptance test of the PR: K identical cold requests arriving
+   concurrently perform exactly one compile.  The compile is a real zoo
+   model (hundreds of ms) while the clients arrive within a few ms, so
+   the followers reliably find the leader in flight. *)
+let test_single_flight_coalesces_requests () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let k = 4 in
+  with_daemon (config ~workers:k dir) @@ fun d ->
+  let addr = Daemon.address d in
+  let clients =
+    Array.init k (fun _ ->
+        Domain.spawn (fun () -> Client.batch addr [ "MobileNet-V3" ]))
+  in
+  let responses =
+    Array.to_list clients
+    |> List.concat_map Domain.join
+    |> List.map ok_response
+  in
+  check_int "k responses" k (List.length responses);
+  List.iter
+    (fun (r : Protocol.response) ->
+      Alcotest.(check string) "every request succeeds" "ok" r.Protocol.outcome)
+    responses;
+  let leads =
+    List.length (List.filter (fun r -> r.Protocol.flight = Protocol.Lead) responses)
+  in
+  let waits =
+    List.length (List.filter (fun r -> r.Protocol.flight = Protocol.Wait) responses)
+  in
+  check_int "exactly one leader" 1 leads;
+  check_int "everyone else coalesced" (k - 1) waits;
+  let s = Daemon.stats d in
+  check_int "exactly one compile" 1 s.Daemon.compiles;
+  check_int "exactly one cache miss" 1 s.Daemon.cache_misses;
+  check_int "coalesced" (k - 1) s.Daemon.coalesced;
+  check_int "all served" k s.Daemon.served;
+  (* and exactly one artifact was stored *)
+  let entries =
+    Sys.readdir (Filename.concat dir "cache")
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".gcd2art")
+  in
+  check_int "one cache entry" 1 (List.length entries)
+
+(* Backpressure: one worker, queue depth one.  While the worker is
+   inside a cold compile and the queue already holds a connection, the
+   next connection is shed with a retryable rejection. *)
+let test_backpressure_rejects_retryable () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_daemon (config ~workers:1 ~queue_depth:1 dir) @@ fun d ->
+  let addr = Daemon.address d in
+  let a = Domain.spawn (fun () -> Client.batch addr [ "MobileNet-V3" ]) in
+  Unix.sleepf 0.1;
+  (* worker is compiling A; this one parks in the queue *)
+  let b = Domain.spawn (fun () -> Client.batch addr [ "MobileNet-V3" ]) in
+  Unix.sleepf 0.05;
+  (* queue full: shed *)
+  let rejected = Client.batch addr [ "MobileNet-V3" ] in
+  (match rejected with
+  | [ Ok r ] ->
+    Alcotest.(check string) "shed connection is rejected" "rejected"
+      r.Protocol.outcome;
+    (match Protocol.diag_of r with
+    | Some diag ->
+      check_bool "overloaded" true (diag.Gcd2.Diag.code = Gcd2.Diag.Overloaded);
+      check_bool "rejection is retryable" true diag.Gcd2.Diag.retryable
+    | None -> Alcotest.fail "rejection carries no diag")
+  | rs -> Alcotest.failf "expected 1 rejection response, got %d" (List.length rs));
+  (* the admitted connections are unaffected *)
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "admitted request served" "ok"
+        (ok_response r).Protocol.outcome)
+    (Domain.join a @ Domain.join b);
+  let s = Daemon.stats d in
+  check_int "one rejection" 1 s.Daemon.rejected;
+  check_int "two served" 2 s.Daemon.served
+
+(* Graceful shutdown: stop while one request is mid-compile and another
+   connection is still queued; both must be served to EOF. *)
+let test_graceful_shutdown_drains () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let d = Daemon.start (config ~workers:1 ~queue_depth:4 dir) in
+  let addr = Daemon.address d in
+  let a = Domain.spawn (fun () -> Client.batch addr [ "MobileNet-V3" ]) in
+  Unix.sleepf 0.1;
+  let b = Domain.spawn (fun () -> Client.batch addr [ "MobileNet-V3" ]) in
+  Unix.sleepf 0.05;
+  let s = Daemon.stop d in
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "request served through shutdown" "ok"
+        (ok_response r).Protocol.outcome)
+    (Domain.join a @ Domain.join b);
+  check_int "both served" 2 s.Daemon.served;
+  check_int "stop is idempotent" 2 (Daemon.stop d).Daemon.served;
+  check_bool "socket removed" true
+    (not (Sys.file_exists (Filename.concat dir "d.sock")))
+
+(* ------------------------------------------------------------------ *)
+(* Log line integrity *)
+
+let outcomes = [ "ok"; "retried"; "degraded"; "timeout"; "error" ]
+
+(* A captured log line is either a merged stats line or an outcome
+   line; a torn line (two workers interleaving mid-line) matches
+   neither shape. *)
+let line_ok line =
+  String.length line > 0
+  && (String.starts_with ~prefix:"daemon: workers=" line
+     ||
+     match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+     | _model :: _fw :: _sel :: outcome :: _hit :: coldness :: _ ->
+       List.mem outcome outcomes && (coldness = "cold" || coldness = "warm")
+     | _ -> false)
+
+let test_log_lines_never_tear () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let log_path = Filename.concat dir "daemon.log" in
+  let log = open_out log_path in
+  let reqs = [ "tinyA"; "tinyB"; "tinyA"; "tinyB"; "tinyA"; "tinyB" ] in
+  let per_client = 4 in
+  let clients = 3 in
+  Logsink.with_redirect ~out:log ~err:log (fun () ->
+      with_daemon
+        (config ~workers:3 ~resolve:resolve_tiny ~log_outcomes:true
+           ~stats_every:5 dir)
+      @@ fun d ->
+      let addr = Daemon.address d in
+      (* prime the cache so the burst is all-warm and maximally chatty *)
+      ignore (Client.batch addr [ "tinyA"; "tinyB" ]);
+      let cs =
+        Array.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_client do
+                  List.iter
+                    (fun r -> ignore (ok_response r))
+                    (Client.batch addr reqs)
+                done))
+      in
+      Array.iter Domain.join cs;
+      ignore (Daemon.stop d));
+  close_out log;
+  let ic = open_in log_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  check_bool "log is non-trivial" true
+    (List.length lines > clients * per_client * List.length reqs);
+  List.iter
+    (fun l -> check_bool (Printf.sprintf "intact line: %S" l) true (line_ok l))
+    lines
+
+let tests =
+  [
+    Alcotest.test_case "bounded queue semantics" `Quick test_bqueue;
+    Alcotest.test_case "flight coalesces concurrent callers" `Quick
+      test_flight_coalesces;
+    Alcotest.test_case "flight shares the leader's failure" `Quick
+      test_flight_shares_failure;
+    Alcotest.test_case "protocol render/parse roundtrip" `Quick
+      test_protocol_roundtrip;
+    Alcotest.test_case "daemon serves cold, warm and invalid" `Quick
+      test_daemon_serves;
+    Alcotest.test_case "single-flight: K requests, one compile" `Quick
+      test_single_flight_coalesces_requests;
+    Alcotest.test_case "backpressure rejection is retryable" `Quick
+      test_backpressure_rejects_retryable;
+    Alcotest.test_case "graceful shutdown drains the queue" `Quick
+      test_graceful_shutdown_drains;
+    Alcotest.test_case "log lines never tear" `Quick test_log_lines_never_tear;
+  ]

@@ -209,6 +209,154 @@ let test_pool_merges_worker_traces () =
   Alcotest.(check bool) "worker span tree merged" true
     (Trace.find tr "work" <> None)
 
+(* ---------------- latency histograms (Stats.Hist) ---------------- *)
+
+let test_hist_buckets () =
+  let h = Stats.Hist.create () in
+  Alcotest.(check int) "fresh hist is empty" 0 (Stats.Hist.count h);
+  (* bucket_of is monotone in the value *)
+  let values = [ 0.002; 0.01; 0.5; 1.0; 1.5; 10.0; 250.0; 9999.0 ] in
+  let bs = List.map Stats.Hist.bucket_of values in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "bucket_of monotone" true (a <= b))
+    (List.filteri (fun i _ -> i < List.length bs - 1) bs)
+    (List.tl bs);
+  (* the bucket floor never exceeds the value it buckets *)
+  List.iter
+    (fun v ->
+      let f = Stats.Hist.bucket_floor (Stats.Hist.bucket_of v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "floor %g <= %g" f v)
+        true (f <= v))
+    values;
+  (* underflow and overflow land in the sentinel buckets *)
+  Alcotest.(check int) "underflow bucket" 0 (Stats.Hist.bucket_of 1e-9);
+  Alcotest.(check int) "overflow bucket"
+    (Stats.Hist.buckets - 1)
+    (Stats.Hist.bucket_of 1e9)
+
+let test_hist_percentile_accuracy () =
+  let h = Stats.Hist.create () in
+  (* 1..1000 ms uniformly: exact p50 = 500, p95 = 950, p99 = 990 *)
+  for i = 1 to 1000 do
+    Stats.Hist.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Stats.Hist.count h);
+  (* one log bucket spans a ratio of 2^(1/8) ~ 9.05%; the reported
+     percentile is the bucket's lower edge, so it may sit up to one
+     bucket ratio below the exact nearest-rank value and never above it *)
+  let ratio = Float.pow 2.0 (1.0 /. 8.0) in
+  List.iter
+    (fun (p, exact) ->
+      let got = Stats.Hist.percentile p h in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g %g within one bucket of %g" p got exact)
+        true
+        (got <= exact && got >= exact /. (ratio *. ratio)))
+    [ (50.0, 500.); (95.0, 950.); (99.0, 990.) ]
+
+let test_hist_merge () =
+  let a = Stats.Hist.create () and b = Stats.Hist.create () in
+  List.iter (Stats.Hist.add a) [ 1.0; 2.0; 400.0 ];
+  List.iter (Stats.Hist.add b) [ 0.5; 2.0; 90000.0 ];
+  let m = Stats.Hist.merge a b in
+  Alcotest.(check int) "merged count" 6 (Stats.Hist.count m);
+  Alcotest.(check (array int)) "merge is pointwise sum"
+    (Array.map2 ( + ) (Stats.Hist.counts a) (Stats.Hist.counts b))
+    (Stats.Hist.counts m);
+  (* merge_into agrees with the pure merge *)
+  let into = Stats.Hist.copy a in
+  Stats.Hist.merge_into ~into b;
+  Alcotest.(check (array int)) "merge_into = merge" (Stats.Hist.counts m)
+    (Stats.Hist.counts into);
+  (* the originals are untouched by the pure merge *)
+  Alcotest.(check int) "a untouched" 3 (Stats.Hist.count a)
+
+let hist_of_list l =
+  let h = Stats.Hist.create () in
+  List.iter (Stats.Hist.add h) l;
+  h
+
+let latency_list =
+  (* latencies spanning the full bucket range, underflow and overflow
+     included *)
+  QCheck.(list_of_size Gen.(0 -- 40) (float_range 1e-6 5e6))
+
+let qcheck_hist_merge_commutative =
+  QCheck.Test.make ~name:"hist merge is commutative" ~count:200
+    QCheck.(pair latency_list latency_list)
+    (fun (xs, ys) ->
+      let a = hist_of_list xs and b = hist_of_list ys in
+      Stats.Hist.counts (Stats.Hist.merge a b)
+      = Stats.Hist.counts (Stats.Hist.merge b a))
+
+let qcheck_hist_merge_associative =
+  QCheck.Test.make ~name:"hist merge is associative" ~count:200
+    QCheck.(triple latency_list latency_list latency_list)
+    (fun (xs, ys, zs) ->
+      let a = hist_of_list xs and b = hist_of_list ys and c = hist_of_list zs in
+      Stats.Hist.counts (Stats.Hist.merge (Stats.Hist.merge a b) c)
+      = Stats.Hist.counts (Stats.Hist.merge a (Stats.Hist.merge b c)))
+
+let qcheck_hist_merge_count =
+  QCheck.Test.make ~name:"hist merge preserves total count" ~count:200
+    QCheck.(pair latency_list latency_list)
+    (fun (xs, ys) ->
+      let a = hist_of_list xs and b = hist_of_list ys in
+      Stats.Hist.count (Stats.Hist.merge a b)
+      = List.length xs + List.length ys)
+
+(* ---------------- deadlines are domain-local ---------------- *)
+
+(* Regression for the serve daemon: two worker domains with staggered
+   deadlines.  The domain whose deadline has expired must be the ONLY
+   one cancelled — with process-global deadline state the generous
+   domain would be cancelled by its neighbour's stale deadline. *)
+let test_deadline_domain_local () =
+  Alcotest.(check bool) "no ambient deadline in the parent" true
+    (Deadline.get () = None);
+  let expired_fired = Atomic.make false in
+  let generous_survived = Atomic.make true in
+  let tight =
+    Domain.spawn (fun () ->
+        Deadline.with_deadline
+          (Some (Trace.now () -. 0.5))
+          (fun () ->
+            match
+              for _ = 1 to 20 do
+                Deadline.check ();
+                Unix.sleepf 0.002
+              done
+            with
+            | () -> ()
+            | exception Deadline.Expired _ -> Atomic.set expired_fired true))
+  in
+  let generous =
+    Domain.spawn (fun () ->
+        Deadline.with_deadline
+          (Some (Trace.now () +. 60.))
+          (fun () ->
+            try
+              for _ = 1 to 20 do
+                Deadline.check ();
+                Unix.sleepf 0.002
+              done
+            with Deadline.Expired _ -> Atomic.set generous_survived false))
+  in
+  Domain.join tight;
+  Domain.join generous;
+  Alcotest.(check bool) "expired domain was cancelled" true
+    (Atomic.get expired_fired);
+  Alcotest.(check bool) "concurrent generous domain was not" true
+    (Atomic.get generous_survived);
+  (* a freshly spawned domain does not inherit the parent's deadline *)
+  Deadline.with_deadline
+    (Some (Trace.now () -. 1.0))
+    (fun () ->
+      let child_sees = Domain.spawn (fun () -> Deadline.get ()) in
+      Alcotest.(check bool) "spawned domain starts deadline-free" true
+        (Domain.join child_sees = None))
+
 let tests =
   [
     Alcotest.test_case "saturation bounds" `Quick test_sat_bounds;
@@ -232,4 +380,13 @@ let tests =
     QCheck_alcotest.to_alcotest qcheck_percentile_member;
     QCheck_alcotest.to_alcotest qcheck_sat8;
     QCheck_alcotest.to_alcotest qcheck_rounding;
+    Alcotest.test_case "hist bucket layout" `Quick test_hist_buckets;
+    Alcotest.test_case "hist percentile accuracy" `Quick
+      test_hist_percentile_accuracy;
+    Alcotest.test_case "hist merge" `Quick test_hist_merge;
+    Alcotest.test_case "deadlines are domain-local" `Quick
+      test_deadline_domain_local;
+    QCheck_alcotest.to_alcotest qcheck_hist_merge_commutative;
+    QCheck_alcotest.to_alcotest qcheck_hist_merge_associative;
+    QCheck_alcotest.to_alcotest qcheck_hist_merge_count;
   ]

@@ -22,5 +22,6 @@ let () =
       ("devices", Suite_devices.tests);
       ("desc", Suite_desc.tests);
       ("serve", Suite_serve.tests);
+      ("daemon", Suite_daemon.tests);
       ("chaos", Suite_chaos.tests);
     ]
