@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke check fmt-check fmt clean
+.PHONY: all build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke check fmt-check fmt clean
 
 all: build
 
@@ -65,6 +65,13 @@ chaos: build
 vm-smoke: build
 	./_build/default/bench/main.exe vm-smoke
 
+# Autotuner smoke: a tiny costing budget on two models walks the full
+# tune path (enumerate, prune, cost, rank) and fails if the tuned
+# schedule is ever worse than the adaptive heuristic.  The full-zoo
+# run (`bench/main.exe tune`) writes BENCH_codegen.json.
+tune-smoke: build
+	./_build/default/bench/main.exe tune-smoke
+
 # Daemon load smoke: the serve-load generator against a live daemon,
 # first with two workers under a fixed fault spec (faulted workers must
 # absorb every injection without dropping a session), then fault-free
@@ -75,7 +82,7 @@ daemon-smoke: build
 		./_build/default/bench/main.exe serve-load-smoke
 	./_build/default/bench/main.exe serve-load-smoke
 
-check: build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke fmt-check
+check: build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke fmt-check
 
 clean:
 	dune clean

@@ -29,6 +29,8 @@ let spec ?(addressing = Matmul.Bump) ?(strategy = Packer.sda) simd ~m ~k ~n =
     strategy;
     un = u.Unroll.un;
     ug = u.Unroll.ug;
+    abuf = u.Unroll.abuf;
+    wbuf = u.Unroll.wbuf;
     addressing;
   }
 

@@ -252,6 +252,8 @@ let matmul_cycles simd ~m ~k ~n (u : Unroll.setting) =
       strategy = Packer.sda;
       un = u.Unroll.un;
       ug = u.Unroll.ug;
+      abuf = u.Unroll.abuf;
+      wbuf = u.Unroll.wbuf;
       addressing = Matmul.Bump;
     }
 
@@ -294,6 +296,8 @@ let fig12 () =
           strategy = Packer.sda;
           un = 1;
           ug = 1;
+          abuf = 2;
+          wbuf = 2;
           addressing = Matmul.Bump;
         }
       in

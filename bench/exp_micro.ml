@@ -30,6 +30,8 @@ let kernel_block =
          strategy = Packer.sda;
          un = 4;
          ug = 2;
+         abuf = 2;
+         wbuf = 2;
          addressing = Matmul.Bump;
        }
      in
@@ -81,6 +83,8 @@ let test_codegen =
                 strategy = Packer.sda;
                 un = 8;
                 ug = 1;
+                abuf = 2;
+                wbuf = 2;
                 addressing = Matmul.Bump;
               })))
 
@@ -116,6 +120,8 @@ let test_vm_matmul =
                 strategy = Packer.sda;
                 un = 8;
                 ug = 1;
+                abuf = 2;
+                wbuf = 2;
                 addressing = Matmul.Bump;
               }
               ~a ~w)))

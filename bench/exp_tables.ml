@@ -85,6 +85,8 @@ let table2 () =
                strategy = Packer.sda;
                un;
                ug = 2;
+               abuf = 2;
+               wbuf = 2;
                addressing = Matmul.Bump;
              })
       in

@@ -31,6 +31,9 @@ let experiments =
     ("devices-smoke", Exp_devices.smoke);
     ("serve-load", Exp_serve.run);
     ("serve-load-smoke", Exp_serve.smoke);
+    ("tune", Exp_tune.run);
+    ("tune-smoke", Exp_tune.smoke);
+    ("zoo-goldens", Exp_tune.goldens);
   ]
 
 let usage () =

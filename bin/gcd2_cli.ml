@@ -89,6 +89,38 @@ let resolve_device = function
       Fmt.epr "gcd2: %s@." msg;
       exit 2)
 
+module Autotune = Gcd2_codegen.Autotune
+
+let tune_arg =
+  let doc =
+    "Autotune kernel shapes: search the validated (un, ug, abuf, wbuf) tile space \
+     under a budget of $(docv) full kernel costings per problem (default \
+     " ^ string_of_int Autotune.default_budget ^ "), instead of the shape-adaptive \
+     heuristic alone.  Never worse than the heuristic in modeled cycles; tuned \
+     compiles have their own cache fingerprint."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some Autotune.default_budget) (some int) None
+    & info [ "tune" ] ~docv:"BUDGET" ~doc)
+
+let tune_verify_arg =
+  let doc =
+    "With tuning, run each tuned winner on the fast VM against the heuristic kernel \
+     and fall back on any output mismatch (implies --tune)."
+  in
+  Arg.(value & flag & info [ "tune-verify" ] ~doc)
+
+(* --tune-verify alone implies tuning at the default budget *)
+let resolve_tune ~tune ~tune_verify =
+  match (tune, tune_verify) with
+  | None, false -> None
+  | budget, verify ->
+    Some { Autotune.budget = Option.value budget ~default:Autotune.default_budget; verify }
+
+let with_tune tune (config : Compiler.config) =
+  { config with Compiler.opcost = { config.Compiler.opcost with Gcd2_cost.Opcost.tune } }
+
 let verbose_arg =
   let doc = "Print the chosen execution plan of every operator." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
@@ -157,11 +189,14 @@ let find_model model =
     Fmt.epr "gcd2: %a@." Diag.pp (Diag.make ~model Diag.Invalid_request msg);
     exit 1
 
-let compile_run model framework selection device verbose trace dump_after cache_dir cache
-    jobs =
+let compile_run model framework selection device tune tune_verify verbose trace dump_after
+    cache_dir cache jobs =
   check_fault_env ();
   let entry = find_model model in
-  let config = Compiler.with_device (resolve_device device) (config_of ~framework ~selection) in
+  let config =
+    with_tune (resolve_tune ~tune ~tune_verify)
+      (Compiler.with_device (resolve_device device) (config_of ~framework ~selection))
+  in
   let c =
     match
       Compiler.compile_result ~config ~dump_after ~dump_ppf:Fmt.stdout
@@ -196,7 +231,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc)
     Term.(
       const compile_run $ model_arg $ framework_arg $ selection_arg $ device_arg
-      $ verbose_arg $ trace_arg $ dump_after_arg $ cache_dir_arg $ cache_arg $ jobs_arg)
+      $ tune_arg $ tune_verify_arg $ verbose_arg $ trace_arg $ dump_after_arg
+      $ cache_dir_arg $ cache_arg $ jobs_arg)
 
 (* ---------------- serve ---------------- *)
 
@@ -214,10 +250,11 @@ let read_request_lines ic =
 let print_served (r : Serve.served) =
   Gcd2_util.Logsink.emit (Serve.outcome_line r)
 
-let serve_run models requests_file framework selection device repeat cache_dir no_cache
-    deadline_ms retries backoff_ms =
+let serve_run models requests_file framework selection device tune tune_verify repeat
+    cache_dir no_cache deadline_ms retries backoff_ms =
   check_fault_env ();
   let device = (resolve_device device).Desc.name in
+  let tune = resolve_tune ~tune ~tune_verify in
   let cache_dir =
     if no_cache then None
     else Some (match cache_dir with Some d -> d | None -> Cache.default_dir ())
@@ -226,7 +263,7 @@ let serve_run models requests_file framework selection device repeat cache_dir n
     match requests_file with
     | Some path ->
       In_channel.with_open_text path (fun ic ->
-          Serve.parse_lines ~framework ~selection ~device (read_request_lines ic))
+          Serve.parse_lines ~framework ~selection ~device ?tune (read_request_lines ic))
     | None -> ([], [])
   in
   let (file_requests, parse_errors), from_stdin =
@@ -234,9 +271,9 @@ let serve_run models requests_file framework selection device repeat cache_dir n
       (* no positional models and no request file: serve stdin as the
          request stream, one request per line until EOF *)
       Fmt.epr
-        "reading requests from stdin (MODEL [FRAMEWORK [SELECTION]] [device=NAME] per \
-         line)...@.";
-      ( Serve.parse_lines ~framework ~selection ~device
+        "reading requests from stdin (MODEL [FRAMEWORK [SELECTION]] [device=NAME] \
+         [tune=SPEC] per line)...@.";
+      ( Serve.parse_lines ~framework ~selection ~device ?tune
           (read_request_lines In_channel.stdin),
         true )
     end
@@ -244,7 +281,7 @@ let serve_run models requests_file framework selection device repeat cache_dir n
   in
   ignore from_stdin;
   let requests =
-    List.map (fun m -> Serve.request ~framework ~selection ~device m) models
+    List.map (fun m -> Serve.request ~framework ~selection ~device ?tune m) models
     @ file_requests
   in
   let requests = List.concat (List.init (max 1 repeat) (fun _ -> requests)) in
@@ -308,11 +345,12 @@ let serve_cmd =
   let requests_arg =
     let doc =
       "Read requests from $(docv), one `MODEL [FRAMEWORK [SELECTION]]` per line, \
-       plus an optional `device=NAME` field anywhere on the line (whole-line `#` \
-       comments and blank lines ignored; lines with trailing garbage, inline `#` \
-       tokens, duplicate `device=` fields or unknown device names are errors).  \
-       Without models and without this option, requests are read from standard \
-       input."
+       plus optional positionless `device=NAME` and `tune=SPEC` fields anywhere on \
+       the line (SPEC: a budget, `on`, `BUDGET+verify`, or `off` to override a \
+       batch-wide --tune; whole-line `#` comments and blank lines ignored; lines \
+       with trailing garbage, inline `#` tokens, duplicated fields, unknown device \
+       names or malformed tune specs are errors).  Without models and without this \
+       option, requests are read from standard input."
     in
     Arg.(value & opt (some file) None & info [ "requests" ] ~docv:"FILE" ~doc)
   in
@@ -342,8 +380,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ models_arg $ requests_arg $ framework_arg $ selection_arg
-      $ device_arg $ repeat_arg $ cache_dir_arg $ no_cache_arg $ deadline_arg
-      $ retries_arg $ backoff_arg)
+      $ device_arg $ tune_arg $ tune_verify_arg $ repeat_arg $ cache_dir_arg
+      $ no_cache_arg $ deadline_arg $ retries_arg $ backoff_arg)
 
 (* ---------------- daemon / client ---------------- *)
 
@@ -381,10 +419,11 @@ let parse_address ~socket ~tcp =
         Fmt.epr "gcd2: --tcp expects a numeric port, got %S@." spec;
         exit 1))
 
-let daemon_run socket tcp workers queue_depth framework selection device cache_dir cache
-    no_cache deadline_ms retries backoff_ms jobs stats_every quiet =
+let daemon_run socket tcp workers queue_depth framework selection device tune tune_verify
+    cache_dir cache no_cache deadline_ms retries backoff_ms jobs stats_every quiet =
   check_fault_env ();
   let device = (resolve_device device).Desc.name in
+  let tune = resolve_tune ~tune ~tune_verify in
   let cache_dir =
     if no_cache then None
     else
@@ -402,6 +441,7 @@ let daemon_run socket tcp workers queue_depth framework selection device cache_d
       framework;
       selection;
       device;
+      tune;
       resolve = None;
       stats_every;
       log_outcomes = not quiet;
@@ -467,9 +507,9 @@ let daemon_cmd =
   Cmd.v (Cmd.info "daemon" ~doc)
     Term.(
       const daemon_run $ socket_arg $ tcp_arg $ workers_arg $ queue_depth_arg
-      $ framework_arg $ selection_arg $ device_arg $ cache_dir_arg $ cache_arg
-      $ no_cache_arg $ deadline_arg $ retries_arg $ backoff_arg $ jobs_arg
-      $ stats_every_arg $ quiet_arg)
+      $ framework_arg $ selection_arg $ device_arg $ tune_arg $ tune_verify_arg
+      $ cache_dir_arg $ cache_arg $ no_cache_arg $ deadline_arg $ retries_arg
+      $ backoff_arg $ jobs_arg $ stats_every_arg $ quiet_arg)
 
 let client_run socket tcp models =
   let address = parse_address ~socket ~tcp in
@@ -673,6 +713,8 @@ let kernel_run m k n =
           strategy = Packer.sda;
           un = u.Unroll.un;
           ug = u.Unroll.ug;
+          abuf = u.Unroll.abuf;
+          wbuf = u.Unroll.wbuf;
           addressing = Matmul.Bump;
         }
       in

@@ -51,6 +51,8 @@ let () =
       strategy = Packer.sda;
       un = u.Unroll.un;
       ug = u.Unroll.ug;
+      abuf = u.Unroll.abuf;
+      wbuf = u.Unroll.wbuf;
       addressing = Matmul.Bump;
     }
   in

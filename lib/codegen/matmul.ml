@@ -46,6 +46,8 @@ type spec = {
   strategy : Packer.strategy;
   un : int;  (** output-column unroll *)
   ug : int;  (** reduction k-group unroll *)
+  abuf : int;  (** activation-register rotation depth (historically 2) *)
+  wbuf : int;  (** weight-register rotation depth per column (historically 2) *)
   addressing : addressing;
 }
 
@@ -53,6 +55,17 @@ type buffers = { a_base : int; w_base : int; c_base : int }
 
 (** Registers-per-column requirements limit the column unroll. *)
 let max_un = function Simd.I_vmpy -> 4 | Simd.I_vmpa -> 4 | Simd.I_vrmpy -> 8
+
+(** Deepest reduction unroll the generators accept.  The shape-driven
+    heuristics stay within the paper's scheduler window of 4
+    ({!Unroll.clamp_ug}); the autotuner may go deeper. *)
+let max_ug = 8
+
+(** Deepest register-rotation the generators accept for either operand
+    stream.  Depth 2 is the historical double-buffer; deeper rotation
+    lengthens the reuse distance the packer must respect, shallower
+    (depth 1) serializes every load against the previous use. *)
+let max_rot = 4
 
 (* Unroll values must respect the output-column grouping so that a tile
    always produces whole output vectors. *)
@@ -62,7 +75,43 @@ let validate_spec s =
   if s.m <= 0 || s.k <= 0 || s.n <= 0 then invalid_arg "Matmul: dimensions must be positive";
   if s.un <= 0 || s.un > max_un s.simd then invalid_arg "Matmul: bad column unroll";
   if s.un mod group_of s.simd <> 0 then invalid_arg "Matmul: unroll must cover whole groups";
-  if s.ug <= 0 || s.ug > 4 then invalid_arg "Matmul: bad k unroll"
+  if s.ug <= 0 || s.ug > max_ug then invalid_arg "Matmul: bad k unroll";
+  if s.abuf <= 0 || s.abuf > max_rot then invalid_arg "Matmul: bad activation rotation";
+  if s.wbuf <= 0 || s.wbuf > max_rot then invalid_arg "Matmul: bad weight rotation"
+
+(* Register demand of one kernel instantiation, mirroring the allocation
+   order of the generators below exactly (including the even alignment a
+   vector pair forces).  Any register the generators claim must be
+   counted here — the qcheck suite cross-checks this against actual
+   generation, so the two cannot drift silently. *)
+let reg_demand ?(per_channel = false) s =
+  let scalars =
+    2 (* ra, r_out *) + s.un (* rw *)
+    + (s.un * s.wbuf) (* rwv *)
+    + (match s.addressing with Bump -> 0 | Recompute -> 2)
+    + if per_channel then 1 else 0
+  in
+  let pair_align n = n + (n mod 2) in
+  let vectors =
+    match s.simd with
+    | Simd.I_vmpy ->
+      (* va singles, then pairs (pk + 3 per column), outv, pc.vq *)
+      pair_align s.abuf + 2 + (6 * s.un) + 1 + if per_channel then 1 else 0
+    | Simd.I_vmpa ->
+      (* va is abuf pairs *)
+      (2 * s.abuf) + 2 + (6 * s.un) + 1 + if per_channel then 1 else 0
+    | Simd.I_vrmpy ->
+      (* va singles, acc pairs (un/2), the pack pair, outv, pc.vq/vq2 *)
+      pair_align s.abuf + s.un + 2 + 1 + if per_channel then 2 else 0
+  in
+  (scalars, vectors)
+
+(** Does the spec's register demand fit the device's register files?
+    The unroll heuristics stay inside by construction; the autotuner's
+    deeper rotations and unrolls must check. *)
+let fits_registers ?per_channel s =
+  let scalars, vectors = reg_demand ?per_channel s in
+  scalars <= s.device.Desc.scalar_count && vectors <= s.device.Desc.vector_count
 
 (* ------------------------------------------------------------------ *)
 (* Common generator skeleton                                           *)
@@ -111,7 +160,7 @@ type ctx = {
   ra : Reg.t;
   r_out : Reg.t;
   rw : Reg.t array;  (** one weight pointer per unrolled column *)
-  rwv : Reg.t array array;  (** weight value regs, [column].(step mod 2) *)
+  rwv : Reg.t array array;  (** weight value regs, [column].(group mod wbuf) *)
   addr : addr_regs option;
   pc : pc_info option;  (** per-channel requantization, when enabled *)
   q_base : int;
@@ -223,9 +272,9 @@ let generate_vmpy ?per_channel ?q_base ctx (b : buffers) =
   let pool = Regs.create ~desc () in
   let ra = Regs.scalar pool and r_out = Regs.scalar pool in
   let rw = Array.init s.un (fun _ -> Regs.scalar pool) in
-  let rwv = Array.init s.un (fun _ -> [| Regs.scalar pool; Regs.scalar pool |]) in
+  let rwv = Array.init s.un (fun _ -> Array.init s.wbuf (fun _ -> Regs.scalar pool)) in
   let ctx = with_regs ?per_channel ?q_base ctx pool ~ra ~r_out ~rw ~rwv in
-  let va = [| Regs.vector pool; Regs.vector pool |] in
+  let va = Array.init s.abuf (fun _ -> Regs.vector pool) in
   let pk = Regs.pair pool in
   let accs =
     Array.init s.un (fun _ ->
@@ -240,16 +289,17 @@ let generate_vmpy ?per_channel ?q_base ctx (b : buffers) =
      without saturating). *)
   let emit_group e g_idx =
     for j = 0 to s.un - 1 do
-      emit_load ctx e `Scalar ctx.rwv.(j).(g_idx mod 2) ctx.rw.(j) (g_idx * 4)
+      emit_load ctx e `Scalar ctx.rwv.(j).(g_idx mod s.wbuf) ctx.rw.(j) (g_idx * 4)
     done;
     for half = 0 to 1 do
       for d = 0 to 1 do
         let sel = (2 * half) + d in
         let step = (4 * g_idx) + sel in
-        emit_load ctx e `Vector va.(step mod 2) ctx.ra (step * vb);
+        emit_load ctx e `Vector va.(step mod s.abuf) ctx.ra (step * vb);
         for j = 0 to s.un - 1 do
           Emit.emit e
-            (Instr.Vmpyb (accs.(j).tmp, va.(step mod 2), ctx.rwv.(j).(g_idx mod 2), sel))
+            (Instr.Vmpyb
+               (accs.(j).tmp, va.(step mod s.abuf), ctx.rwv.(j).(g_idx mod s.wbuf), sel))
         done
       done;
       for j = 0 to s.un - 1 do
@@ -333,9 +383,9 @@ let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
   let pool = Regs.create ~desc () in
   let ra = Regs.scalar pool and r_out = Regs.scalar pool in
   let rw = Array.init s.un (fun _ -> Regs.scalar pool) in
-  let rwv = Array.init s.un (fun _ -> [| Regs.scalar pool; Regs.scalar pool |]) in
+  let rwv = Array.init s.un (fun _ -> Array.init s.wbuf (fun _ -> Regs.scalar pool)) in
   let ctx = with_regs ?per_channel ?q_base ctx pool ~ra ~r_out ~rw ~rwv in
-  let va = [| Regs.pair pool; Regs.pair pool |] in
+  let va = Array.init s.abuf (fun _ -> Regs.pair pool) in
   let pk = Regs.pair pool in
   let accs =
     Array.init s.un (fun _ ->
@@ -345,13 +395,13 @@ let generate_vmpa ?per_channel ?q_base ctx (b : buffers) =
   alloc_pc_vectors ctx pool;
   let strategy = s.strategy in
   let emit_group e g =
-    let vp = va.(g mod 2) in
+    let vp = va.(g mod s.abuf) in
     let v_lo, v_hi = Regs.halves vp in
     emit_load ctx e `Vector v_lo ctx.ra (g * ctx.ks.group_bytes);
     emit_load ctx e `Vector v_hi ctx.ra ((g * ctx.ks.group_bytes) + vb);
     for j = 0 to s.un - 1 do
-      emit_load ctx e `Scalar ctx.rwv.(j).(g mod 2) ctx.rw.(j) (g * 4);
-      Emit.vmpa e accs.(j).tmp vp ctx.rwv.(j).(g mod 2);
+      emit_load ctx e `Scalar ctx.rwv.(j).(g mod s.wbuf) ctx.rw.(j) (g * 4);
+      Emit.vmpa e accs.(j).tmp vp ctx.rwv.(j).(g mod s.wbuf);
       let t_lo, t_hi = Regs.halves accs.(j).tmp in
       Emit.vaddw e accs.(j).acc_e t_lo;
       Emit.vaddw e accs.(j).acc_o t_hi;
@@ -443,9 +493,9 @@ let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
   let pool = Regs.create ~desc () in
   let ra = Regs.scalar pool and r_out = Regs.scalar pool in
   let rw = Array.init s.un (fun _ -> Regs.scalar pool) in
-  let rwv = Array.init s.un (fun _ -> [| Regs.scalar pool; Regs.scalar pool |]) in
+  let rwv = Array.init s.un (fun _ -> Array.init s.wbuf (fun _ -> Regs.scalar pool)) in
   let ctx = with_regs ?per_channel ?q_base ctx pool ~ra ~r_out ~rw ~rwv in
-  let va = [| Regs.vector pool; Regs.vector pool |] in
+  let va = Array.init s.abuf (fun _ -> Regs.vector pool) in
   (* accumulators in adjacent pairs: columns (4q .. 4q+3) use pairs (pa, pb) *)
   let acc_pairs = Array.init (s.un / 2) (fun _ -> Regs.pair pool) in
   let acc j =
@@ -457,10 +507,10 @@ let generate_vrmpy ?per_channel ?q_base ctx (b : buffers) =
   alloc_pc_vectors ctx pool;
   let strategy = s.strategy in
   let emit_group e g =
-    emit_load ctx e `Vector va.(g mod 2) ctx.ra (g * ctx.ks.group_bytes);
+    emit_load ctx e `Vector va.(g mod s.abuf) ctx.ra (g * ctx.ks.group_bytes);
     for j = 0 to s.un - 1 do
-      emit_load ctx e `Scalar ctx.rwv.(j).(g mod 2) ctx.rw.(j) (g * 4);
-      Emit.vrmpy e (acc j) va.(g mod 2) ctx.rwv.(j).(g mod 2)
+      emit_load ctx e `Scalar ctx.rwv.(j).(g mod s.wbuf) ctx.rw.(j) (g * 4);
+      Emit.vrmpy e (acc j) va.(g mod s.abuf) ctx.rwv.(j).(g mod s.wbuf)
     done
   in
   let k_block n_groups =

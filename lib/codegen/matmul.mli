@@ -27,6 +27,8 @@ type spec = {
   strategy : Packer.strategy;
   un : int;  (** output-column unroll *)
   ug : int;  (** reduction k-group unroll *)
+  abuf : int;  (** activation-register rotation depth (historically 2) *)
+  wbuf : int;  (** weight-register rotation depth per column (historically 2) *)
   addressing : addressing;
 }
 
@@ -34,6 +36,25 @@ type buffers = { a_base : int; w_base : int; c_base : int }
 
 (** Register-pressure bound on the column unroll. *)
 val max_un : Simd.t -> int
+
+(** Deepest reduction unroll the generators accept (the heuristics stay
+    within the paper's window of 4; the autotuner may go to this). *)
+val max_ug : int
+
+(** Deepest register rotation ([abuf]/[wbuf]) the generators accept. *)
+val max_rot : int
+
+(** Raises [Invalid_argument] on out-of-range unroll / rotation knobs. *)
+val validate_spec : spec -> unit
+
+(** Scalar and vector registers one kernel instantiation claims,
+    mirroring the generators' allocation order (pair alignment
+    included). *)
+val reg_demand : ?per_channel:bool -> spec -> int * int
+
+(** Does {!reg_demand} fit the device's register files?  Heuristic
+    settings fit by construction; autotuner candidates must check. *)
+val fits_registers : ?per_channel:bool -> spec -> bool
 
 (** Generate the kernel program ([tables] must hold the fused-activation
     table when [act_table] is set).  [per_channel] enables per-output-

@@ -1,0 +1,26 @@
+(** The searchable codegen-shape space behind the autotuner: validated
+    candidates (spec invariants, register files, VTCM working set) and a
+    cheap packing lower bound for incumbent-relative pruning. *)
+
+(** VTCM working set of one output tile streaming through a panel
+    (activation strip, prepacked weight streams, output vectors,
+    in-flight rotation windows). *)
+val footprint_bytes : Matmul.spec -> int
+
+(** Spec invariants + register files + VTCM capacity. *)
+val feasible : ?per_channel:bool -> Matmul.spec -> bool
+
+(** Every feasible {!Unroll.setting} for the spec's problem, most
+    promising first (deep/wide unrolls lead; rotations fan out from the
+    historical (2,2)).  Deterministic; built on {!Unroll.grid}. *)
+val space : Matmul.spec -> Unroll.setting list
+
+(** Trip-weighted instruction counts per class
+    ({!Gcd2_devices.Desc.iclass_count} entries, {!Gcd2_isa.Iclass.index}
+    order); deliberately partial so the bound below stays sound. *)
+val class_counts : Matmul.spec -> int array
+
+(** Lower bound on the kernel's packed cycles — always
+    [<= Matmul.cycles s].  Per-class counts over slot capacity, and the
+    total over the packet width. *)
+val lower_bound : Matmul.spec -> int

@@ -5,9 +5,14 @@
     output-column unroll ("Out", how many columns of C are produced per
     tile) and the reduction unroll ("Mid", how many k-groups per loop
     body).  The alternatives evaluated in the paper's Figure 12 are also
-    provided: fixed single-level unrolling and exhaustive search. *)
+    provided: fixed single-level unrolling and exhaustive search.
 
-type setting = { un : int; ug : int }
+    A [setting] also carries the generator's register-rotation depths
+    ([abuf]/[wbuf], {!Matmul.spec}); every heuristic pins them to the
+    historical double-buffer depth of 2 — only the autotuner
+    ({!Autotune}) searches them. *)
+
+type setting = { un : int; ug : int; abuf : int; wbuf : int }
 
 type shape_class = Skinny | Near_square | Fat
 
@@ -28,53 +33,75 @@ let clamp_un simd ~n un =
   let un = min un np in
   max group (un - (un mod group))
 
-let clamp_ug ~k ug =
+let clamp_ug ?(limit = 4) ~k ug =
   let groups = Gcd2_util.Stats.round_up k 4 / 4 in
-  (* the generators accept at most 4 unrolled k-groups *)
-  max 1 (min (min ug 4) groups)
+  (* the heuristics stay within the paper's 4-group scheduler window;
+     the autotuner passes [limit = Matmul.max_ug] *)
+  max 1 (min (min ug limit) groups)
 
-(** The GCD2 shape-adaptive heuristic.  Both factors are driven by the
-    output shape through the clamps: the column unroll maxes out against
-    register pressure and the (padded) output width — skinny outputs get
-    small tiles, fat outputs wide ones — and the reduction unroll deepens
-    to the scheduler's window except when the reduction is shallow. *)
+(** The GCD2 shape-adaptive heuristic: classify the output shape and take
+    the class's preset factor pair.  Skinny and near-square outputs go
+    deep on the reduction ("Mid") unroll — their column unroll is already
+    throttled by the (padded) output width through the clamp — while fat
+    outputs spend the budget on the output-column ("Out") unroll and keep
+    the reduction window shallow. *)
 let adaptive simd ~m ~k ~n =
   Gcd2_util.Trace.in_span "unroll" @@ fun () ->
-  let un = clamp_un simd ~n (Matmul.max_un simd) in
-  ignore (classify ~m ~n);
-  { un; ug = clamp_ug ~k 4 }
+  let un_pref, ug_pref =
+    match classify ~m ~n with
+    | Skinny | Near_square -> (Matmul.max_un simd, 4)
+    | Fat -> (Matmul.max_un simd, 2)
+  in
+  { un = clamp_un simd ~n un_pref; ug = clamp_ug ~k ug_pref; abuf = 2; wbuf = 2 }
 
 (** "Out": unroll only the output-column loop by [factor]. *)
-let fixed_out simd ~k ~n ~factor = { un = clamp_un simd ~n factor; ug = clamp_ug ~k 1 }
+let fixed_out simd ~k ~n ~factor =
+  { un = clamp_un simd ~n factor; ug = clamp_ug ~k 1; abuf = 2; wbuf = 2 }
 
 (** "Mid": unroll only the reduction loop by [factor]. *)
 let fixed_mid simd ~k ~n ~factor =
-  { un = clamp_un simd ~n 1; ug = clamp_ug ~k factor }
+  { un = clamp_un simd ~n 1; ug = clamp_ug ~k factor; abuf = 2; wbuf = 2 }
 
 (** No unrolling at all. *)
-let none simd ~k ~n = { un = clamp_un simd ~n 1; ug = clamp_ug ~k 1 }
+let none simd ~k ~n =
+  { un = clamp_un simd ~n 1; ug = clamp_ug ~k 1; abuf = 2; wbuf = 2 }
+
+(** The shared (un, ug) candidate enumeration behind both the Figure-12
+    exhaustive baseline and the autotuner — one helper so the two grids
+    cannot drift.  [extended:false] is the paper's grid, [1;2;4;8] x
+    [1..4], filtered by the clamps; [extended:true] widens it to every
+    whole-group column unroll up to {!Matmul.max_un} and reduction
+    unrolls up to {!Matmul.max_ug}.  Order is deterministic: columns
+    outer (ascending), reduction inner (ascending) — exhaustive's
+    tie-break (first minimum wins) depends on it. *)
+let grid ?(extended = false) simd ~k ~n =
+  let group = Gcd2_tensor.Layout.column_group (Simd.layout simd) in
+  let uns =
+    if extended then List.init (Matmul.max_un simd / group) (fun i -> (i + 1) * group)
+    else [ 1; 2; 4; 8 ]
+  in
+  let uns =
+    List.filter
+      (fun u -> u mod group = 0 && u <= Matmul.max_un simd && u = clamp_un simd ~n u)
+      uns
+  in
+  let limit = if extended then Matmul.max_ug else 4 in
+  let ugs =
+    List.filter (fun g -> g = clamp_ug ~limit ~k g) (List.init limit (fun i -> i + 1))
+  in
+  List.concat_map (fun un -> List.map (fun ug -> (un, ug)) ugs) uns
 
 (** Exhaustive grid search minimizing the generated kernel's cycle count —
     the expensive baseline of Figure 12. *)
 let exhaustive (base : Matmul.spec) =
   Gcd2_util.Trace.in_span "unroll" @@ fun () ->
   let simd = base.Matmul.simd in
-  let group = Gcd2_tensor.Layout.column_group (Simd.layout simd) in
-  let uns =
-    List.filter
-      (fun u -> u mod group = 0 && u <= Matmul.max_un simd && u = clamp_un simd ~n:base.n u)
-      [ 1; 2; 4; 8 ]
-  in
-  let ugs = List.filter (fun g -> g = clamp_ug ~k:base.k g) [ 1; 2; 3; 4 ] in
   let best = ref None in
   List.iter
-    (fun un ->
-      List.iter
-        (fun ug ->
-          let cycles = Matmul.cycles { base with Matmul.un; ug } in
-          match !best with
-          | Some (_, c) when c <= cycles -> ()
-          | _ -> best := Some ({ un; ug }, cycles))
-        ugs)
-    uns;
+    (fun (un, ug) ->
+      let cycles = Matmul.cycles { base with Matmul.un; ug; abuf = 2; wbuf = 2 } in
+      match !best with
+      | Some (_, c) when c <= cycles -> ()
+      | _ -> best := Some ({ un; ug; abuf = 2; wbuf = 2 }, cycles))
+    (grid simd ~k:base.k ~n:base.n);
   match !best with Some (s, _) -> s | None -> none simd ~k:base.k ~n:base.n

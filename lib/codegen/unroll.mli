@@ -1,8 +1,15 @@
 (** Loop-unrolling selection (paper Section IV-C "Impact of Unrolling" and
     Figure 12): GCD2's shape-adaptive heuristic, the single-level
-    baselines, and exhaustive search. *)
+    baselines, and exhaustive search.  Settings also carry the
+    register-rotation depths the generators honour; heuristics pin them
+    to the historical 2, the autotuner searches them. *)
 
-type setting = { un : int  (** output-column ("Out") unroll *); ug : int  (** reduction ("Mid") unroll *) }
+type setting = {
+  un : int;  (** output-column ("Out") unroll *)
+  ug : int;  (** reduction ("Mid") unroll *)
+  abuf : int;  (** activation-register rotation depth *)
+  wbuf : int;  (** weight-register rotation depth *)
+}
 
 type shape_class = Skinny | Near_square | Fat
 
@@ -12,9 +19,11 @@ val shape_class_name : shape_class -> string
 (** Clamp helpers (column grouping, register file, problem size). *)
 val clamp_un : Simd.t -> n:int -> int -> int
 
-val clamp_ug : k:int -> int -> int
+(** [limit] defaults to the paper's 4-group scheduler window; the
+    autotuner passes {!Matmul.max_ug}. *)
+val clamp_ug : ?limit:int -> k:int -> int -> int
 
-(** The GCD2 heuristic. *)
+(** The GCD2 heuristic: class-driven preset factors. *)
 val adaptive : Simd.t -> m:int -> k:int -> n:int -> setting
 
 (** "Out": unroll only the output-column loop. *)
@@ -24,6 +33,12 @@ val fixed_out : Simd.t -> k:int -> n:int -> factor:int -> setting
 val fixed_mid : Simd.t -> k:int -> n:int -> factor:int -> setting
 
 val none : Simd.t -> k:int -> n:int -> setting
+
+(** Shared (un, ug) enumeration behind {!exhaustive} and the autotuner —
+    [extended:false] is the Figure-12 grid, [extended:true] the tuner's
+    wider space.  Deterministic order: columns outer, reduction inner,
+    both ascending. *)
+val grid : ?extended:bool -> Simd.t -> k:int -> n:int -> (int * int) list
 
 (** Grid search minimizing generated-kernel cycles (Figure 12's expensive
     baseline). *)

@@ -62,6 +62,8 @@ let run_matmul ~stats ~options ~plan ~act (x : T.t) (w : T.t) ~m ~k ~n ~out_dims
       strategy = options.Gcd2_cost.Opcost.strategy;
       un = u.Gcd2_codegen.Unroll.un;
       ug = u.Gcd2_codegen.Unroll.ug;
+      abuf = u.Gcd2_codegen.Unroll.abuf;
+      wbuf = u.Gcd2_codegen.Unroll.wbuf;
       addressing = Matmul.Bump;
     }
   in
@@ -133,6 +135,15 @@ let run_binary ~stats ~options ~plan op (a : T.t) (b : T.t) =
       let mult, shift = Q.requant_multiplier ~in_a:a.T.quant ~in_b:b.T.quant ~out:out_q in
       ({ base_spec with Eltwise.mult; shift }, Eltwise.Bmul)
   in
+  (* execute with the unroll the cost model chose (outputs are
+     unroll-independent; this keeps executed and costed programs equal) *)
+  let spec =
+    { spec with
+      Eltwise.uv =
+        Gcd2_cost.Streams.binary_uv ~uv:options.Gcd2_cost.Opcost.eltwise_uv
+          ~device:spec.Eltwise.device ~strategy:spec.Eltwise.strategy ~op:bop ~vectors ()
+    }
+  in
   let data =
     stage_eltwise ~stats ~tables:!tables ~spec (`Binary bop) layout ~rows ~cols a.T.data
       (Some b.T.data)
@@ -149,6 +160,13 @@ let run_unary ~stats ~options ~plan node_op (x : T.t) =
       Gcd2_util.Stats.ceil_div (Gcd2_tensor.Layout.padded_bytes layout ~rows ~cols) 128
     in
     let spec = Eltwise.default_spec ~strategy:options.Gcd2_cost.Opcost.strategy ~vectors () in
+    let spec =
+      { spec with
+        Eltwise.uv =
+          Gcd2_cost.Streams.unary_uv ~uv:options.Gcd2_cost.Opcost.eltwise_uv
+            ~device:spec.Eltwise.device ~strategy:spec.Eltwise.strategy ~vectors ()
+      }
+    in
     let table = Lut.of_fn ~in_q:x.T.quant ~out_q f in
     let data =
       stage_eltwise ~stats ~tables:[ (1, table) ] ~spec (`Unary 1) layout ~rows ~cols

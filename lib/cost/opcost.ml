@@ -14,6 +14,7 @@ module Simd = Gcd2_codegen.Simd
 module Matmul = Gcd2_codegen.Matmul
 module Weights = Gcd2_codegen.Weights
 module Unroll = Gcd2_codegen.Unroll
+module Autotune = Gcd2_codegen.Autotune
 module Eltwise = Gcd2_codegen.Eltwise
 module Packer = Gcd2_sched.Packer
 module Stats = Gcd2_util.Stats
@@ -31,6 +32,14 @@ type options = {
           gather bandwidth, dispatch clock *)
   strategy : Packer.strategy;  (** VLIW packing used inside kernels *)
   unroll_mode : unroll_mode;
+  tune : Autotune.config option;
+      (** when set, multiply kernels search the full codegen-shape space
+          ({!Gcd2_codegen.Tile}) under this budget instead of taking the
+          [unroll_mode] heuristic's single setting; never worse than
+          [`Adaptive] in modeled cycles *)
+  eltwise_uv : Streams.uv_choice;
+      (** elementwise vector unroll: pinned (historically [`Fixed 2]) or
+          costed per stream *)
   layouts : Layout.t list;  (** candidate layouts for layout-flexible ops *)
   simds : Simd.t list;  (** candidate instructions for multiply operators *)
   lut_division : bool;  (** replace division by a reciprocal table lookup *)
@@ -56,6 +65,8 @@ let gcd2 =
     device = Desc.hexagon698;
     strategy = Packer.sda;
     unroll_mode = `Adaptive;
+    tune = None;
+    eltwise_uv = `Fixed 2;
     layouts = [ Layout.Row_major; Layout.Col1; Layout.Col2; Layout.Col4 ];
     simds = Simd.all;
     lut_division = true;
@@ -89,12 +100,15 @@ let numel = Array.fold_left ( * ) 1
 
 let unroll_for options base_spec ~m ~k ~n =
   let simd = base_spec.Matmul.simd in
-  match options.unroll_mode with
-  | `Adaptive -> Unroll.adaptive simd ~m ~k ~n
-  | `None -> Unroll.none simd ~k ~n
-  | `Out f -> Unroll.fixed_out simd ~k ~n ~factor:f
-  | `Mid f -> Unroll.fixed_mid simd ~k ~n ~factor:f
-  | `Exhaustive -> Unroll.exhaustive base_spec
+  match options.tune with
+  | Some cfg -> Autotune.tune cfg base_spec
+  | None -> (
+    match options.unroll_mode with
+    | `Adaptive -> Unroll.adaptive simd ~m ~k ~n
+    | `None -> Unroll.none simd ~k ~n
+    | `Out f -> Unroll.fixed_out simd ~k ~n ~factor:f
+    | `Mid f -> Unroll.fixed_mid simd ~k ~n ~factor:f
+    | `Exhaustive -> Unroll.exhaustive base_spec)
 
 (** One plan per candidate SIMD instruction for a (possibly batched)
     matmul of [m] x [k] x [n], with optional fused activation, extra
@@ -117,11 +131,15 @@ let matmul_plans options ~m ~k ~n ~act ~batch ~staging ~extra_bytes ~extra_macs 
           strategy = options.strategy;
           un = group;
           ug = 1;
+          abuf = 2;
+          wbuf = 2;
           addressing = Matmul.Bump;
         }
       in
       let u = unroll_for options base ~m ~k ~n in
-      let spec = { base with Matmul.un = u.Unroll.un; ug = u.Unroll.ug } in
+      let spec =
+        { base with Matmul.un = u.Unroll.un; ug = u.Unroll.ug; abuf = u.Unroll.abuf; wbuf = u.Unroll.wbuf }
+      in
       let kernel = float_of_int (Matmul.cycles spec) in
       let bytes =
         float_of_int
@@ -290,20 +308,20 @@ let plans options (g : Graph.t) (node : Graph.node) =
   | Op.Add | Op.Sub ->
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        Streams.binary_cycles ~device ~strategy ~op:Eltwise.Badd ~vectors:vout)
+        Streams.binary_cycles ~uv:options.eltwise_uv ~device ~strategy ~op:Eltwise.Badd ~vectors:vout)
       ~bytes_mult:1.5 ~macs:0
   | Op.Mul ->
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        Streams.binary_cycles ~device ~strategy ~op:Eltwise.Bmul ~vectors:vout)
+        Streams.binary_cycles ~uv:options.eltwise_uv ~device ~strategy ~op:Eltwise.Bmul ~vectors:vout)
       ~bytes_mult:1.5 ~macs:(numel out_dims)
   | Op.Div ->
     if options.lut_division then
       (* reciprocal lookup + multiply, the paper's "other optimization" *)
       flexible_plans options (in_dims ()) out_dims
         ~cycles_of:(fun ~vin:_ ~vout ->
-          Streams.unary_cycles ~device ~strategy ~vectors:vout
-          +. Streams.binary_cycles ~device ~strategy ~op:Eltwise.Bmul ~vectors:vout)
+          Streams.unary_cycles ~uv:options.eltwise_uv ~device ~strategy ~vectors:vout
+          +. Streams.binary_cycles ~uv:options.eltwise_uv ~device ~strategy ~op:Eltwise.Bmul ~vectors:vout)
         ~bytes_mult:1.5 ~macs:(numel out_dims)
     else
       (* element-by-element scalar division *)
@@ -312,21 +330,21 @@ let plans options (g : Graph.t) (node : Graph.node) =
         ~bytes_mult:1.5 ~macs:0
   | Op.Pow _ | Op.Relu | Op.Relu6 | Op.Hard_swish | Op.Sigmoid | Op.Tanh | Op.Gelu ->
     flexible_plans options (in_dims ()) out_dims
-      ~cycles_of:(fun ~vin:_ ~vout -> Streams.unary_cycles ~device ~strategy ~vectors:vout)
+      ~cycles_of:(fun ~vin:_ ~vout -> Streams.unary_cycles ~uv:options.eltwise_uv ~device ~strategy ~vectors:vout)
       ~bytes_mult:1.0 ~macs:0
   | Op.Softmax ->
     let rows, _ = mat_dims out_dims in
     let per_row = if options.lut_division then 3.0 else 16.0 in
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        (4.0 *. Streams.unary_cycles ~device ~strategy ~vectors:vout)
+        (4.0 *. Streams.unary_cycles ~uv:options.eltwise_uv ~device ~strategy ~vectors:vout)
         +. (per_row *. float_of_int rows))
       ~bytes_mult:2.0 ~macs:0
   | Op.Layer_norm ->
     let rows, _ = mat_dims out_dims in
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout ->
-        (4.0 *. Streams.unary_cycles ~device ~strategy ~vectors:vout)
+        (4.0 *. Streams.unary_cycles ~uv:options.eltwise_uv ~device ~strategy ~vectors:vout)
         +. (8.0 *. float_of_int rows))
       ~bytes_mult:2.0 ~macs:0
   | Op.Max_pool { kernel; _ } | Op.Avg_pool { kernel; _ } ->
@@ -336,7 +354,7 @@ let plans options (g : Graph.t) (node : Graph.node) =
       ~bytes_mult:1.0 ~macs:0
   | Op.Global_avg_pool ->
     flexible_plans options (in_dims ()) out_dims
-      ~cycles_of:(fun ~vin ~vout:_ -> Streams.unary_cycles ~device ~strategy ~vectors:vin)
+      ~cycles_of:(fun ~vin ~vout:_ -> Streams.unary_cycles ~uv:options.eltwise_uv ~device ~strategy ~vectors:vin)
       ~bytes_mult:1.0 ~macs:0
   | Op.Reshape _ ->
     (* pure view in the interchange layout; physical repack in blocked
@@ -418,6 +436,8 @@ let plan_spec options (g : Graph.t) (node : Graph.node) (plan : Plan.t) =
           strategy = options.strategy;
           un = u.Unroll.un;
           ug = u.Unroll.ug;
+          abuf = u.Unroll.abuf;
+          wbuf = u.Unroll.wbuf;
           addressing = Matmul.Bump;
         })
       mkn

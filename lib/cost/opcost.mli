@@ -20,6 +20,13 @@ type options = {
           bandwidth, dispatch clock *)
   strategy : Packer.strategy;  (** VLIW packing inside kernels *)
   unroll_mode : unroll_mode;
+  tune : Gcd2_codegen.Autotune.config option;
+      (** when set, multiply kernels search the codegen-shape space
+          ({!Gcd2_codegen.Tile}) under this budget instead of taking the
+          [unroll_mode] heuristic's single setting *)
+  eltwise_uv : Streams.uv_choice;
+      (** elementwise vector unroll: pinned (historically [`Fixed 2]) or
+          costed per stream *)
   layouts : Layout.t list;  (** candidates for layout-flexible operators *)
   simds : Simd.t list;  (** candidates for multiply operators *)
   lut_division : bool;  (** division -> reciprocal table lookup *)

@@ -11,17 +11,29 @@ module Eltwise = Gcd2_codegen.Eltwise
 module Regs = Gcd2_codegen.Regs
 module Desc = Gcd2_devices.Desc
 
+(** Elementwise vector-unroll policy: pin [uv] (the historical value is
+    2) or cost the candidate unrolls and take the cheapest.  Part of
+    {!Gcd2_cost.Opcost.options} and of the request fingerprint. *)
+type uv_choice = [ `Fixed of int | `Costed ]
+
+let pp_uv_choice ppf = function
+  | `Fixed u -> Fmt.pf ppf "fixed:%d" u
+  | `Costed -> Fmt.string ppf "costed"
+
+(* The unrolls [`Costed] sweeps ({!Eltwise.validate} accepts 1..4). *)
+let uv_candidates = [ 1; 2; 3; 4 ]
+
 (* Each costing below is memoized (Gcd2_util.Memo) on the complete set of
    parameters that reach the emitter — the memo key IS the argument
    tuple.  A new parameter to any [*_cycles] must be added to that
    table's key tuple, or distinct streams will alias one cached count.
    The device descriptor leads every key: two devices must never share a
    cached count (vector width and latencies both flow into it). *)
-let unary_memo : (Desc.t * Packer.strategy * int, float) Gcd2_util.Memo.t =
+let unary_memo : (Desc.t * Packer.strategy * int * int, float) Gcd2_util.Memo.t =
   Gcd2_util.Memo.create "stream-unary"
 
-let binary_memo : (Desc.t * Packer.strategy * Eltwise.binary * int, float) Gcd2_util.Memo.t
-    =
+let binary_memo :
+    (Desc.t * Packer.strategy * Eltwise.binary * int * int, float) Gcd2_util.Memo.t =
   Gcd2_util.Memo.create "stream-binary"
 
 let dwconv_memo : (Desc.t * Packer.strategy * int * int, float) Gcd2_util.Memo.t =
@@ -30,28 +42,67 @@ let dwconv_memo : (Desc.t * Packer.strategy * int * int, float) Gcd2_util.Memo.t
 let pool_memo : (Desc.t * Packer.strategy * int * int, float) Gcd2_util.Memo.t =
   Gcd2_util.Memo.create "stream-pool"
 
-(** Cycles of a unary pass (load, table lookup, store) over [vectors]
-    device-width vectors. *)
-let unary_cycles ~device ~strategy ~vectors =
-  if vectors <= 0 then 0.0
-  else
-    Gcd2_util.Memo.find_or_add unary_memo (device, strategy, vectors) (fun () ->
-        let s =
-          { (Eltwise.default_spec ~strategy ~device ~vectors ()) with Eltwise.uv = 2 }
-        in
-        let prog = Eltwise.unary ~table:0 s ~in_base:0 ~out_base:0 in
-        float_of_int (Program.static_cycles ~desc:device prog))
+(* Cost one unary pass at a pinned unroll. *)
+let unary_cycles_at ~device ~strategy ~vectors uv =
+  Gcd2_util.Memo.find_or_add unary_memo (device, strategy, uv, vectors) (fun () ->
+      let s = { (Eltwise.default_spec ~strategy ~device ~vectors ()) with Eltwise.uv = uv } in
+      let prog = Eltwise.unary ~table:0 s ~in_base:0 ~out_base:0 in
+      float_of_int (Program.static_cycles ~desc:device prog))
 
-(** Cycles of a binary elementwise pass. *)
-let binary_cycles ~device ~strategy ~op ~vectors =
+let binary_cycles_at ~device ~strategy ~op ~vectors uv =
+  Gcd2_util.Memo.find_or_add binary_memo (device, strategy, op, uv, vectors) (fun () ->
+      let s = { (Eltwise.default_spec ~strategy ~device ~vectors ()) with Eltwise.uv = uv } in
+      let prog =
+        Eltwise.binary op s { Eltwise.a_base = 0; b_base = 4096; out_base = 8192 }
+      in
+      float_of_int (Program.static_cycles ~desc:device prog))
+
+(* Deterministic argmin over the candidate unrolls: strict improvement
+   only, so ties resolve to the smallest uv. *)
+let argmin_uv cost =
+  List.fold_left
+    (fun (bu, bc) u ->
+      let c = cost u in
+      if c < bc then (u, c) else (bu, bc))
+    (List.hd uv_candidates, cost (List.hd uv_candidates))
+    (List.tl uv_candidates)
+
+(** The vector unroll a {!uv_choice} resolves to for a unary pass over
+    [vectors] — what the runtime executes with, so execution and costing
+    agree (outputs are unroll-independent either way). *)
+let unary_uv ?(uv = `Fixed 2) ~device ~strategy ~vectors () =
+  match uv with
+  | `Fixed u -> u
+  | `Costed ->
+    if vectors <= 0 then 2
+    else fst (argmin_uv (unary_cycles_at ~device ~strategy ~vectors))
+
+(** Likewise for a binary pass. *)
+let binary_uv ?(uv = `Fixed 2) ~device ~strategy ~op ~vectors () =
+  match uv with
+  | `Fixed u -> u
+  | `Costed ->
+    if vectors <= 0 then 2
+    else fst (argmin_uv (binary_cycles_at ~device ~strategy ~op ~vectors))
+
+(** Cycles of a unary pass (load, table lookup, store) over [vectors]
+    device-width vectors.  [uv] defaults to the historical pinned unroll
+    of 2; [`Costed] sweeps {!uv_candidates} (memoized per unroll) and
+    takes the cheapest. *)
+let unary_cycles ~uv ~device ~strategy ~vectors =
   if vectors <= 0 then 0.0
   else
-    Gcd2_util.Memo.find_or_add binary_memo (device, strategy, op, vectors) (fun () ->
-        let s = Eltwise.default_spec ~strategy ~device ~vectors () in
-        let prog =
-          Eltwise.binary op s { Eltwise.a_base = 0; b_base = 4096; out_base = 8192 }
-        in
-        float_of_int (Program.static_cycles ~desc:device prog))
+    match uv with
+    | `Fixed u -> unary_cycles_at ~device ~strategy ~vectors u
+    | `Costed -> snd (argmin_uv (unary_cycles_at ~device ~strategy ~vectors))
+
+(** Cycles of a binary elementwise pass ([uv] as in {!unary_cycles}). *)
+let binary_cycles ~uv ~device ~strategy ~op ~vectors =
+  if vectors <= 0 then 0.0
+  else
+    match uv with
+    | `Fixed u -> binary_cycles_at ~device ~strategy ~op ~vectors u
+    | `Costed -> snd (argmin_uv (binary_cycles_at ~device ~strategy ~op ~vectors))
 
 (** Depthwise convolution stream: per output vector, one shifted load and
     one cyclic multiply per tap, a 16->32 drain every other tap, and the

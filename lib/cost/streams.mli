@@ -7,11 +7,39 @@
 module Packer = Gcd2_sched.Packer
 module Eltwise = Gcd2_codegen.Eltwise
 
-(** One unary pass (load, lookup, store) over [vectors] vectors. *)
+(** Elementwise vector-unroll policy: pin [uv] (historically 2) or cost
+    the candidate unrolls and take the cheapest.  Part of
+    {!Gcd2_cost.Opcost.options} and of the request fingerprint. *)
+type uv_choice = [ `Fixed of int | `Costed ]
+
+val pp_uv_choice : Format.formatter -> uv_choice -> unit
+
+(** The unrolls [`Costed] sweeps (within {!Eltwise.validate}'s 1..4). *)
+val uv_candidates : int list
+
+(** The unroll a {!uv_choice} resolves to (deterministic: ties take the
+    smallest), so the runtime can execute with the costed unroll. *)
+val unary_uv :
+  ?uv:uv_choice ->
+  device:Gcd2_devices.Desc.t -> strategy:Packer.strategy -> vectors:int -> unit -> int
+
+val binary_uv :
+  ?uv:uv_choice ->
+  device:Gcd2_devices.Desc.t ->
+  strategy:Packer.strategy ->
+  op:Eltwise.binary ->
+  vectors:int ->
+  unit ->
+  int
+
+(** One unary pass (load, lookup, store) over [vectors] vectors.
+    [`Fixed 2] is the historical pinned unroll. *)
 val unary_cycles :
+  uv:uv_choice ->
   device:Gcd2_devices.Desc.t -> strategy:Packer.strategy -> vectors:int -> float
 
 val binary_cycles :
+  uv:uv_choice ->
   device:Gcd2_devices.Desc.t ->
   strategy:Packer.strategy ->
   op:Eltwise.binary ->

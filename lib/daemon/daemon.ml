@@ -20,6 +20,7 @@ type config = {
   framework : string;
   selection : string;
   device : string;
+  tune : Gcd2_codegen.Autotune.config option;
   resolve : (string -> Gcd2_graph.Graph.t) option;
   stats_every : int;
   log_outcomes : bool;
@@ -34,6 +35,7 @@ let default_config address =
     framework = "gcd2";
     selection = "13";
     device = "hexagon698";
+    tune = None;
     resolve = None;
     stats_every = 0;
     log_outcomes = false;
@@ -172,8 +174,15 @@ let emit_stats t = Logsink.emit_err (stats_line t (snapshot t))
 
 let default_resolve model = (Gcd2_models.Zoo.find model).Gcd2_models.Zoo.build ()
 
+(* Every field that reaches the compiler configuration must be in the
+   key, or two requests differing only in that field would coalesce on
+   one compile (tuned and untuned compiles have distinct fingerprints). *)
 let request_key (req : Serve.request) =
-  String.concat "\x00" [ req.model; req.framework; req.selection; req.device ]
+  String.concat "\x00"
+    [ req.model; req.framework; req.selection; req.device;
+      (match req.tune with
+      | Some t -> Gcd2_codegen.Autotune.to_string t
+      | None -> "") ]
 
 (* The request's fingerprint digest, memoized per distinct request text;
    [None] when the request cannot even be resolved (it will fail in
@@ -185,7 +194,7 @@ let digest_of t (req : Serve.request) =
   | None ->
     let d =
       match
-        Serve.config_of ~device:req.device ~framework:req.framework
+        Serve.config_of ~device:req.device ?tune:req.tune ~framework:req.framework
           ~selection:req.selection ()
       with
       | Error _ -> None
@@ -314,7 +323,8 @@ let handle_conn t widx fd =
          incr line_no;
          (match
             Serve.parse_line ~framework:t.cfg.framework
-              ~selection:t.cfg.selection ~device:t.cfg.device ~line:!line_no raw
+              ~selection:t.cfg.selection ~device:t.cfg.device ?tune:t.cfg.tune
+              ~line:!line_no raw
           with
          | Ok None -> ()  (* blank/comment: no response *)
          | Error pe ->

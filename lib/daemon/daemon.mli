@@ -42,6 +42,9 @@ type config = {
   framework : string;  (** default for request lines that omit it *)
   selection : string;
   device : string;
+  tune : Gcd2_codegen.Autotune.config option;
+      (** default autotuning config for request lines without a [tune=]
+          field; [None] = tuning off *)
   resolve : (string -> Gcd2_graph.Graph.t) option;
       (** model-name resolution; [None] uses the {!Gcd2_models.Zoo} *)
   stats_every : int;  (** emit a stats line every N responses; 0 = never *)

@@ -30,6 +30,7 @@ type t = {
   vector_bytes : int;  (** HVX vector register width *)
   vector_count : int;  (** vector register file size *)
   scalar_count : int;  (** scalar register file size *)
+  vtcm_bytes : int;  (** tightly-coupled vector memory capacity *)
   ddr_bytes_per_cycle : float;  (** sustained DDR bandwidth *)
   gather_bytes_per_cycle : float;  (** TCM/L2 staging bandwidth *)
   model_cycles_per_sec : float;  (** model-cycle → wall-clock calibration *)
@@ -51,6 +52,7 @@ let hexagon698 =
     vector_bytes = 128;
     vector_count = 32;
     scalar_count = 32;
+    vtcm_bytes = 256 * 1024;
     ddr_bytes_per_cycle = 1.0;
     gather_bytes_per_cycle = 8.0;
     model_cycles_per_sec = 30.0e9;
@@ -72,6 +74,7 @@ let hexagon_g2 =
     vector_bytes = 256;
     vector_count = 32;
     scalar_count = 32;
+    vtcm_bytes = 512 * 1024;
     ddr_bytes_per_cycle = 2.0;
     gather_bytes_per_cycle = 16.0;
     model_cycles_per_sec = 30.0e9;
@@ -117,6 +120,8 @@ let validate d =
   if d.vector_bytes < 4 || d.vector_bytes mod 4 <> 0 then
     invalid_arg "Desc: vector_bytes must be a positive multiple of 4";
   if d.vector_count < 4 || d.scalar_count < 4 then invalid_arg "Desc: register file too small";
+  (* the tile generator needs room for at least one panel's working set *)
+  if d.vtcm_bytes < 16 * d.vector_bytes then invalid_arg "Desc: vtcm_bytes too small";
   if d.ddr_bytes_per_cycle <= 0.0 || d.gather_bytes_per_cycle <= 0.0 then
     invalid_arg "Desc: bandwidths must be positive";
   if d.model_cycles_per_sec <= 0.0 then invalid_arg "Desc: clock must be positive"
@@ -142,7 +147,8 @@ let canonical d =
   add (ints d.slot_masks);
   add "];lat=[";
   add (ints d.latencies);
-  add (Printf.sprintf "];vb=%d;vregs=%d;sregs=%d" d.vector_bytes d.vector_count d.scalar_count);
+  add (Printf.sprintf "];vb=%d;vregs=%d;sregs=%d;vtcm=%d" d.vector_bytes d.vector_count
+         d.scalar_count d.vtcm_bytes);
   add (Printf.sprintf ";ddr=%h;gather=%h;cps=%h}" d.ddr_bytes_per_cycle
          d.gather_bytes_per_cycle d.model_cycles_per_sec);
   Buffer.contents buf

@@ -14,6 +14,7 @@ type t = {
   vector_bytes : int;  (** HVX vector register width *)
   vector_count : int;  (** vector register file size *)
   scalar_count : int;  (** scalar register file size *)
+  vtcm_bytes : int;  (** tightly-coupled vector memory capacity *)
   ddr_bytes_per_cycle : float;  (** sustained DDR bandwidth *)
   gather_bytes_per_cycle : float;  (** TCM/L2 staging bandwidth *)
   model_cycles_per_sec : float;  (** model-cycle → wall-clock calibration *)

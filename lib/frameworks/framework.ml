@@ -31,6 +31,8 @@ let uniform_kernel_opcost =
     Opcost.device = Gcd2_devices.Desc.hexagon698;
     strategy = Packer.In_order;
     unroll_mode = `Out 2;
+    tune = None;
+    eltwise_uv = `Fixed 2;
     layouts = [ Layout.Col4 ];
     simds = [ Simd.I_vrmpy ];
     lut_division = false;

@@ -65,11 +65,15 @@ let base_spec ?(addressing = Matmul.Bump) simd strategy ~m ~k ~n =
     strategy;
     un = Gcd2_tensor.Layout.column_group (Simd.layout simd);
     ug = 1;
+    abuf = 2;
+    wbuf = 2;
     addressing;
   }
 
 let instantiate spec (u : Unroll.setting) =
-  let spec = { spec with Matmul.un = u.Unroll.un; ug = u.Unroll.ug } in
+  let spec =
+    { spec with Matmul.un = u.Unroll.un; ug = u.Unroll.ug; abuf = u.Unroll.abuf; wbuf = u.Unroll.wbuf }
+  in
   let prog = Matmul.generate spec { Matmul.a_base = 0; w_base = 0; c_base = 0 } in
   (Program.static_cycles prog, Program.packet_count prog)
 

@@ -11,25 +11,27 @@ module Graphcost = Gcd2_cost.Graphcost
 module Trace = Gcd2_util.Trace
 module Fault = Gcd2_util.Fault
 module Desc = Gcd2_devices.Desc
+module Autotune = Gcd2_codegen.Autotune
 
 type request = {
   model : string;
   framework : string;
   selection : string;
   device : string;
+  tune : Autotune.config option;
   line : int;
 }
 
-let request ?(framework = "gcd2") ?(selection = "13") ?(device = "hexagon698") ?(line = 0)
-    model =
-  { model; framework; selection; device; line }
+let request ?(framework = "gcd2") ?(selection = "13") ?(device = "hexagon698") ?tune
+    ?(line = 0) model =
+  { model; framework; selection; device; tune; line }
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)
 
 type parse_error = { line : int; text : string; reason : string }
 
-let parse_line ~framework ~selection ~device ~line text =
+let parse_line ~framework ~selection ~device ?tune ~line text =
   let trimmed = String.trim text in
   let error reason = Error { line; text = trimmed; reason } in
   if trimmed = "" || trimmed.[0] = '#' then Ok None
@@ -46,45 +48,67 @@ let parse_line ~framework ~selection ~device ~line text =
     | Some tok ->
       error (Fmt.str "inline comment %S not allowed (comments must start the line)" tok)
     | None -> (
-      (* the [device=NAME] field is positionless — pull it out before the
-         positional MODEL [FRAMEWORK [SELECTION]] match *)
+      (* the [device=NAME] and [tune=SPEC] fields are positionless — pull
+         them out before the positional MODEL [FRAMEWORK [SELECTION]]
+         match *)
       let device_tokens, tokens =
         List.partition (String.starts_with ~prefix:"device=") tokens
       in
-      match device_tokens with
-      | _ :: _ :: _ ->
+      let tune_tokens, tokens =
+        List.partition (String.starts_with ~prefix:"tune=") tokens
+      in
+      match (device_tokens, tune_tokens) with
+      | (_ :: _ :: _), _ ->
         error
           (Fmt.str "duplicate device= field: %S" (String.concat " " device_tokens))
-      | ([] | [ _ ]) as dev -> (
+      | _, (_ :: _ :: _) ->
+        error (Fmt.str "duplicate tune= field: %S" (String.concat " " tune_tokens))
+      | (([] | [ _ ]) as dev), (([] | [ _ ]) as tn) -> (
         let named =
           match dev with
           | [ tok ] -> Some (String.sub tok 7 (String.length tok - 7))
           | _ -> None
         in
-        (* an unknown device is a per-line error, not a served failure:
-           the request never names a valid target, so reject it here with
-           its line number *)
+        (* an unknown device (or malformed tune spec) is a per-line
+           error, not a served failure: the request never names a valid
+           target, so reject it here with its line number *)
         match named with
         | Some name when Desc.find name = None ->
           error
             (Fmt.str "unknown device %S (known: %s)" name (String.concat ", " Desc.names))
         | _ -> (
           let device = Option.value named ~default:device in
-          match tokens with
-          | [] -> Ok None
-          | [ model ] -> Ok (Some { model; framework; selection; device; line })
-          | [ model; framework ] -> Ok (Some { model; framework; selection; device; line })
-          | [ model; framework; selection ] ->
-            Ok (Some { model; framework; selection; device; line })
-          | _ :: _ :: _ :: garbage ->
-            error
-              (Fmt.str "trailing garbage after SELECTION: %S" (String.concat " " garbage)))))
+          match
+            match tn with
+            | [ tok ] -> (
+              let spec = String.sub tok 5 (String.length tok - 5) in
+              (* `tune=off` lets a request line force tuning off even
+                 when the batch default enables it *)
+              match String.lowercase_ascii spec with
+              | "off" | "none" -> Ok None
+              | _ -> Result.map Option.some (Autotune.of_string spec))
+            | _ -> Ok tune
+          with
+          | Error reason -> error reason
+          | Ok tune -> (
+            match tokens with
+            | [] -> Ok None
+            | [ model ] -> Ok (Some { model; framework; selection; device; tune; line })
+            | [ model; framework ] ->
+              Ok (Some { model; framework; selection; device; tune; line })
+            | [ model; framework; selection ] ->
+              Ok (Some { model; framework; selection; device; tune; line })
+            | _ :: _ :: _ :: garbage ->
+              error
+                (Fmt.str "trailing garbage after SELECTION: %S"
+                   (String.concat " " garbage))))))
 
-let parse_lines ~framework ~selection ?(device = "hexagon698") ?(first_line = 1) lines =
+let parse_lines ~framework ~selection ?(device = "hexagon698") ?tune ?(first_line = 1)
+    lines =
   let requests, errors =
     List.fold_left
       (fun ((requests, errors), line) text ->
-        ( (match parse_line ~framework ~selection ~device ~line text with
+        ( (match parse_line ~framework ~selection ~device ?tune ~line text with
           | Ok None -> (requests, errors)
           | Ok (Some r) -> (r :: requests, errors)
           | Error e -> (requests, e :: errors)),
@@ -98,7 +122,7 @@ let parse_lines ~framework ~selection ?(device = "hexagon698") ?(first_line = 1)
 (* ------------------------------------------------------------------ *)
 (* Request -> compiler configuration                                   *)
 
-let config_of ?(device = "hexagon698") ~framework ~selection () =
+let config_of ?(device = "hexagon698") ?tune ~framework ~selection () =
   let invalid msg = Error (Diag.make Diag.Invalid_request msg) in
   match
     match String.lowercase_ascii framework with
@@ -116,6 +140,9 @@ let config_of ?(device = "hexagon698") ~framework ~selection () =
       invalid (Fmt.str "unknown device %S (known: %s)" device (String.concat ", " Desc.names))
     | Some desc -> (
       let base = Compiler.with_device desc base in
+      let base =
+        { base with Compiler.opcost = { base.Compiler.opcost with Gcd2_cost.Opcost.tune } }
+      in
       match String.lowercase_ascii selection with
       | "local" -> Ok { base with Compiler.selection = Compiler.Local }
       | "optimal" -> Ok { base with Compiler.selection = Compiler.Optimal_dp }
@@ -232,7 +259,7 @@ let serve_one ?(resolve = default_resolve) ?(compile = default_compile) policy ~
   in
   match
     match
-      config_of ~device:request.device ~framework:request.framework
+      config_of ~device:request.device ?tune:request.tune ~framework:request.framework
         ~selection:request.selection ()
     with
     | Error d -> Error d
@@ -348,7 +375,7 @@ let run_batch ?resolve ?compile ?(on_result = fun _ -> ()) policy requests =
   let results =
     List.map
       (fun (r : request) ->
-        let key = (r.model, r.framework, r.selection, r.device) in
+        let key = (r.model, r.framework, r.selection, r.device, r.tune) in
         let cold = not (Hashtbl.mem seen key) in
         Hashtbl.replace seen key ();
         let served = serve_one ?resolve ?compile policy ~cold r in
@@ -377,6 +404,9 @@ let outcome_line ?(extra = "") (r : served) =
   | Some c -> Buffer.add_string b (Fmt.str "   model %8.2f ms" (Compiler.latency_ms c))
   | None -> ());
   if req.device <> "hexagon698" then Buffer.add_string b ("   device=" ^ req.device);
+  (match req.tune with
+  | Some t -> Buffer.add_string b ("   tune=" ^ Autotune.to_string t)
+  | None -> ());
   if r.attempts > 1 then Buffer.add_string b (Fmt.str "   attempts=%d" r.attempts);
   if r.quarantined > 0 then Buffer.add_string b (Fmt.str "   quarantined=%d" r.quarantined);
   if r.uncached then Buffer.add_string b "   uncached";

@@ -36,14 +36,18 @@ type request = {
   framework : string;
   selection : string;
   device : string;  (** machine-description name ({!Gcd2_devices.Desc}) *)
+  tune : Gcd2_codegen.Autotune.config option;
+      (** kernel-shape autotuning ({!Gcd2_codegen.Autotune}); [None]
+          compiles with the shape-adaptive heuristic *)
   line : int;  (** 1-based source line of the request file; 0 when synthetic *)
 }
 
-(** [request ?framework ?selection ?device ?line model] — a request with
-    the default framework/selection/device
-    (["gcd2"] / ["13"] / ["hexagon698"]). *)
+(** [request ?framework ?selection ?device ?tune ?line model] — a request
+    with the default framework/selection/device
+    (["gcd2"] / ["13"] / ["hexagon698"]) and tuning off. *)
 val request :
-  ?framework:string -> ?selection:string -> ?device:string -> ?line:int -> string ->
+  ?framework:string -> ?selection:string -> ?device:string ->
+  ?tune:Gcd2_codegen.Autotune.config -> ?line:int -> string ->
   request
 
 type parse_error = { line : int; text : string; reason : string }
@@ -52,27 +56,33 @@ type parse_error = { line : int; text : string; reason : string }
     [#] comments; [Error _] for a line with more than three positional
     tokens (trailing garbage), an inline [#] token ([model #comment] is
     an error, not a request for framework ["#comment"]), a duplicated
-    [device=] field, or a [device=NAME] naming an unknown device —
-    malformed requests are reported with their line number, never
-    silently dropped.  A single [device=NAME] token may appear anywhere
-    on the line and overrides [device]. *)
+    [device=]/[tune=] field, a [device=NAME] naming an unknown device,
+    or a malformed [tune=SPEC] — malformed requests are reported with
+    their line number, never silently dropped.  A single [device=NAME]
+    or [tune=SPEC] token may appear anywhere on the line and overrides
+    [device] / [tune] ([tune=off] forces tuning off; other specs as in
+    {!Gcd2_codegen.Autotune.of_string}). *)
 val parse_line :
-  framework:string -> selection:string -> device:string -> line:int -> string ->
+  framework:string -> selection:string -> device:string ->
+  ?tune:Gcd2_codegen.Autotune.config -> line:int -> string ->
   (request option, parse_error) result
 
 (** Parse a request file's lines (numbered from [first_line], default 1),
     returning the well-formed requests and every malformed line.
-    [device] (default ["hexagon698"]) is the device of lines without a
-    [device=] field. *)
+    [device] (default ["hexagon698"]) and [tune] (default off) apply to
+    lines without a [device=] / [tune=] field. *)
 val parse_lines :
-  framework:string -> selection:string -> ?device:string -> ?first_line:int ->
+  framework:string -> selection:string -> ?device:string ->
+  ?tune:Gcd2_codegen.Autotune.config -> ?first_line:int ->
   string list -> request list * parse_error list
 
 (** Resolve framework/selection/device names to a compiler
-    configuration (the device via {!Gcd2.Compiler.with_device});
-    unknown names are an [Invalid_request] diagnostic. *)
+    configuration (the device via {!Gcd2.Compiler.with_device}; [tune]
+    lands in {!Gcd2_cost.Opcost.options} and thus in the request
+    fingerprint); unknown names are an [Invalid_request] diagnostic. *)
 val config_of :
-  ?device:string -> framework:string -> selection:string -> unit ->
+  ?device:string -> ?tune:Gcd2_codegen.Autotune.config ->
+  framework:string -> selection:string -> unit ->
   (Compiler.config, Diag.t) result
 
 type policy = {

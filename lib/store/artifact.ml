@@ -61,7 +61,7 @@ let magic = "GCD2ART\n"
    rejected as a version mismatch instead of being decoded. *)
 let layout =
   "graph=Gcd2_graph.Graph.t(Op.t,Tensor.t,Quant.t);\
-   plans=Gcd2_cost.Plan.t(Layout.t,Simd.t,Unroll.t) array array;\
+   plans=Gcd2_cost.Plan.t(Layout.t,Simd.t,Unroll.t{un,ug,abuf,wbuf}) array array;\
    assignment=int array;objective=float;\
    report=Gcd2_cost.Graphcost.report;\
    programs=Gcd2_isa.Program.t(Packet.t,Instr.t) option array;\

@@ -141,6 +141,11 @@ let add_unroll_mode buf (m : Opcost.unroll_mode) =
   | `Adaptive -> add buf "adaptive"
   | `Exhaustive -> add buf "exhaustive"
 
+let add_tune buf = function
+  | None -> add buf "-"
+  | Some (t : Gcd2_codegen.Autotune.config) ->
+    add buf (Printf.sprintf "budget:%d:verify:%b" t.Gcd2_codegen.Autotune.budget t.Gcd2_codegen.Autotune.verify)
+
 let add_options buf (g : Graph.t) (o : Opcost.options) =
   (* the full device descriptor, not just its name: a retuned descriptor
      under the same name must never resurrect a stale artifact *)
@@ -150,6 +155,12 @@ let add_options buf (g : Graph.t) (o : Opcost.options) =
   add buf (Fmt.str "%a" Packer.pp_strategy o.Opcost.strategy);
   add buf ";unroll=";
   add_unroll_mode buf o.Opcost.unroll_mode;
+  (* tuned and untuned compiles must never alias, and neither must two
+     different budgets (a bigger budget may find a better kernel) *)
+  add buf ";tune=";
+  add_tune buf o.Opcost.tune;
+  add buf ";eltwise_uv=";
+  add buf (Fmt.str "%a" Gcd2_cost.Streams.pp_uv_choice o.Opcost.eltwise_uv);
   add buf ";layouts=";
   List.iter
     (fun l ->
@@ -178,9 +189,9 @@ let add_options buf (g : Graph.t) (o : Opcost.options) =
     left enabled. *)
 let canonical ~selection ~optimize_graph ~disable ~options (g : Graph.t) =
   let buf = Buffer.create 4096 in
-  (* v3: the request gained the device descriptor (cross-target cache
-     entries must never collide) *)
-  add buf "gcd2-request-v3\n";
+  (* v4: the request gained the autotuner configuration and the eltwise
+     unroll policy (v3 added the device descriptor) *)
+  add buf "gcd2-request-v4\n";
   add buf "selection=";
   add buf selection;
   add buf (Printf.sprintf ";optimize_graph=%b" optimize_graph);

@@ -21,7 +21,7 @@ let spec ?un ?(ug = 1) ?(strategy = Packer.sda) ?act_table simd ~m ~k ~n =
     | Some u -> u
     | None -> max 2 (Gcd2_tensor.Layout.column_group (Simd.layout simd))
   in
-  { Matmul.device = Gcd2_devices.Desc.hexagon698; simd; m; k; n; mult; shift; act_table; strategy; un; ug; addressing = Matmul.Bump }
+  { Matmul.device = Gcd2_devices.Desc.hexagon698; simd; m; k; n; mult; shift; act_table; strategy; un; ug; abuf = 2; wbuf = 2; addressing = Matmul.Bump }
 
 let reference ?act ~m ~k ~n a w =
   let data = Interp.matmul_i8 ~m ~k ~n a w ~mult ~shift in

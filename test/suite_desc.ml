@@ -53,30 +53,33 @@ let test_builtins_valid () =
 (* ------------------------------------------------------------------ *)
 (* Zoo goldens: the default device must reproduce the seed bit for bit *)
 
-(* Captured from the pre-descriptor seed: total cycles and ms (hex
+(* Captured via `bench/main.exe zoo-goldens`: total cycles and ms (hex
    floats, exact) and the MD5 of the comma-joined plan assignment of
-   Compiler.compile under the default configuration.  The hexagon698
-   descriptor's field values equal the old global constants, so these
-   must never move. *)
+   Compiler.compile under the default configuration.  These move only
+   when a change is sanctioned to move them; the last regeneration
+   accompanied the class-driven Unroll.adaptive presets (the dead
+   `classify` fix), which shifted the heuristic setting — and hence
+   cycles, and for three models the simd assignment — on the five
+   models whose matmuls hit the Skinny/Fat presets. *)
 let goldens =
   [
-    ("MobileNet-V3", "0x1.3dd2788p+26", "0x1.637a620d82e71p+1",
+    ("MobileNet-V3", "0x1.3ef545p+26", "0x1.64bfa2d1092aep+1",
      "8b5b71b8be8ebabbf55f7426a121a8d6");
-    ("EfficientNet-b0", "0x1.f583514p+26", "0x1.187764500bb11p+2",
-     "8391c90bf26d781a1b8ae6008709b9bf");
-    ("ResNet-50", "0x1.9221398p+27", "0x1.c1c648dd77ce2p+2",
-     "0c8107c2a2fb83ea28e9b8ee3163461e");
+    ("EfficientNet-b0", "0x1.f6ed7ccp+26", "0x1.1941ee940e86fp+2",
+     "7d05020ea4526040bfc35304e3369789");
+    ("ResNet-50", "0x1.9891892p+27", "0x1.c8f9e3aa174e9p+2",
+     "b7cfa41141ec6a77baa5d0284ad72913");
     ("FST", "0x1.ff2ac264p+32", "0x1.1ddd85b9a12f5p+8",
      "1b6ed33fcf67fc5399e0329feb3ff83f");
     ("CycleGAN", "0x1.d254fbf2p+32", "0x1.04caaf6cb14adp+8",
      "e896886368cecd6c988d4fc8239c192f");
     ("WDSR-b", "0x1.c6fe2ccp+29", "0x1.fce6a21953468p+4",
      "84f18c3324bb51ad02e57689ac822713");
-    ("EfficientDet-d0", "0x1.6a3547dp+28", "0x1.951f787d30f4ep+3",
-     "9b315e8fcae3c66a28ba4b71b84ff81a");
+    ("EfficientDet-d0", "0x1.6a31345p+28", "0x1.951ae95aa20dp+3",
+     "c41b2b5267a37ca005af60d1a6ee18a9");
     ("PixOr", "0x1.424f659p+29", "0x1.687f6f5dcd824p+4",
      "0e7e1eed895e9fd8cefe4ef2b759b2f6");
-    ("TinyBERT", "0x1.8d461c2p+27", "0x1.bc57e262ef71dp+2",
+    ("TinyBERT", "0x1.8e6f1c2p+27", "0x1.bda412bd2a50cp+2",
      "524f1d0cd2b7db89d883f89a125071c2");
     ("Conformer", "0x1.a910b00cp+30", "0x1.db6d67a83e307p+5",
      "bb0b7ff720de715187a0350ebb5a5bf5");
@@ -172,6 +175,8 @@ let test_memo_no_cross_device_sharing () =
         strategy = Packer.sda;
         un = 4;
         ug = 1;
+        abuf = 2;
+        wbuf = 2;
         addressing = Matmul.Bump;
       }
   in
@@ -207,11 +212,11 @@ let qcheck_wider_vector_streams =
         List.nth [ Packer.sda; Packer.In_order; Packer.List_topdown ] strat
       in
       let halved = (vectors + 1) / 2 in
-      Streams.unary_cycles ~device:Desc.hexagon_g2 ~strategy ~vectors:halved
-      <= Streams.unary_cycles ~device:Desc.hexagon698 ~strategy ~vectors
-      && Streams.binary_cycles ~device:Desc.hexagon_g2 ~strategy ~op:Eltwise.Badd
+      Streams.unary_cycles ~uv:(`Fixed 2) ~device:Desc.hexagon_g2 ~strategy ~vectors:halved
+      <= Streams.unary_cycles ~uv:(`Fixed 2) ~device:Desc.hexagon698 ~strategy ~vectors
+      && Streams.binary_cycles ~uv:(`Fixed 2) ~device:Desc.hexagon_g2 ~strategy ~op:Eltwise.Badd
            ~vectors:halved
-         <= Streams.binary_cycles ~device:Desc.hexagon698 ~strategy ~op:Eltwise.Badd
+         <= Streams.binary_cycles ~uv:(`Fixed 2) ~device:Desc.hexagon698 ~strategy ~op:Eltwise.Badd
               ~vectors)
 
 (* Roofline monotonicity in bandwidth: a device that only moves bytes
