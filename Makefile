@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke check fmt-check fmt clean
+.PHONY: all build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke attn-smoke check fmt-check fmt clean
 
 all: build
 
@@ -72,6 +72,13 @@ vm-smoke: build
 tune-smoke: build
 	./_build/default/bench/main.exe tune-smoke
 
+# Transformer-kernel smoke: TinyBERT at a bucketed sequence length,
+# compiled with the attention kernels off and on, fails unless the
+# kernels flip the model majority-DSP.  The full run
+# (`bench/main.exe attn`) writes BENCH_attn.json.
+attn-smoke: build
+	./_build/default/bench/main.exe attn-smoke
+
 # Daemon load smoke: the serve-load generator against a live daemon,
 # first with two workers under a fixed fault spec (faulted workers must
 # absorb every injection without dropping a session), then fault-free
@@ -82,7 +89,7 @@ daemon-smoke: build
 		./_build/default/bench/main.exe serve-load-smoke
 	./_build/default/bench/main.exe serve-load-smoke
 
-check: build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke fmt-check
+check: build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke attn-smoke fmt-check
 
 clean:
 	dune clean

@@ -111,6 +111,8 @@ type model_row = {
   vm_nodes : int;
   host_nodes : int;
   vm_cycles : int;
+  kinds : (string * Runtime.kind_stat) list;
+      (** host-vs-VM split per operator kind, sorted by kind *)
   fast_s : float;
   ref_s : float;
   speedup : float;
@@ -141,7 +143,16 @@ let check_identical name (vm : T.t array) (vm_ref : T.t array) (s : Runtime.stat
     s.Runtime.vm_cycles <> s_ref.Runtime.vm_cycles
     || s.Runtime.vm_nodes <> s_ref.Runtime.vm_nodes
     || s.Runtime.host_nodes <> s_ref.Runtime.host_nodes
-  then failwith (name ^ ": execution stats differ between engines")
+  then failwith (name ^ ": execution stats differ between engines");
+  let kinds (s : Runtime.stats) =
+    List.sort compare
+      (Hashtbl.fold
+         (fun k (v : Runtime.kind_stat) acc ->
+           (k, v.Runtime.k_vm, v.Runtime.k_host, v.Runtime.k_cycles) :: acc)
+         s.Runtime.kinds [])
+  in
+  if kinds s <> kinds s_ref then
+    failwith (name ^ ": per-kind stats differ between engines")
 
 (* Each engine's leg is timed at steady state: an untimed warm-up run
    pays the one-time per-process and per-model costs (major-heap growth,
@@ -168,6 +179,10 @@ let measure_model name (g : Graph.t) =
     vm_nodes = stats.Runtime.vm_nodes;
     host_nodes = stats.Runtime.host_nodes;
     vm_cycles = stats.Runtime.vm_cycles;
+    kinds =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats.Runtime.kinds []);
     fast_s;
     ref_s;
     speedup = ref_s /. fast_s;
@@ -219,11 +234,21 @@ let json_of op_rows model_rows geomean =
   Buffer.add_string b "  ],\n  \"models\": [\n";
   List.iteri
     (fun i r ->
+      let kinds_json =
+        String.concat ", "
+          (List.map
+             (fun (k, (ks : Runtime.kind_stat)) ->
+               Printf.sprintf "%S: {\"vm\": %d, \"host\": %d, \"vm_cycles\": %d}" k
+                 ks.Runtime.k_vm ks.Runtime.k_host ks.Runtime.k_cycles)
+             r.kinds)
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    {\"name\": %S, \"nodes\": %d, \"vm_nodes\": %d, \"host_nodes\": %d, \
-            \"vm_cycles\": %d, \"fast_s\": %.6f, \"ref_s\": %.6f, \"speedup\": %.2f}%s\n"
+            \"vm_cycles\": %d, \"fast_s\": %.6f, \"ref_s\": %.6f, \"speedup\": %.2f, \
+            \"kinds\": {%s}}%s\n"
            r.name r.nodes r.vm_nodes r.host_nodes r.vm_cycles r.fast_s r.ref_s r.speedup
+           kinds_json
            (if i = List.length model_rows - 1 then "" else ",")))
     model_rows;
   Buffer.add_string b (Printf.sprintf "  ],\n  \"geomean_speedup\": %.3f\n}\n" geomean);

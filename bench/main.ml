@@ -31,6 +31,8 @@ let experiments =
     ("devices-smoke", Exp_devices.smoke);
     ("serve-load", Exp_serve.run);
     ("serve-load-smoke", Exp_serve.smoke);
+    ("attn", Exp_attn.run);
+    ("attn-smoke", Exp_attn.smoke);
     ("tune", Exp_tune.run);
     ("tune-smoke", Exp_tune.smoke);
     ("zoo-goldens", Exp_tune.goldens);

@@ -272,7 +272,7 @@ let serve_run models requests_file framework selection device tune tune_verify r
          request stream, one request per line until EOF *)
       Fmt.epr
         "reading requests from stdin (MODEL [FRAMEWORK [SELECTION]] [device=NAME] \
-         [tune=SPEC] per line)...@.";
+         [tune=SPEC] [seq=N] per line)...@.";
       ( Serve.parse_lines ~framework ~selection ~device ?tune
           (read_request_lines In_channel.stdin),
         true )
@@ -345,11 +345,14 @@ let serve_cmd =
   let requests_arg =
     let doc =
       "Read requests from $(docv), one `MODEL [FRAMEWORK [SELECTION]]` per line, \
-       plus optional positionless `device=NAME` and `tune=SPEC` fields anywhere on \
-       the line (SPEC: a budget, `on`, `BUDGET+verify`, or `off` to override a \
-       batch-wide --tune; whole-line `#` comments and blank lines ignored; lines \
-       with trailing garbage, inline `#` tokens, duplicated fields, unknown device \
-       names or malformed tune specs are errors).  Without models and without this \
+       plus optional positionless `device=NAME`, `tune=SPEC` and `seq=N` fields \
+       anywhere on the line (SPEC: a budget, `on`, `BUDGET+verify`, or `off` to \
+       override a batch-wide --tune; N: a positive dynamic sequence length for \
+       sequence-parametric models, padded to its power-of-two shape bucket so one \
+       cached artifact serves every length in the bucket; whole-line `#` comments \
+       and blank lines ignored; lines with trailing garbage, inline `#` tokens, \
+       duplicated fields, unknown device names, malformed tune specs or \
+       non-positive seq values are errors).  Without models and without this \
        option, requests are read from standard input."
     in
     Arg.(value & opt (some file) None & info [ "requests" ] ~docv:"FILE" ~doc)

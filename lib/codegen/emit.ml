@@ -29,6 +29,9 @@ let sload t rd base offset = emit t (Instr.Sload (rd, addr base offset))
 let vload t vd base offset = emit t (Instr.Vload (vd, addr base offset))
 let vstore t base offset vs = emit t (Instr.Vstore (addr base offset, vs))
 let vzero t vd = emit t (Instr.Vmovi (vd, 0))
+let vmovi t vd b = emit t (Instr.Vmovi (vd, b))
+let valu t op ~width vd va vb = emit t (Instr.Valu (op, width, vd, va, vb))
+let vscalev t vd vs vm shift = emit t (Instr.Vscalev (vd, vs, vm, shift))
 let vmpy t pd vs rt = emit t (Instr.Vmpy (pd, vs, rt))
 let vmul t pd va vb = emit t (Instr.Vmul (pd, va, vb))
 let vmpa t pd ps rt = emit t (Instr.Vmpa (pd, ps, rt))

@@ -1,0 +1,56 @@
+(** Row-operator kernels (Softmax, LayerNorm along the last axis): rows
+    staged transposed so row reductions are per-lane accumulations, two
+    programs per operator with a host step staging the per-row scalars
+    (reciprocal / mean + normalize-affine multiplier) between them.
+    Bit-identical to {!Gcd2_kernels.Interp}; see the implementation for
+    the ISA facts that carry the proof. *)
+
+module Packer = Gcd2_sched.Packer
+module Desc = Gcd2_devices.Desc
+
+(** The shared host/DSP exponential table: index = raw byte of the
+    saturated delta [sat8 (x - rowmax)], entry = [round (exp (scale * d)
+    * 127)] clamped to a signed byte. *)
+val exp_table : scale:float -> int array
+
+(** Fixed-point reciprocal of a row's exponential sum (shift 15, output
+    quant 1/128); 0 for empty/padding rows. *)
+val recip_of_sum : int -> int
+
+(** Integer round-half-away-from-zero mean, shared with the reference. *)
+val rounded_mean : int -> int -> int
+
+(** [layer_norm_multiplier ~scale ~out_scale ~cols ~sum ~sumsq] — the
+    per-row (mean, fused normalize-affine multiplier at shift 15) from
+    pass-1 row sums. *)
+val layer_norm_multiplier :
+  scale:float -> out_scale:float -> cols:int -> sum:int -> sumsq:int -> int * int
+
+(** Modeled cycles for a whole node (both passes x row groups), memoized;
+    device-parameterized like the Matmul generator. *)
+val softmax_cycles :
+  device:Desc.t -> strategy:Packer.strategy -> rows:int -> cols:int -> float
+
+val layer_norm_cycles :
+  device:Desc.t -> strategy:Packer.strategy -> rows:int -> cols:int -> float
+
+(** Execute on the simulated DSP (hexagon698, like {!Testbench}): input
+    row-major [rows * cols] int8 at quantization [scale].  Returns the
+    row-major int8 output and the executed cycle count.  Softmax output
+    quant is 1/128; LayerNorm's is [out_scale]. *)
+val run_softmax :
+  strategy:Packer.strategy ->
+  rows:int ->
+  cols:int ->
+  scale:float ->
+  int array ->
+  int array * int
+
+val run_layer_norm :
+  strategy:Packer.strategy ->
+  rows:int ->
+  cols:int ->
+  scale:float ->
+  out_scale:float ->
+  int array ->
+  int array * int

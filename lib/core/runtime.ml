@@ -24,7 +24,55 @@ module Plan = Gcd2_cost.Plan
 open Gcd2_graph
 
 (** Performance counters accumulated over the DSP-executed kernels. *)
-type stats = { mutable vm_nodes : int; mutable host_nodes : int; mutable vm_cycles : int }
+type kind_stat = { mutable k_vm : int; mutable k_host : int; mutable k_cycles : int }
+
+type stats = {
+  mutable vm_nodes : int;
+  mutable host_nodes : int;
+  mutable vm_cycles : int;
+  kinds : (string, kind_stat) Hashtbl.t;
+}
+
+(* Coarse operator kind for the per-kind split: the operator family
+   without its shape parameters, so all conv2d nodes share one row. *)
+let kind_of (op : Op.t) =
+  match op with
+  | Op.Input _ -> "input"
+  | Op.Constant _ -> "const"
+  | Op.Conv2d _ -> "conv2d"
+  | Op.Depthwise_conv2d _ -> "dwconv"
+  | Op.Transposed_conv2d _ -> "tconv"
+  | Op.Matmul _ -> "matmul"
+  | Op.Batch_matmul _ -> "bmm"
+  | Op.Add -> "add"
+  | Op.Mul -> "mul"
+  | Op.Sub -> "sub"
+  | Op.Div -> "div"
+  | Op.Pow _ -> "pow"
+  | Op.Relu -> "relu"
+  | Op.Relu6 -> "relu6"
+  | Op.Hard_swish -> "hswish"
+  | Op.Sigmoid -> "sigmoid"
+  | Op.Tanh -> "tanh"
+  | Op.Gelu -> "gelu"
+  | Op.Softmax -> "softmax"
+  | Op.Layer_norm -> "layer_norm"
+  | Op.Max_pool _ -> "maxpool"
+  | Op.Avg_pool _ -> "avgpool"
+  | Op.Global_avg_pool -> "gap"
+  | Op.Reshape _ -> "reshape"
+  | Op.Transpose _ -> "transpose"
+  | Op.Concat _ -> "concat"
+  | Op.Pad_spatial _ -> "pad"
+  | Op.Upsample _ -> "upsample"
+
+let kind_stats stats kind =
+  match Hashtbl.find_opt stats.kinds kind with
+  | Some k -> k
+  | None ->
+    let k = { k_vm = 0; k_host = 0; k_cycles = 0 } in
+    Hashtbl.add stats.kinds kind k;
+    k
 
 let rescale_table ?(negate = false) q_mult =
   Array.init 256 (fun byte ->
@@ -71,6 +119,85 @@ let run_matmul ~stats ~options ~plan ~act (x : T.t) (w : T.t) ~m ~k ~n ~out_dims
   stats.vm_nodes <- stats.vm_nodes + 1;
   stats.vm_cycles <- stats.vm_cycles + res.Testbench.cycles;
   T.of_array ~quant:out_q out_dims res.Testbench.data
+
+(* Batched matmul: the two operands are both dynamic (attention scores
+   and values), so each batch slice reuses the tiled matmul generator
+   with the slice's B staged as the weight matrix — host-transposed
+   first when the graph asks for B^T, exactly as the reference indexes
+   it. *)
+let run_batch_matmul ~stats ~options ~plan ~transpose_b (a : T.t) (b : T.t) =
+  let out_q = Q.default in
+  let ra = Array.length a.T.dims in
+  let batch = Array.fold_left ( * ) 1 (Array.sub a.T.dims 0 (ra - 2)) in
+  let m = a.T.dims.(ra - 2) and k = a.T.dims.(ra - 1) in
+  let n = if transpose_b then b.T.dims.(ra - 2) else b.T.dims.(ra - 1) in
+  let mult, shift = Q.requant_multiplier ~in_a:a.T.quant ~in_b:b.T.quant ~out:out_q in
+  let simd = Option.get plan.Plan.simd in
+  let u = Option.get plan.Plan.unroll in
+  let spec =
+    {
+      Matmul.device = Gcd2_devices.Desc.hexagon698;
+      simd;
+      m;
+      k;
+      n;
+      mult;
+      shift;
+      act_table = None;
+      strategy = options.Gcd2_cost.Opcost.strategy;
+      un = u.Gcd2_codegen.Unroll.un;
+      ug = u.Gcd2_codegen.Unroll.ug;
+      abuf = u.Gcd2_codegen.Unroll.abuf;
+      wbuf = u.Gcd2_codegen.Unroll.wbuf;
+      addressing = Matmul.Bump;
+    }
+  in
+  let out = Array.make (batch * m * n) 0 in
+  let cycles = ref 0 in
+  for bt = 0 to batch - 1 do
+    let a_slice = Array.sub a.T.data (bt * m * k) (m * k) in
+    let b_slice =
+      if transpose_b then
+        Array.init (k * n) (fun i ->
+            let l = i / n and j = i mod n in
+            b.T.data.((bt * k * n) + (j * k) + l))
+      else Array.sub b.T.data (bt * k * n) (k * n)
+    in
+    let res = Testbench.run spec ~a:a_slice ~w:b_slice in
+    Array.blit res.Testbench.data 0 out (bt * m * n) (m * n);
+    cycles := !cycles + res.Testbench.cycles
+  done;
+  stats.vm_nodes <- stats.vm_nodes + 1;
+  stats.vm_cycles <- stats.vm_cycles + !cycles;
+  let dims = Array.copy a.T.dims in
+  dims.(ra - 1) <- n;
+  T.of_array ~quant:out_q dims out
+
+(* ---------------- row operators on the VM ---------------- *)
+
+let run_softmax ~stats ~options (x : T.t) =
+  let out_q = Q.make (1.0 /. 128.0) in
+  let _, cols = T.matrix_dims x in
+  let rows = T.numel x / cols in
+  let data, cycles =
+    Gcd2_codegen.Rowops.run_softmax ~strategy:options.Gcd2_cost.Opcost.strategy ~rows
+      ~cols ~scale:x.T.quant.Q.scale x.T.data
+  in
+  stats.vm_nodes <- stats.vm_nodes + 1;
+  stats.vm_cycles <- stats.vm_cycles + cycles;
+  T.of_array ~quant:out_q (Array.copy x.T.dims) data
+
+let run_layer_norm ~stats ~options (x : T.t) =
+  let out_q = Q.make (1.0 /. 16.0) in
+  let _, cols = T.matrix_dims x in
+  let rows = T.numel x / cols in
+  let data, cycles =
+    Gcd2_codegen.Rowops.run_layer_norm ~strategy:options.Gcd2_cost.Opcost.strategy ~rows
+      ~cols ~scale:x.T.quant.Q.scale ~out_scale:out_q.Q.scale x.T.data
+  in
+  stats.vm_nodes <- stats.vm_nodes + 1;
+  stats.vm_cycles <- stats.vm_cycles + cycles;
+  T.of_array ~quant:out_q (Array.copy x.T.dims) data
 
 (* ---------------- elementwise on the VM ---------------- *)
 
@@ -186,7 +313,9 @@ let weight_of (node : Graph.node) =
 let run_with_stats (c : Compiler.compiled) ~inputs =
   let g = c.Compiler.graph in
   let options = c.Compiler.config.Compiler.opcost in
-  let stats = { vm_nodes = 0; host_nodes = 0; vm_cycles = 0 } in
+  let stats =
+    { vm_nodes = 0; host_nodes = 0; vm_cycles = 0; kinds = Hashtbl.create 16 }
+  in
   let vals = Array.make (Graph.size g) None in
   let value i =
     match vals.(i) with Some t -> t | None -> invalid_arg "Runtime: dangling input"
@@ -198,6 +327,7 @@ let run_with_stats (c : Compiler.compiled) ~inputs =
         stats.host_nodes <- stats.host_nodes + 1;
         Interp.eval_node node (List.map value node.Graph.inputs)
       in
+      let vm0 = stats.vm_nodes and cycles0 = stats.vm_cycles in
       let result =
         match node.Graph.op with
         | Op.Input { shape } -> (
@@ -219,21 +349,33 @@ let run_with_stats (c : Compiler.compiled) ~inputs =
           let w2 = T.reshape w [| cols; cout |] in
           run_matmul ~stats ~options ~plan ~act staged w2 ~m:rows ~k:cols ~n:cout
             ~out_dims:(Array.copy node.Graph.out_shape)
-        | Op.Add when (value (List.hd node.Graph.inputs)).T.dims
-                      = (value (List.nth node.Graph.inputs 1)).T.dims ->
+        | Op.Batch_matmul { transpose_b }
+          when options.Gcd2_cost.Opcost.attn_kernels && plan.Plan.simd <> None
+               && plan.Plan.unroll <> None ->
           let a = value (List.hd node.Graph.inputs) in
           let b = value (List.nth node.Graph.inputs 1) in
-          run_binary ~stats ~options ~plan `Add a b
-        | Op.Sub when (value (List.hd node.Graph.inputs)).T.dims
-                      = (value (List.nth node.Graph.inputs 1)).T.dims ->
+          run_batch_matmul ~stats ~options ~plan ~transpose_b a b
+        | Op.Softmax when options.Gcd2_cost.Opcost.attn_kernels ->
+          run_softmax ~stats ~options (value (List.hd node.Graph.inputs))
+        | Op.Layer_norm when options.Gcd2_cost.Opcost.attn_kernels ->
+          run_layer_norm ~stats ~options (value (List.hd node.Graph.inputs))
+        | (Op.Add | Op.Sub | Op.Mul) as op ->
           let a = value (List.hd node.Graph.inputs) in
           let b = value (List.nth node.Graph.inputs 1) in
-          run_binary ~stats ~options ~plan `Sub a b
-        | Op.Mul when (value (List.hd node.Graph.inputs)).T.dims
-                      = (value (List.nth node.Graph.inputs 1)).T.dims ->
-          let a = value (List.hd node.Graph.inputs) in
-          let b = value (List.nth node.Graph.inputs 1) in
-          run_binary ~stats ~options ~plan `Mul a b
+          let bop = match op with Op.Add -> `Add | Op.Sub -> `Sub | _ -> `Mul in
+          let na = T.numel a and nb = T.numel b in
+          if a.T.dims = b.T.dims then run_binary ~stats ~options ~plan bop a b
+          else if options.Gcd2_cost.Opcost.attn_kernels && nb < na && na mod nb = 0
+          then
+            (* broadcast: tile the smaller operand host-side; the
+               reference's [i mod nb] indexing is exactly this
+               expansion, so the vector kernel stays bit-identical *)
+            let tiled =
+              T.of_array ~quant:b.T.quant (Array.copy a.T.dims)
+                (Array.init na (fun i -> b.T.data.(i mod nb)))
+            in
+            run_binary ~stats ~options ~plan bop a tiled
+          else host ()
         | (Op.Pow _ | Op.Relu | Op.Relu6 | Op.Hard_swish | Op.Sigmoid | Op.Tanh | Op.Gelu)
           as op -> (
           let x = value (List.hd node.Graph.inputs) in
@@ -242,6 +384,15 @@ let run_with_stats (c : Compiler.compiled) ~inputs =
           | None -> host ())
         | _ -> host ()
       in
+      (match node.Graph.op with
+      | Op.Input _ -> ()
+      | op ->
+        let ks = kind_stats stats (kind_of op) in
+        if stats.vm_nodes > vm0 then begin
+          ks.k_vm <- ks.k_vm + 1;
+          ks.k_cycles <- ks.k_cycles + (stats.vm_cycles - cycles0)
+        end
+        else ks.k_host <- ks.k_host + 1);
       vals.(node.Graph.id) <- Some result)
     g;
   let outputs =

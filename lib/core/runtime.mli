@@ -7,10 +7,19 @@
 
 module T = Gcd2_tensor.Tensor
 
+(** Per-operator-kind slice of the counters (keys are coarse operator
+    families: ["conv2d"], ["bmm"], ["softmax"], ...). *)
+type kind_stat = {
+  mutable k_vm : int;  (** nodes of this kind executed as DSP kernels *)
+  mutable k_host : int;  (** nodes of this kind staged host-side *)
+  mutable k_cycles : int;  (** simulator cycles across this kind's kernels *)
+}
+
 type stats = {
   mutable vm_nodes : int;  (** operators executed as DSP kernels *)
   mutable host_nodes : int;  (** operators staged host-side *)
   mutable vm_cycles : int;  (** simulator cycles across DSP kernels *)
+  kinds : (string, kind_stat) Hashtbl.t;  (** host-vs-VM split per kind *)
 }
 
 (** Run a compiled model; [inputs] binds input-node ids to tensors. *)

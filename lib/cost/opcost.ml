@@ -43,6 +43,13 @@ type options = {
   layouts : Layout.t list;  (** candidate layouts for layout-flexible ops *)
   simds : Simd.t list;  (** candidate instructions for multiply operators *)
   lut_division : bool;  (** replace division by a reciprocal table lookup *)
+  attn_kernels : bool;
+      (** transformer ops on the DSP: batched-matmul slices through the
+          tiled Matmul generator, Softmax/LayerNorm through the Rowops
+          vector kernels (costed from their generated programs), and
+          broadcast elementwise staged on the VM.  Off for the baseline
+          frameworks — exactly the coverage gap that keeps transformers
+          on TFLite/SNPE's CPU path (Table IV). *)
   dispatch_us : float;
       (** per-operator invocation overhead (runtime dispatch, cache warmup,
           quantization-parameter marshalling).  Production delegates that
@@ -70,6 +77,7 @@ let gcd2 =
     layouts = [ Layout.Row_major; Layout.Col1; Layout.Col2; Layout.Col4 ];
     simds = Simd.all;
     lut_division = true;
+    attn_kernels = true;
     dispatch_us = 15.0;
     channel_pad = 1;
     supported = (fun _ -> true);
@@ -332,6 +340,15 @@ let plans options (g : Graph.t) (node : Graph.node) =
     flexible_plans options (in_dims ()) out_dims
       ~cycles_of:(fun ~vin:_ ~vout -> Streams.unary_cycles ~uv:options.eltwise_uv ~device ~strategy ~vectors:vout)
       ~bytes_mult:1.0 ~macs:0
+  | Op.Softmax when options.attn_kernels ->
+    (* costed from the generated-and-packed Rowops programs (both
+       passes x row groups), like the multiply kernels; bytes_mult
+       covers the transposed staging + exponential + output scratch *)
+    let rows, cols = mat_dims out_dims in
+    flexible_plans options (in_dims ()) out_dims
+      ~cycles_of:(fun ~vin:_ ~vout:_ ->
+        Gcd2_codegen.Rowops.softmax_cycles ~device ~strategy ~rows ~cols)
+      ~bytes_mult:3.0 ~macs:0
   | Op.Softmax ->
     let rows, _ = mat_dims out_dims in
     let per_row = if options.lut_division then 3.0 else 16.0 in
@@ -340,6 +357,12 @@ let plans options (g : Graph.t) (node : Graph.node) =
         (4.0 *. Streams.unary_cycles ~uv:options.eltwise_uv ~device ~strategy ~vectors:vout)
         +. (per_row *. float_of_int rows))
       ~bytes_mult:2.0 ~macs:0
+  | Op.Layer_norm when options.attn_kernels ->
+    let rows, cols = mat_dims out_dims in
+    flexible_plans options (in_dims ()) out_dims
+      ~cycles_of:(fun ~vin:_ ~vout:_ ->
+        Gcd2_codegen.Rowops.layer_norm_cycles ~device ~strategy ~rows ~cols)
+      ~bytes_mult:3.0 ~macs:0
   | Op.Layer_norm ->
     let rows, _ = mat_dims out_dims in
     flexible_plans options (in_dims ()) out_dims

@@ -30,6 +30,11 @@ type options = {
   layouts : Layout.t list;  (** candidates for layout-flexible operators *)
   simds : Simd.t list;  (** candidates for multiply operators *)
   lut_division : bool;  (** division -> reciprocal table lookup *)
+  attn_kernels : bool;
+      (** transformer row operators (softmax, layer_norm) and batched
+          matmul get DSP vector kernels, costed from their generated
+          programs; off models kernel libraries that bounce them to the
+          CPU *)
   dispatch_us : float;  (** per-operator invocation overhead *)
   channel_pad : int;
       (** channel granularity the kernel library pads to (32 models

@@ -21,7 +21,7 @@ type config = {
   selection : string;
   device : string;
   tune : Gcd2_codegen.Autotune.config option;
-  resolve : (string -> Gcd2_graph.Graph.t) option;
+  resolve : (?seq:int -> string -> Gcd2_graph.Graph.t) option;
   stats_every : int;
   log_outcomes : bool;
 }
@@ -172,16 +172,22 @@ let emit_stats t = Logsink.emit_err (stats_line t (snapshot t))
 
 (* ---------- request path ---------- *)
 
-let default_resolve model = (Gcd2_models.Zoo.find model).Gcd2_models.Zoo.build ()
+let default_resolve ?seq model = Gcd2_models.Zoo.build ?seq model
 
 (* Every field that reaches the compiler configuration must be in the
    key, or two requests differing only in that field would coalesce on
-   one compile (tuned and untuned compiles have distinct fingerprints). *)
+   one compile (tuned and untuned compiles have distinct fingerprints).
+   The sequence length enters as its shape bucket, never the raw value:
+   every length in a bucket resolves to the same graph, so their digest
+   computations (and hence their compiles) must share one memo slot. *)
 let request_key (req : Serve.request) =
   String.concat "\x00"
     [ req.model; req.framework; req.selection; req.device;
       (match req.tune with
       | Some t -> Gcd2_codegen.Autotune.to_string t
+      | None -> "");
+      (match req.seq with
+      | Some s -> string_of_int (Serve.seq_bucket s)
       | None -> "") ]
 
 (* The request's fingerprint digest, memoized per distinct request text;
@@ -200,7 +206,7 @@ let digest_of t (req : Serve.request) =
       | Error _ -> None
       | Ok config -> (
         let resolve = Option.value t.cfg.resolve ~default:default_resolve in
-        match resolve req.model with
+        match resolve ?seq:req.seq req.model with
         | exception _ -> None
         | graph -> Some (Compiler.fingerprint config graph))
     in

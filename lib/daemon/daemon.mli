@@ -45,8 +45,10 @@ type config = {
   tune : Gcd2_codegen.Autotune.config option;
       (** default autotuning config for request lines without a [tune=]
           field; [None] = tuning off *)
-  resolve : (string -> Gcd2_graph.Graph.t) option;
-      (** model-name resolution; [None] uses the {!Gcd2_models.Zoo} *)
+  resolve : (?seq:int -> string -> Gcd2_graph.Graph.t) option;
+      (** model-name resolution (with the request's optional sequence
+          length); [None] uses {!Gcd2_models.Zoo.build}, which pads the
+          length to its shape bucket *)
   stats_every : int;  (** emit a stats line every N responses; 0 = never *)
   log_outcomes : bool;  (** log one {!Gcd2_serve.Serve.outcome_line} per request *)
 }

@@ -36,6 +36,8 @@ let uniform_kernel_opcost =
     layouts = [ Layout.Col4 ];
     simds = [ Simd.I_vrmpy ];
     lut_division = false;
+    (* the stock delegates have no transformer kernels at all *)
+    attn_kernels = false;
     (* per-node FastRPC + hexagon_nn invocation from the application
        processor, vs GCD2's fully compiled on-DSP runtime *)
     dispatch_us = 30.0;

@@ -286,25 +286,30 @@ let softmax (x : T.t) =
   let out_q = Q.make (1.0 /. 128.0) in
   let _, cols = T.matrix_dims x in
   let rows = T.numel x / cols in
-  let s = x.T.quant.Q.scale in
-  let e_of_delta d = int_of_float (Float.round (exp (s *. float_of_int d) *. 255.0)) in
+  (* The exact integer steps of the DSP kernel (Gcd2_codegen.Rowops):
+     saturated delta, exponential via the shared table, fixed-point
+     reciprocal scale at shift 15. *)
+  let table = Lut.softmax_exp_table ~scale:x.T.quant.Q.scale in
   let out = Array.make (T.numel x) 0 in
   for r = 0 to rows - 1 do
     let base = r * cols in
-    let m = ref (-1000) in
+    let m = ref (-128) in
     for j = 0 to cols - 1 do
       m := max !m x.T.data.(base + j)
     done;
-    let e = Array.init cols (fun j -> e_of_delta (x.T.data.(base + j) - !m)) in
+    let e = Array.init cols (fun j -> table.(Sat.sat8 (x.T.data.(base + j) - !m) land 0xff)) in
     let sum = Array.fold_left ( + ) 0 e in
-    let recip = ((128 * 32768) + (sum / 2)) / sum in
+    let recip = Lut.softmax_recip sum in
     for j = 0 to cols - 1 do
-      out.(base + j) <- Sat.sat8 ((e.(j) * recip) asr 15)
+      out.(base + j) <- Sat.sat8 (Sat.apply_multiplier e.(j) (recip, 15))
     done
   done;
   T.of_array ~quant:out_q (Array.copy x.T.dims) out
 
-(** Integer layer normalization along the last axis. *)
+(** Integer layer normalization along the last axis: the exact steps of
+    the DSP kernel (Gcd2_codegen.Rowops) — integer row sums, a per-row
+    fused normalize-affine multiplier, and a fixed-point scale of the
+    centered value at shift 15. *)
 let layer_norm (x : T.t) =
   let out_q = Q.make (1.0 /. 16.0) in
   let _, cols = T.matrix_dims x in
@@ -312,23 +317,19 @@ let layer_norm (x : T.t) =
   let out = Array.make (T.numel x) 0 in
   for r = 0 to rows - 1 do
     let base = r * cols in
-    let sum = ref 0 in
+    let sum = ref 0 and sumsq = ref 0 in
     for j = 0 to cols - 1 do
-      sum := !sum + x.T.data.(base + j)
+      let v = x.T.data.(base + j) in
+      sum := !sum + v;
+      sumsq := !sumsq + (v * v)
     done;
-    let mean =
-      if !sum >= 0 then (!sum + (cols / 2)) / cols else -(((- !sum) + (cols / 2)) / cols)
+    let mean, nm =
+      Lut.layer_norm_multiplier ~scale:x.T.quant.Q.scale ~out_scale:out_q.Q.scale ~cols
+        ~sum:!sum ~sumsq:!sumsq
     in
-    let var = ref 0 in
     for j = 0 to cols - 1 do
-      let d = x.T.data.(base + j) - mean in
-      var := !var + (d * d)
-    done;
-    let var_f = float_of_int !var /. float_of_int cols *. x.T.quant.Q.scale *. x.T.quant.Q.scale in
-    let inv_std = 1.0 /. sqrt (var_f +. 1e-5) in
-    for j = 0 to cols - 1 do
-      let centered = float_of_int (x.T.data.(base + j) - mean) *. x.T.quant.Q.scale in
-      out.(base + j) <- Q.quantize out_q (centered *. inv_std)
+      out.(base + j) <-
+        Sat.sat8 (Sat.apply_multiplier (x.T.data.(base + j) - mean) (nm, 15))
     done
   done;
   T.of_array ~quant:out_q (Array.copy x.T.dims) out

@@ -32,3 +32,40 @@ let of_act ~in_q ~out_q (a : Gcd2_graph.Op.act) =
   | Gcd2_graph.Op.A_relu -> of_fn ~in_q ~out_q relu
   | Gcd2_graph.Op.A_relu6 -> of_fn ~in_q ~out_q relu6
   | Gcd2_graph.Op.A_hswish -> of_fn ~in_q ~out_q hswish
+
+(* ------------------------------------------------------------------ *)
+(* Row-operator (Softmax / LayerNorm) integer steps, shared between the
+   reference interpreter and the Rowops vector kernels so the two are
+   bit-exact by construction. *)
+
+(** Softmax's exponential table: index is the raw byte of the saturated
+    delta [sat8 (x - rowmax)] (always <= 0), the entry
+    [round (exp (scale * d) * 127)].  127, not 255: entries must be
+    valid signed bytes, and [e = 127] at [d = 0] keeps every row sum
+    >= 127, so the reciprocal never divides by zero. *)
+let softmax_exp_table ~scale =
+  Array.init 256 (fun byte ->
+      let d = min 0 (Gcd2_util.Saturate.sign_extend ~bits:8 byte) in
+      min 127 (int_of_float (Float.round (exp (scale *. float_of_int d) *. 127.0))))
+
+(** Fixed-point reciprocal of a row's exponential sum: the output is
+    [e * recip] at shift 15 with quant 1/128, so a row sums to ~128.
+    0 for empty/padding rows. *)
+let softmax_recip sum = if sum <= 0 then 0 else ((128 * 32768) + (sum / 2)) / sum
+
+(** Integer round-half-away-from-zero mean of a row sum. *)
+let rounded_mean sum cols =
+  if sum >= 0 then (sum + (cols / 2)) / cols else -((-sum + (cols / 2)) / cols)
+
+(** The per-row (mean, fused normalize-affine multiplier) of LayerNorm,
+    from the row's sum and sum of squares: the multiplier
+    [round (scale * inv_std / out_scale * 2^15)] is applied to the
+    centered value at shift 15 ([Sat.apply_multiplier] on both sides). *)
+let layer_norm_multiplier ~scale ~out_scale ~cols ~sum ~sumsq =
+  let mean = rounded_mean sum cols in
+  (* sum of squared deviations, exactly: sum (x - mean)^2 *)
+  let var_num = sumsq - (2 * mean * sum) + (cols * mean * mean) in
+  let var_f = float_of_int var_num /. float_of_int cols *. scale *. scale in
+  let inv_std = 1.0 /. sqrt (var_f +. 1e-5) in
+  let nm = int_of_float (Float.round (scale *. inv_std /. out_scale *. 32768.0)) in
+  (mean, min nm (1 lsl 30))

@@ -19,3 +19,23 @@ val sigmoid : float -> float
 val gelu : float -> float
 
 val of_act : in_q:Quant.t -> out_q:Quant.t -> Gcd2_graph.Op.act -> int array
+
+(** {2 Row-operator integer steps} — shared between the reference
+    interpreter and the {!Gcd2_codegen} Rowops vector kernels. *)
+
+(** Softmax's exponential table: index = raw byte of the saturated delta
+    [sat8 (x - rowmax)], entry = [round (exp (scale * d) * 127)] clamped
+    to a signed byte. *)
+val softmax_exp_table : scale:float -> int array
+
+(** Fixed-point reciprocal of a row's exponential sum (shift 15, output
+    quant 1/128); 0 for empty/padding rows. *)
+val softmax_recip : int -> int
+
+(** Integer round-half-away-from-zero mean. *)
+val rounded_mean : int -> int -> int
+
+(** [layer_norm_multiplier ~scale ~out_scale ~cols ~sum ~sumsq] — the
+    per-row (mean, fused normalize-affine multiplier at shift 15). *)
+val layer_norm_multiplier :
+  scale:float -> out_scale:float -> cols:int -> sum:int -> sumsq:int -> int * int

@@ -27,6 +27,10 @@ type entry = {
   kind : string;  (** 2D CNN / GAN / Transformer *)
   task : task;
   build : unit -> Gcd2_graph.Graph.t;
+  seq_build : (int * (int -> Gcd2_graph.Graph.t)) option;
+      (** [(max_seq, build_at)] for sequence-parametric models: the
+          model's native maximum sequence length and a builder at an
+          explicit length.  [None] for fixed-shape models. *)
   paper_gmacs : float;
   paper_ops : int;
   paper_tflite_ms : float option;  (** "-" in Table IV when unsupported *)
@@ -41,6 +45,7 @@ let all =
       kind = "2D CNN";
       task = Classification;
       build = Classification.mobilenet_v3;
+      seq_build = None;
       paper_gmacs = 0.22;
       paper_ops = 193;
       paper_tflite_ms = Some 7.5;
@@ -52,6 +57,7 @@ let all =
       kind = "2D CNN";
       task = Classification;
       build = Classification.efficientnet_b0;
+      seq_build = None;
       paper_gmacs = 0.40;
       paper_ops = 254;
       paper_tflite_ms = Some 9.1;
@@ -63,6 +69,7 @@ let all =
       kind = "2D CNN";
       task = Classification;
       build = Classification.resnet50;
+      seq_build = None;
       paper_gmacs = 4.1;
       paper_ops = 140;
       paper_tflite_ms = Some 13.9;
@@ -74,6 +81,7 @@ let all =
       kind = "2D CNN";
       task = Style_transfer;
       build = Generative.fst;
+      seq_build = None;
       paper_gmacs = 161.0;
       paper_ops = 64;
       paper_tflite_ms = Some 935.0;
@@ -85,6 +93,7 @@ let all =
       kind = "GAN";
       task = Image_translation;
       build = Generative.cyclegan;
+      seq_build = None;
       paper_gmacs = 186.0;
       paper_ops = 84;
       paper_tflite_ms = Some 450.0;
@@ -96,6 +105,7 @@ let all =
       kind = "2D CNN";
       task = Super_resolution;
       build = Generative.wdsr_b;
+      seq_build = None;
       paper_gmacs = 11.5;
       paper_ops = 32;
       paper_tflite_ms = Some 400.0;
@@ -107,6 +117,7 @@ let all =
       kind = "2D CNN";
       task = Detection_2d;
       build = Detection.efficientdet_d0;
+      seq_build = None;
       paper_gmacs = 2.6;
       paper_ops = 822;
       paper_tflite_ms = Some 62.8;
@@ -118,6 +129,7 @@ let all =
       kind = "2D CNN";
       task = Detection_3d;
       build = Detection.pixor;
+      seq_build = None;
       paper_gmacs = 8.8;
       paper_ops = 150;
       paper_tflite_ms = Some 43.0;
@@ -129,6 +141,7 @@ let all =
       kind = "Transformer";
       task = Nlp;
       build = (fun () -> Transformers.tinybert ());
+      seq_build = Some (256, fun seq -> Transformers.tinybert ~seq ());
       paper_gmacs = 1.4;
       paper_ops = 211;
       paper_tflite_ms = None;
@@ -140,6 +153,7 @@ let all =
       kind = "Transformer";
       task = Speech;
       build = (fun () -> Transformers.conformer ());
+      seq_build = Some (1504, fun seq -> Transformers.conformer ~seq ());
       paper_gmacs = 5.6;
       paper_ops = 675;
       paper_tflite_ms = None;
@@ -154,6 +168,23 @@ let find name =
   | None -> invalid_arg (Fmt.str "Zoo.find: unknown model %S" name)
 
 let names = List.map (fun e -> e.name) all
+
+(* Sequence lengths are served from padded shape buckets: the smallest
+   power of two >= the request (floor 16, so degenerate requests don't
+   compile near-empty graphs), clamped to the model's native maximum.
+   One compiled artifact then serves every length in its bucket. *)
+let bucket ~max_seq seq =
+  if seq <= 0 then invalid_arg (Fmt.str "Zoo.bucket: sequence length %d" seq);
+  let rec next p = if p >= seq then p else next (2 * p) in
+  min max_seq (next 16)
+
+let build ?seq name =
+  let e = find name in
+  match (seq, e.seq_build) with
+  | None, _ -> e.build ()
+  | Some s, Some (max_seq, at) -> at (bucket ~max_seq s)
+  | Some _, None ->
+    invalid_arg (Fmt.str "Zoo.build: model %S has no sequence dimension" e.name)
 
 (* Zoo graphs carry shapes only; functional execution (Runtime / Interp)
    needs parameter values.  Deterministic in [seed], so two calls produce

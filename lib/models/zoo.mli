@@ -18,6 +18,9 @@ type entry = {
   kind : string;  (** 2D CNN / GAN / Transformer *)
   task : task;
   build : unit -> Gcd2_graph.Graph.t;
+  seq_build : (int * (int -> Gcd2_graph.Graph.t)) option;
+      (** [(max_seq, build_at)] for sequence-parametric models; [None]
+          for fixed-shape models *)
   paper_gmacs : float;
   paper_ops : int;
   paper_tflite_ms : float option;  (** None where Table IV shows "-" *)
@@ -31,6 +34,18 @@ val all : entry list
 val find : string -> entry
 
 val names : string list
+
+(** The shape bucket a dynamic sequence length is served from: the
+    smallest power of two >= [seq] (floor 16), clamped to [max_seq].
+    Raises [Invalid_argument] on non-positive lengths. *)
+val bucket : max_seq:int -> int -> int
+
+(** Build a zoo model by name.  [?seq] pads a dynamic sequence length to
+    its {!bucket} and builds the model at the bucket — so every length in
+    a bucket yields the same graph, and hence the same compile-cache
+    fingerprint.  Raises [Invalid_argument] for unknown models, for
+    [?seq] on fixed-shape models, and for non-positive lengths. *)
+val build : ?seq:int -> string -> Gcd2_graph.Graph.t
 
 (** [with_random_weights ~seed g] — a copy of [g] in which every
     weight-bearing operator (conv / depthwise / transposed conv / matmul /

@@ -19,12 +19,22 @@ type request = {
   selection : string;
   device : string;
   tune : Autotune.config option;
+  seq : int option;
   line : int;
 }
 
 let request ?(framework = "gcd2") ?(selection = "13") ?(device = "hexagon698") ?tune
-    ?(line = 0) model =
-  { model; framework; selection; device; tune; line }
+    ?seq ?(line = 0) model =
+  { model; framework; selection; device; tune; seq; line }
+
+(* The shape bucket a dynamic sequence length is served from (unclamped;
+   the model builder additionally clamps to its native maximum).  Keying
+   the cold/warm and single-flight bookkeeping on the bucket — never the
+   raw length — is what lets one compiled artifact serve every length in
+   its bucket. *)
+let seq_bucket seq =
+  let rec next p = if p >= seq then p else next (2 * p) in
+  next 16
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)
@@ -48,28 +58,33 @@ let parse_line ~framework ~selection ~device ?tune ~line text =
     | Some tok ->
       error (Fmt.str "inline comment %S not allowed (comments must start the line)" tok)
     | None -> (
-      (* the [device=NAME] and [tune=SPEC] fields are positionless — pull
-         them out before the positional MODEL [FRAMEWORK [SELECTION]]
-         match *)
+      (* the [device=NAME], [tune=SPEC] and [seq=N] fields are
+         positionless — pull them out before the positional
+         MODEL [FRAMEWORK [SELECTION]] match *)
       let device_tokens, tokens =
         List.partition (String.starts_with ~prefix:"device=") tokens
       in
       let tune_tokens, tokens =
         List.partition (String.starts_with ~prefix:"tune=") tokens
       in
-      match (device_tokens, tune_tokens) with
-      | (_ :: _ :: _), _ ->
+      let seq_tokens, tokens =
+        List.partition (String.starts_with ~prefix:"seq=") tokens
+      in
+      match (device_tokens, tune_tokens, seq_tokens) with
+      | (_ :: _ :: _), _, _ ->
         error
           (Fmt.str "duplicate device= field: %S" (String.concat " " device_tokens))
-      | _, (_ :: _ :: _) ->
+      | _, (_ :: _ :: _), _ ->
         error (Fmt.str "duplicate tune= field: %S" (String.concat " " tune_tokens))
-      | (([] | [ _ ]) as dev), (([] | [ _ ]) as tn) -> (
+      | _, _, (_ :: _ :: _) ->
+        error (Fmt.str "duplicate seq= field: %S" (String.concat " " seq_tokens))
+      | (([] | [ _ ]) as dev), (([] | [ _ ]) as tn), (([] | [ _ ]) as sq) -> (
         let named =
           match dev with
           | [ tok ] -> Some (String.sub tok 7 (String.length tok - 7))
           | _ -> None
         in
-        (* an unknown device (or malformed tune spec) is a per-line
+        (* an unknown device (or malformed tune/seq spec) is a per-line
            error, not a served failure: the request never names a valid
            target, so reject it here with its line number *)
         match named with
@@ -79,29 +94,43 @@ let parse_line ~framework ~selection ~device ?tune ~line text =
         | _ -> (
           let device = Option.value named ~default:device in
           match
-            match tn with
+            match sq with
             | [ tok ] -> (
-              let spec = String.sub tok 5 (String.length tok - 5) in
-              (* `tune=off` lets a request line force tuning off even
-                 when the batch default enables it *)
-              match String.lowercase_ascii spec with
-              | "off" | "none" -> Ok None
-              | _ -> Result.map Option.some (Autotune.of_string spec))
-            | _ -> Ok tune
+              let spec = String.sub tok 4 (String.length tok - 4) in
+              match int_of_string_opt spec with
+              | Some s when s > 0 -> Ok (Some s)
+              | Some _ | None ->
+                Error
+                  (Fmt.str "invalid seq= field %S (expected a positive integer)" spec))
+            | _ -> Ok None
           with
           | Error reason -> error reason
-          | Ok tune -> (
-            match tokens with
-            | [] -> Ok None
-            | [ model ] -> Ok (Some { model; framework; selection; device; tune; line })
-            | [ model; framework ] ->
-              Ok (Some { model; framework; selection; device; tune; line })
-            | [ model; framework; selection ] ->
-              Ok (Some { model; framework; selection; device; tune; line })
-            | _ :: _ :: _ :: garbage ->
-              error
-                (Fmt.str "trailing garbage after SELECTION: %S"
-                   (String.concat " " garbage))))))
+          | Ok seq -> (
+            match
+              match tn with
+              | [ tok ] -> (
+                let spec = String.sub tok 5 (String.length tok - 5) in
+                (* `tune=off` lets a request line force tuning off even
+                   when the batch default enables it *)
+                match String.lowercase_ascii spec with
+                | "off" | "none" -> Ok None
+                | _ -> Result.map Option.some (Autotune.of_string spec))
+              | _ -> Ok tune
+            with
+            | Error reason -> error reason
+            | Ok tune -> (
+              match tokens with
+              | [] -> Ok None
+              | [ model ] ->
+                Ok (Some { model; framework; selection; device; tune; seq; line })
+              | [ model; framework ] ->
+                Ok (Some { model; framework; selection; device; tune; seq; line })
+              | [ model; framework; selection ] ->
+                Ok (Some { model; framework; selection; device; tune; seq; line })
+              | _ :: _ :: _ :: garbage ->
+                error
+                  (Fmt.str "trailing garbage after SELECTION: %S"
+                     (String.concat " " garbage)))))))
 
 let parse_lines ~framework ~selection ?(device = "hexagon698") ?tune ?(first_line = 1)
     lines =
@@ -191,7 +220,7 @@ type served = {
 (* ------------------------------------------------------------------ *)
 (* Serving one request                                                 *)
 
-let default_resolve model = (Zoo.find model).Zoo.build ()
+let default_resolve ?seq model = Zoo.build ?seq model
 
 (* The uncached-fallback degradation is logged once per batch (reset by
    [run_batch]), not once per poisoned request: a dead cache directory
@@ -264,7 +293,7 @@ let serve_one ?(resolve = default_resolve) ?(compile = default_compile) policy ~
     with
     | Error d -> Error d
     | Ok config -> (
-      match resolve request.model with
+      match resolve ?seq:request.seq request.model with
       | g -> Ok (config, g)
       | exception Invalid_argument msg -> Error (Diag.make Diag.Invalid_request msg)
       | exception exn -> Error (Diag.of_exn exn))
@@ -375,7 +404,13 @@ let run_batch ?resolve ?compile ?(on_result = fun _ -> ()) policy requests =
   let results =
     List.map
       (fun (r : request) ->
-        let key = (r.model, r.framework, r.selection, r.device, r.tune) in
+        (* the key carries the shape bucket, not the raw sequence
+           length: two lengths in one bucket resolve to the same graph,
+           so the second is warm *)
+        let key =
+          (r.model, r.framework, r.selection, r.device, r.tune,
+           Option.map seq_bucket r.seq)
+        in
         let cold = not (Hashtbl.mem seen key) in
         Hashtbl.replace seen key ();
         let served = serve_one ?resolve ?compile policy ~cold r in
@@ -406,6 +441,9 @@ let outcome_line ?(extra = "") (r : served) =
   if req.device <> "hexagon698" then Buffer.add_string b ("   device=" ^ req.device);
   (match req.tune with
   | Some t -> Buffer.add_string b ("   tune=" ^ Autotune.to_string t)
+  | None -> ());
+  (match req.seq with
+  | Some s -> Buffer.add_string b (Fmt.str "   seq=%d(bucket %d)" s (seq_bucket s))
   | None -> ());
   if r.attempts > 1 then Buffer.add_string b (Fmt.str "   attempts=%d" r.attempts);
   if r.quarantined > 0 then Buffer.add_string b (Fmt.str "   quarantined=%d" r.quarantined);

@@ -39,16 +39,27 @@ type request = {
   tune : Gcd2_codegen.Autotune.config option;
       (** kernel-shape autotuning ({!Gcd2_codegen.Autotune}); [None]
           compiles with the shape-adaptive heuristic *)
+  seq : int option;
+      (** dynamic sequence length for sequence-parametric models; served
+          from its {!seq_bucket} (the resolver builds the model at the
+          bucket), [None] for the model's native shape *)
   line : int;  (** 1-based source line of the request file; 0 when synthetic *)
 }
 
-(** [request ?framework ?selection ?device ?tune ?line model] — a request
-    with the default framework/selection/device
+(** [request ?framework ?selection ?device ?tune ?seq ?line model] — a
+    request with the default framework/selection/device
     (["gcd2"] / ["13"] / ["hexagon698"]) and tuning off. *)
 val request :
   ?framework:string -> ?selection:string -> ?device:string ->
-  ?tune:Gcd2_codegen.Autotune.config -> ?line:int -> string ->
+  ?tune:Gcd2_codegen.Autotune.config -> ?seq:int -> ?line:int -> string ->
   request
+
+(** The shape bucket a dynamic sequence length is served from: the
+    smallest power of two >= the length, floor 16 (the model builder
+    additionally clamps to its native maximum).  The cold/warm and
+    single-flight bookkeeping key on the bucket, never the raw length,
+    so one compiled artifact serves every length in its bucket. *)
+val seq_bucket : int -> int
 
 type parse_error = { line : int; text : string; reason : string }
 
@@ -56,12 +67,13 @@ type parse_error = { line : int; text : string; reason : string }
     [#] comments; [Error _] for a line with more than three positional
     tokens (trailing garbage), an inline [#] token ([model #comment] is
     an error, not a request for framework ["#comment"]), a duplicated
-    [device=]/[tune=] field, a [device=NAME] naming an unknown device,
-    or a malformed [tune=SPEC] — malformed requests are reported with
-    their line number, never silently dropped.  A single [device=NAME]
-    or [tune=SPEC] token may appear anywhere on the line and overrides
-    [device] / [tune] ([tune=off] forces tuning off; other specs as in
-    {!Gcd2_codegen.Autotune.of_string}). *)
+    [device=]/[tune=]/[seq=] field, a [device=NAME] naming an unknown
+    device, a malformed [tune=SPEC], or a [seq=N] that is not a positive
+    integer — malformed requests are reported with their line number,
+    never silently dropped.  A single [device=NAME], [tune=SPEC] or
+    [seq=N] token may appear anywhere on the line; [device=]/[tune=]
+    override [device] / [tune] ([tune=off] forces tuning off; other
+    specs as in {!Gcd2_codegen.Autotune.of_string}). *)
 val parse_line :
   framework:string -> selection:string -> device:string ->
   ?tune:Gcd2_codegen.Autotune.config -> line:int -> string ->
@@ -137,13 +149,15 @@ type compile_fn =
 
 val default_compile : compile_fn
 
-(** Serve one request under [policy].  [resolve] maps the model name to
-    its graph (default: the {!Gcd2_models.Zoo}); [compile] is the
-    compile step (default {!default_compile}); [cold] marks the first
-    compile of this request in the process (latency bookkeeping only).
-    Never raises: every failure is a {!served} with a diagnostic. *)
+(** Serve one request under [policy].  [resolve] maps the model name
+    (and the optional sequence length, already as requested — the
+    default resolver {!Gcd2_models.Zoo.build} pads it to its bucket) to
+    its graph; [compile] is the compile step (default
+    {!default_compile}); [cold] marks the first compile of this request
+    in the process (latency bookkeeping only).  Never raises: every
+    failure is a {!served} with a diagnostic. *)
 val serve_one :
-  ?resolve:(string -> Gcd2_graph.Graph.t) ->
+  ?resolve:(?seq:int -> string -> Gcd2_graph.Graph.t) ->
   ?compile:compile_fn ->
   policy ->
   cold:bool ->
@@ -168,7 +182,7 @@ type report = {
     report contain {e only} successfully served requests — failures are
     excluded by construction, not by accident. *)
 val run_batch :
-  ?resolve:(string -> Gcd2_graph.Graph.t) ->
+  ?resolve:(?seq:int -> string -> Gcd2_graph.Graph.t) ->
   ?compile:compile_fn ->
   ?on_result:(served -> unit) ->
   policy ->

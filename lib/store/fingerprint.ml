@@ -174,6 +174,7 @@ let add_options buf (g : Graph.t) (o : Opcost.options) =
       add buf ",")
     o.Opcost.simds;
   add buf (Printf.sprintf ";lut_division=%b" o.Opcost.lut_division);
+  add buf (Printf.sprintf ";attn_kernels=%b" o.Opcost.attn_kernels);
   add buf ";dispatch_us=";
   add_float buf o.Opcost.dispatch_us;
   add buf (Printf.sprintf ";channel_pad=%d" o.Opcost.channel_pad);
@@ -189,9 +190,11 @@ let add_options buf (g : Graph.t) (o : Opcost.options) =
     left enabled. *)
 let canonical ~selection ~optimize_graph ~disable ~options (g : Graph.t) =
   let buf = Buffer.create 4096 in
-  (* v4: the request gained the autotuner configuration and the eltwise
-     unroll policy (v3 added the device descriptor) *)
-  add buf "gcd2-request-v4\n";
+  (* v5: the request gained the transformer-kernel knob ([attn_kernels])
+     and sequence models arrive as bucket-padded graphs (v4 added the
+     autotuner configuration and the eltwise unroll policy, v3 the
+     device descriptor) *)
+  add buf "gcd2-request-v5\n";
   add buf "selection=";
   add buf selection;
   add buf (Printf.sprintf ";optimize_graph=%b" optimize_graph);

@@ -54,6 +54,7 @@ val set_lane : t -> Reg.t -> width:Instr.width -> int -> int -> unit
 val write_i8_array : t -> addr:int -> int array -> unit
 
 val read_i8_array : t -> addr:int -> len:int -> int array
+val write_i16_array : t -> addr:int -> int array -> unit
 val write_i32_array : t -> addr:int -> int array -> unit
 val read_i32_array : t -> addr:int -> len:int -> int array
 

@@ -63,7 +63,7 @@ let weighted_cnn seed =
   let _ = B.matmul ~weight:w3 b flat ~cout:10 in
   B.finish b
 
-let resolve = function
+let resolve ?seq:_ = function
   | "tiny" -> tiny_cnn 1
   | "tiny2" -> tiny_cnn 2
   | m -> invalid_arg ("unknown test model " ^ m)
@@ -354,7 +354,7 @@ module Protocol = Gcd2_daemon.Protocol
    carry exactly its own model's fault-free estimate. *)
 let test_daemon_worker_chaos () =
   let dir = temp_dir () in
-  let resolve_d = function
+  let resolve_d ?seq:_ = function
     | "tiny" -> tiny_cnn 1
     | "wide" -> weighted_cnn 5
     | m -> invalid_arg ("unknown test model " ^ m)

@@ -46,6 +46,41 @@ let weighted_mlp seed =
   let _ = B.add b Op.Mul [ s; p ] in
   B.finish b
 
+(* A small multi-head attention block with real weights: batched matmuls
+   (both transposed and plain), softmax, layer norm, and broadcast
+   elementwise against scalar constants — the transformer operators the
+   DSP path covers. *)
+let weighted_attention seed =
+  let rng = Rng.create seed in
+  let seq = 16 and heads = 2 and dh = 6 in
+  let dim = heads * dh in
+  let b = B.create () in
+  let x = B.input b [| seq; dim |] in
+  let proj v = B.matmul ~weight:(T.random ~quant:weight_q rng [| dim; dim |]) b v ~cout:dim in
+  let split t =
+    let t = B.add b (Op.Reshape { shape = [| seq; heads; dh |] }) [ t ] in
+    B.add b (Op.Transpose { perm = [| 1; 0; 2 |] }) [ t ]
+  in
+  let qh = split (proj x) and kh = split (proj x) and vh = split (proj x) in
+  let scores = B.add b (Op.Batch_matmul { transpose_b = true }) [ qh; kh ] in
+  let scale =
+    B.constant ~weight:(T.of_array ~quant:(Q.make (1.0 /. 8.0)) [| 1 |] [| 3 |]) b [| 1 |]
+  in
+  let scores = B.add b Op.Mul [ scores; scale ] in
+  let probs = B.add b Op.Softmax [ scores ] in
+  let ctx = B.add b (Op.Batch_matmul { transpose_b = false }) [ probs; vh ] in
+  let ctx = B.add b (Op.Transpose { perm = [| 1; 0; 2 |] }) [ ctx ] in
+  let ctx = B.add b (Op.Reshape { shape = [| seq; dim |] }) [ ctx ] in
+  let bias =
+    B.constant
+      ~weight:(T.of_array ~quant:(Q.make (1.0 /. 16.0)) [| 1 |] [| 5 |])
+      b [| 1 |]
+  in
+  let h = B.add b Op.Add [ proj ctx; bias ] in
+  let s = B.add b Op.Add [ x; h ] in
+  let _ = B.add b Op.Layer_norm [ s ] in
+  B.finish b
+
 let run_both ?config graph_fn seed =
   let g = graph_fn seed in
   let c = Compiler.compile ?config g in
@@ -83,6 +118,26 @@ let test_mlp_runtime_matches_reference () =
   let _, vm, host, stats = run_both weighted_mlp 11 in
   check_equal "mlp" vm host;
   Alcotest.(check bool) "vm cycles counted" true (stats.Runtime.vm_cycles > 0)
+
+(* The transformer operators must both agree with the reference and
+   actually execute on the VM (bmm, softmax, layer_norm, and the
+   broadcast elementwise nodes all land in the per-kind vm column). *)
+let test_attention_runtime_matches_reference () =
+  List.iter
+    (fun seed ->
+      let _, vm, host, stats = run_both weighted_attention seed in
+      check_equal "attention" vm host;
+      let vm_of kind =
+        match Hashtbl.find_opt stats.Runtime.kinds kind with
+        | Some k -> k.Runtime.k_vm
+        | None -> 0
+      in
+      List.iter
+        (fun (kind, expect) ->
+          Alcotest.(check int) (kind ^ " nodes on the vm") expect (vm_of kind))
+        [ ("bmm", 2); ("softmax", 1); ("layer_norm", 1); ("mul", 1) ];
+      Alcotest.(check bool) "broadcast adds on the vm" true (vm_of "add" >= 2))
+    [ 1; 2 ]
 
 let test_all_selections_agree_functionally () =
   let configs =
@@ -181,6 +236,8 @@ let tests =
   [
     Alcotest.test_case "cnn: vm = reference" `Quick test_cnn_runtime_matches_reference;
     Alcotest.test_case "mlp: vm = reference" `Quick test_mlp_runtime_matches_reference;
+    Alcotest.test_case "attention: vm = reference" `Quick
+      test_attention_runtime_matches_reference;
     Alcotest.test_case "all selections agree functionally" `Quick
       test_all_selections_agree_functionally;
     Alcotest.test_case "fusion reduces node count" `Quick test_fusion_reduces_nodes;

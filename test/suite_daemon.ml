@@ -50,7 +50,7 @@ let tiny_cnn ~channels seed =
   let _ = B.add b Op.Relu [ c1 ] in
   B.finish b
 
-let resolve_tiny = function
+let resolve_tiny ?seq:_ = function
   | "tinyA" -> tiny_cnn ~channels:4 1
   | "tinyB" -> tiny_cnn ~channels:8 2
   | m -> invalid_arg ("unknown test model " ^ m)

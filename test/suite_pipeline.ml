@@ -120,11 +120,13 @@ let test_counters_recorded () =
 (* Golden values captured from the pre-pipeline compiler on this exact
    graph (seed 1, default config).  The refactor must be
    behaviour-preserving: latency, assignment and the packed program's
-   static cycles are bit-identical. *)
+   static cycles are bit-identical.  Latency/cycles re-pinned when the
+   transformer kernels re-priced the softmax node; assignment and the
+   packed matmul program stayed put. *)
 let test_golden_behaviour_preserved () =
   let c = Compiler.compile (weighted_cnn 1) in
-  Alcotest.(check (float 0.0)) "latency_ms" 0.10541226666666667 (Compiler.latency_ms c);
-  Alcotest.(check (float 0.0)) "cycles" 3162368.0 c.Compiler.report.Graphcost.cycles;
+  Alcotest.(check (float 0.0)) "latency_ms" 0.10545493333333333 (Compiler.latency_ms c);
+  Alcotest.(check (float 0.0)) "cycles" 3163648.0 c.Compiler.report.Graphcost.cycles;
   Alcotest.(check (array int)) "assignment" [| 0; 1; 1; 2; 2; 2; 1; 2 |]
     c.Compiler.assignment;
   (* regenerate the packed program of the chosen plan of the matmul node *)
@@ -162,7 +164,7 @@ let test_golden_behaviour_preserved () =
 let test_golden_efficientnet () =
   let e = Gcd2_models.Zoo.find "EfficientNet-b0" in
   let c = Compiler.compile (e.Gcd2_models.Zoo.build ()) in
-  Alcotest.(check (float 0.0)) "latency_ms" 4.3946491666666665 (Compiler.latency_ms c);
+  Alcotest.(check (float 0.0)) "latency_ms" 4.3960509666666665 (Compiler.latency_ms c);
   Alcotest.(check int) "assignment hash" 596119008
     (Hashtbl.hash (Array.to_list c.Compiler.assignment));
   Alcotest.(check int) "optimized nodes" 226 (Graph.size c.Compiler.graph)

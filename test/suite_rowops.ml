@@ -1,0 +1,145 @@
+(* Differential tests for the row-operator and batched-matmul DSP
+   kernels: VM output vs the scalar reference, bit-exact on the integer
+   paths (the reference and the kernels share every integer step), and
+   bounded error against the real-valued softmax where the Vlut
+   exponential approximation is involved. *)
+
+module T = Gcd2_tensor.Tensor
+module Q = Gcd2_tensor.Quant
+module Rng = Gcd2_util.Rng
+module Packer = Gcd2_sched.Packer
+module Interp = Gcd2_kernels.Interp
+module Rowops = Gcd2_codegen.Rowops
+
+let strategies = [ ("sda", Packer.sda); ("in-order", Packer.In_order) ]
+
+let random_matrix rng ~rows ~cols ~quant =
+  T.random ~quant rng [| rows; cols |]
+
+(* Shapes that cross every kernel boundary: single row, partial group,
+   full group, multiple groups (softmax groups are 128 rows, layer-norm
+   groups 64), and columns around the 16-bit drain chunk (128). *)
+let shapes =
+  [ (1, 1); (1, 7); (3, 5); (17, 33); (64, 16); (65, 12); (128, 9); (130, 20);
+    (40, 128); (9, 131); (5, 300) ]
+
+let test_softmax_differential () =
+  let rng = Rng.create 11 in
+  List.iter
+    (fun (sname, strategy) ->
+      List.iter
+        (fun (rows, cols) ->
+          let x = random_matrix rng ~rows ~cols ~quant:(Q.make (1.0 /. 16.0)) in
+          let expect = (Interp.softmax x).T.data in
+          let got, cycles =
+            Rowops.run_softmax ~strategy ~rows ~cols ~scale:x.T.quant.Q.scale x.T.data
+          in
+          Alcotest.(check bool)
+            (Fmt.str "softmax cycles counted (%s %dx%d)" sname rows cols)
+            true (cycles > 0);
+          Alcotest.(check (array int))
+            (Fmt.str "softmax vm = reference (%s %dx%d)" sname rows cols)
+            expect got)
+        shapes)
+    strategies
+
+let test_layer_norm_differential () =
+  let rng = Rng.create 12 in
+  List.iter
+    (fun (sname, strategy) ->
+      List.iter
+        (fun (rows, cols) ->
+          let x = random_matrix rng ~rows ~cols ~quant:(Q.make (1.0 /. 16.0)) in
+          let expect = (Interp.layer_norm x).T.data in
+          let got, _ =
+            Rowops.run_layer_norm ~strategy ~rows ~cols ~scale:x.T.quant.Q.scale
+              ~out_scale:(1.0 /. 16.0) x.T.data
+          in
+          Alcotest.(check (array int))
+            (Fmt.str "layer_norm vm = reference (%s %dx%d)" sname rows cols)
+            expect got)
+        shapes)
+    strategies
+
+(* qcheck: random shapes and data, both strategies, exact agreement. *)
+let qcheck_softmax =
+  QCheck.Test.make ~name:"rowops softmax = reference on random inputs" ~count:60
+    QCheck.(triple (int_range 1 200) (int_range 1 160) (int_range 1 1_000_000))
+    (fun (rows, cols, seed) ->
+      let rng = Rng.create seed in
+      let x = random_matrix rng ~rows ~cols ~quant:(Q.make (1.0 /. 16.0)) in
+      let expect = (Interp.softmax x).T.data in
+      let got, _ =
+        Rowops.run_softmax ~strategy:Packer.sda ~rows ~cols ~scale:x.T.quant.Q.scale
+          x.T.data
+      in
+      expect = got)
+
+let qcheck_layer_norm =
+  QCheck.Test.make ~name:"rowops layer_norm = reference on random inputs" ~count:60
+    QCheck.(triple (int_range 1 200) (int_range 1 160) (int_range 1 1_000_000))
+    (fun (rows, cols, seed) ->
+      let rng = Rng.create seed in
+      let x = random_matrix rng ~rows ~cols ~quant:(Q.make (1.0 /. 16.0)) in
+      let expect = (Interp.layer_norm x).T.data in
+      let got, _ =
+        Rowops.run_layer_norm ~strategy:Packer.sda ~rows ~cols
+          ~scale:x.T.quant.Q.scale ~out_scale:(1.0 /. 16.0) x.T.data
+      in
+      expect = got)
+
+(* Where the Vlut exponential approximation is involved the integer
+   result must still track the real-valued softmax: each output (quant
+   1/128) within a small absolute probability error. *)
+let test_softmax_bounded_error () =
+  let rng = Rng.create 13 in
+  let rows = 24 and cols = 40 in
+  let q = Q.make (1.0 /. 16.0) in
+  let x = random_matrix rng ~rows ~cols ~quant:q in
+  let got, _ =
+    Rowops.run_softmax ~strategy:Packer.sda ~rows ~cols ~scale:q.Q.scale x.T.data
+  in
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    let xs = Array.init cols (fun j -> Q.dequantize q x.T.data.(base + j)) in
+    let m = Array.fold_left Float.max neg_infinity xs in
+    let es = Array.map (fun v -> exp (v -. m)) xs in
+    let sum = Array.fold_left ( +. ) 0.0 es in
+    Array.iteri
+      (fun j e ->
+        let p = e /. sum in
+        let p_vm = float_of_int got.(base + j) /. 128.0 in
+        if Float.abs (p -. p_vm) > 0.04 then
+          Alcotest.failf "softmax error %.4f at (%d,%d): vm %.4f real %.4f"
+            (Float.abs (p -. p_vm)) r j p_vm p)
+      es
+  done
+
+(* Batched matmul through the runtime dispatch is covered by suite_core;
+   here: the reference's per-slice semantics equals a plain matmul on
+   each slice, the invariant the VM path relies on. *)
+let test_batch_matmul_slices () =
+  let rng = Rng.create 14 in
+  let batch = 3 and m = 4 and k = 5 and n = 6 in
+  let qa = Q.default and qb = Q.make (1.0 /. 64.0) in
+  let a = T.random ~quant:qa rng [| batch; m; k |] in
+  let b = T.random ~quant:qb rng [| batch; k; n |] in
+  let out = Interp.batch_matmul a b ~transpose_b:false ~out_q:Q.default in
+  let mult, shift = Q.requant_multiplier ~in_a:qa ~in_b:qb ~out:Q.default in
+  for bt = 0 to batch - 1 do
+    let a_slice = Array.sub a.T.data (bt * m * k) (m * k) in
+    let b_slice = Array.sub b.T.data (bt * k * n) (k * n) in
+    let expect = Interp.matmul_i8 ~m ~k ~n a_slice b_slice ~mult ~shift in
+    let got = Array.sub out.T.data (bt * m * n) (m * n) in
+    Alcotest.(check (array int)) (Fmt.str "slice %d" bt) expect got
+  done
+
+let tests =
+  [
+    Alcotest.test_case "softmax differential" `Quick test_softmax_differential;
+    Alcotest.test_case "layer_norm differential" `Quick test_layer_norm_differential;
+    Alcotest.test_case "softmax bounded error vs real" `Quick test_softmax_bounded_error;
+    Alcotest.test_case "batch_matmul slice semantics" `Quick test_batch_matmul_slices;
+    QCheck_alcotest.to_alcotest qcheck_softmax;
+    QCheck_alcotest.to_alcotest qcheck_layer_norm;
+  ]

@@ -34,7 +34,7 @@ let tiny_cnn seed =
   let _ = B.add b Op.Relu [ c1 ] in
   B.finish b
 
-let resolve_tiny = function
+let resolve_tiny ?seq:_ = function
   | "tiny" -> tiny_cnn 1
   | "tiny2" -> tiny_cnn 2
   | m -> invalid_arg ("unknown test model " ^ m)
@@ -108,6 +108,43 @@ let test_parse_device_field () =
   (match parse ~line:7 "m device=nope" with
   | Error e -> check_int "error carries the line" 7 e.Serve.line
   | Ok _ -> Alcotest.fail "unknown device parsed")
+
+(* The positionless seq= field: same contract as device= — parsed
+   anywhere on the line, rejected with its line number when malformed,
+   duplicated, or non-positive. *)
+let test_parse_seq_field () =
+  (match parse "tiny seq=100" with
+  | Ok (Some r) ->
+    check_bool "seq parsed" true (r.Serve.seq = Some 100)
+  | _ -> Alcotest.fail "seq= line did not parse");
+  (match parse "tiny seq=100 tflite local" with
+  | Ok (Some r) ->
+    check_bool "seq is positionless" true (r.Serve.seq = Some 100);
+    Alcotest.(check string) "framework still positional" "tflite" r.Serve.framework;
+    Alcotest.(check string) "selection still positional" "local" r.Serve.selection
+  | _ -> Alcotest.fail "mid-line seq= did not parse");
+  (match parse "tiny" with
+  | Ok (Some r) -> check_bool "no seq by default" true (r.Serve.seq = None)
+  | _ -> Alcotest.fail "defaulted line did not parse");
+  check_bool "zero seq rejected" true
+    (contains (reason (parse "m seq=0")) "invalid seq= field");
+  check_bool "negative seq rejected" true
+    (contains (reason (parse "m seq=-5")) "invalid seq= field");
+  check_bool "non-integer seq rejected" true
+    (contains (reason (parse "m seq=long")) "invalid seq= field");
+  check_bool "duplicate seq rejected" true
+    (contains (reason (parse "m seq=64 seq=128")) "duplicate");
+  (match parse ~line:9 "m seq=0" with
+  | Error e -> check_int "error carries the line" 9 e.Serve.line
+  | Ok _ -> Alcotest.fail "non-positive seq parsed")
+
+let test_seq_bucket () =
+  check_int "floor is 16" 16 (Serve.seq_bucket 1);
+  check_int "power of two is its own bucket" 16 (Serve.seq_bucket 16);
+  check_int "just past a power rounds up" 32 (Serve.seq_bucket 17);
+  check_int "100 buckets to 128" 128 (Serve.seq_bucket 100);
+  check_int "256 buckets to 256" 256 (Serve.seq_bucket 256);
+  check_int "257 buckets to 512" 512 (Serve.seq_bucket 257)
 
 let test_parse_lines_numbers () =
   let requests, errors =
@@ -207,6 +244,54 @@ let test_batch_cold_warm_and_cache () =
   check_int "two cold latencies" 2 (List.length report.Serve.cold_ms);
   check_int "one warm latency" 1 (List.length report.Serve.warm_ms)
 
+(* A sequence-parametric test model: the graph's shape depends only on
+   the bucket, like the zoo's transformer builders. *)
+let tiny_seq bucket =
+  let rng = Rng.create 11 in
+  let b = B.create () in
+  let x = B.input b [| 1; bucket; 4; 4 |] in
+  let w1 = T.random ~quant:weight_q rng [| 3; 3; 4; 4 |] in
+  let c1 = B.conv2d ~weight:w1 b x ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~cout:4 in
+  let _ = B.add b Op.Relu [ c1 ] in
+  B.finish b
+
+let resolve_seq ?seq = function
+  | "seqy" ->
+    tiny_seq (match seq with Some s -> Serve.seq_bucket s | None -> 16)
+  | m -> invalid_arg ("unknown test model " ^ m)
+
+(* The tentpole cache property: a never-exactly-compiled sequence length
+   is served warm from the artifact compiled for another length in the
+   same bucket; a length in a different bucket compiles cold. *)
+let test_batch_same_bucket_is_warm () =
+  let dir = temp_dir () in
+  let reqs =
+    [
+      Serve.request ~seq:100 "seqy";
+      Serve.request ~seq:120 "seqy";
+      Serve.request ~seq:200 "seqy";
+    ]
+  in
+  let results, report =
+    Serve.run_batch ~resolve:resolve_seq (policy ~cache_dir:dir ()) reqs
+  in
+  (match results with
+  | [ a; b; c ] ->
+    check_bool "seq=100 is cold" true a.Serve.cold;
+    check_bool "seq=120 shares seq=100's bucket: warm" false b.Serve.cold;
+    check_bool "seq=120 hits the cache" true b.Serve.hit;
+    check_bool "seq=200 is another bucket: cold" true c.Serve.cold;
+    (match (a.Serve.compiled, b.Serve.compiled) with
+    | Some ca, Some cb ->
+      Alcotest.(check (array int))
+        "bucket hit serves the stored assignment" ca.Compiler.assignment
+        cb.Compiler.assignment
+    | _ -> Alcotest.fail "served request lost its compile")
+  | _ -> Alcotest.fail "unexpected result list");
+  check_int "all ok" 3 report.Serve.ok;
+  check_int "one bucket hit" 1 report.Serve.hits;
+  check_int "two cold latencies" 2 (List.length report.Serve.cold_ms)
+
 (* An already-expired deadline is a [timeout] outcome: permanent, not
    retried, and excluded from the latency populations. *)
 let test_deadline_timeout () =
@@ -239,12 +324,16 @@ let tests =
     Alcotest.test_case "parse: well-formed lines" `Quick test_parse_ok;
     Alcotest.test_case "parse: malformed lines are errors" `Quick test_parse_rejects;
     Alcotest.test_case "parse: device= field" `Quick test_parse_device_field;
+    Alcotest.test_case "parse: seq= field" `Quick test_parse_seq_field;
+    Alcotest.test_case "seq buckets" `Quick test_seq_bucket;
     Alcotest.test_case "parse: errors carry line numbers" `Quick test_parse_lines_numbers;
     Alcotest.test_case "config resolution" `Quick test_config_of;
     Alcotest.test_case "unknown model is a typed outcome" `Quick
       test_unknown_model_is_failed_outcome;
     Alcotest.test_case "batch: cold/warm and cache hits" `Quick
       test_batch_cold_warm_and_cache;
+    Alcotest.test_case "batch: same bucket is a warm hit" `Quick
+      test_batch_same_bucket_is_warm;
     Alcotest.test_case "expired deadline is a timeout" `Quick test_deadline_timeout;
     Alcotest.test_case "report excludes failed requests" `Quick
       test_report_excludes_failures;

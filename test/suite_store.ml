@@ -406,6 +406,34 @@ let test_zoo_roundtrip () =
         cold.Compiler.assignment warm.Compiler.assignment)
     Zoo.all
 
+(* ------------------------------------------------------------------ *)
+(* Shape bucketing: sequence lengths in one bucket build the same padded
+   graph, so the fingerprint — and thus the artifact entry — is shared;
+   a never-exactly-compiled length in a compiled bucket is a warm hit. *)
+
+let test_bucketed_entries_shared () =
+  check_int "bucket clamps to the model maximum" 256 (Zoo.bucket ~max_seq:256 300);
+  check_int "bucket floor" 16 (Zoo.bucket ~max_seq:256 3);
+  let dir = temp_dir () in
+  let entries () =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".gcd2art")
+    |> List.length
+  in
+  let compile seq = Compiler.compile ~cache_dir:dir (Zoo.build ~seq "TinyBERT") in
+  let a = compile 20 in
+  check_int "first length compiles one entry" 1 (entries ());
+  (* seq=24 was never compiled, but its bucket (32) was *)
+  let b = compile 24 in
+  check_int "same bucket shares the entry" 1 (entries ());
+  Alcotest.(check bool) "bucket mate is a cache hit" true (Compiler.from_cache b);
+  Alcotest.(check (array int))
+    "bucket mate serves the stored assignment" a.Compiler.assignment
+    b.Compiler.assignment;
+  let c = compile 40 in
+  check_int "another bucket compiles its own entry" 2 (entries ());
+  Alcotest.(check bool) "other bucket is cold" false (Compiler.from_cache c)
+
 let tests =
   [
     Alcotest.test_case "request fingerprint" `Quick test_fingerprint;
@@ -426,5 +454,7 @@ let tests =
       test_quarantine_self_heals;
     Alcotest.test_case "failing saves leave no temp debris" `Quick
       test_save_fault_leaves_no_debris;
+    Alcotest.test_case "bucketed sequence lengths share entries" `Quick
+      test_bucketed_entries_shared;
     Alcotest.test_case "zoo artifacts round-trip" `Slow test_zoo_roundtrip;
   ]

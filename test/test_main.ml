@@ -11,6 +11,7 @@ let () =
       ("graph", Suite_graph.tests);
       ("kernels", Suite_kernels.tests);
       ("codegen", Suite_codegen.tests);
+      ("rowops", Suite_rowops.tests);
       ("tune", Suite_tune.tests);
       ("eltwise", Suite_eltwise.tests);
       ("layout", Suite_layout.tests);
