@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke attn-smoke check fmt-check fmt clean
+.PHONY: all build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke attn-smoke crash-smoke check fmt-check fmt clean
 
 all: build
 
@@ -56,7 +56,7 @@ fmt:
 # rate, asserting the service never crashes, never serves wrong bits,
 # and always converges back to fault-free behaviour.
 chaos: build
-	GCD2_FAULTS="seed=20260807,cache-read=0.3,cache-write=0.3,artifact-decode=0.5,memo-lookup=0.3,pool-worker=0.2" \
+	GCD2_FAULTS="seed=20260807,cache-read=0.3,cache-write=0.3,artifact-decode=0.5,memo-lookup=0.3,pool-worker=0.2,flight-lease=0.3,janitor-unlink=0.3" \
 		./_build/default/test/test_main.exe test chaos
 
 # Tiny vm benchmark: exercises both the translated engine and the
@@ -89,7 +89,16 @@ daemon-smoke: build
 		./_build/default/bench/main.exe serve-load-smoke
 	./_build/default/bench/main.exe serve-load-smoke
 
-check: build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke attn-smoke fmt-check
+# Kill-chaos smoke: real daemon processes SIGKILLed mid-compile under a
+# fixed seed, restarted over the wreckage.  Fails unless recovered
+# responses are bit-identical to the fault-free baseline, no client
+# wedges, a peer daemon breaks a dead leader's lease, and the janitor
+# converges the shared cache directory (zero .tmp, within budget).
+# Appends a "crash" recovery-time key to BENCH_serve.json.
+crash-smoke: build
+	GCD2_CRASH_ROUNDS=3 ./_build/default/bench/main.exe crash-smoke
+
+check: build test test-parallel test-devices chaos vm-smoke devices-smoke daemon-smoke tune-smoke attn-smoke crash-smoke fmt-check
 
 clean:
 	dune clean

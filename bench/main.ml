@@ -35,6 +35,8 @@ let experiments =
     ("attn-smoke", Exp_attn.smoke);
     ("tune", Exp_tune.run);
     ("tune-smoke", Exp_tune.smoke);
+    ("crash", Exp_crash.run);
+    ("crash-smoke", Exp_crash.smoke);
     ("zoo-goldens", Exp_tune.goldens);
   ]
 

@@ -423,7 +423,8 @@ let parse_address ~socket ~tcp =
         exit 1))
 
 let daemon_run socket tcp workers queue_depth framework selection device tune tune_verify
-    cache_dir cache no_cache deadline_ms retries backoff_ms jobs stats_every quiet =
+    cache_dir cache no_cache deadline_ms retries backoff_ms jobs stats_every quiet
+    cache_max_bytes janitor_interval_s =
   check_fault_env ();
   let device = (resolve_device device).Desc.name in
   let tune = resolve_tune ~tune ~tune_verify in
@@ -448,6 +449,9 @@ let daemon_run socket tcp workers queue_depth framework selection device tune tu
       resolve = None;
       stats_every;
       log_outcomes = not quiet;
+      cache_max_bytes;
+      janitor_interval_s;
+      lease_ttl_s = Gcd2_store.Lease.default_ttl_s;
     }
   in
   let d = Daemon.start cfg in
@@ -507,12 +511,29 @@ let daemon_cmd =
     let doc = "Do not log one outcome line per served request." in
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
   in
+  let cache_max_bytes_arg =
+    let doc =
+      "Cache-directory size budget in bytes: the janitor LRU-evicts the \
+       least-recently-used entries past it (entries under an active compile \
+       lease are never evicted).  Unset = unbounded."
+    in
+    Arg.(value & opt (some int) None & info [ "cache-max-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let janitor_interval_arg =
+    let doc =
+      "Seconds between janitor sweeps of the cache directory (stale .tmp \
+       debris, aged .bad quarantine files, dead-leader .lease files, size \
+       budget); 0 disables the periodic sweep (the startup sweep still runs)."
+    in
+    Arg.(value & opt float 60.0 & info [ "janitor-interval-s" ] ~docv:"S" ~doc)
+  in
   Cmd.v (Cmd.info "daemon" ~doc)
     Term.(
       const daemon_run $ socket_arg $ tcp_arg $ workers_arg $ queue_depth_arg
       $ framework_arg $ selection_arg $ device_arg $ tune_arg $ tune_verify_arg
       $ cache_dir_arg $ cache_arg $ no_cache_arg $ deadline_arg $ retries_arg
-      $ backoff_arg $ jobs_arg $ stats_every_arg $ quiet_arg)
+      $ backoff_arg $ jobs_arg $ stats_every_arg $ quiet_arg $ cache_max_bytes_arg
+      $ janitor_interval_arg)
 
 let client_run socket tcp models =
   let address = parse_address ~socket ~tcp in
@@ -530,7 +551,7 @@ let client_run socket tcp models =
         | Ok (r : Protocol.response) ->
           Logsink.emit (Protocol.render r);
           (match r.Protocol.outcome with
-          | "ok" | "retried" | "degraded" -> ()
+          | "ok" | "retried" | "degraded" | "health" | "stats" -> ()
           | _ -> incr failed)
         | Error e ->
           Logsink.emit_err ("gcd2: bad response: " ^ e);

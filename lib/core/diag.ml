@@ -63,7 +63,7 @@ let with_phase phase t = match t.phase with Some _ -> t | None -> { t with phase
 let with_model model t = match t.model with Some _ -> t | None -> { t with model = Some model }
 
 let code_of_fault_point = function
-  | "cache-read" | "cache-write" -> Cache_io
+  | "cache-read" | "cache-write" | "flight-lease" | "janitor-unlink" -> Cache_io
   | "artifact-decode" -> Artifact_corrupt
   | "vm-run" -> Vm_fault
   | "pool-worker" -> Worker_failed

@@ -5,6 +5,9 @@ module Compiler = Gcd2.Compiler
 module Diag = Gcd2.Diag
 module Hist = Gcd2_util.Stats.Hist
 module Logsink = Gcd2_util.Logsink
+module Fault = Gcd2_util.Fault
+module Janitor = Gcd2_store.Janitor
+module Lease = Gcd2_store.Lease
 
 type address = Unix_sock of string | Tcp of string * int
 
@@ -24,6 +27,9 @@ type config = {
   resolve : (?seq:int -> string -> Gcd2_graph.Graph.t) option;
   stats_every : int;
   log_outcomes : bool;
+  cache_max_bytes : int option;
+  janitor_interval_s : float;
+  lease_ttl_s : float;
 }
 
 let default_config address =
@@ -39,6 +45,9 @@ let default_config address =
     resolve = None;
     stats_every = 0;
     log_outcomes = false;
+    cache_max_bytes = None;
+    janitor_interval_s = 60.0;
+    lease_ttl_s = Lease.default_ttl_s;
   }
 
 type stats = {
@@ -49,10 +58,13 @@ type stats = {
   hits : int;
   compiles : int;
   coalesced : int;
+  adopted : int;
   retried : int;
   degraded : int;
   cache_misses : int;
   cache_bytes : int;
+  respawns : int;
+  sweeps : int;
   cold : Hist.t;
   warm : Hist.t;
 }
@@ -64,6 +76,7 @@ type wstats = {
   mutable w_failed : int;
   mutable w_hits : int;
   mutable w_coalesced : int;
+  mutable w_adopted : int;
   mutable w_retried : int;
   mutable w_degraded : int;
   mutable w_cache_misses : int;
@@ -78,6 +91,7 @@ let wstats_create () =
     w_failed = 0;
     w_hits = 0;
     w_coalesced = 0;
+    w_adopted = 0;
     w_retried = 0;
     w_degraded = 0;
     w_cache_misses = 0;
@@ -91,11 +105,17 @@ type t = {
   listen_fd : Unix.file_descr;
   resolved : address;
   queue : Unix.file_descr Bqueue.t;
-  flight : (Compiler.compiled, Diag.t) result Flight.t;
+  (* in-process flights carry the disk-tier role along with the result,
+     so followers report [wait] while their leader reports what the
+     disk tier actually did (led / adopted / local) *)
+  flight : ((Compiler.compiled, Diag.t) result * Flight.Disk.role) Flight.t;
   accepted : int Atomic.t;
   rejected : int Atomic.t;
   compiles : int Atomic.t;
   responses : int Atomic.t;
+  respawns : int Atomic.t;
+  sweeps : int Atomic.t;
+  started : float;
   stopping : bool Atomic.t;
   seen_mu : Mutex.t;
   seen : (string, unit) Hashtbl.t;
@@ -108,6 +128,7 @@ type t = {
   wstats : wstats array;
   mutable accept_d : unit Domain.t option;
   mutable worker_ds : unit Domain.t list;
+  mutable janitor_d : unit Domain.t option;
   mutable stopped : bool;
 }
 
@@ -122,6 +143,7 @@ let snapshot t =
       and failed = ref 0
       and hits = ref 0
       and coalesced = ref 0
+      and adopted = ref 0
       and retried = ref 0
       and degraded = ref 0
       and cache_misses = ref 0
@@ -132,6 +154,7 @@ let snapshot t =
           failed := !failed + w.w_failed;
           hits := !hits + w.w_hits;
           coalesced := !coalesced + w.w_coalesced;
+          adopted := !adopted + w.w_adopted;
           retried := !retried + w.w_retried;
           degraded := !degraded + w.w_degraded;
           cache_misses := !cache_misses + w.w_cache_misses;
@@ -147,10 +170,13 @@ let snapshot t =
         failed = !failed;
         hits = !hits;
         coalesced = !coalesced;
+        adopted = !adopted;
         retried = !retried;
         degraded = !degraded;
         cache_misses = !cache_misses;
         cache_bytes = !cache_bytes;
+        respawns = Atomic.get t.respawns;
+        sweeps = Atomic.get t.sweeps;
         cold;
         warm;
       })
@@ -160,15 +186,27 @@ let stats = snapshot
 let stats_line t (s : stats) =
   Printf.sprintf
     "daemon: workers=%d queue=%d served=%d failed=%d hits=%d compiles=%d \
-     coalesced=%d rejected=%d retried=%d degraded=%d cache_misses=%d \
-     cache_bytes=%d warm_p50=%.2fms warm_p95=%.2fms warm_p99=%.2fms \
-     cold_p50=%.1fms cold_p95=%.1fms"
+     coalesced=%d adopted=%d rejected=%d retried=%d degraded=%d cache_misses=%d \
+     cache_bytes=%d respawns=%d sweeps=%d warm_p50=%.2fms warm_p95=%.2fms \
+     warm_p99=%.2fms cold_p50=%.1fms cold_p95=%.1fms"
     t.cfg.workers (Bqueue.length t.queue) s.served s.failed s.hits s.compiles
-    s.coalesced s.rejected s.retried s.degraded s.cache_misses s.cache_bytes
-    (Hist.p50 s.warm) (Hist.p95 s.warm) (Hist.p99 s.warm) (Hist.p50 s.cold)
-    (Hist.p95 s.cold)
+    s.coalesced s.adopted s.rejected s.retried s.degraded s.cache_misses
+    s.cache_bytes s.respawns s.sweeps (Hist.p50 s.warm) (Hist.p95 s.warm)
+    (Hist.p99 s.warm) (Hist.p50 s.cold) (Hist.p95 s.cold)
 
 let emit_stats t = Logsink.emit_err (stats_line t (snapshot t))
+
+(* What a load balancer needs from one probe line: liveness, capacity,
+   error pressure.  [draining] flips during graceful stop so a balancer
+   can pull the backend before the listener goes away. *)
+let health_payload t =
+  let s = snapshot t in
+  Printf.sprintf
+    "%s pid=%d workers=%d queue=%d/%d served=%d failed=%d respawns=%d uptime_s=%.1f"
+    (if Atomic.get t.stopping then "draining" else "ok")
+    (Unix.getpid ()) t.cfg.workers (Bqueue.length t.queue) t.cfg.queue_depth
+    s.served s.failed s.respawns
+    (Gcd2_util.Trace.now () -. t.started)
 
 (* ---------- request path ---------- *)
 
@@ -257,13 +295,27 @@ let compile_sf t ~digest role ~config ~cache_dir ~jobs ~deadline_ms graph =
     else
       let r, who =
         Flight.run t.flight digest (fun () ->
-            Atomic.incr t.compiles;
-            Serve.default_compile ~config ~cache_dir ~jobs ~deadline_ms graph)
+            (* in-process leader for this digest: go through the disk
+               tier, so of N daemons sharing the store at most one
+               process compiles while the others poll-then-adopt *)
+            let has_artifact () =
+              Sys.file_exists (Gcd2_store.Cache.entry_path dir digest)
+            in
+            Flight.Disk.run ~dir ~digest ~ttl_s:t.cfg.lease_ttl_s ?deadline_ms
+              ~has_artifact (fun drole ->
+                (match drole with
+                | Flight.Disk.Adopted -> ()
+                | Flight.Disk.Led | Flight.Disk.Local -> Atomic.incr t.compiles);
+                Serve.default_compile ~config ~cache_dir ~jobs ~deadline_ms graph))
       in
       (match who with
-      | Flight.Leader -> role := Protocol.Lead
+      | Flight.Leader ->
+        role :=
+          (match snd r with
+          | Flight.Disk.Adopted -> Protocol.Adopt
+          | Flight.Disk.Led | Flight.Disk.Local -> Protocol.Lead)
       | Flight.Follower -> role := Protocol.Wait);
-      r
+      fst r
 
 let record t widx (s : Serve.served) (role : Protocol.flight) =
   Mutex.protect t.stats_mu (fun () ->
@@ -280,12 +332,13 @@ let record t widx (s : Serve.served) (role : Protocol.flight) =
       | Serve.Timed_out | Serve.Failed -> w.w_failed <- w.w_failed + 1);
       (match role with
       | Protocol.Wait -> w.w_coalesced <- w.w_coalesced + 1
+      | Protocol.Adopt -> w.w_adopted <- w.w_adopted + 1
       | _ -> ());
       (* fold this compile's trace counters into the worker's tally —
          followers share the leader's compile, so only the leader's copy
          counts, or one coalesced compile would be tallied K times *)
       match (s.compiled, role) with
-      | Some c, (Protocol.Lead | Protocol.No_flight) ->
+      | Some c, (Protocol.Lead | Protocol.Adopt | Protocol.No_flight) ->
         w.w_cache_misses <-
           w.w_cache_misses + Gcd2_util.Trace.counter c.Compiler.trace "cache-misses";
         w.w_cache_bytes <-
@@ -327,16 +380,25 @@ let handle_conn t widx fd =
        | exception End_of_file -> ()
        | raw ->
          incr line_no;
-         (match
-            Serve.parse_line ~framework:t.cfg.framework
-              ~selection:t.cfg.selection ~device:t.cfg.device ?tune:t.cfg.tune
-              ~line:!line_no raw
-          with
-         | Ok None -> ()  (* blank/comment: no response *)
-         | Error pe ->
-           respond oc (Protocol.invalid ~reason:pe.reason);
+         (match String.lowercase_ascii (String.trim raw) with
+         | "health" ->
+           respond oc (Protocol.status ~command:"health" ~payload:(health_payload t));
            bump_responses t
-         | Ok (Some req) -> serve_request t widx oc req);
+         | "stats" ->
+           respond oc
+             (Protocol.status ~command:"stats" ~payload:(stats_line t (snapshot t)));
+           bump_responses t
+         | _ -> (
+           match
+             Serve.parse_line ~framework:t.cfg.framework
+               ~selection:t.cfg.selection ~device:t.cfg.device ?tune:t.cfg.tune
+               ~line:!line_no raw
+           with
+           | Ok None -> ()  (* blank/comment: no response *)
+           | Error pe ->
+             respond oc (Protocol.invalid ~reason:pe.reason);
+             bump_responses t
+           | Ok (Some req) -> serve_request t widx oc req));
          loop ()
      in
      loop ()
@@ -350,13 +412,99 @@ let handle_conn t widx fd =
 
 (* ---------- domains ---------- *)
 
+(* A crashed worker still has its connection in hand: answer it with a
+   retryable worker-failed line (the client's policy machinery treats
+   it like any transient failure) and close, so the crash costs the
+   client one retry, never a hung connection. *)
+let answer_crash fd exn =
+  (try
+     let oc = Unix.out_channel_of_descr fd in
+     respond oc
+       {
+         Protocol.outcome = "error";
+         hit = false;
+         cold = false;
+         ms = 0.;
+         lat = None;
+         flight = Protocol.No_flight;
+         attempts = 1;
+         model = "-";
+         device = "-";
+         code = Some (Diag.code_name Diag.Worker_failed);
+         msg = Some ("worker crashed: " ^ Printexc.to_string exn);
+       }
+   with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* The worker body under a watchdog: an exception escaping the serve
+   loop (a bug, or the injected [pool-worker] fault consulted once per
+   connection) is counted, logged, and the loop re-entered — the domain
+   never silently dies with connections still queued.  Each respawn
+   consumed one connection (answered retryable above), so even a
+   fault probability of 1 drains the queue and terminates. *)
 let worker t widx () =
+  let loop () =
+    let rec go () =
+      match Bqueue.pop t.queue with
+      | None -> ()
+      | Some fd ->
+        (match
+           Fault.fire "pool-worker";
+           handle_conn t widx fd
+         with
+        | () -> ()
+        | exception exn ->
+          answer_crash fd exn;
+          raise exn);
+        go ()
+    in
+    go ()
+  in
+  let rec supervise () =
+    match loop () with
+    | () -> ()
+    | exception exn ->
+      Atomic.incr t.respawns;
+      Logsink.emit_err
+        (Printf.sprintf "daemon: worker %d crashed (%s); respawning" widx
+           (Printexc.to_string exn));
+      supervise ()
+  in
+  supervise ()
+
+(* Startup + periodic cache-directory sweeps (see {!Gcd2_store.Janitor}).
+   The domain sleeps in short ticks so [stop] is prompt. *)
+let janitor_config t =
+  {
+    Janitor.default with
+    Janitor.max_bytes = t.cfg.cache_max_bytes;
+    lease_ttl_s = t.cfg.lease_ttl_s;
+  }
+
+let sweep_once t dir =
+  match Janitor.sweep ~dir (janitor_config t) with
+  | r ->
+    Atomic.incr t.sweeps;
+    if
+      r.Janitor.tmp_removed + r.Janitor.bad_removed + r.Janitor.leases_broken
+      + r.Janitor.evicted + r.Janitor.errors
+      > 0
+    then Logsink.emit_err ("daemon: " ^ Janitor.report_line r)
+  | exception _ -> ()
+
+let janitor_loop t dir () =
   let rec loop () =
-    match Bqueue.pop t.queue with
-    | None -> ()
-    | Some fd ->
-      handle_conn t widx fd;
+    let rec sleep elapsed =
+      if (not (Atomic.get t.stopping)) && elapsed < t.cfg.janitor_interval_s then begin
+        Unix.sleepf 0.1;
+        sleep (elapsed +. 0.1)
+      end
+    in
+    sleep 0.0;
+    if not (Atomic.get t.stopping) then begin
+      sweep_once t dir;
       loop ()
+    end
   in
   loop ()
 
@@ -443,6 +591,9 @@ let start cfg =
       rejected = Atomic.make 0;
       compiles = Atomic.make 0;
       responses = Atomic.make 0;
+      respawns = Atomic.make 0;
+      sweeps = Atomic.make 0;
+      started = Gcd2_util.Trace.now ();
       stopping = Atomic.make false;
       seen_mu = Mutex.create ();
       seen = Hashtbl.create 64;
@@ -451,9 +602,19 @@ let start cfg =
       wstats = Array.init cfg.workers (fun _ -> wstats_create ());
       accept_d = None;
       worker_ds = [];
+      janitor_d = None;
       stopped = false;
     }
   in
+  (* recover the store before serving from it: debris and stale leases
+     of a previous (possibly SIGKILLed) incarnation are swept now, then
+     periodically *)
+  (match cfg.policy.Serve.cache_dir with
+  | Some dir ->
+    sweep_once t dir;
+    if cfg.janitor_interval_s > 0.0 then
+      t.janitor_d <- Some (Domain.spawn (janitor_loop t dir))
+  | None -> ());
   t.accept_d <- Some (Domain.spawn (accept_loop t));
   t.worker_ds <- List.init cfg.workers (fun i -> Domain.spawn (worker t i));
   t
@@ -473,6 +634,8 @@ let stop t =
     Bqueue.close t.queue;
     List.iter Domain.join t.worker_ds;
     t.worker_ds <- [];
+    Option.iter Domain.join t.janitor_d;
+    t.janitor_d <- None;
     (match t.resolved with
     | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
     | Tcp _ -> ());

@@ -20,6 +20,19 @@
       waiters sharing the leader's result.  Warm cache hits bypass the
       flight entirely, so concurrent warm traffic never serializes.
 
+    Robustness (PR 10): worker domains run under a {e watchdog} — an
+    exception escaping the serve loop (or the injected [pool-worker]
+    fault, consulted once per connection) answers the in-flight
+    connection with a retryable [code=worker-failed] line, is counted
+    in [respawns], and the loop is re-entered, so a crashed worker
+    never hangs a client or thins the pool.  With a cache directory
+    configured, a {e janitor} domain sweeps it at startup and every
+    [janitor_interval_s] (debris, aged quarantine, stale leases, LRU
+    size budget — see {!Gcd2_store.Janitor}), and cold compiles go
+    through the cross-process lease tier ({!Flight.Disk}) so N daemons
+    sharing one store compile each digest once.  Bare [health] and
+    [stats] request lines are answered in-frame for load balancers.
+
     Stats are accumulated per worker (counts plus mergeable
     {!Gcd2_util.Stats.Hist} latency histograms, split cold/warm) and
     merged on demand; with [stats_every > 0] a merged [daemon: ...]
@@ -51,6 +64,13 @@ type config = {
           length to its shape bucket *)
   stats_every : int;  (** emit a stats line every N responses; 0 = never *)
   log_outcomes : bool;  (** log one {!Gcd2_serve.Serve.outcome_line} per request *)
+  cache_max_bytes : int option;
+      (** janitor entry-bytes budget for the cache directory (LRU
+          eviction); [None] = unbounded *)
+  janitor_interval_s : float;
+      (** seconds between periodic janitor sweeps; [<= 0] disables the
+          periodic domain (the startup sweep still runs) *)
+  lease_ttl_s : float;  (** cross-process lease staleness bound (PR 10) *)
 }
 
 (** One worker, queue depth 16, {!Gcd2_serve.Serve.default_policy},
@@ -65,10 +85,15 @@ type stats = {
   hits : int;  (** served from the artifact cache *)
   compiles : int;  (** compile-fn invocations after single-flight coalescing *)
   coalesced : int;  (** requests that waited on another request's compile *)
+  adopted : int;
+      (** requests answered by adopting an artifact another process's
+          lease-holding leader published (cross-process flight tier) *)
   retried : int;
   degraded : int;
   cache_misses : int;  (** [cache-misses] trace counter over non-coalesced compiles *)
   cache_bytes : int;
+  respawns : int;  (** worker crashes caught and respawned by the watchdog *)
+  sweeps : int;  (** janitor sweeps completed (startup + periodic) *)
   cold : Gcd2_util.Stats.Hist.t;  (** latency of served cold requests *)
   warm : Gcd2_util.Stats.Hist.t;
 }

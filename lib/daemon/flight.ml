@@ -56,3 +56,87 @@ let run t key f =
     (match r with
     | Ok v -> (v, Leader)
     | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier                                                           *)
+
+module Lease = Gcd2_store.Lease
+
+module Disk = struct
+  type role = Led | Adopted | Local
+
+  let role_name = function Led -> "led" | Adopted -> "adopted" | Local -> "local"
+
+  (* Follower poll cadence.  Coarse enough that N waiting daemons cost
+     nothing, fine enough that adoption latency is invisible next to a
+     cold compile. *)
+  let poll_s = 0.02
+
+  (* The heartbeat refreshes the lease stamp at ttl/3 but sleeps in
+     short ticks, so [stop]+[join] returns in at most one tick — the
+     leader must be able to release promptly without racing a late
+     refresh that would resurrect the lease file. *)
+  let tick_s = 0.05
+
+  let heartbeat lease ~ttl_s stop =
+    let period = ttl_s /. 3.0 in
+    let rec sleep elapsed =
+      if (not (Atomic.get stop)) && elapsed < period then begin
+        Thread.delay tick_s;
+        sleep (elapsed +. tick_s)
+      end
+    in
+    let rec loop () =
+      sleep 0.0;
+      if not (Atomic.get stop) then
+        if try Lease.refresh lease with _ -> false then loop ()
+      (* refresh said the lease is no longer ours: stop quietly; the
+         compile itself is still safe (stores are atomic) *)
+    in
+    loop ()
+
+  let run ~dir ~digest ?(ttl_s = Lease.default_ttl_s) ?deadline_ms ~has_artifact f =
+    let t0 = Gcd2_util.Trace.now () in
+    (* Never wedge: a follower waits for the leader only while (a) the
+       deadline leaves room to still compile locally afterwards and (b)
+       the wait is under 2x ttl — a leader that is alive but stuck past
+       its own heartbeat refresh forfeits its followers. *)
+    let budget_s =
+      let cap = 2.0 *. ttl_s in
+      match deadline_ms with
+      | Some ms -> Float.min cap (0.5 *. ms /. 1000.0)
+      | None -> cap
+    in
+    let lead lease =
+      let stop = Atomic.make false in
+      let hb = Thread.create (fun () -> heartbeat lease ~ttl_s stop) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          (try Thread.join hb with _ -> ());
+          try Lease.release lease with _ -> ())
+        (fun () -> f Led)
+    in
+    let rec go () =
+      if has_artifact () then (f Adopted, Adopted)
+      else
+        match Lease.acquire ~dir digest with
+        | Ok lease -> (lead lease, Led)
+        | Error (`Io _) -> (f Local, Local)
+        | exception Gcd2_util.Fault.Injected _ -> (f Local, Local)
+        | Error `Held -> (
+          match Lease.state ~ttl_s ~dir digest with
+          | Lease.Stale _ ->
+            (try ignore (Lease.break ~dir digest)
+             with Gcd2_util.Fault.Injected _ -> ());
+            go ()
+          | Lease.Free -> go ()
+          | Lease.Held _ ->
+            if Gcd2_util.Trace.now () -. t0 > budget_s then (f Local, Local)
+            else begin
+              Thread.delay poll_s;
+              go ()
+            end)
+    in
+    go ()
+end

@@ -37,3 +37,42 @@ val run : 'a t -> string -> (unit -> 'a) -> 'a * role
 
 (** Keys currently in flight (diagnostics/tests). *)
 val in_flight : 'a t -> int
+
+(** The cross-process tier: N daemons sharing one artifact store dedup
+    cold compiles through {!Gcd2_store.Lease} files in the cache
+    directory.  The in-process table above serializes one daemon's
+    domains; [Disk.run] is what that table's leader runs, so per digest
+    at most one {e process} compiles while the others poll-then-adopt
+    the artifact it publishes.
+
+    Leases here are an optimization, never a correctness gate (artifact
+    stores are atomic), and [Disk.run] is built to {e never wedge}: a
+    follower waits at most [min (2 * ttl) (deadline / 2)] before giving
+    up on the leader and compiling locally, a stale lease (dead pid —
+    e.g. SIGKILLed leader — or expired stamp) is broken on sight, and
+    any lease-layer failure (I/O error, injected [flight-lease] fault)
+    degrades to a local compile. *)
+module Disk : sig
+  type role =
+    | Led  (** held the lease and ran the compile *)
+    | Adopted  (** adopted an artifact another process published *)
+    | Local  (** compiled without a lease (fallback — timeout or lease I/O failure) *)
+
+  val role_name : role -> string
+
+  (** [run ~dir ~digest ?ttl_s ?deadline_ms ~has_artifact f] — returns
+      [(f role, role)].  [f Adopted] must observe the published
+      artifact (a cache-reading compile); [f Led]/[f Local] must
+      produce and publish it.  While [f Led] runs, a heartbeat thread
+      refreshes the lease stamp at [ttl_s / 3] so a slow compile is not
+      mistaken for a dead leader; the lease is released (and the
+      heartbeat joined) on return {e and} on raise. *)
+  val run :
+    dir:string ->
+    digest:string ->
+    ?ttl_s:float ->
+    ?deadline_ms:float ->
+    has_artifact:(unit -> bool) ->
+    (role -> 'a) ->
+    'a * role
+end

@@ -4,13 +4,18 @@ module Diag = Gcd2.Diag
 
 let magic = "gcd2r1"
 
-type flight = Lead | Wait | No_flight
+type flight = Lead | Wait | Adopt | No_flight
 
-let flight_name = function Lead -> "lead" | Wait -> "wait" | No_flight -> "none"
+let flight_name = function
+  | Lead -> "lead"
+  | Wait -> "wait"
+  | Adopt -> "adopt"
+  | No_flight -> "none"
 
 let flight_of_name = function
   | "lead" -> Some Lead
   | "wait" -> Some Wait
+  | "adopt" -> Some Adopt
   | "none" -> Some No_flight
   | _ -> None
 
@@ -179,6 +184,24 @@ let invalid ~reason =
     device = "-";
     code = Some (Diag.code_name Diag.Invalid_request);
     msg = Some reason;
+  }
+
+(* health/stats reuse the response frame so every client (and load
+   balancer probe) parses them with the one parser: the command name is
+   the outcome, the payload is the quoted msg. *)
+let status ~command ~payload =
+  {
+    outcome = command;
+    hit = false;
+    cold = false;
+    ms = 0.;
+    lat = None;
+    flight = No_flight;
+    attempts = 0;
+    model = "-";
+    device = "-";
+    code = None;
+    msg = Some payload;
   }
 
 let diag_of r =

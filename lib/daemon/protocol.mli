@@ -15,13 +15,21 @@ gcd2r1 outcome=error hit=0 cold=1 ms=12.004 lat=- sf=lead attempts=3 model=x dev
     model latency estimate in ms, [-] when the request failed.  [sf]
     records how the compile was obtained: [lead] (this request ran the
     compile), [wait] (coalesced onto an identical in-flight compile),
+    [wait] (coalesced onto an identical in-flight compile), [adopt]
+    (another {e process} held the digest's lease and this daemon
+    adopted the artifact it published — the cross-process flight tier),
     [none] (warm cache hit or no single-flight involvement).  Blank
     request lines and [#] comments produce no response; a malformed
     request line produces an [outcome=invalid] response, and a request
     shed by the admission queue an [outcome=rejected] one with
-    [code=overloaded] (retryable — see {!diag_of}). *)
+    [code=overloaded] (retryable — see {!diag_of}).
 
-type flight = Lead | Wait | No_flight
+    Two bare command lines are answered in-frame rather than compiled:
+    [health] (liveness probe: [outcome=health] with a
+    [workers=... queue=... served=...] payload in [msg]) and [stats]
+    (the full merged stats line in [msg]). *)
+
+type flight = Lead | Wait | Adopt | No_flight
 
 val flight_name : flight -> string
 
@@ -53,6 +61,10 @@ val reject : model:string -> device:string -> response
 
 (** The response to an unparseable request line. *)
 val invalid : reason:string -> response
+
+(** The response to a bare [health]/[stats] command line:
+    [outcome=command], payload in [msg]. *)
+val status : command:string -> payload:string -> response
 
 (** Reconstruct a typed diagnostic from a failure response ([code=] name
     looked up in {!Gcd2.Diag.all_codes}), so a client regains the

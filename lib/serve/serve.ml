@@ -340,9 +340,11 @@ let serve_one ?(resolve = default_resolve) ?(compile = default_compile) policy ~
       let uncached = used_cache_dir = None && policy.cache_dir <> None in
       let retried = !attempts > 1 in
       let degraded = uncached || quarantined > 0 in
+      let store_suppressed = Trace.counter c.Compiler.trace "cache-store-suppressed" > 0 in
       let verified =
         match used_cache_dir with
-        | Some dir when degraded || retried -> verify_against_store ~dir config graph c
+        | Some dir when (degraded || retried) && not store_suppressed ->
+          verify_against_store ~dir config graph c
         | _ -> true  (* nothing stored out-of-band to check against *)
       in
       if not verified then

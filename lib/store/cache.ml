@@ -39,13 +39,72 @@ let entry_path dir digest = Filename.concat dir (digest ^ ".gcd2art")
 (** Where {!lookup} quarantines an entry it could not decode. *)
 let quarantine_path path = path ^ ".bad"
 
+(* ------------------------------------------------------------------ *)
+(* Repeated-quarantine cap                                             *)
+
+(* A persistently corrupting entry (bad disk sector, hostile mount)
+   would otherwise loop forever: quarantine -> recompile -> store ->
+   corrupt again -> quarantine...  Each serving process counts
+   {e consecutive} quarantines per (directory, digest); at the cap the
+   entry is "poisoned" and {!store} suppresses its rewrites, so the
+   digest serves uncached instead of burning a store+quarantine cycle
+   per request.  Two escape hatches keep the cap from outliving a
+   {e transient} fault burst (the chaos invariant: behaviour always
+   converges back once faults stop): a healthy decoded hit resets the
+   count, and while poisoned every [probe_every]-th store goes through
+   as a probe — if the medium recovered, the probe's entry hits, which
+   resets the count.  State is per-process by design (a restart retries
+   the entry once); growth of the [.bad] files themselves is bounded by
+   the janitor's age-out. *)
+let quarantine_cap = 3
+let probe_every = 8
+
+type pstate = { mutable quarantines : int; mutable suppressed : int }
+
+let poison_mu = Mutex.create ()
+let poison : (string, pstate) Hashtbl.t = Hashtbl.create 16
+let pkey ~dir digest = dir ^ "\x00" ^ digest
+
+let quarantine_count ~dir digest =
+  Mutex.protect poison_mu (fun () ->
+      match Hashtbl.find_opt poison (pkey ~dir digest) with
+      | Some st -> st.quarantines
+      | None -> 0)
+
+let poisoned ~dir digest = quarantine_count ~dir digest >= quarantine_cap
+
+(** Forget all per-process quarantine counts (tests). *)
+let reset_poison () = Mutex.protect poison_mu (fun () -> Hashtbl.reset poison)
+
+let note_quarantine ~dir digest =
+  Mutex.protect poison_mu (fun () ->
+      let key = pkey ~dir digest in
+      match Hashtbl.find_opt poison key with
+      | Some st -> st.quarantines <- st.quarantines + 1
+      | None -> Hashtbl.add poison key { quarantines = 1; suppressed = 0 })
+
+let note_healthy ~dir digest =
+  Mutex.protect poison_mu (fun () -> Hashtbl.remove poison (pkey ~dir digest))
+
+(* Store gate: true = write the entry.  Under the cap always; past it
+   only for the periodic probe. *)
+let store_allowed ~dir digest =
+  Mutex.protect poison_mu (fun () ->
+      match Hashtbl.find_opt poison (pkey ~dir digest) with
+      | None -> true
+      | Some st when st.quarantines < quarantine_cap -> true
+      | Some st ->
+        st.suppressed <- st.suppressed + 1;
+        st.suppressed mod probe_every = 0)
+
 (* An undecodable entry is moved aside — never deleted — so a future
    lookup recompiles instead of re-failing on the same bytes, while the
-   poisoned file stays on disk for post-mortem.  A rename failure (say,
-   a read-only cache directory) leaves the entry in place: still a
-   miss, never an error. *)
-let quarantine path =
+   poisoned file stays on disk for post-mortem (the janitor ages it out
+   eventually).  A rename failure (say, a read-only cache directory)
+   leaves the entry in place: still a miss, never an error. *)
+let quarantine ~dir ~digest path =
   (try Sys.rename path (quarantine_path path) with Sys_error _ -> ());
+  note_quarantine ~dir digest;
   Trace.count "cache-quarantined" 1
 
 (** Look up an artifact; [Some (artifact, bytes_read)] on a verified hit,
@@ -58,13 +117,26 @@ let lookup ~dir digest =
   if not (Sys.file_exists path) then None
   else
     match Artifact.load ~expect_digest:digest ~path () with
-    | Ok (art, bytes) -> Some (art, bytes)
+    | Ok (art, bytes) ->
+      note_healthy ~dir digest;
+      Some (art, bytes)
     | Error _ ->
-      quarantine path;
+      quarantine ~dir ~digest path;
       None
 
 (** Store an artifact under its digest; returns the bytes written.
-    Creates the cache directory (and parents) as needed. *)
+    Creates the cache directory (and parents) as needed.  A digest past
+    the repeated-quarantine cap is mostly not rewritten (counter
+    [cache-store-suppressed], returns 0): the entry keeps failing on
+    this medium, so the process serves it uncached rather than loop
+    quarantine -> store -> quarantine — except for the periodic probe
+    store that lets a recovered medium heal the entry. *)
 let store ~dir (art : Artifact.t) =
-  ensure_dir dir;
-  Artifact.save ~path:(entry_path dir art.Artifact.digest) art
+  if not (store_allowed ~dir art.Artifact.digest) then begin
+    Trace.count "cache-store-suppressed" 1;
+    0
+  end
+  else begin
+    ensure_dir dir;
+    Artifact.save ~path:(entry_path dir art.Artifact.digest) art
+  end

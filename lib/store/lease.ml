@@ -1,0 +1,177 @@
+(** Cross-process compile leases in the cache directory.
+
+    The in-process {!Gcd2_daemon.Flight} table dedups concurrent
+    compiles of one digest inside a single daemon; this module is its
+    disk tier.  A would-be leader takes [<dir>/<digest>.lease] before a
+    cold compile; leaders in {e other processes} see the lease, poll,
+    and adopt the artifact the leader stores.  The lease file carries
+    the owner pid and a wall-clock stamp:
+
+    {v pid=<pid> stamp=<seconds-since-epoch> v}
+
+    A lease is {e stale} when its owner pid is dead (the common case
+    after a SIGKILL — detected immediately via [kill pid 0]) or its
+    stamp is older than the ttl (the fallback bound for a wedged but
+    living owner; live leaders {!refresh} the stamp well inside the
+    ttl).  Unreadable or garbled lease files are stale outright:
+    {!acquire} publishes the file atomically (write-then-[link]), so a
+    garbled file can only come from corruption, never from catching a
+    healthy writer mid-write.
+
+    Breaking is rename-then-unlink: every breaker renames the lease to
+    a name unique to itself and unlinks the corpse.  [rename] is atomic,
+    so of N concurrent breakers exactly one wins and the losers see
+    [ENOENT] — two breakers can never free the key twice, and a breaker
+    that lost simply re-examines the key (a fresh leader may already
+    hold a new lease, which the loser must not touch).
+
+    Leases are an optimization (compile dedup), not a correctness
+    gate: artifact stores are atomic temp-file+rename, so the worst
+    consequence of the unavoidable check-then-break race (a lease going
+    live again between [state] and [break]) is one duplicate compile
+    producing bit-identical bytes.  What the module does guarantee:
+    {!acquire} never admits two owners for one lease file, and a dead
+    owner never wedges a key for longer than the ttl. *)
+
+module Fault = Gcd2_util.Fault
+module Trace = Gcd2_util.Trace
+
+(* SIGKILLed owners are detected by pid, not stamp, so the ttl only
+   bounds wedged-but-alive owners; 10 s is far above any refresh jitter
+   yet short enough that a stuck leader delays followers, not users
+   (their serve deadline caps the wait anyway). *)
+let default_ttl_s = 10.0
+
+let path ~dir digest = Filename.concat dir (digest ^ ".lease")
+
+type t = { dir : string; digest : string; owner : int }
+
+let owner t = t.owner
+let lease_path t = path ~dir:t.dir t.digest
+
+(* ------------------------------------------------------------------ *)
+(* File format                                                         *)
+
+let render ~owner = Printf.sprintf "pid=%d stamp=%.6f\n" owner (Unix.gettimeofday ())
+
+let write_file path s =
+  Out_channel.with_open_gen
+    [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+    0o644 path
+    (fun oc -> Out_channel.output_string oc s)
+
+let read ~dir digest =
+  match In_channel.with_open_bin (path ~dir digest) In_channel.input_all with
+  | exception Sys_error _ -> None
+  | s -> ( try Scanf.sscanf s "pid=%d stamp=%f" (fun pid stamp -> Some (pid, stamp)) with _ -> None)
+
+(* [kill pid 0] probes liveness without signalling: ESRCH means no such
+   process; EPERM means it exists but belongs to someone else (alive). *)
+let pid_alive pid =
+  if pid <= 0 then false
+  else
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception Unix.Unix_error (_, _, _) -> true
+
+(* ------------------------------------------------------------------ *)
+(* State machine: Free -> Held -> (release -> Free | stale -> Stale -> break -> Free) *)
+
+type state =
+  | Free
+  | Held of int  (** live owner pid *)
+  | Stale of int option  (** dead/expired owner; [None] when garbled *)
+
+let state ?(ttl_s = default_ttl_s) ~dir digest =
+  if not (Sys.file_exists (path ~dir digest)) then Free
+  else
+    match read ~dir digest with
+    | None -> if Sys.file_exists (path ~dir digest) then Stale None else Free
+    | Some (pid, stamp) ->
+      if not (pid_alive pid) then Stale (Some pid)
+      else if Unix.gettimeofday () -. stamp > ttl_s then Stale (Some pid)
+      else Held pid
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+
+(* Unique per owner AND per attempt: two threads of one process may
+   race an acquire of the same digest. *)
+let scratch_counter = Atomic.make 0
+
+let scratch_path ~dir digest ~owner tag =
+  Filename.concat dir
+    (Printf.sprintf ".%s.%d.%d.%s" digest owner (Atomic.fetch_and_add scratch_counter 1) tag)
+
+(** Try to take the lease for [digest].  [Ok lease] makes the caller
+    the sole owner; [Error `Held] means some lease file exists (live or
+    stale — callers consult {!state} and maybe {!break}); [Error (`Io
+    msg)] is any filesystem failure, which callers treat as "leases
+    unavailable, proceed without dedup".  The publish is atomic: the
+    contents are written to a scratch file which is then [link]ed to
+    the lease name, so a lease file, once visible, is always complete.
+    [owner] defaults to the calling pid; tests pass other pids to model
+    foreign processes.  Consults fault point [flight-lease]. *)
+let acquire ?owner ~dir digest =
+  Fault.fire "flight-lease";
+  let owner = match owner with Some p -> p | None -> Unix.getpid () in
+  Cache.ensure_dir dir;
+  let tmp = scratch_path ~dir digest ~owner "lease-tmp" in
+  match
+    write_file tmp (render ~owner);
+    Unix.link tmp (path ~dir digest)
+  with
+  | () ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Trace.count "lease-acquired" 1;
+    Ok { dir; digest; owner }
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error `Held
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (`Io (Unix.error_message e))
+  | exception Sys_error msg ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (`Io msg)
+
+(** Re-stamp a held lease (heartbeat).  Returns false — and writes
+    nothing — when the lease is no longer ours (broken and retaken),
+    which tells the heartbeat to stop. *)
+let refresh t =
+  match read ~dir:t.dir t.digest with
+  | Some (pid, _) when pid = t.owner -> (
+    let tmp = scratch_path ~dir:t.dir t.digest ~owner:t.owner "lease-hb" in
+    match
+      write_file tmp (render ~owner:t.owner);
+      Sys.rename tmp (lease_path t)
+    with
+    | () -> true
+    | exception Sys_error _ ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      false)
+  | _ -> false
+
+(** Drop our lease.  Only removes the file while it is still ours. *)
+let release t =
+  match read ~dir:t.dir t.digest with
+  | Some (pid, _) when pid = t.owner -> (
+    try Sys.remove (lease_path t) with Sys_error _ -> ())
+  | _ -> ()
+
+(** Break the lease on [digest] (call only after {!state} returned
+    [Stale _]).  Rename-then-unlink: exactly one of N concurrent
+    breakers wins the atomic rename and removes the corpse; the losers
+    return false and must re-examine the key.  Consults fault point
+    [flight-lease]. *)
+let break ?owner ~dir digest =
+  Fault.fire "flight-lease";
+  let owner = match owner with Some p -> p | None -> Unix.getpid () in
+  let corpse = scratch_path ~dir digest ~owner "lease-broken" in
+  match Sys.rename (path ~dir digest) corpse with
+  | () ->
+    (try Sys.remove corpse with Sys_error _ -> ());
+    Trace.count "lease-broken" 1;
+    true
+  | exception Sys_error _ -> false

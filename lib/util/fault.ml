@@ -10,7 +10,16 @@ let () =
     | _ -> None)
 
 let points =
-  [ "cache-read"; "cache-write"; "artifact-decode"; "vm-run"; "memo-lookup"; "pool-worker" ]
+  [
+    "cache-read";
+    "cache-write";
+    "artifact-decode";
+    "vm-run";
+    "memo-lookup";
+    "pool-worker";
+    "flight-lease";
+    "janitor-unlink";
+  ]
 
 let check_point p =
   if not (List.mem p points) then

@@ -26,7 +26,15 @@
     - [memo-lookup] — [Memo.find_or_add] pretends the entry is absent
       and recomputes (a lost memo entry; results must not change);
     - [pool-worker] — a [Pool] worker domain raises at startup (a
-      crashed worker).
+      crashed worker); the daemon worker loop consults the same point,
+      so its watchdog/respawn path is chaos-testable;
+    - [flight-lease] — a cross-process lease operation
+      ([Gcd2_store.Lease.acquire]/[break]) raises {!Injected} (a lease
+      I/O race; the flight disk tier must fall back to compiling
+      locally, never wedge);
+    - [janitor-unlink] — a janitor sweep unlink raises before removing
+      the file (a sweep race with a concurrent process; the sweep must
+      count the error and keep going, never abort the pass).
 
     Spec syntax (comma/semicolon/space separated):
     ["seed=42,cache-read=0.5,artifact-decode=1"] — [seed] (default 0)

@@ -447,6 +447,75 @@ let test_spec_parsing () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* PR 10: the lease tier and the janitor under faults *)
+
+module Janitor = Gcd2_store.Janitor
+
+(* With every lease operation faulting, the cross-process flight tier
+   must degrade to plain local compiles: every request still serves the
+   fault-free bits, and no lease debris is left in the cache dir. *)
+let test_flight_lease_fault_degrades () =
+  let dir = temp_dir () in
+  let cache = Filename.concat dir "cache" in
+  let base =
+    Fault.with_disabled (fun () ->
+        float_of_string
+          (Printf.sprintf "%.4f" (Compiler.latency_ms (Compiler.compile (tiny_cnn 1)))))
+  in
+  let cfg =
+    {
+      (Daemon.default_config (Daemon.Unix_sock (Filename.concat dir "d.sock"))) with
+      Daemon.workers = 2;
+      resolve = Some resolve;
+      policy = policy ~cache_dir:cache ~jobs:1 ();
+    }
+  in
+  let d = Daemon.start cfg in
+  Fun.protect ~finally:(fun () -> ignore (Daemon.stop d)) @@ fun () ->
+  let addr = Daemon.address d in
+  Fault.with_spec (spec "seed=21,flight-lease=1") (fun () ->
+      match Dclient.batch addr [ "tiny"; "tiny" ] with
+      | [ Ok a; Ok b ] ->
+        Alcotest.(check string) "cold serve ok under lease faults" "ok"
+          a.Protocol.outcome;
+        Alcotest.(check string) "warm serve ok under lease faults" "ok"
+          b.Protocol.outcome;
+        Alcotest.(check (float 0.0))
+          "lease-fault serve carries fault-free bits" base
+          (match a.Protocol.lat with Some l -> l | None -> -1.0)
+      | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs));
+  check_bool "no lease debris left behind" true
+    (Sys.readdir cache |> Array.to_list
+    |> List.for_all (fun f -> not (Filename.check_suffix f ".lease")))
+
+(* A sweep whose every unlink faults must count errors and remove
+   nothing — and the next fault-free sweep converges the directory. *)
+let test_janitor_unlink_fault_tolerated () =
+  let dir = temp_dir () in
+  let plant name =
+    let p = Filename.concat dir name in
+    Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc "debris");
+    let old = Unix.gettimeofday () -. 1000.0 in
+    Unix.utimes p old old
+  in
+  plant "torn-write.tmp";
+  plant "poisoned.gcd2art.bad";
+  let cfg = { Janitor.default with Janitor.tmp_max_age_s = 60.0; bad_max_age_s = 60.0 } in
+  Fault.with_spec (spec "seed=22,janitor-unlink=1") (fun () ->
+      let r = Janitor.sweep ~dir cfg in
+      check_int "faulted sweep removed nothing" 0
+        (r.Janitor.tmp_removed + r.Janitor.bad_removed);
+      check_int "every failed unlink counted" 2 r.Janitor.errors);
+  check_int "debris survives the faulted sweep" 2 (Array.length (Sys.readdir dir));
+  (* with_disabled, not "no spec": under `make chaos` the ambient env
+     spec would otherwise keep faulting this sweep's unlinks *)
+  let r = Fault.with_disabled (fun () -> Janitor.sweep ~dir cfg) in
+  check_int "fault-free sweep converges: tmp" 1 r.Janitor.tmp_removed;
+  check_int "fault-free sweep converges: bad" 1 r.Janitor.bad_removed;
+  check_int "no errors without faults" 0 r.Janitor.errors;
+  check_int "directory clean" 0 (Array.length (Sys.readdir dir))
+
 let tests =
   [
     Alcotest.test_case "fault specs parse and validate" `Quick test_spec_parsing;
@@ -465,5 +534,9 @@ let tests =
     Alcotest.test_case "zoo model under combined faults" `Quick test_zoo_model_chaos;
     Alcotest.test_case "daemon workers absorb faults" `Quick
       test_daemon_worker_chaos;
+    Alcotest.test_case "lease faults degrade to local compiles" `Quick
+      test_flight_lease_fault_degrades;
+    Alcotest.test_case "janitor tolerates unlink faults and converges" `Quick
+      test_janitor_unlink_fault_tolerated;
     QCheck_alcotest.to_alcotest qcheck_chaos;
   ]

@@ -408,6 +408,130 @@ let test_log_lines_never_tear () =
     (fun l -> check_bool (Printf.sprintf "intact line: %S" l) true (line_ok l))
     lines
 
+(* ------------------------------------------------------------------ *)
+(* Robustness (PR 10): health/stats commands, the worker watchdog, and
+   the cross-process disk flight tier *)
+
+module Fault = Gcd2_util.Fault
+module Lease = Gcd2_store.Lease
+
+let test_health_and_stats_commands () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_daemon (config ~resolve:resolve_tiny dir) @@ fun d ->
+  let addr = Daemon.address d in
+  (match Client.batch addr [ "health"; "stats"; "tinyA" ] with
+  | [ Ok h; Ok s; Ok r ] ->
+    Alcotest.(check string) "health outcome" "health" h.Protocol.outcome;
+    let payload = Option.value h.Protocol.msg ~default:"" in
+    check_bool "health names its workers" true
+      (String.length payload > 0
+      && Option.is_some
+           (String.index_opt payload 'w' (* "workers=" *))
+      && String.split_on_char ' ' payload
+         |> List.exists (String.starts_with ~prefix:"workers="));
+    Alcotest.(check string) "stats outcome" "stats" s.Protocol.outcome;
+    check_bool "stats carries the merged line" true
+      (match s.Protocol.msg with
+      | Some m ->
+        String.split_on_char ' ' m
+        |> List.exists (String.starts_with ~prefix:"served=")
+      | None -> false);
+    (* command lines and compile lines interleave in one session *)
+    Alcotest.(check string) "request after commands still served" "ok"
+      r.Protocol.outcome
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs))
+
+let test_worker_crash_respawns () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_daemon (config ~workers:1 ~resolve:resolve_tiny dir) @@ fun d ->
+  let addr = Daemon.address d in
+  (* every connection crashes its worker while the spec is active *)
+  (match
+     Fault.with_spec (Fault.parse_exn "seed=11,pool-worker=1") @@ fun () ->
+     Client.batch addr [ "tinyA" ]
+   with
+  | [ Ok r ] ->
+    Alcotest.(check string) "crash answered, not dropped" "error" r.Protocol.outcome;
+    Alcotest.(check (option string)) "typed as worker-failed" (Some "worker-failed")
+      r.Protocol.code;
+    (match Protocol.diag_of r with
+    | Some diag -> check_bool "worker crash is retryable" true diag.Gcd2.Diag.retryable
+    | None -> Alcotest.fail "crash response carries no diag")
+  | [ Error e ] -> Alcotest.failf "connection dropped instead of answered: %s" e
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  (* the watchdog respawned the sole worker: the pool still serves *)
+  (match Client.batch addr [ "tinyA" ] with
+  | [ Ok r ] -> Alcotest.(check string) "respawned worker serves" "ok" r.Protocol.outcome
+  | _ -> Alcotest.fail "respawned worker did not answer");
+  let s = Daemon.stats d in
+  check_bool "respawn counted" true (s.Daemon.respawns >= 1)
+
+(* Disk flight tier, in one process: a slow leader holds the digest's
+   lease while a late follower polls; once the leader publishes the
+   artifact the follower adopts instead of compiling. *)
+let test_disk_flight_adopts () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let digest = "deadbeef01" in
+  let art = Filename.concat dir "published.art" in
+  let has_artifact () = Sys.file_exists art in
+  let leader =
+    Thread.create
+      (fun () ->
+        Flight.Disk.run ~dir ~digest ~has_artifact (fun _role ->
+            Thread.delay 0.2;
+            Out_channel.with_open_bin art (fun oc -> Out_channel.output_string oc "bits");
+            "compiled"))
+      ()
+  in
+  Thread.delay 0.05;
+  let follower, frole =
+    Flight.Disk.run ~dir ~digest ~has_artifact (fun role ->
+        match role with
+        | Flight.Disk.Adopted -> "adopted"
+        | Flight.Disk.Led | Flight.Disk.Local -> "compiled")
+  in
+  Thread.join leader;
+  Alcotest.(check string) "follower adopted the published artifact" "adopted" follower;
+  check_bool "role is Adopted" true (frole = Flight.Disk.Adopted);
+  check_bool "leader released its lease" true
+    (Lease.state ~dir digest = Lease.Free)
+
+(* A SIGKILLed leader's lease (dead pid) must be broken, not waited out. *)
+let test_disk_flight_breaks_dead_lease () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let digest = "deadbeef02" in
+  (* far above the kernel's pid_max: kill(pid, 0) is ESRCH, i.e. dead
+     (forking a real corpse is off-limits once domains have run) *)
+  let corpse = 999_999_999 in
+  (match Lease.acquire ~owner:corpse ~dir digest with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "planting the dead lease failed");
+  let t0 = Unix.gettimeofday () in
+  let r, role =
+    Flight.Disk.run ~dir ~digest ~has_artifact:(fun () -> false) (fun _ -> "compiled")
+  in
+  Alcotest.(check string) "request served" "compiled" r;
+  check_bool "dead lease broken, caller led" true (role = Flight.Disk.Led);
+  check_bool "broke immediately, no ttl wait" true (Unix.gettimeofday () -. t0 < 2.0);
+  check_bool "no lease left behind" true (Lease.state ~dir digest = Lease.Free)
+
+(* Lease-layer faults degrade to a local compile — never an error, never
+   a wedge. *)
+let test_disk_flight_fault_falls_back () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let r, role =
+    Fault.with_spec (Fault.parse_exn "seed=12,flight-lease=1") @@ fun () ->
+    Flight.Disk.run ~dir ~digest:"deadbeef03" ~has_artifact:(fun () -> false)
+      (fun _ -> "compiled")
+  in
+  Alcotest.(check string) "served despite lease faults" "compiled" r;
+  check_bool "fell back to a local compile" true (role = Flight.Disk.Local)
+
 let tests =
   [
     Alcotest.test_case "bounded queue semantics" `Quick test_bqueue;
@@ -426,4 +550,14 @@ let tests =
     Alcotest.test_case "graceful shutdown drains the queue" `Quick
       test_graceful_shutdown_drains;
     Alcotest.test_case "log lines never tear" `Quick test_log_lines_never_tear;
+    Alcotest.test_case "health and stats answered in-frame" `Quick
+      test_health_and_stats_commands;
+    Alcotest.test_case "worker crash answered and respawned" `Quick
+      test_worker_crash_respawns;
+    Alcotest.test_case "disk flight: follower adopts the leader's artifact" `Quick
+      test_disk_flight_adopts;
+    Alcotest.test_case "disk flight: dead leader's lease is broken" `Quick
+      test_disk_flight_breaks_dead_lease;
+    Alcotest.test_case "disk flight: lease faults fall back locally" `Quick
+      test_disk_flight_fault_falls_back;
   ]

@@ -15,6 +15,7 @@ open Gcd2_graph
 module B = Graph.Builder
 
 let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
 
 let temp_dir () =
   let f = Filename.temp_file "gcd2-store-test" "" in
@@ -434,6 +435,252 @@ let test_bucketed_entries_shared () =
   check_int "another bucket compiles its own entry" 2 (entries ());
   Alcotest.(check bool) "other bucket is cold" false (Compiler.from_cache c)
 
+(* ------------------------------------------------------------------ *)
+(* Janitor: debris sweep, quarantine age-out, LRU budget, lease immunity *)
+
+module Janitor = Gcd2_store.Janitor
+module Lease = Gcd2_store.Lease
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Backdate a file so age gates and LRU ordering are deterministic. *)
+let backdate path ~by_s =
+  let t = Unix.gettimeofday () -. by_s in
+  Unix.utimes path t t
+
+let entry_names dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".gcd2art")
+  |> List.sort compare
+
+(* Prime [n] distinct entries (seeds 1..n) and return their digests
+   oldest-first: the entry of seed [i] is backdated by [(n-i)*100] s. *)
+let prime_entries dir n =
+  List.init n (fun i ->
+      let seed = i + 1 in
+      let before = entry_names dir in
+      ignore (Compiler.compile ~cache_dir:dir (weighted_cnn seed));
+      match List.filter (fun f -> not (List.mem f before)) (entry_names dir) with
+      | [ f ] ->
+        backdate (Filename.concat dir f) ~by_s:(float_of_int ((n - i) * 100));
+        Filename.chop_suffix f ".gcd2art"
+      | fs -> Alcotest.failf "expected one new entry for seed %d, got %d" seed (List.length fs))
+
+let test_janitor_sweeps_debris () =
+  with_dir @@ fun dir ->
+  let plant name ~age =
+    let p = Filename.concat dir name in
+    write_file p "debris";
+    backdate p ~by_s:age
+  in
+  plant "gcd2art-old-write.tmp" ~age:1000.0;
+  plant "gcd2art-live-write.tmp" ~age:1.0;
+  plant "old-entry.gcd2art.bad" ~age:1000.0;
+  plant "fresh-entry.gcd2art.bad" ~age:1.0;
+  write_file (Filename.concat dir "deadkey.lease") "pid=999999999 stamp=0.0\n";
+  let cfg = { Janitor.default with Janitor.tmp_max_age_s = 60.0; bad_max_age_s = 60.0 } in
+  let r = Janitor.sweep ~dir cfg in
+  check_int "one tmp removed" 1 r.Janitor.tmp_removed;
+  check_int "one bad removed" 1 r.Janitor.bad_removed;
+  check_int "dead-pid lease broken" 1 r.Janitor.leases_broken;
+  check_int "no errors" 0 r.Janitor.errors;
+  let left = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  Alcotest.(check (list string))
+    "young debris and fresh quarantine survive"
+    [ "fresh-entry.gcd2art.bad"; "gcd2art-live-write.tmp" ]
+    left;
+  (* a second sweep over the clean directory is a no-op *)
+  let r2 = Janitor.sweep ~dir cfg in
+  check_int "idempotent: nothing more to remove" 0
+    (r2.Janitor.tmp_removed + r2.Janitor.bad_removed + r2.Janitor.leases_broken)
+
+let test_janitor_lru_eviction () =
+  with_dir @@ fun dir ->
+  match prime_entries dir 3 with
+  | [ oldest; middle; newest ] ->
+    let size d = (Unix.stat (Filename.concat dir (d ^ ".gcd2art"))).Unix.st_size in
+    let oldest_bytes = size oldest in
+    (* budget fits exactly the two newest entries *)
+    let cfg = { Janitor.default with Janitor.max_bytes = Some (size middle + size newest) } in
+    let r = Janitor.sweep ~dir cfg in
+    check_int "oldest entry evicted first" 1 r.Janitor.evicted;
+    check_int "evicted bytes accounted" oldest_bytes r.Janitor.evicted_bytes;
+    check_int "surviving entries" 2 r.Janitor.entries;
+    Alcotest.(check (list string))
+      "LRU order: oldest gone, newer two intact"
+      (List.sort compare [ middle ^ ".gcd2art"; newest ^ ".gcd2art" ])
+      (entry_names dir)
+  | ds -> Alcotest.failf "expected 3 primed entries, got %d" (List.length ds)
+
+let test_janitor_never_evicts_leased () =
+  with_dir @@ fun dir ->
+  match prime_entries dir 2 with
+  | [ oldest; newest ] ->
+    (* the LRU victim is protected by a live lease, so the janitor must
+       evict the *younger* entry instead to meet the budget *)
+    let lease =
+      match Lease.acquire ~dir oldest with
+      | Ok l -> l
+      | Error _ -> Alcotest.fail "acquire on a fresh dir failed"
+    in
+    Fun.protect ~finally:(fun () -> Lease.release lease) @@ fun () ->
+    let size d = (Unix.stat (Filename.concat dir (d ^ ".gcd2art"))).Unix.st_size in
+    let cfg = { Janitor.default with Janitor.max_bytes = Some (size oldest) } in
+    let r = Janitor.sweep ~dir cfg in
+    check_int "leased victim skipped" 1 r.Janitor.skipped_leased;
+    check_int "younger entry evicted instead" 1 r.Janitor.evicted;
+    Alcotest.(check (list string))
+      "leased entry survives eviction" [ oldest ^ ".gcd2art" ] (entry_names dir);
+    check_bool "lease file intact" true
+      (Sys.file_exists (Lease.path ~dir oldest));
+    check_int "newest gone" (size oldest) r.Janitor.bytes;
+    ignore newest
+  | ds -> Alcotest.failf "expected 2 primed entries, got %d" (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+(* Leases: exclusivity, staleness by dead pid and by ttl, safe breaking *)
+
+let test_lease_lifecycle () =
+  with_dir @@ fun dir ->
+  let digest = "aaaa1111" in
+  let l =
+    match Lease.acquire ~dir digest with
+    | Ok l -> l
+    | Error _ -> Alcotest.fail "first acquire failed"
+  in
+  (match Lease.acquire ~dir digest with
+  | Error `Held -> ()
+  | Ok _ -> Alcotest.fail "second acquire won a held lease"
+  | Error (`Io e) -> Alcotest.failf "io error: %s" e);
+  (match Lease.state ~dir digest with
+  | Lease.Held pid -> check_int "held by us" (Unix.getpid ()) pid
+  | _ -> Alcotest.fail "held lease not reported Held");
+  check_bool "refresh while held" true (Lease.refresh l);
+  Lease.release l;
+  check_bool "release removes the file" false (Sys.file_exists (Lease.path ~dir digest));
+  (match Lease.state ~dir digest with
+  | Lease.Free -> ()
+  | _ -> Alcotest.fail "released lease not Free");
+  (match Lease.acquire ~dir digest with
+  | Ok l2 -> Lease.release l2
+  | Error _ -> Alcotest.fail "re-acquire after release failed")
+
+(* A pid that is certainly dead: far above the kernel's pid_max, so
+   [kill pid 0] is ESRCH.  (Forking a real corpse would be cleaner but
+   Unix.fork is off-limits once any test has spawned a domain.) *)
+let dead_pid () = 999_999_999
+
+let test_lease_stale_dead_owner () =
+  with_dir @@ fun dir ->
+  let digest = "bbbb2222" in
+  let corpse = dead_pid () in
+  (match Lease.acquire ~owner:corpse ~dir digest with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "acquire as the doomed owner failed");
+  (* the owner is gone: stale immediately, no ttl wait *)
+  (match Lease.state ~dir digest with
+  | Lease.Stale (Some pid) -> check_int "stale reports the dead pid" corpse pid
+  | _ -> Alcotest.fail "dead-owner lease not Stale");
+  check_bool "break frees the key" true (Lease.break ~dir digest);
+  check_bool "second break finds nothing" false (Lease.break ~dir digest);
+  (match Lease.acquire ~dir digest with
+  | Ok l -> Lease.release l
+  | Error _ -> Alcotest.fail "acquire after break failed")
+
+let test_lease_stale_by_ttl () =
+  with_dir @@ fun dir ->
+  let digest = "cccc3333" in
+  (* live pid, ancient stamp: a wedged-but-alive owner *)
+  write_file (Lease.path ~dir digest)
+    (Printf.sprintf "pid=%d stamp=1.000000\n" (Unix.getpid ()));
+  (match Lease.state ~ttl_s:5.0 ~dir digest with
+  | Lease.Stale (Some _) -> ()
+  | _ -> Alcotest.fail "expired stamp not Stale");
+  (* garbled lease files are stale outright *)
+  write_file (Lease.path ~dir digest) "not a lease";
+  (match Lease.state ~dir digest with
+  | Lease.Stale None -> ()
+  | _ -> Alcotest.fail "garbled lease not Stale None");
+  check_bool "garbled lease breaks" true (Lease.break ~dir digest)
+
+(* Model-checked exclusivity: two "processes" (our pid and pid 1 —
+   both alive forever) race acquire / release / expire / break on one
+   digest.  The model tracks whether a lease file exists and who owns
+   it; the property is that the real outcomes always agree — in
+   particular acquire NEVER succeeds while a lease exists (two
+   leaders), and a break-then-retake is detected by the old owner's
+   refresh returning false. *)
+let qcheck_lease_never_two_leaders =
+  QCheck.Test.make ~name:"lease: concurrent acquire/break never admits two leaders"
+    ~count:40
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 0 7))
+  @@ fun ops ->
+  with_dir @@ fun dir ->
+  let digest = "qcheckkey" in
+  let pids = [| Unix.getpid (); 1 |] in
+  let handles = [| None; None |] in
+  let model = ref None (* Some who, while a lease file exists *) in
+  let fail fmt = Printf.ksprintf (fun s -> QCheck.Test.fail_report s) fmt in
+  List.iter
+    (fun op ->
+      let who = op mod 2 in
+      match op / 2 with
+      | 0 -> (
+        (* acquire *)
+        match Lease.acquire ~owner:pids.(who) ~dir digest with
+        | Ok l ->
+          if !model <> None then fail "acquire succeeded over an existing lease";
+          handles.(who) <- Some l;
+          model := Some who
+        | Error `Held -> if !model = None then fail "acquire failed on a free key"
+        | Error (`Io e) -> fail "io error: %s" e)
+      | 1 -> (
+        (* release: only the owner's release may free the key *)
+        match handles.(who) with
+        | Some l ->
+          Lease.release l;
+          handles.(who) <- None;
+          if !model = Some who then model := None
+        | None -> ())
+      | 2 ->
+        (* expire: backdate the stamp, owner unchanged *)
+        (match !model with
+        | Some holder ->
+          write_file (Lease.path ~dir digest)
+            (Printf.sprintf "pid=%d stamp=1.000000\n" pids.(holder))
+        | None -> ())
+      | _ -> (
+        (* break, only when observably stale (the module's contract) *)
+        match Lease.state ~ttl_s:3600.0 ~dir digest with
+        | Lease.Stale _ ->
+          if Lease.break ~owner:pids.(who) ~dir digest then begin
+            (match !model with
+            | Some old when old <> who -> (
+              (* the deposed owner must learn it lost: refresh false *)
+              match handles.(old) with
+              | Some l ->
+                if Lease.refresh l then fail "deposed owner still refreshes";
+                handles.(old) <- None
+              | None -> ())
+            | _ -> ());
+            model := None
+          end
+        | Lease.Held _ | Lease.Free -> ()))
+    ops;
+  (* final agreement: file exists iff the model says someone holds it *)
+  if Sys.file_exists (Lease.path ~dir digest) <> (!model <> None) then
+    fail "model and directory disagree at the end";
+  true
+
 let tests =
   [
     Alcotest.test_case "request fingerprint" `Quick test_fingerprint;
@@ -456,5 +703,18 @@ let tests =
       test_save_fault_leaves_no_debris;
     Alcotest.test_case "bucketed sequence lengths share entries" `Quick
       test_bucketed_entries_shared;
+    Alcotest.test_case "janitor sweeps debris, quarantine and stale leases" `Quick
+      test_janitor_sweeps_debris;
+    Alcotest.test_case "janitor evicts LRU down to the byte budget" `Quick
+      test_janitor_lru_eviction;
+    Alcotest.test_case "janitor never evicts a leased entry" `Quick
+      test_janitor_never_evicts_leased;
+    Alcotest.test_case "lease lifecycle: exclusive, released, retaken" `Quick
+      test_lease_lifecycle;
+    Alcotest.test_case "lease of a dead owner is stale and breakable" `Quick
+      test_lease_stale_dead_owner;
+    Alcotest.test_case "lease staleness by ttl and garbling" `Quick
+      test_lease_stale_by_ttl;
+    QCheck_alcotest.to_alcotest qcheck_lease_never_two_leaders;
     Alcotest.test_case "zoo artifacts round-trip" `Slow test_zoo_roundtrip;
   ]
